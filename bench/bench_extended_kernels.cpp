@@ -1,0 +1,40 @@
+// Extension: the transfer methodology applied to four additional SPAPT
+// problems beyond the paper's four — BiCG, GESUMMV, GEMVER and a Jacobi
+// 2-D stencil (the latter exercising offset/stencil index expressions in
+// the IR). Same protocol and metrics as Table IV.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "kernels/sim_evaluator.hpp"
+#include "kernels/spapt.hpp"
+
+using namespace portatune;
+
+int main() {
+  const auto settings = bench::paper_settings();
+  std::printf("Extension: RS_b transfer on the extended SPAPT problems "
+              "(Prf.Imp / Srh.Imp, * = successful)\n\n");
+
+  TextTable t({"Problem", "ni", "|D|", "WM->SB", "SB->P7", "SB->XG"});
+  for (const auto& prob : kernels::extended_problems()) {
+    char card[32];
+    std::snprintf(card, sizeof(card), "%.1e", prob->space().cardinality());
+    std::vector<std::string> row{prob->name(),
+                                 std::to_string(prob->space().num_params()),
+                                 card};
+    const std::pair<const char*, const char*> pairs[] = {
+        {"Westmere", "Sandybridge"},
+        {"Sandybridge", "Power7"},
+        {"Sandybridge", "X-Gene"}};
+    for (const auto& [src, dst] : pairs) {
+      kernels::SimulatedKernelEvaluator a(prob, sim::machine_by_name(src));
+      kernels::SimulatedKernelEvaluator b(prob, sim::machine_by_name(dst));
+      const auto r = tuner::run_transfer_experiment(a, b, settings);
+      row.push_back(bench::speedup_cell(r.biased_speedup));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 3: using Intel Westmere data to speed the search on Intel
+// Sandybridge, for ATAX, LU, HPL and RT. Three columns per problem:
+// model-based variants (RS, RS_p, RS_b), model-free variants (RS_pf,
+// RS_bf), and the run-time correlation of the shared configurations.
+#include "bench/figures_common.hpp"
+
+int main() {
+  portatune::bench::print_figure(
+      "Figure 3: Intel Westmere -> Intel Sandybridge", "Westmere",
+      "Sandybridge", {"ATAX", "LU", "HPL", "RT"});
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Figure 4: Intel Sandybridge used to speed the search on IBM Power 7 —
+// the paper's first demonstration of cross-vendor performance
+// portability. Same panel layout as Figure 3.
+#include "bench/figures_common.hpp"
+
+int main() {
+  portatune::bench::print_figure(
+      "Figure 4: Intel Sandybridge -> IBM Power 7", "Sandybridge",
+      "Power7", {"ATAX", "LU", "HPL", "RT"});
+  return 0;
+}

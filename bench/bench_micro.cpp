@@ -1,0 +1,113 @@
+// Micro-benchmarks of the substrates (google-benchmark): surrogate fit
+// and predict throughput, analytic cost-model evaluation rate, exact
+// cache simulation rate, sampling and code generation throughput. These
+// bound the "model overhead" that the paper argues is negligible next to
+// empirical evaluations.
+#include <benchmark/benchmark.h>
+
+#include "kernels/sim_evaluator.hpp"
+#include "kernels/spapt.hpp"
+#include "ml/forest.hpp"
+#include "orio/codegen.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/trace_sim.hpp"
+#include "tuner/random_search.hpp"
+#include "tuner/sampler.hpp"
+
+namespace {
+
+using namespace portatune;
+
+ml::Dataset lu_training_data() {
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  tuner::RandomSearchOptions opt;
+  opt.max_evals = 100;
+  opt.seed = 1;
+  return tuner::random_search(wm, opt).to_dataset(lu->space());
+}
+
+void BM_ForestFit(benchmark::State& state) {
+  const auto data = lu_training_data();
+  ml::ForestParams fp;
+  fp.num_trees = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ml::RandomForest forest(fp);
+    forest.fit(data);
+    benchmark::DoNotOptimize(forest.num_trees());
+  }
+}
+BENCHMARK(BM_ForestFit)->Arg(8)->Arg(64);
+
+void BM_ForestPredict(benchmark::State& state) {
+  const auto data = lu_training_data();
+  ml::RandomForest forest;
+  forest.fit(data);
+  const std::vector<double> x(data.row(0).begin(), data.row(0).end());
+  for (auto _ : state) benchmark::DoNotOptimize(forest.predict(x));
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_AnalyticCostModel(benchmark::State& state) {
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator sb(lu, sim::make_sandybridge());
+  Rng rng(2);
+  std::vector<tuner::ParamConfig> configs;
+  while (configs.size() < 64) {
+    auto c = lu->space().random_config(rng);
+    if (lu->feasible(c)) configs.push_back(std::move(c));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sb.evaluate(configs[i++ % configs.size()]));
+  }
+}
+BENCHMARK(BM_AnalyticCostModel);
+
+void BM_TraceSimulation(benchmark::State& state) {
+  sim::LoopNest nest;
+  nest.name = "mm";
+  const std::int64_t n = state.range(0);
+  nest.loops = {{"i", n, 1.0}, {"j", n, 1.0}, {"k", n, 1.0}};
+  nest.arrays = {{"C", {n, n}, 8}, {"A", {n, n}, 8}, {"B", {n, n}, 8}};
+  sim::Statement s;
+  s.depth = 3;
+  s.refs = {{0, {sim::idx(0), sim::idx(1)}, true},
+            {1, {sim::idx(0), sim::idx(2)}, false},
+            {2, {sim::idx(2), sim::idx(1)}, false}};
+  nest.stmts = {s};
+  const std::vector<sim::CacheLevelSpec> hierarchy{
+      {"L1", 32 * 1024, 64, 8, 4, false, 0.0}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_nest(
+        nest, sim::NestTransform::identity(3), hierarchy));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 3);
+}
+BENCHMARK(BM_TraceSimulation)->Arg(16)->Arg(32);
+
+void BM_ConfigSampling(benchmark::State& state) {
+  auto mm = kernels::make_mm();
+  tuner::ConfigStream stream(mm->space(), 3);
+  for (auto _ : state) benchmark::DoNotOptimize(stream.next());
+}
+BENCHMARK(BM_ConfigSampling);
+
+void BM_CodeGeneration(benchmark::State& state) {
+  auto prob = kernels::make_mm(256);
+  auto c = prob->space().default_config();
+  c[0] = 7;   // U_I = 8
+  c[4] = 6;   // T_J = 64
+  c[8] = 2;   // RT_K = 4
+  while (!prob->feasible(c)) c[8]--;
+  const auto t = prob->transforms(c, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        orio::generate_c(prob->phases()[0].nest, t[0], "mm"));
+  }
+}
+BENCHMARK(BM_CodeGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

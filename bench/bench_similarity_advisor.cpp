@@ -1,0 +1,55 @@
+// Extension addressing the paper's concluding open question: can machine
+// dissimilarity be quantified cheaply enough to predict whether transfer
+// will pay off? For every (problem, source, target) cell of Table IV, a
+// 30-probe similarity measurement is taken *before* any surrogate is
+// fitted; the advisor's go / no-go call is then compared against the
+// realized RS_b outcome.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "tuner/similarity.hpp"
+
+using namespace portatune;
+
+int main() {
+  const std::vector<std::string> problems = {"MM", "ATAX", "LU", "COR"};
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"Westmere", "Sandybridge"}, {"Sandybridge", "Westmere"},
+      {"Sandybridge", "Power7"},   {"Power7", "Sandybridge"},
+      {"Sandybridge", "X-Gene"},   {"Westmere", "X-Gene"},
+  };
+
+  std::printf("Extension: probe-based transfer advisor vs realized RS_b "
+              "outcome (30 probes per cell)\n\n");
+  TextTable t({"Problem", "pair", "probe rho_s", "top20", "advice",
+               "realized RS_b", "advice correct?"});
+  int correct = 0, total = 0;
+  for (const auto& problem : problems) {
+    for (const auto& [src, dst] : pairs) {
+      auto a = bench::paper_evaluator(problem, src);
+      auto b = bench::paper_evaluator(problem, dst);
+      const auto report = tuner::measure_similarity(*a, *b);
+      const auto advice = tuner::advise(report);
+
+      const auto r = bench::run_cell(problem, src, dst);
+      const bool realized = r.biased_speedup.successful();
+      const bool predicted_go =
+          advice != tuner::TransferAdvice::DoNotTransfer;
+      const bool agree = (predicted_go == realized);
+      correct += agree;
+      ++total;
+      t.add_row({problem, src + "->" + dst,
+                 TextTable::num(report.spearman, 2),
+                 TextTable::num(report.top_overlap, 2),
+                 to_string(advice),
+                 bench::speedup_cell(r.biased_speedup),
+                 agree ? "yes" : "no"});
+    }
+  }
+  t.print(std::cout);
+  std::printf("\nadvisor agreement with realized outcome: %d / %d "
+              "(%.0f%%)\n",
+              correct, total, 100.0 * correct / total);
+  return 0;
+}

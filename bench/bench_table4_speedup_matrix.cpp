@@ -1,0 +1,47 @@
+// Table IV: search-time and performance speedups of the biased model
+// variant (RS_b) for every (problem, source, target) combination under
+// the GNU compiler. Sources: Westmere, Sandybridge, Power 7. Targets add
+// the ARM X-Gene. As in the paper, MM and COR rows have no X-Gene data
+// (run/compile times were prohibitive there) and the diagonal is empty.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace portatune;
+
+int main() {
+  const std::vector<std::string> sources = {"Westmere", "Sandybridge",
+                                            "Power7"};
+  const std::vector<std::string> targets = {"Westmere", "Sandybridge",
+                                            "Power7", "X-Gene"};
+  const std::vector<std::string> problems = {"MM",  "ATAX", "LU",
+                                             "COR", "HPL",  "RT"};
+
+  std::printf("Table IV: Prf.Imp / Srh.Imp of the biased model variant "
+              "(RS_b); '*' marks success\n"
+              "(paper protocol: nmax=100, N=10000, GNU compiler, single "
+              "run with common random numbers)\n\n");
+
+  TextTable t({"Problem", "Target", "src Westmere", "src Sandybridge",
+               "src Power7"});
+  for (const auto& problem : problems) {
+    for (const auto& target : targets) {
+      // Paper Table IV leaves MM and COR unmeasured on X-Gene.
+      const bool unavailable =
+          target == "X-Gene" && (problem == "MM" || problem == "COR");
+      std::vector<std::string> row{problem, target};
+      for (const auto& source : sources) {
+        if (source == target || unavailable) {
+          row.push_back("-");
+          continue;
+        }
+        const auto r = bench::run_cell(problem, source, target);
+        row.push_back(bench::speedup_cell(r.biased_speedup));
+      }
+      t.add_row(row);
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

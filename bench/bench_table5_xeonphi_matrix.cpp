@@ -1,0 +1,39 @@
+// Table V: speedups of the biased model variant for the Xeon Phi
+// experiments — MM, LU and COR under the Intel compiler with OpenMP
+// (8 threads on Westmere/Sandybridge, 60 on the Phi), across all
+// source/target combinations of the three machines.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace portatune;
+
+int main() {
+  const std::vector<std::string> machines = {"Westmere", "Sandybridge",
+                                             "XeonPhi"};
+  const std::vector<std::string> problems = {"MM", "LU", "COR"};
+
+  std::printf("Table V: Prf.Imp / Srh.Imp of RS_b for the Xeon Phi "
+              "experiments (Intel compiler, OpenMP)\n\n");
+
+  TextTable t({"Problem", "Target", "src Westmere", "src Sandybridge",
+               "src XeonPhi"});
+  for (const auto& problem : problems) {
+    for (const auto& target : machines) {
+      std::vector<std::string> row{problem, target};
+      for (const auto& source : machines) {
+        if (source == target) {
+          row.push_back("-");
+          continue;
+        }
+        const auto r = bench::run_cell(problem, source, target,
+                                       /*phi_experiment=*/true);
+        row.push_back(bench::speedup_cell(r.biased_speedup));
+      }
+      t.add_row(row);
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

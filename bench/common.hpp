@@ -1,0 +1,71 @@
+// Shared helpers for the reproduction benches: every bench binary prints
+// the rows/series of one paper table or figure (see DESIGN.md's
+// per-experiment index). Output is aligned text plus optional CSV blocks.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "support/table.hpp"
+#include "tuner/experiment.hpp"
+
+namespace portatune::bench {
+
+/// Thread counts used in the Xeon Phi experiments (Sec. V): 8 on the
+/// Xeon hosts, 60 on the Phi; 1 elsewhere (serial Orio runs).
+inline int paper_threads(const std::string& machine, bool phi_experiment) {
+  if (!phi_experiment) return 1;
+  return machine == "XeonPhi" ? 60 : 8;
+}
+
+inline tuner::EvaluatorPtr paper_evaluator(const std::string& problem,
+                                           const std::string& machine,
+                                           bool phi_experiment = false) {
+  const auto compiler =
+      phi_experiment ? sim::Compiler::Intel : sim::Compiler::Gnu;
+  return apps::make_simulated_evaluator(
+      problem, machine, compiler, paper_threads(machine, phi_experiment));
+}
+
+inline tuner::ExperimentSettings paper_settings() {
+  tuner::ExperimentSettings s;  // nmax=100, N=10000, delta=20%
+  s.seed = 20160401;
+  return s;
+}
+
+/// Run the full Sec. IV-D protocol for one (problem, source, target) cell.
+inline tuner::TransferExperimentResult run_cell(const std::string& problem,
+                                                const std::string& source,
+                                                const std::string& target,
+                                                bool phi_experiment = false) {
+  auto a = paper_evaluator(problem, source, phi_experiment);
+  auto b = paper_evaluator(problem, target, phi_experiment);
+  return tuner::run_transfer_experiment(*a, *b, paper_settings());
+}
+
+/// Print a best-so-far curve as "(elapsed, best)" improvement points.
+inline void print_curve(const char* label, const tuner::SearchTrace& trace) {
+  std::printf("  %-6s", label);
+  double last = -1.0;
+  int shown = 0;
+  for (const auto& [elapsed, best] : trace.best_curve()) {
+    if (best == last) continue;
+    std::printf(" (%.1fs, %.3fs)", elapsed, best);
+    last = best;
+    if (++shown >= 8) break;  // keep lines readable
+  }
+  std::printf("  [final best %.3fs at %.1fs]\n", trace.best_seconds(),
+              trace.time_to_best());
+}
+
+/// Speedup cell rendering matching the paper's Table IV typography:
+/// "Prf.Imp Srh.Imp", bold-equivalent marker '*' for successful variants.
+inline std::string speedup_cell(const tuner::Speedups& s) {
+  std::string out = TextTable::num(s.performance, 2) + " / " +
+                    TextTable::num(s.search, 2);
+  if (s.successful()) out += " *";
+  return out;
+}
+
+}  // namespace portatune::bench

@@ -1,0 +1,44 @@
+// Shared driver for Figs. 3-5: each figure is a grid of panels (one row
+// per problem) with three columns — model-based variants, model-free
+// variants, and the cross-machine correlation of the shared RS
+// configurations.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace portatune::bench {
+
+inline void print_figure(const std::string& title,
+                         const std::string& source,
+                         const std::string& target,
+                         const std::vector<std::string>& problems,
+                         bool phi_experiment = false) {
+  std::printf("%s\n", title.c_str());
+  std::printf("(best-so-far improvement points: (elapsed search s, best "
+              "run time s))\n");
+  for (const auto& problem : problems) {
+    const auto r = run_cell(problem, source, target, phi_experiment);
+    std::printf("\n== %s ==\n", problem.c_str());
+    std::printf(" model-based variants:\n");
+    print_curve("RS", r.target_rs);
+    print_curve("RS_p", r.pruned);
+    print_curve("RS_b", r.biased);
+    std::printf(" model-free variants:\n");
+    print_curve("RS_pf", r.pruned_mf);
+    print_curve("RS_bf", r.biased_mf);
+    std::printf(" correlation (shared RS configs on %s vs %s):\n",
+                source.c_str(), target.c_str());
+    std::printf("  pearson %.3f  spearman %.3f  top-20%% overlap %.2f\n",
+                r.pearson, r.spearman, r.top_overlap);
+    std::printf(" speedups vs RS (Prf.Imp / Srh.Imp, * = successful):\n");
+    std::printf("  RS_p  %s\n", speedup_cell(r.pruned_speedup).c_str());
+    std::printf("  RS_b  %s\n", speedup_cell(r.biased_speedup).c_str());
+    std::printf("  RS_pf %s\n", speedup_cell(r.pruned_mf_speedup).c_str());
+    std::printf("  RS_bf %s\n", speedup_cell(r.biased_mf_speedup).c_str());
+  }
+}
+
+}  // namespace portatune::bench

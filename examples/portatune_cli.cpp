@@ -1,0 +1,160 @@
+// portatune_cli — command-line driver for the transfer workflow.
+//
+//   portatune_cli list
+//       list problems and machines
+//   portatune_cli collect --problem LU --machine Westmere --out ta.csv
+//       run RS (n_max evals) and save the trace T_a
+//   portatune_cli transfer --problem LU --source Westmere --target Sandybridge
+//                          [--from ta.csv] [--nmax 100] [--delta 20]
+//       run the full Sec. IV-D experiment (optionally reusing a saved T_a)
+//   portatune_cli similarity --problem LU --source Westmere --target X-Gene
+//       probe-based machine-similarity report and transfer advice
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/registry.hpp"
+#include "support/error.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/persistence.hpp"
+#include "tuner/random_search.hpp"
+#include "tuner/similarity.hpp"
+#include "tuner/transfer.hpp"
+
+using namespace portatune;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string problem = "LU";
+  std::string source = "Westmere";
+  std::string target = "Sandybridge";
+  std::string machine = "Westmere";
+  std::string from, out;
+  std::size_t nmax = 100;
+  double delta = 20.0;
+  std::uint64_t seed = 20160401;
+};
+
+Args parse(int argc, char** argv) {
+  PT_REQUIRE(argc >= 2, "usage: portatune_cli <list|collect|transfer|"
+                        "similarity> [options]");
+  Args a;
+  a.command = argv[1];
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string key = argv[i];
+    const std::string value = argv[i + 1];
+    if (key == "--problem") a.problem = value;
+    else if (key == "--source") a.source = value;
+    else if (key == "--target") a.target = value;
+    else if (key == "--machine") a.machine = value;
+    else if (key == "--from") a.from = value;
+    else if (key == "--out") a.out = value;
+    else if (key == "--nmax") a.nmax = std::stoul(value);
+    else if (key == "--delta") a.delta = std::stod(value);
+    else if (key == "--seed") a.seed = std::stoull(value);
+    else throw Error("unknown option: " + key);
+  }
+  return a;
+}
+
+int cmd_list() {
+  std::printf("problems: ");
+  for (const auto& p : apps::all_problem_names()) std::printf("%s ", p.c_str());
+  std::printf("\nmachines: ");
+  for (const auto& m : sim::table2_machines())
+    std::printf("%s ", m.name.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_collect(const Args& a) {
+  auto eval = apps::make_simulated_evaluator(a.problem, a.machine);
+  tuner::RandomSearchOptions opt;
+  opt.max_evals = a.nmax;
+  opt.seed = a.seed;
+  const auto trace = tuner::random_search(*eval, opt);
+  std::printf("collected %zu evaluations of %s on %s (best %.4f s)\n",
+              trace.size(), a.problem.c_str(), a.machine.c_str(),
+              trace.best_seconds());
+  if (!a.out.empty()) {
+    tuner::save_trace_csv(a.out, trace, eval->space());
+    std::printf("saved T_a to %s\n", a.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_transfer(const Args& a) {
+  auto source = apps::make_simulated_evaluator(a.problem, a.source);
+  auto target = apps::make_simulated_evaluator(a.problem, a.target);
+  tuner::ExperimentSettings s;
+  s.nmax = a.nmax;
+  s.delta_percent = a.delta;
+  s.seed = a.seed;
+
+  if (!a.from.empty()) {
+    // Reuse a previously collected T_a: fit the surrogate and run the
+    // guided searches directly.
+    const auto ta = tuner::load_trace_csv(a.from, source->space());
+    std::printf("loaded T_a: %zu rows from %s\n", ta.size(),
+                a.from.c_str());
+    const auto model = tuner::fit_surrogate(ta, source->space());
+    tuner::BiasedSearchOptions opt;
+    opt.max_evals = a.nmax;
+    opt.seed = a.seed;
+    const auto biased = tuner::biased_random_search(*target, *model, opt);
+    std::printf("RS_b on %s: best %.4f s (at %.1f s of search)\n",
+                a.target.c_str(), biased.best_seconds(),
+                biased.time_to_best());
+    std::printf("best configuration: %s\n",
+                target->space().describe(biased.best_config()).c_str());
+    return 0;
+  }
+
+  const auto r = tuner::run_transfer_experiment(*source, *target, s);
+  std::printf("%s: %s -> %s\n", a.problem.c_str(), a.source.c_str(),
+              a.target.c_str());
+  std::printf("correlation: pearson %.3f spearman %.3f\n", r.pearson,
+              r.spearman);
+  const auto row = [](const char* name, const tuner::Speedups& sp) {
+    std::printf("  %-6s Prf.Imp %.2f  Srh.Imp %.2f%s\n", name,
+                sp.performance, sp.search,
+                sp.successful() ? "  (successful)" : "");
+  };
+  row("RS_p", r.pruned_speedup);
+  row("RS_b", r.biased_speedup);
+  row("RS_pf", r.pruned_mf_speedup);
+  row("RS_bf", r.biased_mf_speedup);
+  return 0;
+}
+
+int cmd_similarity(const Args& a) {
+  auto source = apps::make_simulated_evaluator(a.problem, a.source);
+  auto target = apps::make_simulated_evaluator(a.problem, a.target);
+  const auto rep = tuner::measure_similarity(*source, *target);
+  std::printf("%s: %s vs %s (%zu probes)\n", a.problem.c_str(),
+              a.source.c_str(), a.target.c_str(), rep.probes);
+  std::printf("  pearson %.3f  spearman %.3f  kendall %.3f\n", rep.pearson,
+              rep.spearman, rep.kendall);
+  std::printf("  top-20%% overlap %.2f  log-ratio dispersion %.3f\n",
+              rep.top_overlap, rep.log_ratio_dispersion);
+  std::printf("  advice: %s\n", to_string(tuner::advise(rep)).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "list") return cmd_list();
+    if (a.command == "collect") return cmd_collect(a);
+    if (a.command == "transfer") return cmd_transfer(a);
+    if (a.command == "similarity") return cmd_similarity(a);
+    throw Error("unknown command: " + a.command);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,83 @@
+// HPL mini-app: dense LU solve benchmark (paper Sec. IV-C).
+//
+// Two halves:
+//   * a real solver — blocked, partially pivoted LU factorization and
+//     triangular solves with a run-time block size — used by the native
+//     evaluation path, the examples, and the correctness tests;
+//   * the 15-parameter HPL tuning space and a simulated cross-machine
+//     evaluator. HPL's algorithmic parameters (broadcast shape, process
+//     mapping, panel factorization variant, ...) interact with a machine
+//     in ways no loop-nest model captures; following DESIGN.md they are
+//     modeled as machine-keyed idiosyncratic factors on top of a
+//     mechanistic block-size/cache term. This reproduces the paper's
+//     observation that HPL run times correlate weakly across machines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::apps {
+
+/// ---------------------------------------------------------------------
+/// Real solver half.
+/// ---------------------------------------------------------------------
+
+/// Dense row-major matrix holder for the solver.
+struct DenseMatrix {
+  std::int64_t n = 0;
+  std::vector<double> a;  // n x n, row-major
+
+  double& at(std::int64_t r, std::int64_t c) { return a[r * n + c]; }
+  double at(std::int64_t r, std::int64_t c) const { return a[r * n + c]; }
+};
+
+/// In-place blocked LU factorization with partial pivoting.
+/// Returns the pivot permutation; throws portatune::Error on singularity.
+std::vector<std::int64_t> lu_factor(DenseMatrix& m, std::int64_t block);
+
+/// Solve A x = b given the factorization produced by lu_factor.
+std::vector<double> lu_solve(const DenseMatrix& lu,
+                             const std::vector<std::int64_t>& pivots,
+                             std::vector<double> b);
+
+/// Generate the standard HPL random system (seeded, diagonally dominated
+/// enough to factor reliably).
+DenseMatrix random_system(std::int64_t n, std::uint64_t seed);
+
+/// ||Ax - b||_inf / (||A||_inf ||x||_inf n eps): the HPL residual check.
+double hpl_residual(const DenseMatrix& a, const std::vector<double>& x,
+                    const std::vector<double>& b);
+
+/// ---------------------------------------------------------------------
+/// Tuning half.
+/// ---------------------------------------------------------------------
+
+/// The 15-parameter HPL space (block size NB, process grid, process
+/// mapping, broadcast algorithm, panel/recursive factorization variants,
+/// lookahead depth, recursion stopping, swap algorithm, storage forms,
+/// equilibration, alignment).
+tuner::ParamSpace hpl_param_space();
+
+/// Simulated HPL evaluator on a Table II machine.
+class SimulatedHplEvaluator final : public tuner::Evaluator {
+ public:
+  explicit SimulatedHplEvaluator(sim::MachineDescriptor machine,
+                                 std::int64_t n = 16384,
+                                 double noise_sigma = 0.05);
+
+  const tuner::ParamSpace& space() const override { return space_; }
+  tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  std::string problem_name() const override { return "HPL"; }
+  std::string machine_name() const override { return machine_.name; }
+
+ private:
+  tuner::ParamSpace space_;
+  sim::MachineDescriptor machine_;
+  std::int64_t n_;
+  double noise_sigma_;
+};
+
+}  // namespace portatune::apps

@@ -1,0 +1,270 @@
+#include "apps/raytracer.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "sim/noise.hpp"
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace portatune::apps {
+
+// ---------------------------------------------------------------------
+// Renderer.
+// ---------------------------------------------------------------------
+
+double Vec3::norm() const { return std::sqrt(dot(*this)); }
+
+Vec3 Vec3::normalized() const {
+  const double n = norm();
+  return n > 0 ? Vec3{x / n, y / n, z / n} : Vec3{};
+}
+
+std::vector<unsigned char> Image::to_ppm() const {
+  std::vector<unsigned char> out;
+  std::string header = "P6\n" + std::to_string(width) + " " +
+                       std::to_string(height) + "\n255\n";
+  out.insert(out.end(), header.begin(), header.end());
+  const auto clamp255 = [](double v) {
+    return static_cast<unsigned char>(
+        std::min(255.0, std::max(0.0, v * 255.0)));
+  };
+  for (const auto& p : pixels) {
+    out.push_back(clamp255(p.x));
+    out.push_back(clamp255(p.y));
+    out.push_back(clamp255(p.z));
+  }
+  return out;
+}
+
+Scene demo_scene() {
+  Scene s;
+  s.spheres = {
+      {{0.0, 0.0, -6.0}, 1.5, {0.9, 0.2, 0.2}, 0.4},
+      {{2.2, -0.5, -5.0}, 1.0, {0.2, 0.8, 0.3}, 0.2},
+      {{-2.4, 0.3, -7.5}, 1.8, {0.25, 0.4, 0.95}, 0.6},
+      {{0.8, 1.6, -4.0}, 0.6, {0.95, 0.9, 0.2}, 0.1},
+  };
+  return s;
+}
+
+namespace {
+
+struct Hit {
+  double t = 0.0;
+  Vec3 point, normal, color;
+  double reflectivity = 0.0;
+};
+
+std::optional<Hit> intersect_sphere(const Sphere& s, Vec3 origin, Vec3 dir) {
+  const Vec3 oc = origin - s.center;
+  const double b = 2.0 * oc.dot(dir);
+  const double c = oc.dot(oc) - s.radius * s.radius;
+  const double disc = b * b - 4.0 * c;
+  if (disc < 0.0) return std::nullopt;
+  const double sq = std::sqrt(disc);
+  double t = (-b - sq) / 2.0;
+  if (t < 1e-4) t = (-b + sq) / 2.0;
+  if (t < 1e-4) return std::nullopt;
+  Hit h;
+  h.t = t;
+  h.point = origin + dir * t;
+  h.normal = (h.point - s.center).normalized();
+  h.color = s.color;
+  h.reflectivity = s.reflectivity;
+  return h;
+}
+
+std::optional<Hit> intersect_floor(const Scene& scene, Vec3 origin,
+                                   Vec3 dir) {
+  if (dir.y >= -1e-9) return std::nullopt;
+  const double t = (scene.floor_y - origin.y) / dir.y;
+  if (t < 1e-4) return std::nullopt;
+  Hit h;
+  h.t = t;
+  h.point = origin + dir * t;
+  h.normal = {0, 1, 0};
+  const int checker = (static_cast<int>(std::floor(h.point.x)) +
+                       static_cast<int>(std::floor(h.point.z))) & 1;
+  h.color = checker ? Vec3{0.85, 0.85, 0.85} : Vec3{0.2, 0.2, 0.2};
+  h.reflectivity = 0.15;
+  return h;
+}
+
+std::optional<Hit> closest_hit(const Scene& scene, Vec3 origin, Vec3 dir) {
+  std::optional<Hit> best;
+  for (const auto& s : scene.spheres) {
+    auto h = intersect_sphere(s, origin, dir);
+    if (h && (!best || h->t < best->t)) best = h;
+  }
+  auto f = intersect_floor(scene, origin, dir);
+  if (f && (!best || f->t < best->t)) best = f;
+  return best;
+}
+
+bool in_shadow(const Scene& scene, Vec3 point, Vec3 to_light,
+               double light_dist) {
+  for (const auto& s : scene.spheres) {
+    auto h = intersect_sphere(s, point, to_light);
+    if (h && h->t < light_dist) return true;
+  }
+  return false;
+}
+
+Vec3 trace(const Scene& scene, Vec3 origin, Vec3 dir, int depth) {
+  const auto hit = closest_hit(scene, origin, dir);
+  if (!hit) return scene.background;
+
+  const Vec3 to_light_vec = scene.light - hit->point;
+  const double light_dist = to_light_vec.norm();
+  const Vec3 to_light = to_light_vec.normalized();
+
+  // Phong: ambient + diffuse + specular, with hard shadows.
+  double diffuse = std::max(0.0, hit->normal.dot(to_light));
+  double specular = 0.0;
+  if (in_shadow(scene, hit->point + hit->normal * 1e-4, to_light,
+                light_dist)) {
+    diffuse = 0.0;
+  } else {
+    const Vec3 reflect_l =
+        hit->normal * (2.0 * hit->normal.dot(to_light)) - to_light;
+    specular = std::pow(std::max(0.0, reflect_l.dot(dir * -1.0)), 32.0);
+  }
+  Vec3 color = hit->color * (0.15 + 0.75 * diffuse) +
+               Vec3{1, 1, 1} * (0.6 * specular);
+
+  if (depth > 0 && hit->reflectivity > 0.0) {
+    const Vec3 rdir =
+        (dir - hit->normal * (2.0 * dir.dot(hit->normal))).normalized();
+    const Vec3 rcol =
+        trace(scene, hit->point + hit->normal * 1e-4, rdir, depth - 1);
+    color = color * (1.0 - hit->reflectivity) + rcol * hit->reflectivity;
+  }
+  return color;
+}
+
+}  // namespace
+
+Image render(const Scene& scene, int width, int height, int max_depth) {
+  PT_REQUIRE(width > 0 && height > 0, "image dimensions must be positive");
+  Image img;
+  img.width = width;
+  img.height = height;
+  img.pixels.resize(static_cast<std::size_t>(width) * height);
+  const double aspect = static_cast<double>(width) / height;
+  const double fov_scale = std::tan(0.5 * 60.0 * M_PI / 180.0);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double px =
+          (2.0 * (x + 0.5) / width - 1.0) * aspect * fov_scale;
+      const double py = (1.0 - 2.0 * (y + 0.5) / height) * fov_scale;
+      const Vec3 dir = Vec3{px, py, -1.0}.normalized();
+      img.at(x, y) = trace(scene, {0, 0, 0}, dir, max_depth);
+    }
+  }
+  return img;
+}
+
+// ---------------------------------------------------------------------
+// Flag space and simulated evaluator.
+// ---------------------------------------------------------------------
+
+namespace {
+constexpr int kNumFlags = 143;
+constexpr int kNumParams = 104;
+/// Flags with real (portable) effect and their base speedup factor when
+/// enabled. Indices are spread over the flag range.
+struct ImpactfulFlag {
+  int index;
+  double factor;  // < 1 is a speedup
+};
+constexpr ImpactfulFlag kImpactful[] = {
+    {2, 0.90},   // -finline-functions
+    {7, 0.93},   // -funroll-loops
+    {11, 0.95},  // -ftree-vectorize
+    {17, 0.96},  // -ffast-math style relaxation
+    {23, 0.97},  // -fomit-frame-pointer
+    {31, 0.97},  // -fstrict-aliasing
+    {41, 0.98},  // -fschedule-insns2
+    {53, 0.985}, // -fipa-cp
+    {67, 0.99},  // -fgcse-las
+    {79, 1.04},  // -fno-guess-branch-probability (harmful)
+    {97, 1.03},  // -flive-range-shrinkage (harmful on wide OoO)
+    {113, 0.99}, // -fira-hoist-pressure
+};
+/// Valued parameters with a real optimum (param index within 0..103).
+constexpr int kImpactfulParams[] = {0, 3, 9, 17, 28, 41, 57, 76, 90};
+}  // namespace
+
+tuner::ParamSpace raytracer_flag_space() {
+  tuner::ParamSpace s;
+  for (int f = 0; f < kNumFlags; ++f)
+    s.add("F" + std::to_string(f), tuner::flag_values());
+  for (int p = 0; p < kNumParams; ++p)
+    s.add("P" + std::to_string(p), {0, 1, 2, 3});  // e.g. --param levels
+  PT_ASSERT(s.num_params() == kNumFlags + kNumParams);
+  return s;
+}
+
+SimulatedRaytracerEvaluator::SimulatedRaytracerEvaluator(
+    sim::MachineDescriptor machine, double noise_sigma)
+    : space_(raytracer_flag_space()),
+      machine_(std::move(machine)),
+      noise_sigma_(noise_sigma) {}
+
+tuner::EvalResult SimulatedRaytracerEvaluator::evaluate(
+    const tuner::ParamConfig& config) {
+  space_.validate(config);
+  const std::uint64_t machine_key = hash_bytes(machine_.name);
+  const std::uint64_t vendor_key = hash_bytes(machine_.vendor);
+
+  // Machine base time: scalar FP bound (ray tracing branches too much to
+  // vectorize), so clock x issue width dominates.
+  double seconds = 2.0e11 / (machine_.clock_ghz * 1e9 *
+                             machine_.scalar_flops_per_cycle *
+                             machine_.issue_width / 2.0);
+
+  // Boolean flags.
+  for (int f = 0; f < kNumFlags; ++f) {
+    if (config[static_cast<std::size_t>(f)] == 0) continue;
+    double factor = 1.0;
+    for (const auto& imp : kImpactful)
+      if (imp.index == f) factor = imp.factor;
+    // Modulation around the portable effect: mostly shared within a
+    // vendor's microarchitecture family (the paper's WM<->SB RT transfer
+    // works; cross-vendor is weaker), plus a small per-machine residue.
+    const std::uint64_t vkey =
+        hash_combine(vendor_key, 0x46000000ULL + static_cast<std::uint64_t>(f));
+    const std::uint64_t mkey =
+        hash_combine(machine_key, 0x46000000ULL + static_cast<std::uint64_t>(f));
+    const double u = 0.7 * (hash_to_unit(mix64(vkey)) - 0.5) +
+                     0.3 * (hash_to_unit(mix64(mkey)) - 0.5);
+    factor *= (factor != 1.0) ? (1.0 + 0.08 * u) : (1.0 + 0.012 * u);
+    seconds *= factor;
+  }
+
+  // Valued parameters: impactful ones have a per-machine optimum level;
+  // the rest are near-neutral jitter.
+  for (int p = 0; p < kNumParams; ++p) {
+    const int level = config[static_cast<std::size_t>(kNumFlags + p)];
+    bool impactful = false;
+    for (int ip : kImpactfulParams) impactful |= (ip == p);
+    const std::uint64_t key =
+        hash_combine(machine_key, 0x50000000ULL + static_cast<std::uint64_t>(p));
+    if (impactful) {
+      const int opt = static_cast<int>(mix64(key) % 4);
+      seconds *= 1.0 + 0.012 * std::abs(level - opt);
+    } else {
+      const double u =
+          hash_to_unit(mix64(hash_combine(key, static_cast<std::uint64_t>(level)))) - 0.5;
+      seconds *= 1.0 + 0.004 * u;
+    }
+  }
+
+  const std::uint64_t noise = sim::noise_key(
+      machine_.name, "RT", space_.config_hash(config), 0);
+  seconds *= sim::noise_factor(noise, noise_sigma_);
+  return {seconds, true, {}};
+}
+
+}  // namespace portatune::apps

@@ -1,0 +1,93 @@
+// Raytracer mini-app (paper Sec. IV-C: "RT").
+//
+// Two halves:
+//   * a real, small Whitted-style ray tracer (spheres + plane, Phong
+//     shading, reflections) used by the native example and tests;
+//   * the compiler-flag tuning space — 143 boolean g++ flags and 104
+//     valued parameters, as in the paper — with a simulated cross-machine
+//     effect model. A handful of flags carry real, mostly portable
+//     speedups (inlining, unrolling, vectorization, math relaxation),
+//     each modulated per machine; the long tail is near-neutral with
+//     machine-keyed jitter; a few flags are actively harmful on specific
+//     machines. Valued parameters act through machine-dependent optima.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::apps {
+
+/// ---------------------------------------------------------------------
+/// Real renderer half.
+/// ---------------------------------------------------------------------
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+  Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 mul(Vec3 o) const { return {x * o.x, y * o.y, z * o.z}; }
+  double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const;
+  Vec3 normalized() const;
+};
+
+struct Sphere {
+  Vec3 center;
+  double radius = 1.0;
+  Vec3 color{1, 1, 1};
+  double reflectivity = 0.0;
+};
+
+struct Scene {
+  std::vector<Sphere> spheres;
+  Vec3 light{-10, 10, -5};
+  Vec3 background{0.1, 0.1, 0.15};
+  double floor_y = -2.0;  ///< checkerboard ground plane
+};
+
+struct Image {
+  int width = 0, height = 0;
+  std::vector<Vec3> pixels;  // row-major
+
+  Vec3& at(int x, int y) { return pixels[static_cast<std::size_t>(y) * width + x]; }
+  const Vec3& at(int x, int y) const {
+    return pixels[static_cast<std::size_t>(y) * width + x];
+  }
+  /// Serialize as binary PPM (P6).
+  std::vector<unsigned char> to_ppm() const;
+};
+
+/// The default demo scene (deterministic).
+Scene demo_scene();
+
+/// Render the scene; max_depth bounds reflection recursion.
+Image render(const Scene& scene, int width, int height, int max_depth = 3);
+
+/// ---------------------------------------------------------------------
+/// Flag-tuning half.
+/// ---------------------------------------------------------------------
+
+/// 143 boolean flags + 104 valued parameters = 247 tunables.
+tuner::ParamSpace raytracer_flag_space();
+
+class SimulatedRaytracerEvaluator final : public tuner::Evaluator {
+ public:
+  explicit SimulatedRaytracerEvaluator(sim::MachineDescriptor machine,
+                                       double noise_sigma = 0.03);
+
+  const tuner::ParamSpace& space() const override { return space_; }
+  tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  std::string problem_name() const override { return "RT"; }
+  std::string machine_name() const override { return machine_.name; }
+
+ private:
+  tuner::ParamSpace space_;
+  sim::MachineDescriptor machine_;
+  double noise_sigma_;
+};
+
+}  // namespace portatune::apps

@@ -1,0 +1,33 @@
+#include "apps/registry.hpp"
+
+#include "apps/hpl.hpp"
+#include "apps/raytracer.hpp"
+#include "kernels/sim_evaluator.hpp"
+#include "kernels/spapt.hpp"
+#include "support/error.hpp"
+
+namespace portatune::apps {
+
+const std::vector<std::string>& all_problem_names() {
+  static const std::vector<std::string> names = {"MM",  "ATAX", "LU",
+                                                 "COR", "HPL",  "RT"};
+  return names;
+}
+
+tuner::EvaluatorPtr make_simulated_evaluator(const std::string& problem,
+                                             const std::string& machine,
+                                             sim::Compiler compiler,
+                                             int threads) {
+  const sim::MachineDescriptor m = sim::machine_by_name(machine, compiler);
+  if (problem == "MM" || problem == "ATAX" || problem == "COR" ||
+      problem == "LU") {
+    return std::make_unique<kernels::SimulatedKernelEvaluator>(
+        kernels::spapt_by_name(problem), m, threads);
+  }
+  if (problem == "HPL") return std::make_unique<SimulatedHplEvaluator>(m);
+  if (problem == "RT")
+    return std::make_unique<SimulatedRaytracerEvaluator>(m);
+  throw Error("unknown problem: " + problem);
+}
+
+}  // namespace portatune::apps

@@ -1,0 +1,23 @@
+// Problem registry: one factory for every (problem, machine) pair used in
+// the paper's evaluation — the four SPAPT kernels plus the two mini-apps
+// on any Table II machine. Benches and examples go through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::apps {
+
+/// Problems of the paper's evaluation, in Table IV order.
+const std::vector<std::string>& all_problem_names();
+
+/// Create a simulated evaluator for `problem` ("MM", "ATAX", "COR", "LU",
+/// "HPL", "RT") on `machine` (Table II name). Throws on unknown names.
+tuner::EvaluatorPtr make_simulated_evaluator(
+    const std::string& problem, const std::string& machine,
+    sim::Compiler compiler = sim::Compiler::Gnu, int threads = 1);
+
+}  // namespace portatune::apps

@@ -1,0 +1,197 @@
+#include "kernels/native.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/timer.hpp"
+
+namespace portatune::kernels {
+
+namespace {
+inline std::int64_t clamp_tile(std::int64_t t, std::int64_t n) {
+  return (t <= 1 || t >= n) ? n : t;
+}
+}  // namespace
+
+void native_mm(const double* a, const double* b, double* c, std::int64_t n,
+               std::int64_t ti, std::int64_t tj, std::int64_t tk) {
+  ti = clamp_tile(ti, n);
+  tj = clamp_tile(tj, n);
+  tk = clamp_tile(tk, n);
+  for (std::int64_t i0 = 0; i0 < n; i0 += ti)
+    for (std::int64_t k0 = 0; k0 < n; k0 += tk)
+      for (std::int64_t j0 = 0; j0 < n; j0 += tj) {
+        const std::int64_t i1 = std::min(n, i0 + ti);
+        const std::int64_t k1 = std::min(n, k0 + tk);
+        const std::int64_t j1 = std::min(n, j0 + tj);
+        for (std::int64_t i = i0; i < i1; ++i)
+          for (std::int64_t k = k0; k < k1; ++k) {
+            const double aik = a[i * n + k];
+            const double* brow = &b[k * n];
+            double* crow = &c[i * n];
+            for (std::int64_t j = j0; j < j1; ++j)
+              crow[j] += aik * brow[j];
+          }
+      }
+}
+
+void native_atax(const double* a, const double* x, double* y, double* tmp,
+                 std::int64_t n, std::int64_t ti, std::int64_t tj) {
+  ti = clamp_tile(ti, n);
+  tj = clamp_tile(tj, n);
+  std::fill(tmp, tmp + n, 0.0);
+  std::fill(y, y + n, 0.0);
+  for (std::int64_t i0 = 0; i0 < n; i0 += ti) {
+    const std::int64_t i1 = std::min(n, i0 + ti);
+    for (std::int64_t j0 = 0; j0 < n; j0 += tj) {
+      const std::int64_t j1 = std::min(n, j0 + tj);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        double acc = 0.0;
+        const double* arow = &a[i * n];
+        for (std::int64_t j = j0; j < j1; ++j) acc += arow[j] * x[j];
+        tmp[i] += acc;
+      }
+    }
+  }
+  for (std::int64_t i0 = 0; i0 < n; i0 += ti) {
+    const std::int64_t i1 = std::min(n, i0 + ti);
+    for (std::int64_t j0 = 0; j0 < n; j0 += tj) {
+      const std::int64_t j1 = std::min(n, j0 + tj);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const double t = tmp[i];
+        const double* arow = &a[i * n];
+        for (std::int64_t j = j0; j < j1; ++j) y[j] += arow[j] * t;
+      }
+    }
+  }
+}
+
+void native_cor(const double* data, double* symmat, std::int64_t n,
+                std::int64_t tj, std::int64_t tk) {
+  tj = clamp_tile(tj, n);
+  tk = clamp_tile(tk, n);
+  std::fill(symmat, symmat + n * n, 0.0);
+  for (std::int64_t j0 = 0; j0 < n; j0 += tj)
+    for (std::int64_t k0 = 0; k0 < n; k0 += tk) {
+      const std::int64_t j1 = std::min(n, j0 + tj);
+      const std::int64_t k1 = std::min(n, k0 + tk);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const double* row = &data[i * n];
+        for (std::int64_t j = j0; j < j1; ++j) {
+          const double dj = row[j];
+          const std::int64_t lo = std::max(j, k0);
+          for (std::int64_t k = lo; k < k1; ++k)
+            symmat[j * n + k] += dj * row[k];
+        }
+      }
+    }
+}
+
+void native_lu(double* a, std::int64_t n, std::int64_t ti, std::int64_t tj) {
+  ti = clamp_tile(ti, n);
+  tj = clamp_tile(tj, n);
+  for (std::int64_t k = 0; k < n; ++k) {
+    const double pivot = a[k * n + k];
+    PT_REQUIRE(pivot != 0.0, "zero pivot in native_lu");
+    for (std::int64_t i = k + 1; i < n; ++i) a[i * n + k] /= pivot;
+    for (std::int64_t i0 = k + 1; i0 < n; i0 += ti) {
+      const std::int64_t i1 = std::min(n, i0 + ti);
+      for (std::int64_t j0 = k + 1; j0 < n; j0 += tj) {
+        const std::int64_t j1 = std::min(n, j0 + tj);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const double lik = a[i * n + k];
+          const double* urow = &a[k * n];
+          double* arow = &a[i * n];
+          for (std::int64_t j = j0; j < j1; ++j) arow[j] -= lik * urow[j];
+        }
+      }
+    }
+  }
+}
+
+void reference_mm(const double* a, const double* b, double* c,
+                  std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < n; ++k) acc += a[i * n + k] * b[k * n + j];
+      c[i * n + j] += acc;
+    }
+}
+
+void reference_atax(const double* a, const double* x, double* y,
+                    std::int64_t n) {
+  std::vector<double> tmp(static_cast<std::size_t>(n), 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) tmp[i] += a[i * n + j] * x[j];
+  std::fill(y, y + n, 0.0);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) y[j] += a[i * n + j] * tmp[i];
+}
+
+NativeKernelEvaluator::NativeKernelEvaluator(SpaptProblemPtr problem,
+                                             int reps)
+    : problem_(std::move(problem)), reps_(reps) {
+  PT_REQUIRE(problem_ != nullptr, "null problem");
+  PT_REQUIRE(reps_ >= 1, "need at least one repetition");
+  n_ = problem_->phases().front().nest.loops.front().extent;
+  PT_REQUIRE(n_ <= 1024,
+             "native evaluation wants a reduced input size (n <= 1024); "
+             "create the problem with spapt_by_name(name, n)");
+  const auto nn = static_cast<std::size_t>(n_ * n_);
+  Rng rng(42);
+  a_.resize(nn);
+  for (auto& v : a_) v = rng.uniform(-1.0, 1.0);
+  b_.resize(nn);
+  for (auto& v : b_) v = rng.uniform(-1.0, 1.0);
+  c_.resize(nn, 0.0);
+  x_.resize(static_cast<std::size_t>(n_));
+  for (auto& v : x_) v = rng.uniform(-1.0, 1.0);
+  y_.resize(static_cast<std::size_t>(n_), 0.0);
+  tmp_.resize(static_cast<std::size_t>(n_), 0.0);
+}
+
+tuner::EvalResult NativeKernelEvaluator::evaluate(
+    const tuner::ParamConfig& config) {
+  if (!problem_->feasible(config))
+    return tuner::EvalResult::failure("infeasible configuration");
+  const auto& space = problem_->space();
+  const auto tile = [&](const char* name) -> std::int64_t {
+    for (std::size_t p = 0; p < space.num_params(); ++p)
+      if (space.param(p).name == name)
+        return static_cast<std::int64_t>(space.value(config, p));
+    return n_;
+  };
+
+  const std::string& kname = problem_->name();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps_; ++rep) {
+    WallTimer timer;
+    if (kname == "MM") {
+      std::fill(c_.begin(), c_.end(), 0.0);
+      native_mm(a_.data(), b_.data(), c_.data(), n_, tile("T_I"),
+                tile("T_J"), tile("T_K"));
+    } else if (kname == "ATAX") {
+      native_atax(a_.data(), x_.data(), y_.data(), tmp_.data(), n_,
+                  tile("T_1I"), tile("T_1J"));
+    } else if (kname == "COR") {
+      native_cor(a_.data(), c_.data(), n_, tile("T_J1"), tile("T_J2"));
+    } else if (kname == "LU") {
+      // Re-seed and diagonally dominate so every rep factors the same
+      // matrix without pivoting.
+      c_ = a_;
+      for (std::int64_t i = 0; i < n_; ++i)
+        c_[static_cast<std::size_t>(i * n_ + i)] += static_cast<double>(n_);
+      native_lu(c_.data(), n_, tile("T_I"), tile("T_J"));
+    } else {
+      return tuner::EvalResult::failure("native backend: unknown kernel " +
+                                        kname);
+    }
+    best = std::min(best, timer.seconds());
+  }
+  return {best, true, {}};
+}
+
+}  // namespace portatune::kernels

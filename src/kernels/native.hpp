@@ -1,0 +1,62 @@
+// Native (in-process) SPAPT kernel implementations with run-time cache
+// tiling, plus an Evaluator that times them on the host machine.
+//
+// This is the fast native path: tile parameters take effect directly via
+// run-time blocking; unroll / register-tile parameters require code
+// generation and are exercised through orio::CompiledOrioEvaluator
+// instead (one compiler invocation per variant, exactly like Orio).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/spapt.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::kernels {
+
+/// C += A * B (n x n, row-major), blocked by (ti, tj, tk).
+void native_mm(const double* a, const double* b, double* c, std::int64_t n,
+               std::int64_t ti, std::int64_t tj, std::int64_t tk);
+
+/// y = A^T (A x); tmp is scratch of size n. Blocked by (ti, tj).
+void native_atax(const double* a, const double* x, double* y, double* tmp,
+                 std::int64_t n, std::int64_t ti, std::int64_t tj);
+
+/// Correlation matrix of standardized data (n x n): symmat = data^T data
+/// over the upper triangle. Blocked by (tj, tk).
+void native_cor(const double* data, double* symmat, std::int64_t n,
+                std::int64_t tj, std::int64_t tk);
+
+/// In-place LU without pivoting (diagonally dominant input expected).
+/// Blocked by (ti, tj) on the trailing update.
+void native_lu(double* a, std::int64_t n, std::int64_t ti, std::int64_t tj);
+
+/// Reference (untiled) implementations for correctness checks.
+void reference_mm(const double* a, const double* b, double* c,
+                  std::int64_t n);
+void reference_atax(const double* a, const double* x, double* y,
+                    std::int64_t n);
+
+/// Times the four SPAPT kernels on the host. The problem must be created
+/// at a reduced input size (e.g. spapt_by_name("MM", 256)): paper-size
+/// inputs are deliberately rejected to keep evaluations interactive.
+class NativeKernelEvaluator final : public tuner::Evaluator {
+ public:
+  NativeKernelEvaluator(SpaptProblemPtr problem, int reps = 3);
+
+  const tuner::ParamSpace& space() const override {
+    return problem_->space();
+  }
+  tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  std::string problem_name() const override { return problem_->name(); }
+  std::string machine_name() const override { return "host"; }
+
+ private:
+  SpaptProblemPtr problem_;
+  std::int64_t n_;
+  int reps_;
+  std::vector<double> a_, b_, c_, x_, y_, tmp_;
+};
+
+}  // namespace portatune::kernels

@@ -1,0 +1,49 @@
+#include "kernels/sim_evaluator.hpp"
+
+#include "support/error.hpp"
+
+namespace portatune::kernels {
+
+SimulatedKernelEvaluator::SimulatedKernelEvaluator(
+    SpaptProblemPtr problem, sim::MachineDescriptor machine, int threads,
+    sim::AnalyticalCostModel model)
+    : problem_(std::move(problem)),
+      machine_(std::move(machine)),
+      threads_(threads),
+      model_(model) {
+  PT_REQUIRE(problem_ != nullptr, "null problem");
+  PT_REQUIRE(threads_ >= 1, "thread count must be positive");
+}
+
+tuner::EvalResult SimulatedKernelEvaluator::evaluate(
+    const tuner::ParamConfig& config) {
+  std::vector<sim::NestTransform> transforms;
+  try {
+    transforms = problem_->transforms(config, threads_);
+  } catch (const Error& e) {
+    return tuner::EvalResult::failure(e.what());
+  }
+  ++evaluations_;
+  const std::uint64_t h = problem_->space().config_hash(config);
+  double total = 0.0;
+  for (std::size_t p = 0; p < transforms.size(); ++p)
+    total += model_
+                 .evaluate(problem_->phases()[p].nest, transforms[p],
+                           machine_, h)
+                 .seconds;
+  return {total, true, {}};
+}
+
+std::vector<sim::CostBreakdown> SimulatedKernelEvaluator::breakdown(
+    const tuner::ParamConfig& config) const {
+  const auto transforms = problem_->transforms(config, threads_);
+  const std::uint64_t h = problem_->space().config_hash(config);
+  std::vector<sim::CostBreakdown> out;
+  out.reserve(transforms.size());
+  for (std::size_t p = 0; p < transforms.size(); ++p)
+    out.push_back(model_.evaluate(problem_->phases()[p].nest, transforms[p],
+                                  machine_, h));
+  return out;
+}
+
+}  // namespace portatune::kernels

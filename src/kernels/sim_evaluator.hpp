@@ -1,0 +1,42 @@
+// Evaluator backend that "runs" a SPAPT problem on a simulated machine
+// through the analytical cost model. This is the stand-in for
+// Orio-generates-code + compile + execute on the paper's physical
+// machines; the search algorithms cannot tell the difference.
+#pragma once
+
+#include "kernels/spapt.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/machine.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::kernels {
+
+class SimulatedKernelEvaluator final : public tuner::Evaluator {
+ public:
+  SimulatedKernelEvaluator(SpaptProblemPtr problem,
+                           sim::MachineDescriptor machine, int threads = 1,
+                           sim::AnalyticalCostModel model = {});
+
+  const tuner::ParamSpace& space() const override {
+    return problem_->space();
+  }
+  tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  std::string problem_name() const override { return problem_->name(); }
+  std::string machine_name() const override { return machine_.name; }
+
+  const sim::MachineDescriptor& machine() const noexcept { return machine_; }
+  std::size_t evaluations() const noexcept { return evaluations_; }
+
+  /// Full cost breakdowns per phase for one configuration (diagnostics).
+  std::vector<sim::CostBreakdown> breakdown(
+      const tuner::ParamConfig& config) const;
+
+ private:
+  SpaptProblemPtr problem_;
+  sim::MachineDescriptor machine_;
+  int threads_;
+  sim::AnalyticalCostModel model_;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace portatune::kernels

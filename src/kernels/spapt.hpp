@@ -1,0 +1,100 @@
+// SPAPT search problems (Balaprakash, Wild & Norris 2012), Table III.
+//
+// Each problem bundles: the kernel as one or more loop-nest phases, the
+// tunable parameter space (per-loop unrolling / cache tiling / register
+// tiling following Orio's Table I ranges, plus kernel-specific flags), and
+// the mapping from a configuration vector to per-phase transformations.
+//
+// Configurations can be *infeasible* (e.g. a register tile larger than the
+// enclosing cache tile): exactly as in real Orio runs, those variants fail
+// to build and the evaluator reports a failed measurement rather than a
+// run time. Feasibility is machine-independent, which preserves the
+// common-random-numbers protocol across machines.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/loopnest.hpp"
+#include "tuner/param.hpp"
+
+namespace portatune::kernels {
+
+/// Binds one loop of a phase to parameters in the problem space
+/// (-1 = the knob is fixed at its neutral value for this loop).
+struct LoopBinding {
+  int unroll_param = -1;
+  int tile_param = -1;
+  int regtile_param = -1;
+};
+
+struct PhaseSpec {
+  sim::LoopNest nest;
+  std::vector<LoopBinding> bindings;  ///< parallel to nest.loops
+};
+
+class SpaptProblem {
+ public:
+  SpaptProblem(std::string name, tuner::ParamSpace space,
+               std::vector<PhaseSpec> phases, int scr_param = -1,
+               int vec_param = -1, int pad_param = -1);
+
+  const std::string& name() const noexcept { return name_; }
+  const tuner::ParamSpace& space() const noexcept { return space_; }
+  const std::vector<PhaseSpec>& phases() const noexcept { return phases_; }
+
+  /// Per-phase transforms for a configuration. Throws portatune::Error for
+  /// infeasible configurations (the "variant failed to build" case).
+  std::vector<sim::NestTransform> transforms(const tuner::ParamConfig& c,
+                                             int threads) const;
+
+  /// True when the configuration maps to buildable transforms.
+  bool feasible(const tuner::ParamConfig& c) const;
+
+  /// Total floating-point work of the kernel (all phases).
+  double total_flops() const;
+
+ private:
+  std::string name_;
+  tuner::ParamSpace space_;
+  std::vector<PhaseSpec> phases_;
+  int scr_param_, vec_param_, pad_param_;
+};
+
+using SpaptProblemPtr = std::shared_ptr<const SpaptProblem>;
+
+/// Matrix multiply C = A*B, 2000x2000, 12 parameters. Compute bound.
+SpaptProblemPtr make_mm(std::int64_t n = 2000);
+/// ATAX y = A^T (A x), N = 10000, 13 parameters. Memory-bandwidth bound.
+SpaptProblemPtr make_atax(std::int64_t n = 10000);
+/// Correlation matrix of a 2000x2000 data set, 12 parameters. Memory bound.
+SpaptProblemPtr make_cor(std::int64_t n = 2000);
+/// In-place LU decomposition, 2000x2000, 9 parameters. Memory bound.
+SpaptProblemPtr make_lu(std::int64_t n = 2000);
+
+/// All four Table III problems at their paper input sizes.
+std::vector<SpaptProblemPtr> table3_problems();
+
+/// -------- extended SPAPT problems (beyond the paper's four) ----------
+
+/// BiCG sub-kernel: q = A p and s = A^T r (two matvec phases), 13 params.
+SpaptProblemPtr make_bicg(std::int64_t n = 10000);
+/// GESUMMV: y = alpha A x + beta B x (single fused phase), 8 parameters.
+SpaptProblemPtr make_gesummv(std::int64_t n = 8000);
+/// GEMVER: rank-2 update B = A + u1 v1^T + u2 v2^T, then x = beta B^T y,
+/// then w = alpha B x (three phases), 15 parameters.
+SpaptProblemPtr make_gemver(std::int64_t n = 8000);
+/// Jacobi 2-D: 5-point stencil sweeps with a sequential time loop
+/// (exercises offset index expressions), 8 parameters.
+SpaptProblemPtr make_jacobi2d(std::int64_t n = 4000, std::int64_t steps = 50);
+
+/// The extended problem set (the four extras above).
+std::vector<SpaptProblemPtr> extended_problems();
+
+/// Look up a problem by name ("MM", "ATAX", "COR", "LU", "BICG",
+/// "GESUMMV", "GEMVER", "JACOBI2D"); optionally at a reduced input size
+/// (0 = default size).
+SpaptProblemPtr spapt_by_name(const std::string& name, std::int64_t n = 0);
+
+}  // namespace portatune::kernels

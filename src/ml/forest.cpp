@@ -1,0 +1,133 @@
+#include "ml/forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+
+namespace portatune::ml {
+
+void RandomForest::fit(const Dataset& train) {
+  PT_REQUIRE(!train.empty(), "cannot fit a forest on an empty dataset");
+  PT_REQUIRE(params_.num_trees > 0, "forest needs at least one tree");
+
+  const std::size_t m = train.num_features();
+  const std::size_t max_features =
+      params_.max_features > 0
+          ? params_.max_features
+          : std::max<std::size_t>(1, (m + 2) / 3);  // ceil(m/3)
+
+  trees_.clear();
+  trees_.reserve(params_.num_trees);
+  std::vector<std::vector<std::size_t>> bags(params_.num_trees);
+
+  // Derive per-tree seeds up front so results are identical whether fitting
+  // runs serially or across the pool.
+  Rng seeder(params_.seed);
+  std::vector<std::uint64_t> bag_seeds, tree_seeds;
+  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+    bag_seeds.push_back(seeder());
+    tree_seeds.push_back(seeder());
+  }
+  for (std::size_t t = 0; t < params_.num_trees; ++t) {
+    TreeParams tp;
+    tp.max_depth = params_.max_depth;
+    tp.min_samples_leaf = params_.min_samples_leaf;
+    tp.min_samples_split = params_.min_samples_split;
+    tp.max_features = max_features;
+    tp.seed = tree_seeds[t];
+    trees_.emplace_back(tp);
+  }
+
+  const auto fit_one = [&](std::size_t t) {
+    Rng rng(bag_seeds[t]);
+    std::vector<std::size_t>& bag = bags[t];
+    bag.resize(train.num_rows());
+    for (auto& r : bag) r = static_cast<std::size_t>(rng.below(train.num_rows()));
+    trees_[t].fit(train.subset(bag));
+  };
+
+  if (params_.parallel_fit && params_.num_trees > 1) {
+    ThreadPool::global().parallel_for(0, params_.num_trees, fit_one);
+  } else {
+    for (std::size_t t = 0; t < params_.num_trees; ++t) fit_one(t);
+  }
+
+  // Out-of-bag error: for each training row, average the predictions of the
+  // trees whose bootstrap bag does not contain it.
+  double sse = 0.0;
+  std::size_t covered = 0;
+  std::vector<std::vector<char>> bag_masks(params_.num_trees,
+                                           std::vector<char>(train.num_rows(), 0));
+  for (std::size_t t = 0; t < params_.num_trees; ++t)
+    for (std::size_t r : bags[t]) bag_masks[t][r] = 1;
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    double sum = 0.0;
+    std::size_t votes = 0;
+    for (std::size_t t = 0; t < params_.num_trees; ++t) {
+      if (!bag_masks[t][i]) {
+        sum += trees_[t].predict(train.row(i));
+        ++votes;
+      }
+    }
+    if (votes == 0) continue;
+    const double err = sum / static_cast<double>(votes) - train.target(i);
+    sse += err * err;
+    ++covered;
+  }
+  oob_rmse_ = covered > 0
+                  ? std::sqrt(sse / static_cast<double>(covered))
+                  : std::numeric_limits<double>::quiet_NaN();
+
+  // Permutation feature importance on the training set: importance of
+  // feature j = increase in MSE when column j is shuffled.
+  importances_.assign(m, 0.0);
+  const std::size_t n = train.num_rows();
+  std::vector<double> base_pred(n);
+  for (std::size_t i = 0; i < n; ++i) base_pred[i] = predict(train.row(i));
+  double base_mse = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double e = base_pred[i] - train.target(i);
+    base_mse += e * e;
+  }
+  base_mse /= static_cast<double>(n);
+  Rng perm_rng(params_.seed ^ 0xabcdef12345ULL);
+  std::vector<double> x;
+  for (std::size_t j = 0; j < m; ++j) {
+    auto order = perm_rng.permutation(n);
+    double mse = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x.assign(train.row(i).begin(), train.row(i).end());
+      x[j] = train.row(order[i])[j];
+      const double e = predict(x) - train.target(i);
+      mse += e * e;
+    }
+    mse /= static_cast<double>(n);
+    importances_[j] = std::max(0.0, mse - base_mse);
+  }
+  const double total =
+      std::accumulate(importances_.begin(), importances_.end(), 0.0);
+  if (total > 0.0)
+    for (auto& v : importances_) v /= total;
+}
+
+double RandomForest::predict(std::span<const double> x) const {
+  PT_REQUIRE(is_fitted(), "predict() before fit()");
+  double sum = 0.0;
+  for (const auto& t : trees_) sum += t.predict(x);
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<double> RandomForest::predict_batch(const Dataset& rows) const {
+  PT_REQUIRE(is_fitted(), "predict_batch() before fit()");
+  std::vector<double> out(rows.num_rows());
+  ThreadPool::global().parallel_for(0, rows.num_rows(), [&](std::size_t i) {
+    out[i] = predict(rows.row(i));
+  });
+  return out;
+}
+
+}  // namespace portatune::ml

@@ -1,0 +1,56 @@
+// Random forest regressor (Breiman 2001).
+//
+// The paper's surrogate of choice: an ensemble of CART trees, each fit on a
+// bootstrap resample of T_a with per-split feature subsampling; the
+// prediction is the mean of the trees' predictions. Tree fitting is
+// parallelized over the support thread pool.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/tree.hpp"
+
+namespace portatune::ml {
+
+struct ForestParams {
+  std::size_t num_trees = 64;
+  /// Per-split feature subsample size; 0 = ceil(m/3) (regression default).
+  std::size_t max_features = 0;
+  std::size_t max_depth = 0;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 5;
+  std::uint64_t seed = 1;
+  /// Fit trees across the global thread pool.
+  bool parallel_fit = true;
+};
+
+class RandomForest final : public Regressor {
+ public:
+  explicit RandomForest(ForestParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> x) const override;
+  std::vector<double> predict_batch(const Dataset& rows) const override;
+  bool is_fitted() const noexcept override { return !trees_.empty(); }
+  std::string name() const override { return "random_forest"; }
+
+  std::size_t num_trees() const noexcept { return trees_.size(); }
+  const RegressionTree& tree(std::size_t i) const { return trees_.at(i); }
+
+  /// Out-of-bag RMSE estimate computed during fit (NaN if unavailable).
+  double oob_rmse() const noexcept { return oob_rmse_; }
+
+  /// Mean-decrease-in-variance feature importances, normalized to sum 1.
+  /// Computed by permutation on the training set after fit.
+  std::vector<double> feature_importances() const noexcept {
+    return importances_;
+  }
+
+ private:
+  ForestParams params_;
+  std::vector<RegressionTree> trees_;
+  double oob_rmse_ = 0.0;
+  std::vector<double> importances_;
+};
+
+}  // namespace portatune::ml

@@ -1,0 +1,67 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace portatune::ml {
+
+void KnnRegressor::fit(const Dataset& train) {
+  PT_REQUIRE(!train.empty(), "cannot fit kNN on an empty dataset");
+  PT_REQUIRE(params_.k > 0, "k must be positive");
+  train_ = train;
+  const std::size_t m = train.num_features();
+  lo_.assign(m, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(m, -std::numeric_limits<double>::infinity());
+  for (std::size_t i = 0; i < train.num_rows(); ++i) {
+    const auto row = train.row(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      lo_[j] = std::min(lo_[j], row[j]);
+      hi[j] = std::max(hi[j], row[j]);
+    }
+  }
+  scale_.assign(m, 1.0);
+  for (std::size_t j = 0; j < m; ++j)
+    scale_[j] = (hi[j] > lo_[j]) ? 1.0 / (hi[j] - lo_[j]) : 0.0;
+  fitted_ = true;
+}
+
+double KnnRegressor::predict(std::span<const double> x) const {
+  PT_REQUIRE(fitted_, "predict() before fit()");
+  PT_REQUIRE(x.size() == train_.num_features(), "feature arity mismatch");
+  const std::size_t k = std::min(params_.k, train_.num_rows());
+
+  // Keep the k smallest (distance, target) pairs with a partial sort over a
+  // scratch vector; training sets here are small (hundreds of rows).
+  std::vector<std::pair<double, double>> dist;
+  dist.reserve(train_.num_rows());
+  for (std::size_t i = 0; i < train_.num_rows(); ++i) {
+    const auto row = train_.row(i);
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < x.size(); ++j) {
+      const double d = (x[j] - row[j]) * scale_[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, train_.target(i));
+  }
+  std::partial_sort(dist.begin(), dist.begin() + static_cast<long>(k),
+                    dist.end());
+
+  if (!params_.distance_weighted) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += dist[i].second;
+    return sum / static_cast<double>(k);
+  }
+  double wsum = 0.0, sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (dist[i].first == 0.0) return dist[i].second;  // exact match
+    const double w = 1.0 / std::sqrt(dist[i].first);
+    wsum += w;
+    sum += w * dist[i].second;
+  }
+  return sum / wsum;
+}
+
+}  // namespace portatune::ml

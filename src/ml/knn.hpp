@@ -1,0 +1,34 @@
+// k-nearest-neighbour regressor (baseline surrogate for the ablation that
+// compares surrogate families, DESIGN.md A3).
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace portatune::ml {
+
+struct KnnParams {
+  std::size_t k = 5;
+  /// Inverse-distance weighting of the k neighbours (vs plain mean).
+  bool distance_weighted = true;
+};
+
+class KnnRegressor final : public Regressor {
+ public:
+  explicit KnnRegressor(KnnParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const noexcept override { return fitted_; }
+  std::string name() const override { return "knn"; }
+
+ private:
+  KnnParams params_;
+  Dataset train_;
+  // Per-feature min/max for range normalization; distances are computed in
+  // the normalized space so unroll (1..32) and cache tile (1..2048) weigh
+  // equally.
+  std::vector<double> lo_, scale_;
+  bool fitted_ = false;
+};
+
+}  // namespace portatune::ml

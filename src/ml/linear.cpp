@@ -1,0 +1,83 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace portatune::ml {
+
+namespace {
+
+// In-place Cholesky solve of A w = b for symmetric positive-definite A
+// (dense, row-major, n x n). Small n only (number of tuning parameters).
+void cholesky_solve(std::vector<double>& a, std::vector<double>& b,
+                    std::size_t n) {
+  // Factor A = L L^T.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) sum -= a[i * n + k] * a[j * n + k];
+      if (i == j) {
+        PT_REQUIRE(sum > 0.0, "matrix not positive definite");
+        a[i * n + j] = std::sqrt(sum);
+      } else {
+        a[i * n + j] = sum / a[j * n + j];
+      }
+    }
+  }
+  // Forward solve L z = b (in place in b).
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= a[i * n + k] * b[k];
+    b[i] = sum / a[i * n + i];
+  }
+  // Back solve L^T w = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= a[k * n + ii] * b[k];
+    b[ii] = sum / a[ii * n + ii];
+  }
+}
+
+}  // namespace
+
+void LinearRegressor::fit(const Dataset& train) {
+  PT_REQUIRE(!train.empty(), "cannot fit linear model on an empty dataset");
+  const std::size_t m = train.num_features();
+  const std::size_t n = m + 1;  // + intercept column
+  std::vector<double> ata(n * n, 0.0);
+  std::vector<double> atb(n, 0.0);
+
+  for (std::size_t r = 0; r < train.num_rows(); ++r) {
+    const auto row = train.row(r);
+    const double y = train.target(r);
+    // Augmented feature vector [x, 1].
+    for (std::size_t i = 0; i < n; ++i) {
+      const double xi = (i < m) ? row[i] : 1.0;
+      atb[i] += xi * y;
+      for (std::size_t j = 0; j <= i; ++j) {
+        const double xj = (j < m) ? row[j] : 1.0;
+        ata[i * n + j] += xi * xj;
+      }
+    }
+  }
+  // Mirror and regularize.
+  for (std::size_t i = 0; i < n; ++i) {
+    ata[i * n + i] += params_.lambda;
+    for (std::size_t j = i + 1; j < n; ++j) ata[i * n + j] = ata[j * n + i];
+  }
+  cholesky_solve(ata, atb, n);
+  weights_.assign(atb.begin(), atb.begin() + static_cast<long>(m));
+  intercept_ = atb[m];
+  fitted_ = true;
+}
+
+double LinearRegressor::predict(std::span<const double> x) const {
+  PT_REQUIRE(fitted_, "predict() before fit()");
+  PT_REQUIRE(x.size() == weights_.size(), "feature arity mismatch");
+  double y = intercept_;
+  for (std::size_t j = 0; j < x.size(); ++j) y += weights_[j] * x[j];
+  return y;
+}
+
+}  // namespace portatune::ml

@@ -1,0 +1,37 @@
+// Ridge-regularized linear regressor (baseline surrogate).
+//
+// Solves (X^T X + lambda I) w = X^T y by Cholesky factorization. A linear
+// model cannot capture the tile/working-set interactions that dominate
+// autotuning landscapes, which is exactly why it serves as the weak
+// baseline in the surrogate-family ablation.
+#pragma once
+
+#include "ml/model.hpp"
+
+namespace portatune::ml {
+
+struct LinearParams {
+  double lambda = 1e-6;  ///< ridge penalty (also stabilizes the solve)
+};
+
+class LinearRegressor final : public Regressor {
+ public:
+  explicit LinearRegressor(LinearParams params = {}) : params_(params) {}
+
+  void fit(const Dataset& train) override;
+  double predict(std::span<const double> x) const override;
+  bool is_fitted() const noexcept override { return fitted_; }
+  std::string name() const override { return "linear"; }
+
+  /// Weights (one per feature) after fit.
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  double intercept() const noexcept { return intercept_; }
+
+ private:
+  LinearParams params_;
+  std::vector<double> weights_;
+  double intercept_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace portatune::ml

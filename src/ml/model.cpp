@@ -1,0 +1,13 @@
+#include "ml/model.hpp"
+
+namespace portatune::ml {
+
+std::vector<double> Regressor::predict_batch(const Dataset& rows) const {
+  std::vector<double> out;
+  out.reserve(rows.num_rows());
+  for (std::size_t i = 0; i < rows.num_rows(); ++i)
+    out.push_back(predict(rows.row(i)));
+  return out;
+}
+
+}  // namespace portatune::ml

@@ -1,0 +1,38 @@
+// Abstract regressor interface.
+//
+// The surrogate performance model M of the paper: fit on T_a, predict run
+// times of unseen configurations. All portatune surrogates (random forest,
+// single tree, kNN, ridge) implement this interface, which is what the
+// transfer-accelerated searches consume.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace portatune::ml {
+
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Fit the model on the training data. Must be called before predict().
+  virtual void fit(const Dataset& train) = 0;
+
+  /// Predict the target for one feature vector.
+  virtual double predict(std::span<const double> x) const = 0;
+
+  /// Predict a batch of rows (default: loop over predict()).
+  virtual std::vector<double> predict_batch(const Dataset& rows) const;
+
+  virtual bool is_fitted() const noexcept = 0;
+
+  /// Short human-readable identifier ("random_forest", "knn", ...).
+  virtual std::string name() const = 0;
+};
+
+using RegressorPtr = std::unique_ptr<Regressor>;
+
+}  // namespace portatune::ml

@@ -1,0 +1,284 @@
+#include "orio/annotation.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace portatune::orio {
+
+namespace {
+
+using kernels::LoopBinding;
+using kernels::PhaseSpec;
+using kernels::SpaptProblem;
+
+struct ParseState {
+  sim::LoopNest nest;
+  tuner::ParamSpace space;
+  std::vector<LoopBinding> bindings;
+  int scr_param = -1, vec_param = -1, pad_param = -1;
+  std::string kernel_name = "anonymous";
+};
+
+[[noreturn]] void fail(std::size_t line, const std::string& why) {
+  throw Error("annotation line " + std::to_string(line) + ": " + why);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> toks;
+  std::string cur;
+  bool quoted = false;
+  for (char c : line) {
+    if (c == '"') {
+      quoted = !quoted;
+      continue;
+    }
+    if (!quoted && std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) toks.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) toks.push_back(std::move(cur));
+  return toks;
+}
+
+std::size_t find_loop(const ParseState& st, const std::string& name,
+                      std::size_t line) {
+  for (std::size_t l = 0; l < st.nest.loops.size(); ++l)
+    if (st.nest.loops[l].name == name) return l;
+  fail(line, "unknown loop variable: " + name);
+}
+
+/// Parse "A[i][k]" into an ArrayRef against the declared arrays/loops.
+/// Each index is a loop variable or an integer literal.
+sim::ArrayRef parse_ref(const ParseState& st, const std::string& text,
+                        bool is_write, std::size_t line) {
+  const auto lb = text.find('[');
+  if (lb == std::string::npos) fail(line, "reference needs indices: " + text);
+  const std::string array_name = text.substr(0, lb);
+  sim::ArrayRef ref;
+  ref.is_write = is_write;
+  ref.array = SIZE_MAX;
+  for (std::size_t a = 0; a < st.nest.arrays.size(); ++a)
+    if (st.nest.arrays[a].name == array_name) ref.array = a;
+  if (ref.array == SIZE_MAX) fail(line, "unknown array: " + array_name);
+
+  std::size_t pos = lb;
+  while (pos < text.size() && text[pos] == '[') {
+    const auto rb = text.find(']', pos);
+    if (rb == std::string::npos) fail(line, "unbalanced [] in " + text);
+    const std::string idx_text = text.substr(pos + 1, rb - pos - 1);
+    sim::IndexExpr e;
+    if (!idx_text.empty() &&
+        (std::isdigit(static_cast<unsigned char>(idx_text[0])) ||
+         idx_text[0] == '-')) {
+      e.offset = std::stoll(idx_text);
+    } else {
+      e.terms.push_back({find_loop(st, idx_text, line), 1});
+    }
+    ref.indices.push_back(std::move(e));
+    pos = rb + 1;
+  }
+  const auto& arr = st.nest.arrays[ref.array];
+  if (ref.indices.size() != arr.dims.size())
+    fail(line, "index arity mismatch for " + array_name);
+  return ref;
+}
+
+/// Parse a range token: "lo..hi".
+std::pair<int, int> parse_range(const std::string& text, std::size_t line) {
+  const auto dots = text.find("..");
+  if (dots == std::string::npos) fail(line, "expected lo..hi, got " + text);
+  return {std::stoi(text.substr(0, dots)), std::stoi(text.substr(dots + 2))};
+}
+
+}  // namespace
+
+kernels::SpaptProblemPtr parse_annotation(const std::string& text) {
+  ParseState st;
+
+  // Pre-pass: join continuation lines.
+  std::vector<std::pair<std::size_t, std::string>> lines;
+  {
+    std::istringstream is(text);
+    std::string raw;
+    std::size_t lineno = 0;
+    std::string pending;
+    std::size_t pending_line = 0;
+    while (std::getline(is, raw)) {
+      ++lineno;
+      if (const auto hash = raw.find('#'); hash != std::string::npos)
+        raw.erase(hash);
+      bool continued = false;
+      if (!raw.empty() && raw.back() == '\\') {
+        raw.pop_back();
+        continued = true;
+      }
+      if (pending.empty()) pending_line = lineno;
+      pending += raw;
+      if (continued) {
+        pending += ' ';
+        continue;
+      }
+      if (!tokenize(pending).empty()) lines.emplace_back(pending_line, pending);
+      pending.clear();
+    }
+    if (!pending.empty() && !tokenize(pending).empty())
+      lines.emplace_back(pending_line, pending);
+  }
+
+  for (const auto& [lineno, line] : lines) {
+    const auto toks = tokenize(line);
+    const std::string& head = toks[0];
+
+    if (head == "kernel") {
+      if (toks.size() != 2) fail(lineno, "kernel takes one name");
+      st.kernel_name = toks[1];
+      st.nest.name = toks[1];
+    } else if (head == "array") {
+      if (toks.size() != 2) fail(lineno, "array takes one declarator");
+      const auto lb = toks[1].find('[');
+      if (lb == std::string::npos) fail(lineno, "array needs dimensions");
+      sim::ArrayDecl decl;
+      decl.name = toks[1].substr(0, lb);
+      std::size_t pos = lb;
+      while (pos < toks[1].size() && toks[1][pos] == '[') {
+        const auto rb = toks[1].find(']', pos);
+        if (rb == std::string::npos) fail(lineno, "unbalanced []");
+        decl.dims.push_back(std::stoll(toks[1].substr(pos + 1, rb - pos - 1)));
+        pos = rb + 1;
+      }
+      st.nest.arrays.push_back(std::move(decl));
+    } else if (head == "loop") {
+      if (toks.size() < 3) fail(lineno, "loop takes a name and an extent");
+      sim::Loop loop;
+      loop.name = toks[1];
+      loop.extent = std::stoll(toks[2]);
+      if (toks.size() >= 4) loop.occupancy = std::stod(toks[3]);
+      st.nest.loops.push_back(loop);
+      st.bindings.push_back({});
+    } else if (head == "stmt") {
+      if (toks.size() < 2) fail(lineno, "stmt needs a body");
+      sim::Statement s;
+      s.text = toks[1];
+      s.depth = st.nest.loops.size();
+      std::size_t i = 2;
+      enum { None, Reads, Writes } mode = None;
+      while (i < toks.size()) {
+        if (toks[i] == "flops") {
+          if (i + 1 >= toks.size()) fail(lineno, "flops needs a value");
+          s.flops = std::stod(toks[++i]);
+        } else if (toks[i] == "reads") {
+          mode = Reads;
+        } else if (toks[i] == "writes") {
+          mode = Writes;
+        } else if (mode == Reads) {
+          s.refs.push_back(parse_ref(st, toks[i], false, lineno));
+        } else if (mode == Writes) {
+          s.refs.push_back(parse_ref(st, toks[i], true, lineno));
+        } else {
+          fail(lineno, "unexpected token: " + toks[i]);
+        }
+        ++i;
+      }
+      st.nest.stmts.push_back(std::move(s));
+    } else if (head == "param") {
+      if (toks.size() < 3) fail(lineno, "param needs a name and a kind");
+      const std::string& name = toks[1];
+      const std::string& kind = toks[2];
+      if (kind == "flag") {
+        if (toks.size() != 4) fail(lineno, "flag param needs a target");
+        const int idx =
+            static_cast<int>(st.space.add(name, tuner::flag_values()));
+        if (toks[3] == "scalar_replacement")
+          st.scr_param = idx;
+        else if (toks[3] == "vector_pragma")
+          st.vec_param = idx;
+        else if (toks[3] == "array_padding")
+          st.pad_param = idx;
+        else
+          fail(lineno, "unknown flag target: " + toks[3]);
+        continue;
+      }
+      if (toks.size() < 5) fail(lineno, "param needs a loop and a range");
+      const std::size_t loop = find_loop(st, toks[3], lineno);
+      std::vector<double> values;
+      if (toks[4] == "pow2") {
+        if (toks.size() != 6) fail(lineno, "pow2 needs lo..hi exponents");
+        const auto [lo, hi] = parse_range(toks[5], lineno);
+        values = tuner::pow2_values(lo, hi);
+      } else {
+        const auto [lo, hi] = parse_range(toks[4], lineno);
+        values = tuner::range_values(lo, hi);
+      }
+      const int idx = static_cast<int>(st.space.add(name, std::move(values)));
+      if (kind == "unroll")
+        st.bindings[loop].unroll_param = idx;
+      else if (kind == "tile")
+        st.bindings[loop].tile_param = idx;
+      else if (kind == "regtile")
+        st.bindings[loop].regtile_param = idx;
+      else
+        fail(lineno, "unknown param kind: " + kind);
+    } else if (head == "option") {
+      if (toks.size() != 2) fail(lineno, "option takes one name");
+      if (toks[1] == "compiler_tilable")
+        st.nest.compiler_tilable = true;
+      else if (toks[1] == "outer_parallel")
+        st.nest.outer_parallel = true;
+      else
+        fail(lineno, "unknown option: " + toks[1]);
+    } else {
+      fail(lineno, "unknown directive: " + head);
+    }
+  }
+
+  PT_REQUIRE(!st.nest.loops.empty(), "annotation declares no loops");
+  PT_REQUIRE(!st.nest.stmts.empty(), "annotation declares no statements");
+
+  PhaseSpec phase;
+  phase.nest = std::move(st.nest);
+  phase.bindings = std::move(st.bindings);
+  return std::make_shared<SpaptProblem>(
+      st.kernel_name, std::move(st.space),
+      std::vector<PhaseSpec>{std::move(phase)}, st.scr_param, st.vec_param,
+      st.pad_param);
+}
+
+kernels::SpaptProblemPtr parse_annotation_file(const std::string& path) {
+  std::ifstream in(path);
+  PT_REQUIRE(in.good(), "cannot open annotation file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_annotation(buf.str());
+}
+
+std::string example_mm_annotation(std::int64_t n) {
+  const std::string ns = std::to_string(n);
+  return "kernel MM\n"
+         "array C[" + ns + "][" + ns + "]\n"
+         "array A[" + ns + "][" + ns + "]\n"
+         "array B[" + ns + "][" + ns + "]\n"
+         "loop i " + ns + "\n"
+         "loop j " + ns + "\n"
+         "loop k " + ns + "\n"
+         "stmt \"C[i][j] = C[i][j] + A[i][k] * B[k][j];\" flops 2 \\\n"
+         "     reads C[i][j] A[i][k] B[k][j] writes C[i][j]\n"
+         "param U_I unroll i 1..32\n"
+         "param U_J unroll j 1..32\n"
+         "param U_K unroll k 1..32\n"
+         "param T_I tile i pow2 0..11\n"
+         "param T_J tile j pow2 0..11\n"
+         "param T_K tile k pow2 0..11\n"
+         "param RT_I regtile i pow2 0..5\n"
+         "param RT_J regtile j pow2 0..5\n"
+         "param RT_K regtile k pow2 0..5\n"
+         "param SCR flag scalar_replacement\n"
+         "option compiler_tilable\n"
+         "option outer_parallel\n";
+}
+
+}  // namespace portatune::orio

@@ -1,0 +1,45 @@
+// Mini-Orio annotation language.
+//
+// Orio consumes annotated C/Fortran describing a kernel, its tunable
+// transformations and their value ranges, then generates and empirically
+// evaluates code variants. This module implements the same pipeline on a
+// compact line-oriented annotation grammar:
+//
+//   kernel MM
+//   array  C[2000][2000]
+//   array  A[2000][2000]
+//   array  B[2000][2000]
+//   loop   i 2000
+//   loop   j 2000
+//   loop   k 2000          # outermost..innermost, in order
+//   stmt   "C[i][j] = C[i][j] + A[i][k] * B[k][j];" flops 2 (backslash)
+//          reads A[i][k] B[k][j] C[i][j] writes C[i][j]
+//   param  U_I  unroll  i 1..32
+//   param  T_I  tile    i pow2 0..11
+//   param  RT_I regtile i pow2 0..5
+//   param  SCR  flag scalar_replacement
+//   option compiler_tilable
+//   option outer_parallel
+//
+// '#' starts a comment; '\' continues a line. parse_annotation() returns a
+// ready-to-tune SpaptProblem; the code generator (codegen.hpp) turns any
+// configuration into compilable C.
+#pragma once
+
+#include <string>
+
+#include "kernels/spapt.hpp"
+
+namespace portatune::orio {
+
+/// Parse the annotation text. Throws portatune::Error with a line number
+/// on malformed input.
+kernels::SpaptProblemPtr parse_annotation(const std::string& text);
+
+/// Convenience: read a file and parse it.
+kernels::SpaptProblemPtr parse_annotation_file(const std::string& path);
+
+/// The MM annotation shown above (used by examples and tests).
+std::string example_mm_annotation(std::int64_t n = 2000);
+
+}  // namespace portatune::orio

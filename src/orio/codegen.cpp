@@ -1,0 +1,250 @@
+#include "orio/codegen.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace portatune::orio {
+
+namespace {
+
+/// Replace whole-token occurrences of `var` in `text` with `repl`.
+std::string subst_var(const std::string& text, const std::string& var,
+                      const std::string& repl) {
+  std::string out;
+  std::size_t i = 0;
+  const auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < text.size()) {
+    if (text.compare(i, var.size(), var) == 0 &&
+        (i == 0 || !is_ident(text[i - 1])) &&
+        (i + var.size() == text.size() || !is_ident(text[i + var.size()]))) {
+      out += repl;
+      i += var.size();
+    } else {
+      out += text[i++];
+    }
+  }
+  return out;
+}
+
+class Generator {
+ public:
+  Generator(const sim::LoopNest& nest, const sim::NestTransform& t)
+      : nest_(nest), t_(t) {
+    nest.validate(t);
+    steps_.resize(nest.loops.size());
+    for (std::size_t l = 0; l < nest.loops.size(); ++l) {
+      const auto& lt = t.loops[l];
+      steps_[l] = static_cast<std::int64_t>(lt.unroll) * lt.reg_tile;
+      steps_[l] = std::min(steps_[l], nest.loops[l].extent);
+    }
+    offsets_.assign(nest.loops.size(), {"0"});
+  }
+
+  std::string run(const std::string& fn_name) {
+    out_.clear();
+    indent_ = 0;
+    emit_signature(fn_name);
+    line("{");
+    ++indent_;
+    emit_level(0);
+    --indent_;
+    line("}");
+    return out_;
+  }
+
+ private:
+  void line(const std::string& s) {
+    out_ += std::string(static_cast<std::size_t>(indent_) * 2, ' ');
+    out_ += s;
+    out_ += '\n';
+  }
+
+  void emit_signature(const std::string& fn_name) {
+    std::ostringstream os;
+    os << "void " << fn_name << "(";
+    for (std::size_t a = 0; a < nest_.arrays.size(); ++a) {
+      const auto& arr = nest_.arrays[a];
+      if (a) os << ", ";
+      if (arr.dims.size() == 1) {
+        os << "double* restrict " << arr.name;
+      } else {
+        os << "double (* restrict " << arr.name << ")";
+        for (std::size_t d = 1; d < arr.dims.size(); ++d)
+          os << "[" << arr.dims[d] << "]";
+      }
+    }
+    os << ")";
+    line(os.str());
+  }
+
+  /// Emit all statement instances at depth d: the cartesian product of
+  /// the unroll offsets of the enclosing loops.
+  void emit_stmts(std::size_t d) {
+    for (const auto& s : nest_.stmts) {
+      if (s.depth != d) continue;
+      PT_REQUIRE(!s.text.empty(),
+                 "statement has no source template for codegen");
+      std::vector<std::size_t> pick(d, 0);
+      bool done = false;
+      while (!done) {
+        std::string body = s.text;
+        for (std::size_t l = 0; l < d; ++l)
+          body = subst_var(body, nest_.loops[l].name, offsets_[l][pick[l]]);
+        line(body);
+        // Odometer over the unroll offsets of the enclosing loops.
+        done = true;
+        for (std::size_t l = d; l-- > 0;) {
+          if (++pick[l] < offsets_[l].size()) {
+            done = false;
+            break;
+          }
+          pick[l] = 0;
+        }
+      }
+    }
+  }
+
+  void emit_level(std::size_t d) {
+    emit_stmts(d);
+    if (d == nest_.loops.size()) return;
+
+    const auto& loop = nest_.loops[d];
+    const auto& lt = t_.loops[d];
+    const std::string v = loop.name;
+    const std::string n = std::to_string(loop.extent);
+    const bool tiled = lt.cache_tile > 1 && lt.cache_tile < loop.extent;
+
+    std::string lo = "0", hi = n;
+    if (tiled) {
+      const std::string tv = v + "_t";
+      const std::string tile = std::to_string(lt.cache_tile);
+      if (d == 0 && nest_.outer_parallel && t_.threads > 1)
+        line("#pragma omp parallel for num_threads(" +
+             std::to_string(t_.threads) + ")");
+      line("for (long " + tv + " = 0; " + tv + " < " + n + "; " + tv +
+           " += " + tile + ") {");
+      ++indent_;
+      lo = tv;
+      hi = "(" + tv + " + " + tile + " < " + n + " ? " + tv + " + " + tile +
+           " : " + n + ")";
+      line("long " + v + "_hi = " + hi + ";");
+      hi = v + "_hi";
+    } else if (d == 0 && nest_.outer_parallel && t_.threads > 1) {
+      line("#pragma omp parallel for num_threads(" +
+           std::to_string(t_.threads) + ")");
+    }
+
+    const std::int64_t step = steps_[d];
+    if (t_.vector_pragma && d + 1 == nest_.loops.size())
+      line("#pragma GCC ivdep");
+
+    if (step > 1) {
+      // Main unrolled/jammed loop.
+      line("long " + v + ";");
+      line("for (" + v + " = " + lo + "; " + v + " + " +
+           std::to_string(step) + " <= " + hi + "; " + v + " += " +
+           std::to_string(step) + ") {");
+      ++indent_;
+      offsets_[d].clear();
+      for (std::int64_t o = 0; o < step; ++o)
+        offsets_[d].push_back(o == 0 ? v : "(" + v + "+" +
+                                                std::to_string(o) + ")");
+      emit_level(d + 1);
+      --indent_;
+      line("}");
+      // Remainder loop: step 1 through the rest of the range.
+      line("for (; " + v + " < " + hi + "; ++" + v + ") {");
+      ++indent_;
+      offsets_[d] = {v};
+      emit_level(d + 1);
+      --indent_;
+      line("}");
+    } else {
+      line("for (long " + v + " = " + lo + "; " + v + " < " + hi + "; ++" +
+           v + ") {");
+      ++indent_;
+      offsets_[d] = {v};
+      emit_level(d + 1);
+      --indent_;
+      line("}");
+    }
+    offsets_[d] = {"0"};
+
+    if (tiled) {
+      --indent_;
+      line("}");
+    }
+  }
+
+  const sim::LoopNest& nest_;
+  const sim::NestTransform& t_;
+  std::vector<std::int64_t> steps_;
+  std::vector<std::vector<std::string>> offsets_;  ///< per-loop unroll exprs
+  std::string out_;
+  int indent_ = 0;
+};
+
+}  // namespace
+
+std::string generate_c(const sim::LoopNest& nest,
+                       const sim::NestTransform& t,
+                       const std::string& fn_name) {
+  Generator gen(nest, t);
+  return gen.run(fn_name);
+}
+
+std::string generate_benchmark_program(const sim::LoopNest& nest,
+                                       const sim::NestTransform& t,
+                                       int reps) {
+  PT_REQUIRE(reps >= 1, "need at least one repetition");
+  std::ostringstream os;
+  os << "#define _POSIX_C_SOURCE 199309L\n";
+  os << "#include <stdio.h>\n#include <stdlib.h>\n#include <time.h>\n\n";
+  os << generate_c(nest, t, "kernel_variant") << "\n";
+  os << "static double now(void) {\n"
+     << "  struct timespec ts;\n"
+     << "  clock_gettime(CLOCK_MONOTONIC, &ts);\n"
+     << "  return ts.tv_sec + 1e-9 * ts.tv_nsec;\n"
+     << "}\n\n";
+  os << "int main(void) {\n";
+  for (const auto& arr : nest.arrays) {
+    if (arr.dims.size() == 1) {
+      os << "  double* " << arr.name << " = malloc(sizeof(double) * "
+         << arr.dims[0] << ");\n";
+    } else {
+      os << "  double (*" << arr.name << ")";
+      for (std::size_t d = 1; d < arr.dims.size(); ++d)
+        os << "[" << arr.dims[d] << "]";
+      os << " = malloc(sizeof(double) * " << arr.elements() << ");\n";
+    }
+    os << "  { double* p = (double*)" << arr.name << "; "
+       << "for (long i = 0; i < " << arr.elements()
+       << "; ++i) p[i] = (double)((i * 2654435761u) % 1000) / 1000.0; }\n";
+  }
+  os << "  double best = 1e300;\n";
+  os << "  for (int rep = 0; rep < " << reps << "; ++rep) {\n";
+  os << "    double t0 = now();\n";
+  os << "    kernel_variant(";
+  for (std::size_t a = 0; a < nest.arrays.size(); ++a)
+    os << (a ? ", " : "") << nest.arrays[a].name;
+  os << ");\n";
+  os << "    double dt = now() - t0;\n";
+  os << "    if (dt < best) best = dt;\n";
+  os << "  }\n";
+  // Checksum defeats dead-code elimination.
+  os << "  double sum = 0;\n";
+  for (const auto& arr : nest.arrays)
+    os << "  { double* p = (double*)" << arr.name << "; for (long i = 0; i < "
+       << arr.elements() << "; i += 97) sum += p[i]; }\n";
+  os << "  fprintf(stderr, \"checksum %g\\n\", sum);\n";
+  os << "  printf(\"%.9f\\n\", best);\n";
+  os << "  return 0;\n}\n";
+  return os.str();
+}
+
+}  // namespace portatune::orio

@@ -1,0 +1,35 @@
+// C code generation for transformed loop nests (the Orio half that turns
+// a configuration into a compilable code variant).
+//
+// Given a loop nest whose statements carry source templates and a
+// NestTransform, emits a C function applying:
+//   * cache tiling   — strip-mine + interchange with min() tail guards,
+//   * register tiling— unroll-and-jam of the innermost bands with a
+//                      remainder loop per jammed level,
+//   * unrolling      — innermost-loop body replication with a cleanup loop,
+//   * pragmas        — ivdep/vector hints when requested.
+//
+// The generated text is valid C99 given the arrays in scope; it can be
+// compiled and run by CompiledKernelRunner (mini-Orio's empirical path).
+#pragma once
+
+#include <string>
+
+#include "sim/loopnest.hpp"
+
+namespace portatune::orio {
+
+/// Emit the transformed nest as the body of one C function named
+/// `fn_name` taking the arrays as (restrict) pointer parameters.
+std::string generate_c(const sim::LoopNest& nest,
+                       const sim::NestTransform& t,
+                       const std::string& fn_name);
+
+/// Emit a full standalone benchmark program: the kernel function plus a
+/// main() that allocates/initializes the arrays, runs the kernel `reps`
+/// times and prints the best wall-clock seconds to stdout.
+std::string generate_benchmark_program(const sim::LoopNest& nest,
+                                       const sim::NestTransform& t,
+                                       int reps = 3);
+
+}  // namespace portatune::orio

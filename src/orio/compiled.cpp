@@ -1,0 +1,103 @@
+#include "orio/compiled.hpp"
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "orio/codegen.hpp"
+#include "support/error.hpp"
+
+namespace portatune::orio {
+
+namespace {
+
+/// Minimal scoped temporary directory.
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/portatune-orio-XXXXXX";
+    PT_REQUIRE(mkdtemp(tmpl) != nullptr, "mkdtemp failed");
+    path_ = tmpl;
+  }
+  ~TempDir() {
+    if (!keep_) {
+      const std::string cmd = "rm -rf '" + path_ + "'";
+      if (std::system(cmd.c_str()) != 0) {
+        // Best-effort cleanup; nothing sensible to do on failure.
+      }
+    }
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const noexcept { return path_; }
+  void keep() noexcept { keep_ = true; }
+
+ private:
+  std::string path_;
+  bool keep_ = false;
+};
+
+std::string run_and_capture(const std::string& cmd, int& exit_code) {
+  std::string out;
+  FILE* pipe = popen((cmd + " 2>/dev/null").c_str(), "r");
+  PT_REQUIRE(pipe != nullptr, "popen failed");
+  std::array<char, 256> buf;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  exit_code = pclose(pipe);
+  return out;
+}
+
+}  // namespace
+
+double compile_and_run_variant(const sim::LoopNest& nest,
+                               const sim::NestTransform& t,
+                               const CompileOptions& opt) {
+  TempDir dir;
+  if (opt.keep_files) dir.keep();
+  const std::string src = dir.path() + "/variant.c";
+  const std::string bin = dir.path() + "/variant";
+  {
+    std::ofstream os(src);
+    PT_REQUIRE(os.good(), "cannot write " + src);
+    os << generate_benchmark_program(nest, t, opt.reps);
+  }
+  int code = 0;
+  const std::string compile_cmd =
+      opt.compiler + " " + opt.flags + " -o '" + bin + "' '" + src + "' -lm";
+  run_and_capture(compile_cmd, code);
+  PT_REQUIRE(code == 0, "variant failed to compile (as real Orio variants "
+                        "sometimes do): " + compile_cmd);
+  const std::string out = run_and_capture("'" + bin + "'", code);
+  PT_REQUIRE(code == 0, "variant crashed at run time");
+  std::istringstream is(out);
+  double seconds = 0.0;
+  is >> seconds;
+  PT_REQUIRE(is.good() || is.eof(), "variant produced no timing");
+  PT_REQUIRE(seconds > 0.0, "variant reported non-positive time");
+  return seconds;
+}
+
+CompiledOrioEvaluator::CompiledOrioEvaluator(kernels::SpaptProblemPtr problem,
+                                             CompileOptions opt)
+    : problem_(std::move(problem)), opt_(std::move(opt)) {
+  PT_REQUIRE(problem_ != nullptr, "null problem");
+  PT_REQUIRE(problem_->phases().size() == 1,
+             "compiled evaluation supports single-phase problems");
+}
+
+tuner::EvalResult CompiledOrioEvaluator::evaluate(
+    const tuner::ParamConfig& config) {
+  try {
+    const auto transforms = problem_->transforms(config, 1);
+    const double s = compile_and_run_variant(
+        problem_->phases()[0].nest, transforms[0], opt_);
+    return {s, true, {}};
+  } catch (const Error& e) {
+    return tuner::EvalResult::failure(e.what());
+  }
+}
+
+}  // namespace portatune::orio

@@ -1,0 +1,46 @@
+// Empirical (compile-and-run) evaluation of generated code variants —
+// mini-Orio's native measurement path on the host machine.
+#pragma once
+
+#include <string>
+
+#include "kernels/spapt.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::orio {
+
+struct CompileOptions {
+  std::string compiler = "cc";
+  std::string flags = "-O3 -std=c99";
+  int reps = 3;          ///< timed repetitions; best is reported
+  bool keep_files = false;
+};
+
+/// Generate the benchmark program for (nest, transform), compile it with
+/// the host compiler, run it, and return the measured best seconds.
+/// Throws portatune::Error on compile or run failure.
+double compile_and_run_variant(const sim::LoopNest& nest,
+                               const sim::NestTransform& t,
+                               const CompileOptions& opt = {});
+
+/// Evaluator that measures a (single-phase) SPAPT problem by generating,
+/// compiling and running each configuration on the host — the full Orio
+/// pipeline. Expensive: one compiler invocation per evaluation.
+class CompiledOrioEvaluator final : public tuner::Evaluator {
+ public:
+  CompiledOrioEvaluator(kernels::SpaptProblemPtr problem,
+                        CompileOptions opt = {});
+
+  const tuner::ParamSpace& space() const override {
+    return problem_->space();
+  }
+  tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  std::string problem_name() const override { return problem_->name(); }
+  std::string machine_name() const override { return "host"; }
+
+ private:
+  kernels::SpaptProblemPtr problem_;
+  CompileOptions opt_;
+};
+
+}  // namespace portatune::orio

@@ -1,0 +1,91 @@
+#include "sim/cache.hpp"
+
+#include "support/error.hpp"
+
+namespace portatune::sim {
+
+namespace {
+bool is_pow2(std::int64_t v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Cache::Cache(std::int64_t size_bytes, int line_bytes, int associativity)
+    : line_bytes_(line_bytes), associativity_(associativity) {
+  PT_REQUIRE(is_pow2(line_bytes), "line size must be a power of two");
+  PT_REQUIRE(associativity > 0, "associativity must be positive");
+  PT_REQUIRE(size_bytes >= line_bytes * associativity,
+             "cache smaller than one set");
+  // Set count need not be a power of two (e.g. Power7's 10 MiB L3 or a
+  // 20-way 20 MiB Sandybridge L3); indexing is modulo the set count.
+  sets_ = static_cast<std::size_t>(size_bytes /
+                                   (static_cast<std::int64_t>(line_bytes) *
+                                    associativity));
+  ways_.assign(sets_ * static_cast<std::size_t>(associativity_), Way{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  const std::uint64_t tag = line / sets_;
+  Way* base = &ways_[set * static_cast<std::size_t>(associativity_)];
+  ++clock_;
+
+  Way* victim = base;
+  for (int w = 0; w < associativity_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way as the victim
+    } else if (victim->valid && way.last_use < victim->last_use) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t addr) const {
+  const std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  const std::size_t set = static_cast<std::size_t>(line % sets_);
+  const std::uint64_t tag = line / sets_;
+  const Way* base = &ways_[set * static_cast<std::size_t>(associativity_)];
+  for (int w = 0; w < associativity_; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& w : ways_) w = Way{};
+  clock_ = hits_ = misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const std::vector<CacheLevelSpec>& levels) {
+  PT_REQUIRE(!levels.empty(), "hierarchy needs at least one level");
+  caches_.reserve(levels.size());
+  for (const auto& spec : levels)
+    caches_.emplace_back(spec.size_bytes, spec.line_bytes,
+                         spec.associativity);
+}
+
+std::size_t CacheHierarchy::access(std::uint64_t addr) {
+  ++total_accesses_;
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    if (caches_[i].access(addr)) return i;
+  }
+  ++memory_accesses_;
+  return caches_.size();
+}
+
+void CacheHierarchy::reset() {
+  for (auto& c : caches_) c.reset();
+  memory_accesses_ = 0;
+  total_accesses_ = 0;
+}
+
+}  // namespace portatune::sim

@@ -1,0 +1,80 @@
+// Set-associative cache and multi-level hierarchy simulation.
+//
+// This is the high-fidelity backend: a trace of byte addresses is pushed
+// through an LRU set-associative hierarchy and per-level hit/miss counters
+// come out. The analytical cost model's miss estimates are validated
+// against this simulator in tests/sim/test_cost_vs_trace.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/machine.hpp"
+
+namespace portatune::sim {
+
+/// One set-associative LRU cache level.
+class Cache {
+ public:
+  Cache(std::int64_t size_bytes, int line_bytes, int associativity);
+
+  /// Access the line containing `addr`; returns true on hit. On miss the
+  /// line is installed (allocate-on-miss, LRU victim).
+  bool access(std::uint64_t addr);
+
+  /// True if the line containing `addr` is resident (no state change).
+  bool contains(std::uint64_t addr) const;
+
+  void reset();
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::uint64_t accesses() const noexcept { return hits_ + misses_; }
+  double miss_ratio() const noexcept {
+    return accesses() ? static_cast<double>(misses_) / accesses() : 0.0;
+  }
+
+  int line_bytes() const noexcept { return line_bytes_; }
+  std::size_t num_sets() const noexcept { return sets_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~0ULL;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+  };
+
+  int line_bytes_;
+  int associativity_;
+  std::size_t sets_;
+  std::vector<Way> ways_;  // sets_ x associativity_, row-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// An inclusive multi-level hierarchy built from a machine descriptor.
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const std::vector<CacheLevelSpec>& levels);
+
+  /// Access an address; returns the level index that hit (0 = L1), or
+  /// levels() if the access went to memory.
+  std::size_t access(std::uint64_t addr);
+
+  std::size_t levels() const noexcept { return caches_.size(); }
+  const Cache& level(std::size_t i) const { return caches_.at(i); }
+
+  /// Misses that reached memory (i.e., missed in every level).
+  std::uint64_t memory_accesses() const noexcept { return memory_accesses_; }
+  std::uint64_t total_accesses() const noexcept { return total_accesses_; }
+
+  void reset();
+
+ private:
+  std::vector<Cache> caches_;
+  std::uint64_t memory_accesses_ = 0;
+  std::uint64_t total_accesses_ = 0;
+};
+
+}  // namespace portatune::sim

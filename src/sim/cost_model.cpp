@@ -1,0 +1,406 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/noise.hpp"
+#include "support/error.hpp"
+
+namespace portatune::sim {
+
+namespace {
+
+/// Per-loop register-band extent (1 when the loop has no register band).
+std::vector<std::int64_t> reg_band_extents(
+    const LoopNest& nest, std::span<const EffectiveLevel> levels) {
+  std::vector<std::int64_t> reg(nest.loops.size(), 1);
+  for (const auto& lv : levels)
+    if (lv.reg_band) reg[lv.loop] = lv.extent;
+  return reg;
+}
+
+/// Distinct values of `ref` within one register block: the product of the
+/// register-band extents of the loops the reference depends on.
+double distinct_in_reg_block(const ArrayRef& ref,
+                             std::span<const std::int64_t> reg) {
+  double d = 1.0;
+  for (std::size_t l = 0; l < reg.size(); ++l) {
+    if (reg[l] <= 1) continue;
+    bool depends = false;
+    for (const auto& ix : ref.indices)
+      if (ix.depends_on(l)) depends = true;
+    if (depends) d *= static_cast<double>(reg[l]);
+  }
+  return d;
+}
+
+/// The innermost loop that remains a real (non-unrolled) loop after the
+/// transformation; this is the loop the compiler tries to vectorize.
+std::size_t vector_loop(const LoopNest& nest,
+                        std::span<const EffectiveLevel> levels) {
+  for (std::size_t i = levels.size(); i-- > 0;)
+    if (!levels[i].reg_band) return levels[i].loop;
+  return nest.loops.size() - 1;
+}
+
+enum class VecClass { Contiguous, Strided, None };
+
+/// Classify the nest's vectorizability along `vloop`: contiguous if every
+/// reference is unit-stride or invariant in the last dimension w.r.t. the
+/// loop and does not index outer dimensions with it; strided otherwise;
+/// None when the loop indexes nothing (degenerate).
+VecClass classify_vector(const LoopNest& nest, std::size_t vloop) {
+  bool touches = false;
+  bool contiguous = true;
+  for (const auto& s : nest.stmts) {
+    for (const auto& r : s.refs) {
+      for (std::size_t d = 0; d < r.indices.size(); ++d) {
+        const std::int64_t c = r.indices[d].coeff_of(vloop);
+        if (c == 0) continue;
+        touches = true;
+        const bool last = (d + 1 == r.indices.size());
+        if (!last || std::abs(c) != 1) contiguous = false;
+      }
+    }
+  }
+  if (!touches) return VecClass::None;
+  return contiguous ? VecClass::Contiguous : VecClass::Strided;
+}
+
+}  // namespace
+
+bool AnalyticalCostModel::is_identity(const NestTransform& t) {
+  for (const auto& lt : t.loops)
+    if (lt.unroll != 1 || lt.cache_tile > 1 || lt.reg_tile != 1) return false;
+  return !t.scalar_replacement;
+}
+
+NestTransform AnalyticalCostModel::intel_auto_transform(
+    const LoopNest& nest, const MachineDescriptor& m, int threads) {
+  NestTransform t = NestTransform::identity(nest.loops.size());
+  t.threads = threads;
+  t.vector_pragma = true;
+  const std::size_t n = nest.loops.size();
+  for (std::size_t l = 0; l < n; ++l) {
+    if (nest.loops[l].extent >= 256) t.loops[l].cache_tile = 128;
+  }
+  // Unroll-and-jam the two innermost loops, scaled to the register file.
+  const int rt = m.fp_registers >= 32 ? 4 : 2;
+  if (n >= 2) t.loops[n - 2].reg_tile = rt;
+  if (n >= 1)
+    t.loops[n - 1].reg_tile = std::min<std::int64_t>(
+        rt, std::max<std::int64_t>(1, nest.loops[n - 1].extent));
+  return t;
+}
+
+CostBreakdown AnalyticalCostModel::evaluate_raw(
+    const LoopNest& nest, const NestTransform& t, const MachineDescriptor& m,
+    bool compiler_clean_source) const {
+  const auto levels = effective_levels(nest, t);
+  const auto reg = reg_band_extents(nest, levels);
+
+  CostBreakdown out;
+
+  // ---- iteration counts -------------------------------------------------
+  double occ_total = 1.0;
+  for (const auto& l : nest.loops) occ_total *= l.occupancy;
+  const double iters_full = nest.iterations(nest.loops.size());
+  const double flops = nest.total_flops();
+
+  double reg_block = 1.0;
+  for (auto r : reg) reg_block *= static_cast<double>(r);
+
+  // ---- effective threading ----------------------------------------------
+  const int threads =
+      (nest.outer_parallel && t.threads > 1)
+          ? std::min<int>(t.threads, m.cores * m.threads_per_core)
+          : 1;
+  // SMT threads beyond the physical core count contribute ~25 % each.
+  const double phys = std::min<double>(threads, m.cores);
+  const double smt = std::max<double>(0.0, threads - phys);
+  const double eff_cores = phys + 0.25 * smt;
+
+  // ---- accesses after register reuse --------------------------------------
+  double accesses = 0.0;
+  double reg_values = 0.0;  // live values in one register block
+  for (const auto& s : nest.stmts) {
+    const double iters_s = nest.iterations(s.depth);
+    double per_block = 0.0;
+    for (const auto& r : s.refs) per_block += distinct_in_reg_block(r, reg);
+    accesses += iters_s / reg_block * per_block;
+    if (s.depth == nest.loops.size()) reg_values += per_block;
+  }
+  if (t.scalar_replacement) accesses *= 0.85;
+  out.accesses = accesses;
+
+  // ---- vectorization ------------------------------------------------------
+  const std::size_t vloop = vector_loop(nest, levels);
+  const VecClass vc = classify_vector(nest, vloop);
+  const bool intel = m.compiler == Compiler::Intel;
+  double vec = 1.0;
+  if (vc == VecClass::Contiguous) {
+    double eff = intel ? 0.9 : 0.8;
+    if (t.vector_pragma) eff = std::min(1.0, eff + 0.05);
+    vec = 1.0 + (m.vector_doubles - 1) * eff;
+  } else if (vc == VecClass::Strided && intel) {
+    vec = 1.0 + (m.vector_doubles - 1) * 0.25;  // gather/scatter vectorization
+  }
+  out.vec_factor = vec;
+
+  // ---- ILP from unrolling (matters on in-order cores) ---------------------
+  double inner_unroll = static_cast<double>(t.loops.back().unroll);
+  for (auto r : reg) inner_unroll *= static_cast<double>(r);
+  const double log_u = std::log2(1.0 + inner_unroll);
+  const double ilp = m.out_of_order
+                         ? std::min(1.0, 0.95 + 0.0125 * log_u)
+                         : std::min(1.0, 0.55 + 0.13 * log_u);
+  out.ilp_factor = ilp;
+
+  // ---- register pressure ---------------------------------------------------
+  const double vec_regs =
+      vc == VecClass::Contiguous && vec > 1.0
+          ? std::max(1.0, reg_values / m.vector_doubles)
+          : reg_values;
+  // In-order cores must keep every unrolled iteration's temporaries live
+  // to overlap them; out-of-order cores rename onto the physical file,
+  // and icc's modulo scheduler allocates rotating lifetimes that avoid
+  // the pressure (GCC of this era did not).
+  double unroll_temps = 0.0;
+  if (!m.out_of_order && !intel) {
+    double u = 1.0;
+    for (const auto& lt : t.loops) u *= static_cast<double>(lt.unroll);
+    unroll_temps = std::max(0.0, u - 1.0);
+  }
+  const double regs_needed =
+      vec_regs + 4.0 + unroll_temps;  // + address/temp registers
+  const double spills = std::max(0.0, regs_needed - m.fp_registers);
+  out.spill_regs = spills;
+
+  // ---- compute time ---------------------------------------------------------
+  const double flop_cycles = flops / (m.scalar_flops_per_cycle * vec * ilp);
+  const double load_ports = std::max(1.0, m.issue_width / 2.0);
+  const double vec_loads = vec > 1.0 ? vec : 1.0;
+  // Loads flow through dedicated AGU/load ports; on out-of-order cores the
+  // pipeline keeps them saturated regardless of source-level unrolling,
+  // while in-order cores stall on the same ILP limits as the FP stream.
+  const double load_ilp = m.out_of_order ? 1.0 : ilp;
+  const double load_cycles = accesses / (load_ports * vec_loads) / load_ilp;
+  double compute_cycles = std::max(flop_cycles, load_cycles);
+
+  // I-cache pressure from unrolled body size.
+  double unroll_product = 1.0;
+  for (std::size_t l = 0; l < t.loops.size(); ++l)
+    unroll_product *= static_cast<double>(t.loops[l].unroll) *
+                      static_cast<double>(reg[l]);
+  double ops_per_iter = 0.0;
+  for (const auto& s : nest.stmts)
+    if (s.depth == nest.loops.size())
+      ops_per_iter += s.flops + static_cast<double>(s.refs.size());
+  const double body_bytes = std::max(16.0, ops_per_iter * 7.0) * unroll_product;
+  if (body_bytes > static_cast<double>(m.l1i_bytes)) {
+    compute_cycles *=
+        1.0 + 0.25 * std::log2(body_bytes / static_cast<double>(m.l1i_bytes));
+  }
+
+  // ---- cache misses per level (per-reference reuse-scope analysis) -------
+  const std::size_t L = m.caches.size();
+  out.level_misses.assign(L, 0.0);
+
+  // Prefix executions: product of level extents outside position p.
+  std::vector<double> exec_prefix(levels.size() + 1, 1.0);
+  for (std::size_t p = 0; p < levels.size(); ++p)
+    exec_prefix[p + 1] =
+        exec_prefix[p] * static_cast<double>(levels[p].extent);
+  // exec_prefix[p] = executions of the scope starting at position p.
+
+  // Scope footprints (levels [p, end)) for every position, per line size;
+  // line sizes differ across machines (Power7 uses 128 B), but within one
+  // machine all levels share a line size in our descriptors.
+  const int line = m.caches.front().line_bytes;
+  std::vector<double> scope_bytes(levels.size() + 1, 0.0);
+  for (std::size_t p = 0; p <= levels.size(); ++p) {
+    const auto spans = loop_spans(nest, levels, p);
+    scope_bytes[p] = scope_footprint_bytes(nest, spans, line);
+  }
+
+  // Array padding damps power-of-two conflict misses, effectively raising
+  // the usable fraction of each cache.
+  const double utilization = m.cache_utilization *
+                             opt_.capacity_utilization *
+                             (t.array_padding ? 1.15 : 1.0);
+  for (std::size_t c = 0; c < L; ++c) {
+    const auto& spec = m.caches[c];
+    double cap = static_cast<double>(spec.size_bytes) * utilization;
+    if (spec.shared && threads > 1) cap /= threads;
+
+    double level_misses = 0.0;
+    for (const auto& s : nest.stmts) {
+      const double stmt_scale =
+          nest.iterations(s.depth) / std::max(1.0, iters_full);
+      for (const auto& r : s.refs) {
+        // Baseline: every access touches a fresh line.
+        double best = exec_prefix[levels.size()] *
+                      static_cast<double>(1.0);
+        double prev_lines = 1.0;
+        for (std::size_t p = levels.size(); p-- > 0;) {
+          const auto spans = loop_spans(nest, levels, p);
+          const double lines =
+              ref_footprint_lines(nest, r, spans, spec.line_bytes);
+          const double grown =
+              prev_lines * static_cast<double>(levels[p].extent);
+          const bool has_reuse = lines < grown * 0.999;
+          if (has_reuse && scope_bytes[p + 1] > cap) break;
+          best = std::min(best, exec_prefix[p] * lines);
+          prev_lines = lines;
+        }
+        level_misses += best * stmt_scale;
+      }
+    }
+    out.level_misses[c] = level_misses * occ_total;
+  }
+  // Monotonicity: a lower level cannot miss more than the one above it.
+  for (std::size_t c = 1; c < L; ++c)
+    out.level_misses[c] = std::min(out.level_misses[c],
+                                   out.level_misses[c - 1]);
+
+  // Data-TLB: the same per-reference reuse-scope analysis at page
+  // granularity, with capacity = TLB reach. Every "new page" event costs a
+  // walk.
+  double tlb_misses = 0.0;
+  {
+    const double tlb_cap =
+        static_cast<double>(m.tlb_entries) * m.page_bytes;
+    std::vector<double> page_scope_bytes(levels.size() + 1, 0.0);
+    for (std::size_t p = 0; p <= levels.size(); ++p) {
+      const auto spans = loop_spans(nest, levels, p);
+      page_scope_bytes[p] =
+          scope_footprint_bytes(nest, spans, m.page_bytes);
+    }
+    for (const auto& s : nest.stmts) {
+      const double stmt_scale =
+          nest.iterations(s.depth) / std::max(1.0, iters_full);
+      for (const auto& r : s.refs) {
+        double best = exec_prefix[levels.size()];
+        double prev_pages = 1.0;
+        for (std::size_t p = levels.size(); p-- > 0;) {
+          const auto spans = loop_spans(nest, levels, p);
+          const double pages =
+              ref_footprint_lines(nest, r, spans, m.page_bytes);
+          const double grown =
+              prev_pages * static_cast<double>(levels[p].extent);
+          const bool has_reuse = pages < grown * 0.999;
+          if (has_reuse && page_scope_bytes[p + 1] > tlb_cap) break;
+          best = std::min(best, exec_prefix[p] * pages);
+          prev_pages = pages;
+        }
+        tlb_misses += best * stmt_scale;
+      }
+    }
+    tlb_misses *= occ_total;
+  }
+
+  out.dram_lines = out.level_misses.empty() ? 0.0 : out.level_misses.back();
+  out.dram_bytes = out.dram_lines * m.caches.back().line_bytes;
+
+  // ---- memory time ----------------------------------------------------------
+  double lat_cycles = 0.0;
+  for (std::size_t c = 0; c + 1 < L; ++c)
+    lat_cycles += (out.level_misses[c] - out.level_misses[c + 1]) *
+                  m.caches[c + 1].latency_cycles;
+  lat_cycles += out.dram_lines * m.dram_latency_cycles;
+  // icc inserts software prefetches into loops it can analyze; clean
+  // (untransformed or compiler-generated) source gets the full benefit.
+  double mlp = std::max(1.0, m.mem_parallelism);
+  if (intel && compiler_clean_source) mlp *= m.intel_prefetch_boost;
+  const double clock_hz = m.clock_ghz * 1e9;
+  // TLB walks overlap with other misses on out-of-order cores.
+  lat_cycles += tlb_misses * m.tlb_miss_cycles;
+  const double lat_seconds = lat_cycles / clock_hz / mlp / eff_cores;
+  // Bandwidth floors: traffic filled out of each level cannot exceed that
+  // level's sustainable bandwidth, nor can DRAM traffic exceed DRAM's.
+  double bw_seconds = out.dram_bytes / (m.dram_bandwidth_gbs * 1e9);
+  for (std::size_t c = 1; c < L; ++c) {
+    if (m.caches[c].bandwidth_gbs <= 0.0) continue;
+    const double bytes_from_c =
+        out.level_misses[c - 1] * m.caches[c - 1].line_bytes;
+    double bw = m.caches[c].bandwidth_gbs * 1e9;
+    if (!m.caches[c].shared) bw *= eff_cores;  // private: per-core figure
+    bw_seconds = std::max(bw_seconds, bytes_from_c / bw);
+  }
+  const double memory_seconds = std::max(lat_seconds, bw_seconds);
+
+  // ---- overheads -------------------------------------------------------------
+  const double inner_total =
+      static_cast<double>(t.loops.back().unroll) *
+      static_cast<double>(reg[nest.loops.size() - 1]);
+  const double branches = iters_full / std::max(1.0, inner_total);
+  double overhead_cycles = branches * m.branch_cost_cycles;
+  overhead_cycles += spills * 2.0 * (iters_full / reg_block) *
+                     m.spill_cost_cycles;
+  double overhead_seconds = overhead_cycles / clock_hz / eff_cores;
+  if (threads > 1)
+    overhead_seconds += 5e-6 + 2e-6 * static_cast<double>(threads);
+
+  const double compute_seconds = compute_cycles / clock_hz / eff_cores;
+  out.compute_seconds = compute_seconds;
+  out.memory_seconds = memory_seconds;
+  out.overhead_seconds = overhead_seconds;
+
+  if (m.out_of_order) {
+    out.seconds_clean = std::max(compute_seconds, memory_seconds) +
+                        0.3 * std::min(compute_seconds, memory_seconds) +
+                        overhead_seconds;
+  } else {
+    out.seconds_clean = compute_seconds + memory_seconds + overhead_seconds;
+  }
+
+  // Hand-transformed source impedes the compiler's own scheduling and
+  // alignment analysis relative to clean source it fully understands
+  // (icc in particular; dramatic on the in-order Xeon Phi).
+  if (!compiler_clean_source && intel)
+    out.seconds_clean *= m.hand_transform_penalty;
+
+  out.seconds = out.seconds_clean;
+  return out;
+}
+
+CostBreakdown AnalyticalCostModel::evaluate(const LoopNest& nest,
+                                            const NestTransform& t,
+                                            const MachineDescriptor& m,
+                                            std::uint64_t config_hash) const {
+  const bool identity = is_identity(t);
+  CostBreakdown best = evaluate_raw(nest, t, m, identity);
+
+  // icc -O3 applies its own tiling/unroll-and-jam to clean, compiler-
+  // tilable nests; the compiled binary realizes whichever is faster.
+  if (m.compiler == Compiler::Intel && nest.compiler_tilable && identity) {
+    const NestTransform auto_t = intel_auto_transform(nest, m, t.threads);
+    CostBreakdown alt = evaluate_raw(nest, auto_t, m, true);
+    alt.seconds_clean *= 0.95;  // compiler-internal codegen is tighter
+    alt.seconds = alt.seconds_clean;
+    if (alt.seconds_clean < best.seconds_clean) {
+      alt.compiler_auto_applied = true;
+      best = alt;
+    }
+  }
+
+  const std::uint64_t key =
+      noise_key(m.name + "/" + to_string(m.compiler), nest.name, config_hash,
+                opt_.noise_salt);
+  best.seconds = best.seconds_clean * noise_factor(key, opt_.noise_sigma);
+  return best;
+}
+
+double AnalyticalCostModel::run_time(std::span<const LoopNest> nests,
+                                     std::span<const NestTransform> transforms,
+                                     const MachineDescriptor& m,
+                                     std::uint64_t config_hash) const {
+  PT_REQUIRE(nests.size() == transforms.size(),
+             "one transform per nest required");
+  double total = 0.0;
+  for (std::size_t i = 0; i < nests.size(); ++i)
+    total += evaluate(nests[i], transforms[i], m, config_hash).seconds;
+  return total;
+}
+
+}  // namespace portatune::sim

@@ -1,0 +1,107 @@
+// Analytical kernel cost model.
+//
+// Maps (loop nest, transformation, machine) to an estimated run time in
+// seconds. The model is mechanistic — every term corresponds to a hardware
+// effect — so that *rankings* of configurations shift across machines for
+// the same reasons they do on real hardware (cache capacities vs tile
+// working sets, vector width vs unrolling, register file vs unroll-and-jam
+// footprint, in-order vs out-of-order miss overlap). That is precisely the
+// structure the paper's transfer method exploits.
+//
+// Terms:
+//   compute   max(FLOP issue, load issue) with vectorization and (for
+//             in-order cores) unrolling-dependent ILP,
+//   memory    per-level capacity misses from working-set scope analysis,
+//             serviced at level latencies with miss overlap (MLP), bounded
+//             below by DRAM bandwidth,
+//   overhead  loop-back branches (reduced by unrolling), register spills
+//             (unroll-and-jam pressure), I-cache overflow of unrolled
+//             bodies, threading fork/join.
+//
+// The Intel-compiler hyperparameter models icc -O3 auto-optimization: on
+// compiler-tilable nests an untransformed source is compiled as if icc had
+// applied its own tiling/vectorization recipe (see DESIGN.md, Xeon Phi).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/loopnest.hpp"
+#include "sim/machine.hpp"
+
+namespace portatune::sim {
+
+/// Detailed cost decomposition for one nest on one machine.
+struct CostBreakdown {
+  double seconds = 0.0;            ///< total, noise applied
+  double seconds_clean = 0.0;      ///< total before noise
+  double compute_seconds = 0.0;
+  double memory_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  std::vector<double> level_misses;  ///< per cache level (lines)
+  double dram_lines = 0.0;
+  double dram_bytes = 0.0;
+  double accesses = 0.0;           ///< L1 references after register reuse
+  double vec_factor = 1.0;
+  double ilp_factor = 1.0;
+  double spill_regs = 0.0;
+  bool compiler_auto_applied = false;
+};
+
+class AnalyticalCostModel {
+ public:
+  struct Options {
+    /// Log-normal sigma of the per-(machine, configuration) perturbation.
+    /// This covers both run-to-run measurement noise and unmodeled
+    /// machine idiosyncrasies (alignment, prefetcher quirks); it is what
+    /// keeps cross-machine correlations realistically below 1.0.
+    double noise_sigma = 0.06;
+    std::uint64_t noise_salt = 0;
+    /// Global scale on each machine's cache_utilization (1.0 = use the
+    /// machine descriptor's value as-is).
+    double capacity_utilization = 1.0;
+  };
+
+  AnalyticalCostModel() = default;
+  explicit AnalyticalCostModel(Options opt) : opt_(opt) {}
+
+  /// Cost of one transformed nest. `config_hash` identifies the *user
+  /// configuration* for the noise draw (callers hash their parameter
+  /// vector once and reuse it across phases).
+  CostBreakdown evaluate(const LoopNest& nest, const NestTransform& t,
+                         const MachineDescriptor& m,
+                         std::uint64_t config_hash = 0) const;
+
+  /// Total run time of a multi-phase kernel (sum over nests).
+  double run_time(std::span<const LoopNest> nests,
+                  std::span<const NestTransform> transforms,
+                  const MachineDescriptor& m,
+                  std::uint64_t config_hash = 0) const;
+
+  double run_time(const LoopNest& nest, const NestTransform& t,
+                  const MachineDescriptor& m,
+                  std::uint64_t config_hash = 0) const {
+    return evaluate(nest, t, m, config_hash).seconds;
+  }
+
+  const Options& options() const noexcept { return opt_; }
+
+  /// The transformation icc -O3 is modeled to apply on a compiler-tilable
+  /// nest when the source is untransformed (exposed for tests).
+  static NestTransform intel_auto_transform(const LoopNest& nest,
+                                            const MachineDescriptor& m,
+                                            int threads);
+
+  /// True if the transform leaves the source unchanged (modulo threads).
+  static bool is_identity(const NestTransform& t);
+
+ private:
+  CostBreakdown evaluate_raw(const LoopNest& nest, const NestTransform& t,
+                             const MachineDescriptor& m,
+                             bool compiler_clean_source) const;
+
+  Options opt_{};
+};
+
+}  // namespace portatune::sim

@@ -1,0 +1,187 @@
+#include "sim/loopnest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace portatune::sim {
+
+std::int64_t IndexExpr::eval(std::span<const std::int64_t> iters) const {
+  std::int64_t v = offset;
+  for (const auto& t : terms) v += t.coeff * iters[t.loop];
+  return v;
+}
+
+std::int64_t IndexExpr::coeff_of(std::size_t loop) const {
+  for (const auto& t : terms)
+    if (t.loop == loop) return t.coeff;
+  return 0;
+}
+
+bool IndexExpr::depends_on(std::size_t loop) const {
+  return coeff_of(loop) != 0;
+}
+
+IndexExpr idx(std::size_t loop) { return IndexExpr{{{loop, 1}}, 0}; }
+
+IndexExpr idx(std::size_t loop, std::int64_t coeff, std::int64_t offset) {
+  return IndexExpr{{{loop, coeff}}, offset};
+}
+
+std::int64_t ArrayDecl::elements() const {
+  std::int64_t n = 1;
+  for (auto d : dims) n *= d;
+  return n;
+}
+
+std::int64_t ArrayDecl::bytes() const { return elements() * element_bytes; }
+
+NestTransform NestTransform::identity(std::size_t num_loops) {
+  NestTransform t;
+  t.loops.assign(num_loops, LoopTransform{});
+  return t;
+}
+
+double LoopNest::iterations(std::size_t depth) const {
+  PT_REQUIRE(depth <= loops.size(), "depth exceeds nest depth");
+  double n = 1.0;
+  for (std::size_t l = 0; l < depth; ++l)
+    n *= static_cast<double>(loops[l].extent) * loops[l].occupancy;
+  return n;
+}
+
+double LoopNest::total_flops() const {
+  double f = 0.0;
+  for (const auto& s : stmts) f += s.flops * iterations(s.depth);
+  return f;
+}
+
+std::int64_t LoopNest::data_bytes() const {
+  std::int64_t b = 0;
+  for (const auto& a : arrays) b += a.bytes();
+  return b;
+}
+
+void LoopNest::validate(const NestTransform& t) const {
+  PT_REQUIRE(t.loops.size() == loops.size(),
+             "transform arity does not match nest depth for " + name);
+  PT_REQUIRE(t.threads >= 1, "thread count must be positive");
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    const auto& lt = t.loops[l];
+    PT_REQUIRE(lt.unroll >= 1, "unroll factor must be >= 1");
+    PT_REQUIRE(lt.reg_tile >= 1, "register tile must be >= 1");
+    PT_REQUIRE(lt.cache_tile >= 0, "cache tile must be >= 0");
+    PT_REQUIRE(lt.cache_tile <= loops[l].extent,
+               "cache tile exceeds loop extent in " + name);
+    PT_REQUIRE(lt.reg_tile <= loops[l].extent,
+               "register tile exceeds loop extent in " + name);
+    if (lt.cache_tile > 1)
+      PT_REQUIRE(lt.reg_tile <= lt.cache_tile,
+                 "register tile exceeds cache tile in " + name);
+  }
+}
+
+std::vector<EffectiveLevel> effective_levels(const LoopNest& nest,
+                                             const NestTransform& t) {
+  nest.validate(t);
+  const std::size_t n = nest.loops.size();
+
+  // Per-loop decomposition extents: tile-band x intra-band x reg-band with
+  // product >= original extent (ceil division pads the last tile).
+  std::vector<EffectiveLevel> tile_band, intra_band, reg_band;
+  for (std::size_t l = 0; l < n; ++l) {
+    const std::int64_t extent = nest.loops[l].extent;
+    const auto& lt = t.loops[l];
+    const std::int64_t tile =
+        (lt.cache_tile > 1 && lt.cache_tile < extent) ? lt.cache_tile : 0;
+    const std::int64_t rt = std::min<std::int64_t>(
+        lt.reg_tile, tile > 0 ? tile : extent);
+
+    const std::int64_t intra_extent = tile > 0 ? tile : extent;
+    const std::int64_t reg_extent = rt > 1 ? rt : 1;
+    const std::int64_t mid_extent =
+        (intra_extent + reg_extent - 1) / reg_extent;
+
+    if (tile > 0)
+      tile_band.push_back({l, (extent + tile - 1) / tile, tile, false});
+    intra_band.push_back({l, mid_extent, reg_extent, false});
+    if (reg_extent > 1) reg_band.push_back({l, reg_extent, 1, true});
+  }
+
+  std::vector<EffectiveLevel> out;
+  out.reserve(tile_band.size() + intra_band.size() + reg_band.size());
+  out.insert(out.end(), tile_band.begin(), tile_band.end());
+  out.insert(out.end(), intra_band.begin(), intra_band.end());
+  out.insert(out.end(), reg_band.begin(), reg_band.end());
+  return out;
+}
+
+std::vector<std::int64_t> loop_spans(const LoopNest& nest,
+                                     std::span<const EffectiveLevel> levels,
+                                     std::size_t from) {
+  std::vector<std::int64_t> spans(nest.loops.size(), 1);
+  for (std::size_t i = from; i < levels.size(); ++i)
+    spans[levels[i].loop] *= levels[i].extent;
+  // A loop's covered range can never exceed its original extent (padding
+  // from ceil-division would otherwise inflate it).
+  for (std::size_t l = 0; l < spans.size(); ++l)
+    spans[l] = std::min(spans[l], nest.loops[l].extent);
+  return spans;
+}
+
+double ref_footprint_lines(const LoopNest& nest, const ArrayRef& ref,
+                           std::span<const std::int64_t> spans,
+                           int line_bytes) {
+  const ArrayDecl& arr = nest.arrays[ref.array];
+  PT_ASSERT(ref.indices.size() == arr.dims.size());
+
+  double lines = 1.0;
+  for (std::size_t d = 0; d < ref.indices.size(); ++d) {
+    // Range of the affine expression as loop variables sweep their spans.
+    std::int64_t range = 1;
+    std::int64_t min_stride = 0;
+    for (const auto& term : ref.indices[d].terms) {
+      const std::int64_t mag = std::abs(term.coeff);
+      if (mag == 0) continue;
+      range += mag * (spans[term.loop] - 1);
+      if (min_stride == 0 || mag < min_stride) min_stride = mag;
+    }
+    range = std::min(range, arr.dims[d]);
+    if (d + 1 == ref.indices.size()) {
+      // Contiguous dimension: distinct lines over the byte span. A stride
+      // larger than a line means every access is its own line.
+      const double bytes =
+          static_cast<double>(range) * arr.element_bytes;
+      if (min_stride * arr.element_bytes >= line_bytes && min_stride > 1) {
+        lines *= static_cast<double>(range) /
+                 std::max<std::int64_t>(1, min_stride);
+      } else {
+        lines *= std::max(1.0, bytes / line_bytes);
+      }
+    } else {
+      // Every distinct value of an outer dimension is a separate row.
+      lines *= static_cast<double>(range);
+    }
+  }
+  return lines;
+}
+
+double scope_footprint_bytes(const LoopNest& nest,
+                             std::span<const std::int64_t> spans,
+                             int line_bytes) {
+  double total = 0.0;
+  for (std::size_t a = 0; a < nest.arrays.size(); ++a) {
+    double lines = 0.0;
+    for (const auto& s : nest.stmts)
+      for (const auto& r : s.refs)
+        if (r.array == a) lines += ref_footprint_lines(nest, r, spans,
+                                                       line_bytes);
+    const double cap = static_cast<double>(nest.arrays[a].bytes()) /
+                       line_bytes;
+    total += std::min(lines, std::max(1.0, cap));
+  }
+  return total * line_bytes;
+}
+
+}  // namespace portatune::sim

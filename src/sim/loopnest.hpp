@@ -1,0 +1,156 @@
+// Loop-nest intermediate representation.
+//
+// Kernels are described as (possibly triangular) rectangular loop nests
+// whose statements reference arrays through affine index expressions. The
+// same IR feeds three consumers:
+//   * the analytical cost model (working-set / reuse analysis),
+//   * the trace generator for the exact cache simulator,
+//   * the mini-Orio code generator (emits transformed C source).
+//
+// Transformations mirror Orio's Table I recipes: per-loop unrolling,
+// cache tiling, and register tiling (unroll-and-jam).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace portatune::sim {
+
+/// Affine index expression: offset + sum(coeff_i * loopvar_i).
+struct IndexExpr {
+  struct Term {
+    std::size_t loop;  ///< index into LoopNest::loops
+    std::int64_t coeff;
+  };
+  std::vector<Term> terms;
+  std::int64_t offset = 0;
+
+  std::int64_t eval(std::span<const std::int64_t> iters) const;
+  std::int64_t coeff_of(std::size_t loop) const;
+  bool depends_on(std::size_t loop) const;
+};
+
+/// Convenience factory: the expression `1 * loopvar`.
+IndexExpr idx(std::size_t loop);
+/// The expression `coeff * loopvar + offset`.
+IndexExpr idx(std::size_t loop, std::int64_t coeff, std::int64_t offset = 0);
+
+/// A declared array (row-major).
+struct ArrayDecl {
+  std::string name;
+  std::vector<std::int64_t> dims;
+  int element_bytes = 8;
+
+  std::int64_t elements() const;
+  std::int64_t bytes() const;
+};
+
+/// One array reference inside a statement.
+struct ArrayRef {
+  std::size_t array = 0;           ///< index into LoopNest::arrays
+  std::vector<IndexExpr> indices;  ///< one per array dimension
+  bool is_write = false;
+};
+
+/// A statement executing at a given loop depth: it sits inside
+/// loops[0..depth) and runs once per iteration of that sub-nest.
+struct Statement {
+  std::size_t depth = 0;
+  double flops = 0.0;
+  std::vector<ArrayRef> refs;
+  /// Optional C source template using the loop variable names verbatim
+  /// (e.g. "C[i][j] = C[i][j] + A[i][k] * B[k][j];"); consumed by the
+  /// mini-Orio code generator.
+  std::string text;
+};
+
+/// One loop of the nest (outermost first).
+struct Loop {
+  std::string name;
+  std::int64_t extent = 1;
+  /// Average executed fraction of the extent, to model triangular bounds
+  /// (e.g. LU's inner loops run ~half their nominal range on average).
+  double occupancy = 1.0;
+};
+
+/// Per-loop transformation parameters (Orio Table I).
+struct LoopTransform {
+  int unroll = 1;            ///< plain unrolling of this loop's body
+  std::int64_t cache_tile = 0;  ///< strip-mine + interchange; 0/1 = untiled
+  int reg_tile = 1;          ///< unroll-and-jam block size
+};
+
+/// Transformation of the whole nest.
+struct NestTransform {
+  std::vector<LoopTransform> loops;  ///< parallel to LoopNest::loops
+  int threads = 1;                   ///< OpenMP threads on the outer loop
+  bool scalar_replacement = false;   ///< promote invariant refs to scalars
+  bool vector_pragma = false;        ///< force ivdep/simd on the inner loop
+  bool array_padding = false;        ///< pad leading dims (fewer conflicts)
+
+  static NestTransform identity(std::size_t num_loops);
+};
+
+/// The loop nest itself.
+struct LoopNest {
+  std::string name;
+  std::vector<Loop> loops;
+  std::vector<ArrayDecl> arrays;
+  std::vector<Statement> stmts;
+  /// True when the nest is a perfect rectangular nest an optimizing
+  /// compiler can legally tile/vectorize by itself (consumed by the
+  /// Intel-compiler auto-optimization model).
+  bool compiler_tilable = false;
+  /// True when the outermost loop carries no dependence (OpenMP-able).
+  bool outer_parallel = false;
+
+  /// Iterations of the sub-nest loops[0..depth), occupancy included.
+  double iterations(std::size_t depth) const;
+  /// Total floating-point operations of the nest.
+  double total_flops() const;
+  /// Total bytes across all declared arrays.
+  std::int64_t data_bytes() const;
+
+  /// Throws portatune::Error if the transform is malformed (wrong arity,
+  /// non-positive factors, tile larger than extent, reg tile > tile, ...).
+  void validate(const NestTransform& t) const;
+};
+
+/// One level of the *effective* (post-transformation) loop structure:
+/// tiling and register tiling strip-mine original loops into bands.
+struct EffectiveLevel {
+  std::size_t loop = 0;        ///< original loop index
+  std::int64_t extent = 1;     ///< trip count of this band level
+  std::int64_t stride = 1;     ///< contribution of one step to the original
+                               ///  loop variable
+  bool reg_band = false;       ///< innermost fully-unrolled register band
+};
+
+/// Expand a transform into the effective outer-to-inner level sequence:
+/// [cache-tile loops][intra-tile loops][register bands]. The product of a
+/// loop's band extents equals its original extent (padded up when factors
+/// do not divide evenly).
+std::vector<EffectiveLevel> effective_levels(const LoopNest& nest,
+                                             const NestTransform& t);
+
+/// Span (range of the loop variable) covered by each original loop inside
+/// the scope formed by levels [from, end) of the effective sequence.
+std::vector<std::int64_t> loop_spans(const LoopNest& nest,
+                                     std::span<const EffectiveLevel> levels,
+                                     std::size_t from);
+
+/// Distinct cache lines the reference touches while loop variables range
+/// over `spans` (other loops fixed); row-major layout, given line size.
+double ref_footprint_lines(const LoopNest& nest, const ArrayRef& ref,
+                           std::span<const std::int64_t> spans,
+                           int line_bytes);
+
+/// Total footprint in bytes of all statement references within the scope
+/// (per-array sum over refs, capped at the array's own size).
+double scope_footprint_bytes(const LoopNest& nest,
+                             std::span<const std::int64_t> spans,
+                             int line_bytes);
+
+}  // namespace portatune::sim

@@ -1,0 +1,121 @@
+// Parametric machine descriptors.
+//
+// These stand in for the five physical machines of the paper's Table II.
+// Every number that the analytical cost model consumes is an explicit field
+// here, so "a machine" is pure data and new architectures can be described
+// without touching the model. The cache geometry columns are taken directly
+// from Table II; microarchitectural fields (vector width, issue behaviour,
+// memory-level parallelism, penalties) are standard public values for the
+// respective parts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace portatune::sim {
+
+/// One level of the data-cache hierarchy.
+struct CacheLevelSpec {
+  std::string name;          ///< "L1", "L2", "L3"
+  std::int64_t size_bytes = 0;
+  int line_bytes = 64;
+  int associativity = 8;
+  double latency_cycles = 4;  ///< load-to-use latency on a hit at this level
+  bool shared = false;        ///< shared among all cores (affects threading)
+  /// Sustainable fill bandwidth out of this level (GB/s; per core for
+  /// private levels, aggregate for shared ones). 0 = unconstrained.
+  double bandwidth_gbs = 0.0;
+};
+
+/// Compiler hyperparameter (part of beta in the paper's formulation; kept
+/// constant between source and target machine in every experiment).
+enum class Compiler { Gnu, Intel };
+
+std::string to_string(Compiler c);
+
+/// Full description of a (simulated) machine.
+struct MachineDescriptor {
+  std::string name;
+  std::string vendor;
+  std::string processor;
+
+  int cores = 1;
+  int threads_per_core = 1;
+  double clock_ghz = 1.0;
+
+  /// Double-precision lanes of the widest vector unit (SSE=2, AVX=4,
+  /// AVX-512/IMCI=8, VSX=2, NEON=2).
+  int vector_doubles = 2;
+  /// Scalar double-precision FLOPs per cycle per core (counting FMA).
+  double scalar_flops_per_cycle = 2.0;
+  /// Superscalar issue width (bounds the ILP benefit of unrolling).
+  double issue_width = 4.0;
+  /// Architectural FP/vector registers visible to the register allocator.
+  int fp_registers = 16;
+
+  /// True for aggressive out-of-order cores (Westmere/Sandybridge/Power7):
+  /// they extract ILP without source-level unrolling and overlap misses.
+  bool out_of_order = true;
+  /// Memory-level parallelism: number of outstanding misses effectively
+  /// overlapped. In-order cores sit near 1–2.
+  double mem_parallelism = 8.0;
+
+  std::vector<CacheLevelSpec> caches;  ///< ordered L1 -> last level
+  double dram_latency_cycles = 200;
+  double dram_bandwidth_gbs = 20.0;    ///< aggregate sustainable bandwidth
+
+  /// Data-TLB geometry. Working sets spanning more pages than the TLB
+  /// covers pay tlb_miss_cycles per new page touched. Server-class Intel
+  /// and POWER parts of the era had large second-level TLBs; the
+  /// first-generation ARM server parts did not.
+  int tlb_entries = 512;
+  int page_bytes = 4096;
+  double tlb_miss_cycles = 8.0;
+
+  std::int64_t l1i_bytes = 32 * 1024;  ///< instruction cache (unroll bloat)
+  /// Effective cycles per loop-back branch. Well-predicted loop branches
+  /// are nearly free on aggressive out-of-order cores; in-order cores pay.
+  double branch_cost_cycles = 0.5;
+  double spill_cost_cycles = 3.0;      ///< per spilled register access
+
+  /// Fraction of nominal cache capacity usable before conflict misses set
+  /// in (lower on machines with poorly balanced indexing).
+  double cache_utilization = 0.8;
+  /// Multiplier on memory-level parallelism when the Intel compiler sees
+  /// clean (untransformed) source and can insert software prefetches.
+  /// Dramatic on the in-order Xeon Phi, mild on out-of-order cores.
+  double intel_prefetch_boost = 1.2;
+  /// Slowdown of hand-transformed source relative to what the compiler
+  /// does with code it fully understands (scheduling/alignment loss).
+  double hand_transform_penalty = 1.03;
+
+  Compiler compiler = Compiler::Gnu;
+
+  /// Peak DP GFLOP/s across all cores (vector + FMA).
+  double peak_gflops() const {
+    return cores * clock_ghz * scalar_flops_per_cycle * vector_doubles;
+  }
+  /// Capacity of the last-level cache in bytes (0 if only L1/L2 exist).
+  std::int64_t llc_bytes() const {
+    return caches.empty() ? 0 : caches.back().size_bytes;
+  }
+};
+
+/// Table II machines. Each factory takes the compiler hyperparameter so the
+/// same architecture can be paired with GNU (default, Sec. V first part) or
+/// Intel (Xeon Phi experiments, Sec. V second part).
+MachineDescriptor make_westmere(Compiler c = Compiler::Gnu);
+MachineDescriptor make_sandybridge(Compiler c = Compiler::Gnu);
+MachineDescriptor make_xeon_phi(Compiler c = Compiler::Intel);
+MachineDescriptor make_power7(Compiler c = Compiler::Gnu);
+MachineDescriptor make_xgene(Compiler c = Compiler::Gnu);
+
+/// All five Table II machines with the GNU compiler.
+std::vector<MachineDescriptor> table2_machines();
+
+/// Look up a machine by (case-insensitive) name; throws on unknown names.
+MachineDescriptor machine_by_name(const std::string& name,
+                                  Compiler c = Compiler::Gnu);
+
+}  // namespace portatune::sim

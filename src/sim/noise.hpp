@@ -1,0 +1,43 @@
+// Deterministic measurement-noise model.
+//
+// Real autotuning measurements are noisy; the paper controls for this with
+// the method of common random numbers (single run, shared evaluation
+// order). We emulate a fixed machine state by drawing a log-normal
+// perturbation that is a pure hash of (machine, kernel, configuration):
+// re-evaluating the same configuration on the same machine always returns
+// the same time, and experiments are reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+#include "support/hash.hpp"
+
+namespace portatune::sim {
+
+/// Multiplicative log-normal noise factor exp(sigma * z), z ~ N(0,1),
+/// derived deterministically from the key.
+inline double noise_factor(std::uint64_t key, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  // Box–Muller on two hash-derived uniforms.
+  const double u1 = hash_to_unit(mix64(key ^ 0x9d2c5680ULL));
+  const double u2 = hash_to_unit(mix64(key ^ 0x5f356495ULL));
+  const double z =
+      std::sqrt(-2.0 * std::log(u1 + 1e-300)) * std::cos(6.283185307179586 * u2);
+  return std::exp(sigma * z);
+}
+
+/// Build a noise key from machine / kernel / configuration identity.
+inline std::uint64_t noise_key(std::string_view machine,
+                               std::string_view kernel,
+                               std::uint64_t config_hash,
+                               std::uint64_t salt = 0) {
+  std::uint64_t h = hash_bytes(machine);
+  h = hash_combine(h, hash_bytes(kernel));
+  h = hash_combine(h, config_hash);
+  h = hash_combine(h, salt);
+  return h;
+}
+
+}  // namespace portatune::sim

@@ -1,0 +1,99 @@
+#include "sim/trace_sim.hpp"
+
+#include "support/error.hpp"
+
+namespace portatune::sim {
+
+namespace {
+
+class TraceRunner {
+ public:
+  TraceRunner(const LoopNest& nest, std::vector<EffectiveLevel> levels,
+              CacheHierarchy& hierarchy)
+      : nest_(nest), levels_(std::move(levels)), hierarchy_(hierarchy) {
+    // Array base addresses: page-aligned, laid out back to back.
+    std::uint64_t base = 1 << 20;
+    for (const auto& a : nest_.arrays) {
+      bases_.push_back(base);
+      base += static_cast<std::uint64_t>(a.bytes());
+      base = (base + 4095) & ~std::uint64_t{4095};
+    }
+    iters_.assign(nest_.loops.size(), 0);
+  }
+
+  TraceStats run() {
+    stats_.level_misses.assign(hierarchy_.levels(), 0);
+    descend(0);
+    for (std::size_t c = 0; c < hierarchy_.levels(); ++c)
+      stats_.level_misses[c] = hierarchy_.level(c).misses();
+    stats_.memory_accesses = hierarchy_.memory_accesses();
+    stats_.accesses = hierarchy_.total_accesses();
+    return stats_;
+  }
+
+ private:
+  void descend(std::size_t pos) {
+    if (pos == levels_.size()) {
+      emit();
+      return;
+    }
+    const auto& lv = levels_[pos];
+    const std::int64_t saved = iters_[lv.loop];
+    for (std::int64_t i = 0; i < lv.extent; ++i) {
+      iters_[lv.loop] = saved + i * lv.stride;
+      // Skip padded iterations introduced by ceil-division strip-mining.
+      if (iters_[lv.loop] >= nest_.loops[lv.loop].extent) break;
+      descend(pos + 1);
+    }
+    iters_[lv.loop] = saved;
+  }
+
+  void emit() {
+    ++stats_.iterations;
+    for (const auto& s : nest_.stmts) {
+      if (s.depth < nest_.loops.size()) {
+        // Shallow statements fire once per enclosing iteration: only when
+        // every deeper loop variable sits at its minimum.
+        bool at_origin = true;
+        for (std::size_t l = s.depth; l < nest_.loops.size(); ++l)
+          if (iters_[l] != 0) at_origin = false;
+        if (!at_origin) continue;
+      }
+      for (const auto& r : s.refs) {
+        const auto& arr = nest_.arrays[r.array];
+        std::uint64_t linear = 0;
+        for (std::size_t d = 0; d < r.indices.size(); ++d) {
+          std::int64_t v = r.indices[d].eval(iters_);
+          if (v < 0) v = 0;
+          if (v >= arr.dims[d]) v = arr.dims[d] - 1;
+          linear = linear * static_cast<std::uint64_t>(arr.dims[d]) +
+                   static_cast<std::uint64_t>(v);
+        }
+        hierarchy_.access(bases_[r.array] +
+                          linear * static_cast<std::uint64_t>(
+                                       arr.element_bytes));
+      }
+    }
+  }
+
+  const LoopNest& nest_;
+  std::vector<EffectiveLevel> levels_;
+  CacheHierarchy& hierarchy_;
+  std::vector<std::uint64_t> bases_;
+  std::vector<std::int64_t> iters_;
+  TraceStats stats_;
+};
+
+}  // namespace
+
+TraceStats simulate_nest(const LoopNest& nest, const NestTransform& t,
+                         const std::vector<CacheLevelSpec>& hierarchy) {
+  for (const auto& l : nest.loops)
+    PT_REQUIRE(l.occupancy == 1.0,
+               "trace simulation supports rectangular nests only");
+  CacheHierarchy caches(hierarchy);
+  TraceRunner runner(nest, effective_levels(nest, t), caches);
+  return runner.run();
+}
+
+}  // namespace portatune::sim

@@ -1,0 +1,41 @@
+// Trace-driven execution of a transformed loop nest through the exact
+// set-associative cache hierarchy.
+//
+// This is the high-fidelity (and much slower) counterpart of the
+// analytical cost model: the transformed iteration order is enumerated
+// exactly — tile bands, intra-tile bands, register bands, including the
+// ragged padding when factors do not divide extents — and every array
+// reference is replayed through CacheHierarchy. Used to validate the
+// analytic miss estimates and available as an optional evaluation backend
+// for small problem instances.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/cache.hpp"
+#include "sim/loopnest.hpp"
+
+namespace portatune::sim {
+
+struct TraceStats {
+  std::uint64_t accesses = 0;
+  std::vector<std::uint64_t> level_misses;  ///< lines missed per level
+  std::uint64_t memory_accesses = 0;        ///< missed all levels
+  std::uint64_t iterations = 0;
+
+  double miss_ratio(std::size_t level) const {
+    return accesses ? static_cast<double>(level_misses.at(level)) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+/// Replay the transformed nest. Statements at depth d are emitted once per
+/// iteration of their enclosing sub-nest (when all deeper loop variables
+/// are at their first value). Throws if the nest uses triangular
+/// occupancy (the trace enumerates rectangular spaces only).
+TraceStats simulate_nest(const LoopNest& nest, const NestTransform& t,
+                         const std::vector<CacheLevelSpec>& hierarchy);
+
+}  // namespace portatune::sim

@@ -1,0 +1,83 @@
+#include "support/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace portatune {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  PT_REQUIRE(xs.size() == ys.size(), "pearson: samples differ in length");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  PT_REQUIRE(xs.size() == ys.size(), "spearman: samples differ in length");
+  const auto rx = ranks(xs);
+  const auto ry = ranks(ys);
+  return pearson(rx, ry);
+}
+
+double kendall(std::span<const double> xs, std::span<const double> ys) {
+  PT_REQUIRE(xs.size() == ys.size(), "kendall: samples differ in length");
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  long long concordant = 0, discordant = 0, ties_x = 0, ties_y = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double dx = xs[i] - xs[j];
+      const double dy = ys[i] - ys[j];
+      if (dx == 0.0 && dy == 0.0) continue;
+      if (dx == 0.0) {
+        ++ties_x;
+      } else if (dy == 0.0) {
+        ++ties_y;
+      } else if ((dx > 0) == (dy > 0)) {
+        ++concordant;
+      } else {
+        ++discordant;
+      }
+    }
+  }
+  const double n0 = static_cast<double>(n) * (static_cast<double>(n) - 1) / 2;
+  const double denom = std::sqrt((n0 - static_cast<double>(ties_x)) *
+                                 (n0 - static_cast<double>(ties_y)));
+  if (denom == 0.0) return 0.0;
+  return static_cast<double>(concordant - discordant) / denom;
+}
+
+double top_set_overlap(std::span<const double> xs, std::span<const double> ys,
+                       double top_fraction) {
+  PT_REQUIRE(xs.size() == ys.size(), "top_set_overlap: length mismatch");
+  PT_REQUIRE(top_fraction > 0.0 && top_fraction <= 1.0,
+             "top_fraction must lie in (0,1]");
+  if (xs.empty()) return 0.0;
+  const auto k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::floor(
+             top_fraction * static_cast<double>(xs.size()))));
+  const auto ox = argsort(xs);
+  const auto oy = argsort(ys);
+  std::unordered_set<std::size_t> top_y(oy.begin(),
+                                        oy.begin() + static_cast<long>(k));
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < k; ++i) hits += top_y.count(ox[i]);
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+}  // namespace portatune

@@ -1,0 +1,30 @@
+// Correlation coefficients used throughout the paper's analysis
+// (Fig. 1 and the correlation columns of Figs. 3–5 report Pearson's rho_p
+// and Spearman's rho_s between run times on two machines).
+#pragma once
+
+#include <span>
+
+namespace portatune {
+
+/// Pearson product-moment correlation. Returns 0 when either sample is
+/// constant (the coefficient is undefined there; 0 is the conventional
+/// "no linear association" fallback). Throws on size mismatch.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Spearman rank correlation (Pearson over tie-averaged ranks).
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Kendall tau-b rank correlation (O(n^2) implementation; fine for the
+/// sample sizes used in the experiments).
+double kendall(std::span<const double> xs, std::span<const double> ys);
+
+/// Fraction of the best `top_fraction` items of `xs` (by ascending value)
+/// that also lie in the best `top_fraction` of `ys`. This "top-set overlap"
+/// is the property the biasing strategy actually relies on: the paper notes
+/// RS_b works even when global correlation is weak, provided the
+/// high-performing configurations coincide.
+double top_set_overlap(std::span<const double> xs, std::span<const double> ys,
+                       double top_fraction);
+
+}  // namespace portatune

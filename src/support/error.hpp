@@ -1,0 +1,42 @@
+// Error handling primitives for portatune.
+//
+// The library throws `portatune::Error` (a std::runtime_error) on contract
+// violations in public API entry points. Internal invariants use PT_ASSERT,
+// which is compiled in all build types: this is research infrastructure and
+// a wrong answer is worse than an abort.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace portatune {
+
+/// Exception type thrown by all portatune libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "portatune: requirement `" << cond << "` failed at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace portatune
+
+/// Check a caller-facing precondition; throws portatune::Error on failure.
+#define PT_REQUIRE(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::portatune::detail::throw_error(#cond, __FILE__, __LINE__, (msg));  \
+  } while (0)
+
+/// Check an internal invariant; also throws (never compiled out).
+#define PT_ASSERT(cond) PT_REQUIRE(cond, "internal invariant")

@@ -1,0 +1,55 @@
+// Stable 64-bit hashing.
+//
+// All stochastic behaviour in portatune that must be reproducible across
+// runs and platforms (simulated measurement noise, seed derivation) is
+// driven by these hashes rather than by std::hash, whose values are
+// implementation-defined.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace portatune {
+
+/// SplitMix64 finalizer: a high-quality 64-bit bit mixer.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Combine a hash with a new value (order-sensitive).
+constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                     std::uint64_t value) noexcept {
+  return mix64(seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) +
+                       (seed >> 2)));
+}
+
+/// FNV-1a over a byte string; stable across platforms.
+constexpr std::uint64_t hash_bytes(std::string_view bytes) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Hash a span of integers (order-sensitive).
+inline std::uint64_t hash_ints(std::span<const int> values,
+                               std::uint64_t seed = 0) noexcept {
+  std::uint64_t h = mix64(seed ^ 0x5bd1e995u);
+  for (int v : values)
+    h = hash_combine(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  return h;
+}
+
+/// Map a 64-bit hash to the unit interval [0, 1).
+constexpr double hash_to_unit(std::uint64_t h) noexcept {
+  // 53 significand bits give a uniformly spaced double in [0,1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace portatune

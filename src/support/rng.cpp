@@ -1,0 +1,42 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace portatune {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  PT_REQUIRE(k <= n, "cannot sample more items than the population holds");
+  if (k == 0) return {};
+  // For dense draws, a partial Fisher–Yates over the full index vector is
+  // cheapest; for sparse draws from a huge population, rejection via a hash
+  // set avoids materializing n indices.
+  if (k * 8 >= n) {
+    std::vector<std::size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), std::size_t{0});
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    const auto candidate = static_cast<std::size_t>(below(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  shuffle(idx);
+  return idx;
+}
+
+}  // namespace portatune

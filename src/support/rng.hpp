@@ -1,0 +1,120 @@
+// Deterministic pseudo-random number generation.
+//
+// portatune does not use std::mt19937 or the std distributions because the
+// distribution algorithms are implementation-defined; every sampled value
+// here is reproducible bit-for-bit across standard libraries. The engine is
+// xoshiro256** seeded via SplitMix64 (Blackman & Vigna).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace portatune {
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    // Expand the 64-bit seed into four lanes via SplitMix64.
+    std::uint64_t x = seed;
+    for (auto& lane : s_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      lane = mix64(x);
+    }
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;  // avoid all-zero state
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept { return hash_to_unit((*this)()); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n). Uses Lemire's rejection method (unbiased).
+  std::uint64_t below(std::uint64_t n) noexcept {
+    // Debiased multiply-shift; n == 0 is a caller bug but we avoid UB.
+    if (n == 0) return 0;
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < n) {
+      const std::uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the closed interval [lo, hi].
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Standard normal via Marsaglia polar (deterministic given state).
+  double normal() noexcept {
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    return u * std::sqrt(-2.0 * std::log(s) / s);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct indices drawn uniformly from [0, n) (order randomized).
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// A random permutation of [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Derive an independent child generator (for parallel substreams).
+  Rng spawn() noexcept { return Rng(hash_combine((*this)(), (*this)())); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace portatune

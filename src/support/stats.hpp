@@ -1,0 +1,42 @@
+// Descriptive statistics and quantiles.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace portatune {
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); 0 for fewer than two items.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Population (biased, n denominator) variance; used by tree split scoring.
+double population_variance(std::span<const double> xs);
+
+/// Quantile with linear interpolation (R type-7, the numpy default).
+/// `q` in [0, 1]. Throws on empty input.
+double quantile(std::span<const double> xs, double q);
+
+/// Median (quantile 0.5).
+double median(std::span<const double> xs);
+
+/// Five-number + mean summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0, q25 = 0, median = 0, q75 = 0, max = 0, mean = 0, stddev = 0;
+};
+Summary summarize(std::span<const double> xs);
+
+/// Indices that would sort `xs` ascending (stable).
+std::vector<std::size_t> argsort(std::span<const double> xs);
+
+/// Fractional ranks (1-based, ties receive the average rank), as used by
+/// the Spearman correlation coefficient.
+std::vector<double> ranks(std::span<const double> xs);
+
+}  // namespace portatune

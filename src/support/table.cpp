@@ -1,0 +1,89 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace portatune {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PT_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  PT_REQUIRE(cells.size() == header_.size(),
+             "row arity does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string TextTable::num_or_dash(double v, int precision) {
+  if (!std::isfinite(v)) return "-";
+  return num(v, precision);
+}
+
+void TextTable::print(std::ostream& os, const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto rule = [&] {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  const auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c] << " |";
+    os << '\n';
+  };
+
+  if (!title.empty()) os << title << '\n';
+  rule();
+  emit(header_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+void TextTable::write_csv(std::ostream& os) const {
+  const auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace portatune

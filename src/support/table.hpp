@@ -1,0 +1,40 @@
+// Plain-text table and CSV emission for bench output.
+//
+// The bench binaries print the paper's tables/figure series as aligned
+// text tables (human-readable) and can dump the same rows as CSV for
+// plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace portatune {
+
+/// Column-aligned text table with an optional title and rule lines.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  /// Formats a double, rendering non-finite values as "-".
+  static std::string num_or_dash(double v, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing rules to `os`.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Render as CSV (header + rows, RFC-4180 quoting).
+  void write_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace portatune

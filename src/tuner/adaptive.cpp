@@ -1,0 +1,91 @@
+#include "tuner/adaptive.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "tuner/sampler.hpp"
+
+namespace portatune::tuner {
+
+SearchTrace adaptive_biased_search(Evaluator& target,
+                                   const SearchTrace& source,
+                                   const AdaptiveSearchOptions& opt) {
+  PT_REQUIRE(opt.refit_interval > 0, "refit interval must be positive");
+  PT_REQUIRE(opt.target_weight > 0, "target weight must be positive");
+  SearchTrace trace("RS_b_adaptive", target.problem_name(),
+                    target.machine_name());
+  const ParamSpace& space = target.space();
+
+  // Candidate pool, sampled once (same role as X_p in Algorithm 2).
+  ConfigStream stream(space, opt.seed);
+  std::vector<ParamConfig> pool;
+  pool.reserve(opt.pool_size);
+  while (pool.size() < opt.pool_size) {
+    auto c = stream.next();
+    if (!c) break;
+    pool.push_back(std::move(*c));
+  }
+  PT_REQUIRE(!pool.empty(), "empty candidate pool");
+  std::vector<bool> used(pool.size(), false);
+
+  const auto build_training_set = [&]() {
+    ml::Dataset data(space.num_params(), space.names());
+    const bool keep_source =
+        opt.forget_source_after == 0 ||
+        trace.size() < opt.forget_source_after;
+    if (keep_source) {
+      for (const auto& e : source.entries())
+        data.add_row(space.features(e.config), e.seconds);
+    }
+    for (const auto& e : trace.entries())
+      for (std::size_t w = 0; w < opt.target_weight; ++w)
+        data.add_row(space.features(e.config), e.seconds);
+    return data;
+  };
+
+  ml::ForestParams fp = opt.forest;
+  fp.seed = opt.seed;
+  ml::RandomForest model(fp);
+
+  std::vector<std::size_t> ranked;  // pool indices, best predicted first
+  const auto rerank = [&] {
+    const auto data = build_training_set();
+    if (data.empty()) {
+      // Nothing to learn from yet: keep pool order (uniform random).
+      ranked.resize(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) ranked[i] = i;
+      return;
+    }
+    model.fit(data);
+    std::vector<double> pred(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      pred[i] = model.predict(space.features(pool[i]));
+    const auto order = argsort(pred);
+    ranked.assign(order.begin(), order.end());
+  };
+
+  rerank();
+  std::size_t cursor = 0;
+  std::size_t since_refit = 0;
+  while (trace.size() < opt.max_evals) {
+    // Next unused pool candidate in predicted order.
+    while (cursor < ranked.size() && used[ranked[cursor]]) ++cursor;
+    if (cursor >= ranked.size()) break;  // pool exhausted
+    const std::size_t pick = ranked[cursor];
+    used[pick] = true;
+    const EvalResult r = target.evaluate(pool[pick]);
+    if (r.ok) {
+      trace.record(pool[pick], r.seconds, pick);
+      if (++since_refit >= opt.refit_interval &&
+          trace.size() < opt.max_evals) {
+        since_refit = 0;
+        rerank();
+        cursor = 0;
+      }
+    }
+  }
+  return trace;
+}
+
+}  // namespace portatune::tuner

@@ -1,0 +1,40 @@
+// Adaptive (online-refit) transfer search — an extension of the paper's
+// RS_b along its own future-work axis.
+//
+// RS_b trusts the source-machine surrogate for all n_max evaluations.
+// When source and target rank configurations differently, that trust is
+// misplaced; the fix is the obvious one: every `refit_interval` target
+// evaluations, refit the surrogate on source data *plus* everything
+// measured on the target so far (optionally weighting target rows more),
+// and re-rank the remaining candidate pool. With refit_interval >= n_max
+// this degenerates to exactly RS_b; with source data excluded it becomes
+// a from-scratch model-based search on the target.
+#pragma once
+
+#include "ml/forest.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+struct AdaptiveSearchOptions {
+  std::size_t max_evals = 100;
+  std::size_t pool_size = 10000;
+  std::size_t refit_interval = 10;  ///< target evals between refits
+  /// Each target row enters the training set this many times (cheap
+  /// importance weighting against the 100 source rows).
+  std::size_t target_weight = 3;
+  /// Drop the source rows entirely after this many target evaluations
+  /// (0 = keep forever).
+  std::size_t forget_source_after = 0;
+  std::uint64_t seed = 1;
+  ml::ForestParams forest{};
+};
+
+/// Biased search with periodic refits on accumulated target data.
+/// `source` may be empty (pure online model-based search).
+SearchTrace adaptive_biased_search(Evaluator& target,
+                                   const SearchTrace& source,
+                                   const AdaptiveSearchOptions& opt);
+
+}  // namespace portatune::tuner

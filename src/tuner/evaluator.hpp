@@ -1,0 +1,48 @@
+// Evaluation backend interface.
+//
+// An Evaluator is "an application on a machine": it owns the parameter
+// space D and maps a configuration to a measured run time, f(x; alpha,
+// beta, gamma) in the paper's notation. Search algorithms are written
+// against this interface only, so the same search runs unchanged on the
+// simulated Table II machines, on the host via the native kernel backend,
+// or on the mini-apps.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "tuner/param.hpp"
+
+namespace portatune::tuner {
+
+/// Outcome of evaluating one configuration.
+struct EvalResult {
+  double seconds = 0.0;  ///< measured run time (the objective)
+  bool ok = true;        ///< false: build/run failure, config is discarded
+  std::string error;     ///< diagnostic when !ok
+
+  static EvalResult failure(std::string why) {
+    return {0.0, false, std::move(why)};
+  }
+};
+
+class Evaluator {
+ public:
+  virtual ~Evaluator() = default;
+
+  /// The feasible configuration space D. The paper's transfer assumption
+  /// is that D is identical across machines for a given application.
+  virtual const ParamSpace& space() const = 0;
+
+  /// Measure one configuration. Implementations must tolerate repeated
+  /// calls with the same configuration (and should be deterministic for
+  /// reproducibility; the simulated backends are).
+  virtual EvalResult evaluate(const ParamConfig& config) = 0;
+
+  virtual std::string problem_name() const = 0;
+  virtual std::string machine_name() const = 0;
+};
+
+using EvaluatorPtr = std::unique_ptr<Evaluator>;
+
+}  // namespace portatune::tuner

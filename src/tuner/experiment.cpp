@@ -1,0 +1,102 @@
+#include "tuner/experiment.hpp"
+
+#include "support/correlation.hpp"
+#include "support/error.hpp"
+#include "tuner/random_search.hpp"
+#include "tuner/transfer.hpp"
+
+namespace portatune::tuner {
+
+namespace {
+
+void require_same_space(const ParamSpace& a, const ParamSpace& b) {
+  PT_REQUIRE(a.num_params() == b.num_params(),
+             "source/target parameter spaces differ in arity");
+  for (std::size_t i = 0; i < a.num_params(); ++i) {
+    PT_REQUIRE(a.param(i).name == b.param(i).name &&
+                   a.param(i).values == b.param(i).values,
+               "source/target parameter spaces differ at parameter " +
+                   a.param(i).name);
+  }
+}
+
+}  // namespace
+
+SearchTrace run_reference_rs(Evaluator& eval,
+                             const ExperimentSettings& settings) {
+  RandomSearchOptions rs_opt;
+  rs_opt.max_evals = settings.nmax;
+  rs_opt.seed = settings.seed;
+  return random_search(eval, rs_opt);
+}
+
+TransferExperimentResult run_transfer_experiment(
+    Evaluator& source, Evaluator& target,
+    const ExperimentSettings& settings) {
+  require_same_space(source.space(), target.space());
+
+  TransferExperimentResult out;
+
+  // 1. RS on the source machine -> T_a.
+  out.source_rs = run_reference_rs(source, settings);
+  PT_REQUIRE(!out.source_rs.empty(), "source RS produced no evaluations");
+
+  // 2. RS on the target machine, replaying the source order (CRN).
+  std::vector<ParamConfig> order;
+  order.reserve(out.source_rs.size());
+  for (const auto& e : out.source_rs.entries()) order.push_back(e.config);
+  out.target_rs = replay_search(target, order, settings.nmax);
+
+  // 3. Fit the surrogate M_a on T_a.
+  ml::ForestParams fp = settings.forest;
+  fp.seed = settings.seed;
+  const auto model = fit_surrogate(out.source_rs, source.space(), fp);
+
+  // 4. Model-based variants on the target machine.
+  PrunedSearchOptions p_opt;
+  p_opt.max_evals = settings.nmax;
+  p_opt.pool_size = settings.pool_size;
+  p_opt.delta_percent = settings.delta_percent;
+  p_opt.seed = settings.seed;
+  out.pruned = pruned_random_search(target, *model, p_opt);
+
+  BiasedSearchOptions b_opt;
+  b_opt.max_evals = settings.nmax;
+  b_opt.pool_size = settings.pool_size;
+  b_opt.seed = settings.seed;
+  out.biased = biased_random_search(target, *model, b_opt);
+
+  // 5. Model-free controls, restricted to T_a's configurations.
+  out.pruned_mf =
+      model_free_pruned(target, out.source_rs, settings.delta_percent);
+  out.biased_mf = model_free_biased(target, out.source_rs);
+
+  // 6. Metrics.
+  out.pruned_speedup = compare_to_rs(out.target_rs, out.pruned);
+  out.biased_speedup = compare_to_rs(out.target_rs, out.biased);
+  out.pruned_mf_speedup = compare_to_rs(out.target_rs, out.pruned_mf);
+  out.biased_mf_speedup = compare_to_rs(out.target_rs, out.biased_mf);
+
+  // Correlations over the shared configurations. The replay may have
+  // skipped failed evaluations, so join on the draw index.
+  std::vector<double> ya, yb;
+  std::size_t ti = 0;
+  for (std::size_t si = 0; si < out.source_rs.size(); ++si) {
+    while (ti < out.target_rs.size() &&
+           out.target_rs.entry(ti).draw_index < si)
+      ++ti;
+    if (ti >= out.target_rs.size()) break;
+    if (out.target_rs.entry(ti).draw_index == si) {
+      ya.push_back(out.source_rs.entry(si).seconds);
+      yb.push_back(out.target_rs.entry(ti).seconds);
+    }
+  }
+  if (ya.size() >= 2) {
+    out.pearson = pearson(ya, yb);
+    out.spearman = spearman(ya, yb);
+    out.top_overlap = top_set_overlap(ya, yb, 0.2);
+  }
+  return out;
+}
+
+}  // namespace portatune::tuner

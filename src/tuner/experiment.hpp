@@ -1,0 +1,57 @@
+// The full cross-machine transfer experiment protocol (Sec. IV-D).
+//
+// Given a problem instantiated on a source machine gamma_a and a target
+// machine gamma_b:
+//   1. run RS on gamma_a                            -> T_a
+//   2. replay the same draw order with RS on gamma_b (common random
+//      numbers) -> the reference trace,
+//   3. fit the random-forest surrogate M_a on T_a,
+//   4. run RS_p and RS_b on gamma_b guided by M_a,
+//   5. run the model-free controls RS_pf and RS_bf,
+//   6. compute correlations (Fig. 1 / third columns of Figs. 3-5) and the
+//      speedups of Table IV/V.
+#pragma once
+
+#include "ml/forest.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/metrics.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+struct ExperimentSettings {
+  std::size_t nmax = 100;        ///< evaluation budget per search
+  std::size_t pool_size = 10000; ///< N
+  double delta_percent = 20.0;   ///< RS_p cutoff quantile
+  std::uint64_t seed = 20160401; ///< shared CRN seed
+  ml::ForestParams forest{};     ///< surrogate hyperparameters
+};
+
+struct TransferExperimentResult {
+  SearchTrace source_rs;   ///< RS on gamma_a (this is T_a)
+  SearchTrace target_rs;   ///< RS on gamma_b (CRN replay of the same order)
+  SearchTrace pruned;      ///< RS_p on gamma_b
+  SearchTrace biased;      ///< RS_b on gamma_b
+  SearchTrace pruned_mf;   ///< RS_pf on gamma_b
+  SearchTrace biased_mf;   ///< RS_bf on gamma_b
+
+  Speedups pruned_speedup, biased_speedup;
+  Speedups pruned_mf_speedup, biased_mf_speedup;
+
+  /// Correlation of the shared RS configurations' run times on the two
+  /// machines (rho_p, rho_s) and the top-20 % set overlap.
+  double pearson = 0.0;
+  double spearman = 0.0;
+  double top_overlap = 0.0;
+};
+
+/// Run the full protocol. `source` and `target` must expose identical
+/// parameter spaces (the paper's fixed-D assumption); this is enforced.
+TransferExperimentResult run_transfer_experiment(
+    Evaluator& source, Evaluator& target, const ExperimentSettings& settings);
+
+/// Run only RS on one machine (used to gather T_a once and reuse it).
+SearchTrace run_reference_rs(Evaluator& eval,
+                             const ExperimentSettings& settings);
+
+}  // namespace portatune::tuner

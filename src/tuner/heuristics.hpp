@@ -1,0 +1,105 @@
+// Extension search algorithms (paper Sec. II lists them as the standard
+// autotuning search family; Sec. VII names testing the transfer approach
+// with them as future work — implemented here).
+//
+// All of them accept an optional *surrogate seeding* model: when a fitted
+// source-machine surrogate is supplied, the initial population / starting
+// points are drawn as the best predicted configurations from a sampled
+// pool instead of uniformly at random. This is the paper's biasing idea
+// transplanted into population/local searches.
+#pragma once
+
+#include "ml/model.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+struct GeneticOptions {
+  std::size_t max_evals = 100;
+  std::size_t population = 20;
+  double crossover_rate = 0.8;
+  double mutation_rate = 0.1;   ///< per-gene mutation probability
+  std::size_t tournament = 3;
+  std::uint64_t seed = 1;
+  /// When set, the initial population is the model's best predictions
+  /// over a pool of `seed_pool` random configurations.
+  const ml::Regressor* surrogate = nullptr;
+  std::size_t seed_pool = 2000;
+};
+
+/// Steady-state genetic algorithm with tournament selection, uniform
+/// crossover and per-gene mutation. Infeasible offspring are discarded.
+SearchTrace genetic_search(Evaluator& eval, const GeneticOptions& opt);
+
+struct AnnealingOptions {
+  std::size_t max_evals = 100;
+  double initial_temp = 1.0;    ///< relative to the first evaluation
+  double cooling = 0.95;        ///< geometric cooling per step
+  std::uint64_t seed = 1;
+  const ml::Regressor* surrogate = nullptr;
+  std::size_t seed_pool = 2000;
+};
+
+/// Simulated annealing over the one-step neighborhood of ParamSpace.
+SearchTrace annealing_search(Evaluator& eval, const AnnealingOptions& opt);
+
+struct PatternSearchOptions {
+  std::size_t max_evals = 100;
+  std::uint64_t seed = 1;
+  const ml::Regressor* surrogate = nullptr;
+  std::size_t seed_pool = 2000;
+};
+
+/// Coordinate pattern search: probe +-1 step along every parameter, move
+/// to the best improving neighbor, restart from a fresh random point on
+/// local minima until the budget is exhausted.
+SearchTrace pattern_search(Evaluator& eval, const PatternSearchOptions& opt);
+
+struct EnsembleOptions {
+  std::size_t max_evals = 100;
+  std::uint64_t seed = 1;
+  /// AUC-bandit exploration constant (OpenTuner's technique allocator).
+  double exploration = 1.4;
+  const ml::Regressor* surrogate = nullptr;
+};
+
+/// OpenTuner-style multi-technique search: random sampling, mutation
+/// hill-climbing, and pattern steps run under a UCB bandit that shifts
+/// the evaluation budget toward whichever technique has recently
+/// produced improvements.
+SearchTrace ensemble_search(Evaluator& eval, const EnsembleOptions& opt);
+
+struct NelderMeadOptions {
+  std::size_t max_evals = 100;
+  std::uint64_t seed = 1;
+  double reflection = 1.0;
+  double expansion = 2.0;
+  double contraction = 0.5;
+  double shrink = 0.5;
+  const ml::Regressor* surrogate = nullptr;
+  std::size_t seed_pool = 2000;
+};
+
+/// Nelder–Mead simplex adapted to the discrete index grid: the simplex
+/// lives in continuous index coordinates, every evaluation rounds to the
+/// nearest valid configuration. Restarts from a fresh random simplex when
+/// it collapses, until the budget is exhausted.
+SearchTrace nelder_mead_search(Evaluator& eval,
+                               const NelderMeadOptions& opt);
+
+struct OrthogonalSearchOptions {
+  std::size_t max_evals = 100;
+  std::uint64_t seed = 1;
+  const ml::Regressor* surrogate = nullptr;
+  std::size_t seed_pool = 2000;
+};
+
+/// Orthogonal (cyclic coordinate) search: sweep each parameter in turn,
+/// trying every allowed value with the others held fixed, and commit the
+/// best; repeat rounds until the budget is exhausted or a full round
+/// yields no improvement (then restart from a random point).
+SearchTrace orthogonal_search(Evaluator& eval,
+                              const OrthogonalSearchOptions& opt);
+
+}  // namespace portatune::tuner

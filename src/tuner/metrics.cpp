@@ -1,0 +1,24 @@
+#include "tuner/metrics.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace portatune::tuner {
+
+Speedups compare_to_rs(const SearchTrace& rs, const SearchTrace& variant) {
+  PT_REQUIRE(!rs.empty(), "reference RS trace is empty");
+  Speedups s;
+  if (variant.empty()) return s;  // 0 / 0: total failure of the variant
+
+  const double rs_best = rs.best_seconds();
+  const double variant_best = variant.best_seconds();
+  s.performance = rs_best / variant_best;
+
+  const double t_rs = rs.time_to_best();
+  const double t_variant = variant.time_to_reach(rs_best);
+  s.search = std::isinf(t_variant) ? 0.0 : t_rs / t_variant;
+  return s;
+}
+
+}  // namespace portatune::tuner

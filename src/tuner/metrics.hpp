@@ -1,0 +1,30 @@
+// Performance and search-time speedups (Sec. IV-D).
+//
+// Worked example from the paper: RS takes 100 s to find its best
+// configuration (run time 5 s); RS_b takes 80 s to find its best (3 s) but
+// only 50 s to find a configuration with run time <= 5 s. Then the
+// performance speedup of RS_b over RS is 5/3 = 1.6x and the search-time
+// speedup is 100/50 = 2x. A variant is "successful" when performance
+// speedup >= 1.0 and search-time speedup > 1.0.
+#pragma once
+
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+struct Speedups {
+  /// Prf.Imp: best RS run time / best variant run time.
+  double performance = 0.0;
+  /// Srh.Imp: RS time-to-its-best / variant time-to-reach-RS-best
+  /// (0 when the variant never reaches the RS best).
+  double search = 0.0;
+
+  bool successful() const noexcept {
+    return performance >= 1.0 && search > 1.0;
+  }
+};
+
+/// Compute both speedups of `variant` over the reference `rs` trace.
+Speedups compare_to_rs(const SearchTrace& rs, const SearchTrace& variant);
+
+}  // namespace portatune::tuner

@@ -1,0 +1,110 @@
+#include "tuner/persistence.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace portatune::tuner {
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+/// Map a parameter value back to its index in the space (exact match).
+int value_to_index(const ParamSpace& space, std::size_t param,
+                   double value, std::size_t row) {
+  const auto& values = space.param(param).values;
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] == value) return static_cast<int>(i);
+  throw Error("trace row " + std::to_string(row) + ": value " +
+              std::to_string(value) + " not in the domain of parameter " +
+              space.param(param).name);
+}
+
+}  // namespace
+
+void save_trace_csv(std::ostream& os, const SearchTrace& trace,
+                    const ParamSpace& space) {
+  os << "# portatune-trace v1," << trace.algorithm() << ","
+     << trace.problem() << "," << trace.machine() << "\n";
+  const auto names = space.names();
+  for (const auto& n : names) os << n << ",";
+  os << "seconds,draw_index\n";
+  os.precision(17);
+  for (const auto& e : trace.entries()) {
+    const auto features = space.features(e.config);
+    for (double v : features) os << v << ",";
+    os << e.seconds << "," << e.draw_index << "\n";
+  }
+}
+
+void save_trace_csv(const std::string& path, const SearchTrace& trace,
+                    const ParamSpace& space) {
+  std::ofstream os(path);
+  PT_REQUIRE(os.good(), "cannot open for writing: " + path);
+  save_trace_csv(os, trace, space);
+  PT_REQUIRE(os.good(), "write failed: " + path);
+}
+
+SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
+  std::string line;
+  PT_REQUIRE(std::getline(is, line) &&
+                 line.rfind("# portatune-trace v1,", 0) == 0,
+             "not a portatune trace (bad magic line)");
+  const auto meta = split_csv(line.substr(std::string("# ").size()));
+  PT_REQUIRE(meta.size() == 4, "malformed trace metadata");
+  SearchTrace trace(meta[1], meta[2], meta[3]);
+
+  PT_REQUIRE(std::getline(is, line), "missing trace header row");
+  const auto header = split_csv(line);
+  PT_REQUIRE(header.size() == space.num_params() + 2,
+             "trace header arity does not match the parameter space");
+  const auto names = space.names();
+  for (std::size_t p = 0; p < names.size(); ++p)
+    PT_REQUIRE(header[p] == names[p],
+               "trace parameter '" + header[p] +
+                   "' does not match space parameter '" + names[p] + "'");
+
+  std::size_t row = 0;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    PT_REQUIRE(cells.size() == space.num_params() + 2,
+               "trace row " + std::to_string(row) + " has wrong arity");
+    ParamConfig config(space.num_params());
+    for (std::size_t p = 0; p < space.num_params(); ++p)
+      config[p] = value_to_index(space, p, std::stod(cells[p]), row);
+    const double seconds = std::stod(cells[space.num_params()]);
+    PT_REQUIRE(std::isfinite(seconds) && seconds >= 0.0,
+               "trace row " + std::to_string(row) + " has a bad run time");
+    const auto draw =
+        static_cast<std::size_t>(std::stoull(cells[space.num_params() + 1]));
+    trace.record(std::move(config), seconds, draw);
+  }
+  return trace;
+}
+
+SearchTrace load_trace_csv(const std::string& path,
+                           const ParamSpace& space) {
+  std::ifstream is(path);
+  PT_REQUIRE(is.good(), "cannot open trace file: " + path);
+  return load_trace_csv(is, space);
+}
+
+}  // namespace portatune::tuner

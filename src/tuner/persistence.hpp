@@ -1,0 +1,45 @@
+// Search-trace persistence.
+//
+// T_a — the (configuration, run time) record from a tuning run — is the
+// paper's transferable artifact: collected once per machine, reused to
+// warm every future search. These helpers serialize a SearchTrace to a
+// self-describing CSV (header row carries the parameter names; a leading
+// comment row carries algorithm/problem/machine metadata) and load it
+// back against a ParamSpace, validating that the space matches.
+//
+// Format:
+//   # portatune-trace v1,<algorithm>,<problem>,<machine>
+//   <param0>,<param1>,...,seconds,draw_index
+//   32,256,4,...,0.3412,17
+//
+// Values are written as parameter *values* (like the surrogate features),
+// not indices, so traces stay meaningful if a space is re-declared with
+// the same values in a different construction order per parameter.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+/// Serialize to a stream. Throws on traces whose space is unknown — pass
+/// the space the trace was recorded against.
+void save_trace_csv(std::ostream& os, const SearchTrace& trace,
+                    const ParamSpace& space);
+
+/// Serialize to a file (overwrites). Throws portatune::Error on I/O error.
+void save_trace_csv(const std::string& path, const SearchTrace& trace,
+                    const ParamSpace& space);
+
+/// Parse a trace written by save_trace_csv. Every row's values must be
+/// present in the space's per-parameter value lists (exact match);
+/// otherwise throws portatune::Error with the offending row.
+SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space);
+
+/// Load from a file. Throws portatune::Error on I/O or format errors.
+SearchTrace load_trace_csv(const std::string& path,
+                           const ParamSpace& space);
+
+}  // namespace portatune::tuner

@@ -1,0 +1,163 @@
+#include "tuner/random_search.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/stats.hpp"
+#include "tuner/sampler.hpp"
+
+namespace portatune::tuner {
+
+SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
+  SearchTrace trace("RS", eval.problem_name(), eval.machine_name());
+  ConfigStream stream(eval.space(), opt.seed);
+  while (trace.size() < opt.max_evals) {
+    auto config = stream.next();
+    if (!config) break;  // space exhausted
+    const EvalResult r = eval.evaluate(*config);
+    if (!r.ok) continue;  // failed build/run: configuration discarded
+    trace.record(std::move(*config), r.seconds, stream.produced() - 1);
+  }
+  return trace;
+}
+
+SearchTrace replay_search(Evaluator& eval,
+                          std::span<const ParamConfig> order,
+                          std::size_t max_evals,
+                          std::string algorithm_label) {
+  SearchTrace trace(std::move(algorithm_label), eval.problem_name(),
+                    eval.machine_name());
+  for (std::size_t i = 0; i < order.size() && trace.size() < max_evals;
+       ++i) {
+    const EvalResult r = eval.evaluate(order[i]);
+    if (!r.ok) continue;
+    trace.record(order[i], r.seconds, i);
+  }
+  return trace;
+}
+
+SearchTrace pruned_random_search(Evaluator& eval,
+                                 const ml::Regressor& model,
+                                 const PrunedSearchOptions& opt) {
+  PT_REQUIRE(model.is_fitted(), "RS_p requires a fitted surrogate");
+  PT_REQUIRE(opt.delta_percent > 0.0 && opt.delta_percent < 100.0,
+             "delta must lie strictly between 0 and 100");
+  SearchTrace trace("RS_p", eval.problem_name(), eval.machine_name());
+  const ParamSpace& space = eval.space();
+
+  // Phase 1: estimate the pruning cutoff Delta as the delta-quantile of
+  // model predictions over a fresh pool of N configurations.
+  ConfigStream pool_stream(space, opt.seed ^ 0xb1a5ed0full);
+  std::vector<double> pool_pred;
+  pool_pred.reserve(opt.pool_size);
+  while (pool_pred.size() < opt.pool_size) {
+    auto c = pool_stream.next();
+    if (!c) break;
+    pool_pred.push_back(model.predict(space.features(*c)));
+  }
+  PT_REQUIRE(!pool_pred.empty(), "empty prediction pool");
+  const double cutoff = quantile(pool_pred, opt.delta_percent / 100.0);
+
+  // Phase 2: walk the shared stream (same order RS sees), evaluating only
+  // configurations the surrogate predicts below the cutoff.
+  ConfigStream stream(space, opt.seed);
+  std::size_t draws = 0;
+  while (trace.size() < opt.max_evals && draws < opt.max_draws) {
+    auto config = stream.next();
+    if (!config) break;
+    ++draws;
+    if (model.predict(space.features(*config)) >= cutoff) continue;
+    const EvalResult r = eval.evaluate(*config);
+    if (!r.ok) continue;
+    trace.record(std::move(*config), r.seconds, stream.produced() - 1);
+  }
+
+  // Fallback guarantee: if the cutoff pruned everything (e.g. a degenerate
+  // model), evaluate the first draws unconditionally so the search always
+  // returns a configuration.
+  if (trace.empty()) {
+    ConfigStream fallback(space, opt.seed);
+    while (trace.size() < std::min<std::size_t>(opt.max_evals, 10)) {
+      auto config = fallback.next();
+      if (!config) break;
+      const EvalResult r = eval.evaluate(*config);
+      if (!r.ok) continue;
+      trace.record(std::move(*config), r.seconds, fallback.produced() - 1);
+    }
+  }
+  return trace;
+}
+
+SearchTrace biased_random_search(Evaluator& eval,
+                                 const ml::Regressor& model,
+                                 const BiasedSearchOptions& opt) {
+  PT_REQUIRE(model.is_fitted(), "RS_b requires a fitted surrogate");
+  SearchTrace trace("RS_b", eval.problem_name(), eval.machine_name());
+  const ParamSpace& space = eval.space();
+
+  // Phase 1: sample the candidate pool X_p and predict all run times.
+  ConfigStream stream(space, opt.seed);
+  std::vector<ParamConfig> pool;
+  pool.reserve(opt.pool_size);
+  while (pool.size() < opt.pool_size) {
+    auto c = stream.next();
+    if (!c) break;
+    pool.push_back(std::move(*c));
+  }
+  PT_REQUIRE(!pool.empty(), "empty candidate pool");
+  std::vector<double> pred(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i)
+    pred[i] = model.predict(space.features(pool[i]));
+
+  // Phase 2: evaluate in ascending predicted-run-time order (equivalent to
+  // repeatedly taking argmin over the remaining pool, Algorithm 2 line 7).
+  const auto order = argsort(pred);
+  for (std::size_t rank = 0;
+       rank < order.size() && trace.size() < opt.max_evals; ++rank) {
+    const ParamConfig& config = pool[order[rank]];
+    const EvalResult r = eval.evaluate(config);
+    if (!r.ok) continue;
+    trace.record(config, r.seconds, order[rank]);
+  }
+  return trace;
+}
+
+SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
+                              double delta_percent, std::size_t max_evals) {
+  PT_REQUIRE(!source.empty(), "RS_pf requires source data");
+  SearchTrace trace("RS_pf", eval.problem_name(), eval.machine_name());
+  std::vector<double> ys;
+  ys.reserve(source.size());
+  for (const auto& e : source.entries()) ys.push_back(e.seconds);
+  const double cutoff = quantile(ys, delta_percent / 100.0);
+
+  for (const auto& e : source.entries()) {
+    if (trace.size() >= max_evals) break;
+    if (e.seconds >= cutoff) continue;  // pruned by the source run time
+    const EvalResult r = eval.evaluate(e.config);
+    if (!r.ok) continue;
+    trace.record(e.config, r.seconds, e.draw_index);
+  }
+  return trace;
+}
+
+SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
+                              std::size_t max_evals) {
+  PT_REQUIRE(!source.empty(), "RS_bf requires source data");
+  SearchTrace trace("RS_bf", eval.problem_name(), eval.machine_name());
+  std::vector<double> ys;
+  ys.reserve(source.size());
+  for (const auto& e : source.entries()) ys.push_back(e.seconds);
+  const auto order = argsort(ys);
+
+  for (std::size_t rank = 0;
+       rank < order.size() && trace.size() < max_evals; ++rank) {
+    const auto& e = source.entry(order[rank]);
+    const EvalResult r = eval.evaluate(e.config);
+    if (!r.ok) continue;
+    trace.record(e.config, r.seconds, e.draw_index);
+  }
+  return trace;
+}
+
+}  // namespace portatune::tuner

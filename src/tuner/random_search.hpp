@@ -1,0 +1,76 @@
+// Plain random search without replacement (the paper's "RS") and its
+// transfer-accelerated variants:
+//
+//   RS    — Sec. II: uniform sampling without replacement from D.
+//   RS_p  — Algorithm 1: a surrogate fitted on the source machine's data
+//           prunes configurations predicted slower than the delta-quantile
+//           cutoff before they are ever run on the target machine.
+//   RS_b  — Algorithm 2: the surrogate ranks a large pool of N candidate
+//           configurations; the target machine evaluates them in ascending
+//           predicted-run-time order.
+//   RS_pf — model-free pruning: the cutoff comes from the source run
+//           times themselves; only source configurations that beat it are
+//           re-evaluated, in source order.
+//   RS_bf — model-free biasing: the source configurations are re-evaluated
+//           in ascending order of their *source* run times.
+//
+// All functions are deterministic given their seeds; the shared-seed
+// ConfigStream implements the common-random-numbers protocol of Sec. IV-D.
+#pragma once
+
+#include "ml/model.hpp"
+#include "tuner/evaluator.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+struct RandomSearchOptions {
+  std::size_t max_evals = 100;  ///< n_max
+  std::uint64_t seed = 1;       ///< shared stream seed (CRN)
+};
+
+/// RS: evaluate the first max_evals draws of the stream.
+SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt);
+
+/// Evaluate an explicit configuration order (used to replay a source
+/// machine's RS order on a target machine). Failed evaluations are
+/// skipped and do not count toward max_evals.
+SearchTrace replay_search(Evaluator& eval,
+                          std::span<const ParamConfig> order,
+                          std::size_t max_evals,
+                          std::string algorithm_label = "RS");
+
+struct PrunedSearchOptions {
+  std::size_t max_evals = 100;     ///< n_max
+  std::size_t pool_size = 10000;   ///< N, for the cutoff quantile estimate
+  double delta_percent = 20.0;     ///< delta: prune above this quantile
+  std::uint64_t seed = 1;          ///< shared stream seed (CRN)
+  std::size_t max_draws = 10000;   ///< stop after this many stream draws
+};
+
+/// RS_p (Algorithm 1). `model` must be fitted on the source machine data.
+SearchTrace pruned_random_search(Evaluator& eval,
+                                 const ml::Regressor& model,
+                                 const PrunedSearchOptions& opt);
+
+struct BiasedSearchOptions {
+  std::size_t max_evals = 100;   ///< n_max
+  std::size_t pool_size = 10000; ///< N
+  std::uint64_t seed = 1;
+};
+
+/// RS_b (Algorithm 2). `model` must be fitted on the source machine data.
+SearchTrace biased_random_search(Evaluator& eval,
+                                 const ml::Regressor& model,
+                                 const BiasedSearchOptions& opt);
+
+/// RS_pf: model-free pruning over the source trace (delta in percent).
+SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
+                              double delta_percent,
+                              std::size_t max_evals = SIZE_MAX);
+
+/// RS_bf: model-free biasing over the source trace.
+SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
+                              std::size_t max_evals = SIZE_MAX);
+
+}  // namespace portatune::tuner

@@ -1,0 +1,43 @@
+// Uniform without-replacement sampling stream over a parameter space.
+//
+// This object *is* the paper's variance-reduction device (Sec. IV-D,
+// "method of common random numbers"): a stream seeded identically produces
+// the identical draw sequence, so RS on the source machine, RS replayed on
+// the target machine, and RS-with-pruning on the target machine all walk
+// the same configurations in the same order.
+#pragma once
+
+#include <optional>
+#include <unordered_set>
+
+#include "tuner/param.hpp"
+
+namespace portatune::tuner {
+
+class ConfigStream {
+ public:
+  ConfigStream(const ParamSpace& space, std::uint64_t seed);
+
+  /// Next distinct configuration, or nullopt once the space (or the
+  /// rejection budget on astronomically large spaces) is exhausted.
+  std::optional<ParamConfig> next();
+
+  /// Number of configurations produced so far.
+  std::size_t produced() const noexcept { return produced_; }
+
+  const ParamSpace& space() const noexcept { return *space_; }
+
+ private:
+  const ParamSpace* space_;
+  Rng rng_;
+  std::unordered_set<std::uint64_t> seen_;
+  double cardinality_;
+  std::size_t produced_ = 0;
+  // For tiny spaces, a pre-shuffled full enumeration guarantees exact
+  // without-replacement semantics and clean exhaustion.
+  std::vector<ParamConfig> enumerated_;
+  std::size_t cursor_ = 0;
+  bool use_enumeration_ = false;
+};
+
+}  // namespace portatune::tuner

@@ -1,0 +1,52 @@
+// Machine-similarity quantification — the open question the paper's
+// conclusion poses: "Quantification of the dissimilarity between source
+// and target machines requires further investigation, and the proposed
+// approach will greatly benefit from empirical methods that can assess
+// the dissimilarity."
+//
+// The empirical method implemented here: evaluate a small shared probe
+// set of configurations on both machines (a sunk cost of `probes`
+// evaluations each) and summarize how the two run-time vectors relate.
+// The rank correlation and top-set overlap of the probe predict whether
+// a full surrogate transfer will pay off, which the advisor turns into a
+// go / no-go recommendation before any model is fitted.
+#pragma once
+
+#include "tuner/evaluator.hpp"
+
+namespace portatune::tuner {
+
+struct SimilarityReport {
+  std::size_t probes = 0;      ///< configurations measured on both sides
+  double pearson = 0.0;
+  double spearman = 0.0;
+  double kendall = 0.0;
+  double top_overlap = 0.0;    ///< best-20% set overlap
+  /// Mean |log(t_b / t_a) - mean log ratio|: 0 when the target is a pure
+  /// rescaling of the source (perfect portability of the landscape).
+  double log_ratio_dispersion = 0.0;
+};
+
+struct SimilarityOptions {
+  std::size_t probes = 30;
+  std::uint64_t seed = 97;
+  double top_fraction = 0.2;
+};
+
+/// Measure the probe set on both machines and summarize.
+SimilarityReport measure_similarity(Evaluator& source, Evaluator& target,
+                                    const SimilarityOptions& opt = {});
+
+enum class TransferAdvice {
+  Transfer,      ///< strong rank agreement: run RS_b with the surrogate
+  TransferTopOnly,  ///< weak global, strong top-set: biasing still pays
+  DoNotTransfer  ///< dissimilar machines: tune from scratch
+};
+
+std::string to_string(TransferAdvice advice);
+
+/// Thresholded recommendation from a report (thresholds calibrated on the
+/// Table IV/V outcomes; see bench_similarity_advisor).
+TransferAdvice advise(const SimilarityReport& report);
+
+}  // namespace portatune::tuner

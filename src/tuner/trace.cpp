@@ -1,0 +1,56 @@
+#include "tuner/trace.hpp"
+
+#include "support/error.hpp"
+
+namespace portatune::tuner {
+
+void SearchTrace::record(ParamConfig config, double seconds,
+                         std::size_t draw_index) {
+  clock_ += seconds;
+  entries_.push_back({std::move(config), seconds, clock_, draw_index});
+}
+
+double SearchTrace::best_seconds() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : entries_) best = std::min(best, e.seconds);
+  return best;
+}
+
+const ParamConfig& SearchTrace::best_config() const {
+  PT_REQUIRE(!entries_.empty(), "best_config() on empty trace");
+  const TraceEntry* best = &entries_.front();
+  for (const auto& e : entries_)
+    if (e.seconds < best->seconds) best = &e;
+  return best->config;
+}
+
+double SearchTrace::time_to_best() const {
+  return time_to_reach(best_seconds());
+}
+
+double SearchTrace::time_to_reach(double threshold) const {
+  for (const auto& e : entries_)
+    if (e.seconds <= threshold) return e.elapsed;
+  return std::numeric_limits<double>::infinity();
+}
+
+double SearchTrace::total_time() const { return clock_; }
+
+std::vector<std::pair<double, double>> SearchTrace::best_curve() const {
+  std::vector<std::pair<double, double>> curve;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& e : entries_) {
+    best = std::min(best, e.seconds);
+    curve.emplace_back(e.elapsed, best);
+  }
+  return curve;
+}
+
+ml::Dataset SearchTrace::to_dataset(const ParamSpace& space) const {
+  ml::Dataset data(space.num_params(), space.names());
+  for (const auto& e : entries_)
+    data.add_row(space.features(e.config), e.seconds);
+  return data;
+}
+
+}  // namespace portatune::tuner

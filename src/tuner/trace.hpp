@@ -1,0 +1,71 @@
+// Search trace: the chronological record of one autotuning run.
+//
+// Everything downstream — T_a for surrogate fitting, the best-so-far
+// curves of Figs. 3–5, and the performance / search-time speedup metrics
+// of Sec. IV-D — is computed from these traces.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "tuner/param.hpp"
+
+namespace portatune::tuner {
+
+struct TraceEntry {
+  ParamConfig config;
+  double seconds = 0.0;       ///< measured run time of this configuration
+  double elapsed = 0.0;       ///< cumulative search time after this eval
+  std::size_t draw_index = 0; ///< position in the sampling stream (CRN)
+};
+
+class SearchTrace {
+ public:
+  SearchTrace() = default;
+  SearchTrace(std::string algorithm, std::string problem, std::string machine)
+      : algorithm_(std::move(algorithm)),
+        problem_(std::move(problem)),
+        machine_(std::move(machine)) {}
+
+  void record(ParamConfig config, double seconds, std::size_t draw_index);
+  /// Account search time that produced no evaluation (e.g. pruned draws,
+  /// model fitting); advances the search clock.
+  void add_overhead(double seconds) { clock_ += seconds; }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  const TraceEntry& entry(std::size_t i) const { return entries_.at(i); }
+  const std::vector<TraceEntry>& entries() const noexcept { return entries_; }
+
+  const std::string& algorithm() const noexcept { return algorithm_; }
+  const std::string& problem() const noexcept { return problem_; }
+  const std::string& machine() const noexcept { return machine_; }
+
+  /// Best run time found so far (+inf when empty).
+  double best_seconds() const;
+  /// The configuration achieving best_seconds(); throws when empty.
+  const ParamConfig& best_config() const;
+  /// Elapsed search time at the moment the final best was first reached.
+  double time_to_best() const;
+  /// Elapsed search time when a run time <= threshold was first reached;
+  /// +inf if the trace never reaches it.
+  double time_to_reach(double threshold) const;
+  /// Total search time (all evaluations + overhead).
+  double total_time() const;
+
+  /// (elapsed, best-so-far) series for plotting Figs. 3–5 curves.
+  std::vector<std::pair<double, double>> best_curve() const;
+
+  /// Convert to a training set T_a for the surrogate: features are the
+  /// parameter *values*, the target is the run time.
+  ml::Dataset to_dataset(const ParamSpace& space) const;
+
+ private:
+  std::string algorithm_, problem_, machine_;
+  std::vector<TraceEntry> entries_;
+  double clock_ = 0.0;  ///< cumulative search time
+};
+
+}  // namespace portatune::tuner

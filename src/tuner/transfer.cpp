@@ -1,0 +1,22 @@
+#include "tuner/transfer.hpp"
+
+#include "support/error.hpp"
+
+namespace portatune::tuner {
+
+ml::RegressorPtr fit_surrogate(const SearchTrace& source,
+                               const ParamSpace& space,
+                               const ml::ForestParams& params) {
+  PT_REQUIRE(!source.empty(), "cannot fit a surrogate on an empty trace");
+  auto model = std::make_unique<ml::RandomForest>(params);
+  model->fit(source.to_dataset(space));
+  return model;
+}
+
+void fit_surrogate_into(ml::Regressor& model, const SearchTrace& source,
+                        const ParamSpace& space) {
+  PT_REQUIRE(!source.empty(), "cannot fit a surrogate on an empty trace");
+  model.fit(source.to_dataset(space));
+}
+
+}  // namespace portatune::tuner

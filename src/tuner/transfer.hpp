@@ -1,0 +1,23 @@
+// Cross-machine surrogate transfer — the paper's headline method.
+//
+// fit_surrogate() turns a source-machine search trace T_a into the
+// surrogate performance model M_a; the RS_p / RS_b searches then consume
+// that model on the target machine. This header is the minimal public
+// "transfer API": trace in, fitted model out.
+#pragma once
+
+#include "ml/forest.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+/// Fit the paper's random-forest surrogate on a source trace.
+ml::RegressorPtr fit_surrogate(const SearchTrace& source,
+                               const ParamSpace& space,
+                               const ml::ForestParams& params = {});
+
+/// Fit an arbitrary regressor (surrogate-family ablation).
+void fit_surrogate_into(ml::Regressor& model, const SearchTrace& source,
+                        const ParamSpace& space);
+
+}  // namespace portatune::tuner

@@ -1,0 +1,123 @@
+#include "apps/hpl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace portatune::apps {
+namespace {
+
+class HplBlockSizes : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(HplBlockSizes, FactorSolveResidualPassesHplCheck) {
+  const std::int64_t block = GetParam();
+  constexpr std::int64_t n = 96;
+  const auto original = random_system(n, 1);
+  auto lu = original;
+  const auto piv = lu_factor(lu, block);
+
+  Rng rng(2);
+  std::vector<double> b(n);
+  for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+  const auto x = lu_solve(lu, piv, b);
+  // The canonical HPL acceptance threshold is 16.
+  EXPECT_LT(hpl_residual(original, x, b), 16.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, HplBlockSizes,
+                         ::testing::Values(1, 3, 8, 32, 96, 200));
+
+TEST(HplSolver, BlockingDoesNotChangeTheFactorization) {
+  constexpr std::int64_t n = 40;
+  const auto m0 = random_system(n, 3);
+  auto a = m0, b = m0;
+  const auto pa = lu_factor(a, 1);
+  const auto pb = lu_factor(b, 8);
+  ASSERT_EQ(pa, pb);  // same pivots
+  for (std::size_t i = 0; i < a.a.size(); ++i)
+    EXPECT_NEAR(a.a[i], b.a[i], 1e-9);
+}
+
+TEST(HplSolver, PivotingHandlesZeroDiagonal) {
+  DenseMatrix m;
+  m.n = 2;
+  m.a = {0.0, 1.0,
+         1.0, 0.0};
+  const auto piv = lu_factor(m, 1);
+  const auto x = lu_solve(m, piv, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(HplSolver, SingularMatrixThrows) {
+  DenseMatrix m;
+  m.n = 2;
+  m.a = {1.0, 2.0,
+         2.0, 4.0};  // rank 1
+  EXPECT_THROW(lu_factor(m, 1), Error);
+}
+
+TEST(HplSolver, BadArgumentsThrow) {
+  DenseMatrix m;
+  EXPECT_THROW(lu_factor(m, 1), Error);  // empty
+  auto ok = random_system(4, 4);
+  EXPECT_THROW(lu_factor(ok, 0), Error);  // bad block
+  auto lu = random_system(4, 5);
+  const auto piv = lu_factor(lu, 2);
+  EXPECT_THROW(lu_solve(lu, piv, std::vector<double>{1.0}), Error);
+}
+
+TEST(HplSpace, HasFifteenParameters) {
+  const auto s = hpl_param_space();
+  EXPECT_EQ(s.num_params(), 15u);
+  EXPECT_EQ(s.param(0).name, "NB");
+  EXPECT_GT(s.cardinality(), 1e6);
+}
+
+TEST(HplEvaluator, DeterministicPerMachine) {
+  SimulatedHplEvaluator sb(sim::make_sandybridge());
+  const auto c = sb.space().default_config();
+  EXPECT_DOUBLE_EQ(sb.evaluate(c).seconds, sb.evaluate(c).seconds);
+  EXPECT_GT(sb.evaluate(c).seconds, 0.0);
+  EXPECT_EQ(sb.problem_name(), "HPL");
+}
+
+TEST(HplEvaluator, MachinesDisagreeOnAlgorithmicChoices) {
+  // The defining HPL property in the paper: weak cross-machine
+  // correlation. Count how often the better of two configs flips between
+  // two machines.
+  SimulatedHplEvaluator sb(sim::make_sandybridge());
+  SimulatedHplEvaluator p7(sim::make_power7());
+  Rng rng(7);
+  int flips = 0;
+  constexpr int kPairs = 60;
+  for (int i = 0; i < kPairs; ++i) {
+    const auto c1 = sb.space().random_config(rng);
+    const auto c2 = sb.space().random_config(rng);
+    const bool sb_prefers_1 =
+        sb.evaluate(c1).seconds < sb.evaluate(c2).seconds;
+    const bool p7_prefers_1 =
+        p7.evaluate(c1).seconds < p7.evaluate(c2).seconds;
+    flips += (sb_prefers_1 != p7_prefers_1);
+  }
+  EXPECT_GT(flips, kPairs / 5);  // far from perfectly correlated
+}
+
+TEST(HplEvaluator, PeakGflopsOrderingHolds) {
+  // With everything else idiosyncratic, the best achievable time on a
+  // much faster machine should beat the slowest machine's best.
+  SimulatedHplEvaluator sb(sim::make_sandybridge());
+  SimulatedHplEvaluator xg(sim::make_xgene());
+  Rng rng(8);
+  double best_sb = 1e300, best_xg = 1e300;
+  for (int i = 0; i < 50; ++i) {
+    const auto c = sb.space().random_config(rng);
+    best_sb = std::min(best_sb, sb.evaluate(c).seconds);
+    best_xg = std::min(best_xg, xg.evaluate(c).seconds);
+  }
+  EXPECT_LT(best_sb, best_xg);
+}
+
+}  // namespace
+}  // namespace portatune::apps

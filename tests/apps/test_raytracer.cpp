@@ -1,0 +1,127 @@
+#include "apps/raytracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace portatune::apps {
+namespace {
+
+TEST(Raytracer, RenderIsDeterministic) {
+  const auto scene = demo_scene();
+  const auto a = render(scene, 32, 24, 2);
+  const auto b = render(scene, 32, 24, 2);
+  ASSERT_EQ(a.pixels.size(), b.pixels.size());
+  for (std::size_t i = 0; i < a.pixels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.pixels[i].x, b.pixels[i].x);
+    EXPECT_DOUBLE_EQ(a.pixels[i].y, b.pixels[i].y);
+  }
+}
+
+TEST(Raytracer, HitsTheSceneCenter) {
+  const auto img = render(demo_scene(), 64, 48, 2);
+  // The central sphere is red-dominant; the corner shows background.
+  const auto center = img.at(32, 24);
+  EXPECT_GT(center.x, center.y);
+  const auto corner = img.at(0, 0);
+  EXPECT_NEAR(corner.x, 0.1, 0.2);
+}
+
+TEST(Raytracer, FloorShowsCheckerContrast) {
+  const auto img = render(demo_scene(), 64, 48, 1);
+  // Bottom rows hit the checkerboard: neighboring regions must differ.
+  double lo = 1e9, hi = -1e9;
+  for (int x = 0; x < 64; ++x) {
+    const double lum =
+        img.at(x, 46).x + img.at(x, 46).y + img.at(x, 46).z;
+    lo = std::min(lo, lum);
+    hi = std::max(hi, lum);
+  }
+  EXPECT_GT(hi - lo, 0.3);
+}
+
+TEST(Raytracer, ReflectionsChangeTheImage) {
+  const auto flat = render(demo_scene(), 48, 32, 0);
+  const auto deep = render(demo_scene(), 48, 32, 3);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < flat.pixels.size(); ++i)
+    diff += std::abs(flat.pixels[i].x - deep.pixels[i].x);
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(Raytracer, PpmSerializationWellFormed) {
+  const auto img = render(demo_scene(), 8, 4, 1);
+  const auto ppm = img.to_ppm();
+  const std::string header(ppm.begin(), ppm.begin() + 11);
+  EXPECT_EQ(header.substr(0, 3), "P6\n");
+  EXPECT_EQ(ppm.size(), 11u + 3u * 8u * 4u);  // "P6\n8 4\n255\n" + RGB
+}
+
+TEST(Raytracer, RejectsBadDimensions) {
+  EXPECT_THROW(render(demo_scene(), 0, 10), Error);
+}
+
+TEST(FlagSpace, Has247Tunables) {
+  const auto s = raytracer_flag_space();
+  EXPECT_EQ(s.num_params(), 247u);
+  EXPECT_EQ(s.param(0).name, "F0");
+  EXPECT_EQ(s.param(143).name, "P0");
+}
+
+TEST(FlagModel, ImpactfulFlagBeatsNeutralFlag) {
+  SimulatedRaytracerEvaluator sb(sim::make_sandybridge(), 0.0);
+  const auto base = sb.evaluate(sb.space().default_config()).seconds;
+  // F2 (-finline-functions): ~10% speedup.
+  auto with_inline = sb.space().default_config();
+  with_inline[2] = 1;
+  const double inline_gain =
+      base / sb.evaluate(with_inline).seconds;
+  EXPECT_GT(inline_gain, 1.05);
+  // A long-tail flag moves the needle by at most ~2%.
+  auto with_neutral = sb.space().default_config();
+  with_neutral[100] = 1;
+  const double neutral_gain = base / sb.evaluate(with_neutral).seconds;
+  EXPECT_LT(std::abs(neutral_gain - 1.0), 0.02);
+}
+
+TEST(FlagModel, IntelMachinesShareFlagPreferences) {
+  SimulatedRaytracerEvaluator wm(sim::make_westmere(), 0.0);
+  SimulatedRaytracerEvaluator sb(sim::make_sandybridge(), 0.0);
+  SimulatedRaytracerEvaluator p7(sim::make_power7(), 0.0);
+  Rng rng(5);
+  int wm_sb_agree = 0, wm_p7_agree = 0;
+  constexpr int kPairs = 60;
+  for (int i = 0; i < kPairs; ++i) {
+    const auto c1 = wm.space().random_config(rng);
+    const auto c2 = wm.space().random_config(rng);
+    const bool wm1 = wm.evaluate(c1).seconds < wm.evaluate(c2).seconds;
+    const bool sb1 = sb.evaluate(c1).seconds < sb.evaluate(c2).seconds;
+    const bool p71 = p7.evaluate(c1).seconds < p7.evaluate(c2).seconds;
+    wm_sb_agree += (wm1 == sb1);
+    wm_p7_agree += (wm1 == p71);
+  }
+  EXPECT_GE(wm_sb_agree, wm_p7_agree);  // same-vendor agreement dominates
+  EXPECT_GT(wm_sb_agree, kPairs * 6 / 10);
+}
+
+TEST(Registry, CreatesEveryPaperProblem) {
+  for (const auto& prob : all_problem_names()) {
+    auto eval = make_simulated_evaluator(prob, "Sandybridge");
+    ASSERT_NE(eval, nullptr) << prob;
+    EXPECT_EQ(eval->problem_name(), prob);
+    EXPECT_EQ(eval->machine_name(), "Sandybridge");
+    const auto r = eval->evaluate(eval->space().default_config());
+    EXPECT_TRUE(r.ok) << prob;
+    EXPECT_GT(r.seconds, 0.0) << prob;
+  }
+}
+
+TEST(Registry, UnknownNamesThrow) {
+  EXPECT_THROW(make_simulated_evaluator("NOPE", "Sandybridge"), Error);
+  EXPECT_THROW(make_simulated_evaluator("MM", "NOPE"), Error);
+}
+
+}  // namespace
+}  // namespace portatune::apps

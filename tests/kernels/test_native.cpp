@@ -1,0 +1,155 @@
+#include "kernels/native.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace portatune::kernels {
+namespace {
+
+std::vector<double> random_matrix(std::int64_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  for (auto& v : m) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+using TilePair = std::pair<std::int64_t, std::int64_t>;
+
+class MmTiles : public ::testing::TestWithParam<std::tuple<std::int64_t,
+                                                           std::int64_t,
+                                                           std::int64_t>> {};
+
+TEST_P(MmTiles, MatchesReferenceForAnyTiling) {
+  const auto [ti, tj, tk] = GetParam();
+  constexpr std::int64_t n = 33;  // odd size exercises ragged tiles
+  const auto a = random_matrix(n, 1);
+  const auto b = random_matrix(n, 2);
+  std::vector<double> c_ref(n * n, 0.0), c_tiled(n * n, 0.0);
+  reference_mm(a.data(), b.data(), c_ref.data(), n);
+  native_mm(a.data(), b.data(), c_tiled.data(), n, ti, tj, tk);
+  for (std::int64_t i = 0; i < n * n; ++i)
+    EXPECT_NEAR(c_tiled[i], c_ref[i], 1e-10) << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tilings, MmTiles,
+    ::testing::Values(std::tuple<std::int64_t, std::int64_t, std::int64_t>{
+                          1, 1, 1},  // tile 1 = untiled by convention
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{
+                          8, 8, 8},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{
+                          16, 4, 32},
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{
+                          64, 64, 64},  // larger than n
+                      std::tuple<std::int64_t, std::int64_t, std::int64_t>{
+                          5, 7, 3}));
+
+class AtaxTiles : public ::testing::TestWithParam<TilePair> {};
+
+TEST_P(AtaxTiles, MatchesReference) {
+  const auto [ti, tj] = GetParam();
+  constexpr std::int64_t n = 41;
+  const auto a = random_matrix(n, 3);
+  std::vector<double> x(n), y_ref(n), y_tiled(n), tmp(n);
+  Rng rng(4);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  reference_atax(a.data(), x.data(), y_ref.data(), n);
+  native_atax(a.data(), x.data(), y_tiled.data(), tmp.data(), n, ti, tj);
+  for (std::int64_t i = 0; i < n; ++i)
+    EXPECT_NEAR(y_tiled[i], y_ref[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tilings, AtaxTiles,
+                         ::testing::Values(TilePair{1, 1}, TilePair{8, 8},
+                                           TilePair{13, 4},
+                                           TilePair{100, 100}));
+
+TEST(NativeCor, UpperTriangleMatchesDirectComputation) {
+  constexpr std::int64_t n = 24;
+  const auto data = random_matrix(n, 5);
+  std::vector<double> symmat(n * n);
+  native_cor(data.data(), symmat.data(), n, 7, 5);
+  for (std::int64_t j = 0; j < n; ++j)
+    for (std::int64_t k = j; k < n; ++k) {
+      double expect = 0.0;
+      for (std::int64_t i = 0; i < n; ++i)
+        expect += data[i * n + j] * data[i * n + k];
+      EXPECT_NEAR(symmat[j * n + k], expect, 1e-10);
+    }
+}
+
+TEST(NativeLu, ReconstructsMatrix) {
+  constexpr std::int64_t n = 20;
+  auto a = random_matrix(n, 6);
+  for (std::int64_t i = 0; i < n; ++i) a[i * n + i] += n;  // dominance
+  auto lu = a;
+  native_lu(lu.data(), n, 6, 5);
+  // Reconstruct L*U and compare with A.
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      const std::int64_t kmax = std::min(i, j);
+      for (std::int64_t k = 0; k <= kmax; ++k) {
+        const double l = (k == i) ? 1.0 : lu[i * n + k];
+        acc += l * lu[k * n + j] * ((k <= j) ? 1.0 : 0.0);
+      }
+      EXPECT_NEAR(acc, a[i * n + j], 1e-8);
+    }
+}
+
+TEST(NativeLu, TilingDoesNotChangeResult) {
+  constexpr std::int64_t n = 30;
+  auto base = random_matrix(n, 7);
+  for (std::int64_t i = 0; i < n; ++i) base[i * n + i] += n;
+  auto a1 = base, a2 = base;
+  native_lu(a1.data(), n, 1, 1);
+  native_lu(a2.data(), n, 8, 4);
+  for (std::int64_t i = 0; i < n * n; ++i) EXPECT_NEAR(a1[i], a2[i], 1e-10);
+}
+
+TEST(NativeEvaluator, TimesRealKernels) {
+  auto prob = spapt_by_name("MM", 64);
+  NativeKernelEvaluator eval(prob, 1);
+  const auto r = eval.evaluate(prob->space().default_config());
+  EXPECT_TRUE(r.ok);
+  EXPECT_GT(r.seconds, 0.0);
+  EXPECT_LT(r.seconds, 10.0);
+  EXPECT_EQ(eval.machine_name(), "host");
+}
+
+TEST(NativeEvaluator, RejectsPaperSizeInputs) {
+  EXPECT_THROW(NativeKernelEvaluator(spapt_by_name("MM"), 1), Error);
+}
+
+TEST(NativeEvaluator, InfeasibleConfigReportsFailure) {
+  auto prob = spapt_by_name("LU", 64);
+  NativeKernelEvaluator eval(prob, 1);
+  auto c = prob->space().default_config();
+  c[prob->space().index_of("T_I")] = 1;
+  c[prob->space().index_of("RT_I")] = 5;
+  EXPECT_FALSE(eval.evaluate(c).ok);
+}
+
+class NativeKernelsRun : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NativeKernelsRun, EveryKernelEvaluates) {
+  auto prob = spapt_by_name(GetParam(), 48);
+  NativeKernelEvaluator eval(prob, 1);
+  Rng rng(8);
+  int ok = 0;
+  for (int i = 0; i < 5; ++i) {
+    const auto c = prob->space().random_config(rng);
+    const auto r = eval.evaluate(c);
+    ok += r.ok;
+    if (r.ok) EXPECT_GT(r.seconds, 0.0);
+  }
+  EXPECT_GT(ok, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, NativeKernelsRun,
+                         ::testing::Values("MM", "ATAX", "COR", "LU"));
+
+}  // namespace
+}  // namespace portatune::kernels

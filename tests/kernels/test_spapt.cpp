@@ -1,0 +1,179 @@
+#include "kernels/spapt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "kernels/sim_evaluator.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace portatune::kernels {
+namespace {
+
+TEST(Spapt, Table3ParameterCounts) {
+  // ni column of Table III: MM 12, ATAX 13, COR 12, LU 9.
+  EXPECT_EQ(make_mm()->space().num_params(), 12u);
+  EXPECT_EQ(make_atax()->space().num_params(), 13u);
+  EXPECT_EQ(make_cor()->space().num_params(), 12u);
+  EXPECT_EQ(make_lu()->space().num_params(), 9u);
+}
+
+TEST(Spapt, SearchSpacesAreAstronomical) {
+  // Table III magnitudes (ours are the same order, see DESIGN.md).
+  EXPECT_GT(make_mm()->space().cardinality(), 1e10);
+  EXPECT_GT(make_atax()->space().cardinality(), 1e12);
+  EXPECT_GT(make_lu()->space().cardinality(), 1e9);
+}
+
+TEST(Spapt, InputSizesMatchTable3) {
+  EXPECT_EQ(make_mm()->phases()[0].nest.loops[0].extent, 2000);
+  EXPECT_EQ(make_atax()->phases()[0].nest.loops[0].extent, 10000);
+  EXPECT_EQ(make_cor(1500)->phases()[0].nest.loops[0].extent, 1500);
+}
+
+TEST(Spapt, FlopCountsMatchKernelMath) {
+  // MM: 2 n^3.
+  EXPECT_NEAR(make_mm(100)->total_flops(), 2e6, 1e-6);
+  // ATAX: two phases of 2 n^2.
+  EXPECT_NEAR(make_atax(100)->total_flops(), 4e4, 1e-6);
+  // LU with triangular occupancy 0.5 x 0.5: ~2 n^3 / 4 (+ division term).
+  const double lu = make_lu(100)->total_flops();
+  EXPECT_GT(lu, 0.4e6);
+  EXPECT_LT(lu, 0.7e6);
+}
+
+TEST(Spapt, DefaultConfigIsIdentityTransform) {
+  const auto mm = make_mm();
+  const auto ts = mm->transforms(mm->space().default_config(), 1);
+  ASSERT_EQ(ts.size(), 1u);
+  for (const auto& lt : ts[0].loops) {
+    EXPECT_EQ(lt.unroll, 1);
+    EXPECT_EQ(lt.cache_tile, 0);
+    EXPECT_EQ(lt.reg_tile, 1);
+  }
+  EXPECT_FALSE(ts[0].scalar_replacement);
+}
+
+TEST(Spapt, TransformMapsParameterValues) {
+  const auto lu = make_lu();
+  const auto& space = lu->space();
+  auto c = space.default_config();
+  c[space.index_of("U_I")] = 7;    // unroll 8
+  c[space.index_of("T_J")] = 6;    // tile 64
+  c[space.index_of("RT_J")] = 2;   // reg tile 4
+  const auto ts = lu->transforms(c, 2);
+  EXPECT_EQ(ts[0].loops[1].unroll, 8);
+  EXPECT_EQ(ts[0].loops[2].cache_tile, 64);
+  EXPECT_EQ(ts[0].loops[2].reg_tile, 4);
+  EXPECT_EQ(ts[0].threads, 2);
+}
+
+TEST(Spapt, WholeLoopTileMeansUntiled) {
+  const auto lu = make_lu(1000);
+  const auto& space = lu->space();
+  auto c = space.default_config();
+  c[space.index_of("T_K")] = 11;  // tile 2048 > extent 1000
+  const auto ts = lu->transforms(c, 1);
+  EXPECT_EQ(ts[0].loops[0].cache_tile, 0);
+}
+
+TEST(Spapt, RegTileBiggerThanCacheTileIsInfeasible) {
+  const auto lu = make_lu();
+  const auto& space = lu->space();
+  auto c = space.default_config();
+  c[space.index_of("T_I")] = 1;   // tile 2
+  c[space.index_of("RT_I")] = 3;  // reg tile 8 > tile 2
+  EXPECT_FALSE(lu->feasible(c));
+  EXPECT_THROW(lu->transforms(c, 1), Error);
+}
+
+TEST(Spapt, FeasibilityIsMachineIndependentByConstruction) {
+  // The same configs are feasible regardless of target (preserves CRN).
+  const auto mm = make_mm();
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = mm->space().random_config(rng);
+    EXPECT_EQ(mm->feasible(c), mm->feasible(c));
+  }
+}
+
+TEST(Spapt, ByNameLookup) {
+  EXPECT_EQ(spapt_by_name("MM")->name(), "MM");
+  EXPECT_EQ(spapt_by_name("LU", 64)->phases()[0].nest.loops[0].extent, 64);
+  EXPECT_THROW(spapt_by_name("NOPE"), Error);
+}
+
+TEST(Spapt, AtaxHasTwoPhases) {
+  const auto atax = make_atax();
+  EXPECT_EQ(atax->phases().size(), 2u);
+  EXPECT_EQ(atax->phases()[0].nest.name, "ATAX.Ax");
+  EXPECT_EQ(atax->phases()[1].nest.name, "ATAX.ATy");
+}
+
+TEST(Spapt, CorIsTriangular) {
+  const auto cor = make_cor();
+  EXPECT_DOUBLE_EQ(cor->phases()[1].nest.loops[1].occupancy, 0.5);
+  EXPECT_FALSE(cor->phases()[1].nest.compiler_tilable);
+}
+
+TEST(SimEvaluator, DeterministicAndPositive) {
+  auto lu = make_lu();
+  SimulatedKernelEvaluator eval(lu, sim::make_westmere());
+  const auto c = lu->space().default_config();
+  const auto r1 = eval.evaluate(c);
+  const auto r2 = eval.evaluate(c);
+  EXPECT_TRUE(r1.ok);
+  EXPECT_GT(r1.seconds, 0.0);
+  EXPECT_DOUBLE_EQ(r1.seconds, r2.seconds);
+}
+
+TEST(SimEvaluator, InfeasibleConfigFailsGracefully) {
+  auto lu = make_lu();
+  SimulatedKernelEvaluator eval(lu, sim::make_westmere());
+  auto c = lu->space().default_config();
+  c[lu->space().index_of("T_I")] = 1;   // tile 2
+  c[lu->space().index_of("RT_I")] = 5;  // reg tile 32
+  const auto r = eval.evaluate(c);
+  EXPECT_FALSE(r.ok);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_EQ(eval.evaluations(), 0u);  // failure did not count
+}
+
+TEST(SimEvaluator, DifferentMachinesDifferentTimes) {
+  auto mm = make_mm();
+  SimulatedKernelEvaluator wm(mm, sim::make_westmere());
+  SimulatedKernelEvaluator sb(mm, sim::make_sandybridge());
+  const auto c = mm->space().default_config();
+  EXPECT_NE(wm.evaluate(c).seconds, sb.evaluate(c).seconds);
+  // Sandybridge (8 x 3.4 GHz AVX) beats Westmere (6 x 2.4 GHz SSE).
+  EXPECT_LT(sb.evaluate(c).seconds, wm.evaluate(c).seconds);
+}
+
+TEST(SimEvaluator, BreakdownExposesPhases) {
+  auto atax = make_atax();
+  SimulatedKernelEvaluator eval(atax, sim::make_power7());
+  const auto b = eval.breakdown(atax->space().default_config());
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_GT(b[0].seconds, 0.0);
+  EXPECT_GT(b[1].seconds, 0.0);
+}
+
+class SpaptFeasibilityRate : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SpaptFeasibilityRate, MostConfigsAreFeasible) {
+  const auto prob = spapt_by_name(GetParam());
+  Rng rng(9);
+  int feasible = 0;
+  constexpr int kTrials = 300;
+  for (int i = 0; i < kTrials; ++i)
+    feasible += prob->feasible(prob->space().random_config(rng));
+  // Like real SPAPT problems, a noticeable fraction of the raw space is
+  // infeasible, but the majority must remain usable.
+  EXPECT_GT(feasible, kTrials / 2);
+  EXPECT_LE(feasible, kTrials);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, SpaptFeasibilityRate,
+                         ::testing::Values("MM", "ATAX", "COR", "LU"));
+
+}  // namespace
+}  // namespace portatune::kernels

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "kernels/sim_evaluator.hpp"
+#include "kernels/spapt.hpp"
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace portatune::kernels {
+namespace {
+
+TEST(SpaptExtended, ParameterCounts) {
+  EXPECT_EQ(make_bicg()->space().num_params(), 13u);
+  EXPECT_EQ(make_gesummv()->space().num_params(), 8u);
+  EXPECT_EQ(make_gemver()->space().num_params(), 15u);
+  EXPECT_EQ(make_jacobi2d()->space().num_params(), 8u);
+}
+
+TEST(SpaptExtended, PhaseStructure) {
+  EXPECT_EQ(make_bicg()->phases().size(), 2u);
+  EXPECT_EQ(make_gesummv()->phases().size(), 1u);
+  EXPECT_EQ(make_gemver()->phases().size(), 3u);
+  EXPECT_EQ(make_jacobi2d()->phases().size(), 1u);
+}
+
+TEST(SpaptExtended, JacobiUsesOffsetIndices) {
+  const auto jac = make_jacobi2d(100, 5);
+  const auto& s = jac->phases()[0].nest.stmts[0];
+  ASSERT_EQ(s.refs.size(), 6u);
+  // The west neighbor b[i][j-1] has offset -1 in the last dimension.
+  EXPECT_EQ(s.refs[2].indices[1].offset, -1);
+  EXPECT_EQ(s.refs[3].indices[1].offset, +1);
+  // The north neighbor b[i-1][j] offsets the first dimension.
+  EXPECT_EQ(s.refs[4].indices[0].offset, -1);
+}
+
+TEST(SpaptExtended, JacobiTimeLoopIsUntunable) {
+  const auto jac = make_jacobi2d();
+  const auto& names = jac->space().names();
+  for (const auto& n : names) EXPECT_EQ(n.find("_T"), std::string::npos);
+  // Default transform leaves the t loop untouched.
+  const auto ts = jac->transforms(jac->space().default_config(), 1);
+  EXPECT_EQ(ts[0].loops[0].unroll, 1);
+  EXPECT_EQ(ts[0].loops[0].cache_tile, 0);
+}
+
+TEST(SpaptExtended, FlopCounts) {
+  // BICG: two phases of 2 n^2.
+  EXPECT_NEAR(make_bicg(100)->total_flops(), 4e4, 1e-6);
+  // GESUMMV: 4 n^2. GEMVER: (4 + 3 + 3) n^2.
+  EXPECT_NEAR(make_gesummv(100)->total_flops(), 4e4, 1e-6);
+  EXPECT_NEAR(make_gemver(100)->total_flops(), 10e4, 1e-6);
+  // JACOBI2D: 5 flops x steps x n^2.
+  EXPECT_NEAR(make_jacobi2d(100, 10)->total_flops(), 5.0 * 10 * 1e4, 1e-6);
+}
+
+TEST(SpaptExtended, ByNameLookup) {
+  for (const char* name : {"BICG", "GESUMMV", "GEMVER", "JACOBI2D"})
+    EXPECT_EQ(spapt_by_name(name)->name(), name);
+  EXPECT_EQ(extended_problems().size(), 4u);
+}
+
+class ExtendedEvaluates : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExtendedEvaluates, SimulatesOnEveryMachine) {
+  const auto prob = spapt_by_name(GetParam());
+  for (const auto& m : sim::table2_machines()) {
+    SimulatedKernelEvaluator eval(prob, m);
+    const auto r = eval.evaluate(prob->space().default_config());
+    EXPECT_TRUE(r.ok) << GetParam() << " on " << m.name;
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_LT(r.seconds, 1e5);
+  }
+}
+
+TEST_P(ExtendedEvaluates, IntelSiblingsStayCorrelated) {
+  const auto prob = spapt_by_name(GetParam());
+  SimulatedKernelEvaluator wm(prob, sim::make_westmere());
+  SimulatedKernelEvaluator sb(prob, sim::make_sandybridge());
+  Rng rng(31);
+  int agreements = 0;
+  constexpr int kPairs = 40;
+  for (int i = 0; i < kPairs; ++i) {
+    auto c1 = prob->space().random_config(rng);
+    auto c2 = prob->space().random_config(rng);
+    if (!prob->feasible(c1) || !prob->feasible(c2)) {
+      ++agreements;  // count skipped as neutral
+      continue;
+    }
+    const bool wm1 = wm.evaluate(c1).seconds < wm.evaluate(c2).seconds;
+    const bool sb1 = sb.evaluate(c1).seconds < sb.evaluate(c2).seconds;
+    agreements += (wm1 == sb1);
+  }
+  EXPECT_GT(agreements, kPairs * 6 / 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ExtendedEvaluates,
+                         ::testing::Values("BICG", "GESUMMV", "GEMVER",
+                                           "JACOBI2D"));
+
+}  // namespace
+}  // namespace portatune::kernels

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace portatune::ml {
+namespace {
+
+TEST(Knn, ExactTrainingPointReturnsItsTarget) {
+  Dataset d(2);
+  d.add_row(std::vector<double>{0, 0}, 1.0);
+  d.add_row(std::vector<double>{1, 1}, 2.0);
+  d.add_row(std::vector<double>{2, 2}, 3.0);
+  KnnRegressor knn({.k = 2, .distance_weighted = true});
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{1, 1}), 2.0);
+}
+
+TEST(Knn, UnweightedAveragesNeighbors) {
+  Dataset d(1);
+  d.add_row(std::vector<double>{0}, 0.0);
+  d.add_row(std::vector<double>{1}, 10.0);
+  d.add_row(std::vector<double>{100}, 99.0);
+  KnnRegressor knn({.k = 2, .distance_weighted = false});
+  knn.fit(d);
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.4}), 5.0);
+}
+
+TEST(Knn, NormalizationBalancesScales) {
+  // Feature 0 spans [0,1], feature 1 spans [0,1000]. The nearest
+  // neighbor in normalized space of (0.0, 1000) with weights equal is the
+  // point matching on the large-scale feature ONLY if normalization works.
+  Dataset d(2);
+  d.add_row(std::vector<double>{0.0, 0.0}, 1.0);
+  d.add_row(std::vector<double>{1.0, 1000.0}, 2.0);
+  KnnRegressor knn({.k = 1, .distance_weighted = false});
+  knn.fit(d);
+  // (0.1, 900) is 0.1 away in x0 but 0.1 normalized in x1 from row 1.
+  EXPECT_DOUBLE_EQ(knn.predict(std::vector<double>{0.9, 900.0}), 2.0);
+}
+
+TEST(Knn, RejectsBadUsage) {
+  KnnRegressor knn;
+  EXPECT_THROW(knn.predict(std::vector<double>{1}), Error);
+  Dataset empty(1);
+  EXPECT_THROW(knn.fit(empty), Error);
+  KnnRegressor zero_k({.k = 0});
+  Dataset d(1);
+  d.add_row(std::vector<double>{0}, 0);
+  EXPECT_THROW(zero_k.fit(d), Error);
+}
+
+TEST(Linear, RecoversExactLinearFunction) {
+  Rng rng(1);
+  Dataset d(3);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    d.add_row(x, 2 * x[0] - 3 * x[1] + 0.5 * x[2] + 7);
+  }
+  LinearRegressor lin;
+  lin.fit(d);
+  EXPECT_NEAR(lin.weights()[0], 2.0, 1e-4);
+  EXPECT_NEAR(lin.weights()[1], -3.0, 1e-4);
+  EXPECT_NEAR(lin.weights()[2], 0.5, 1e-4);
+  EXPECT_NEAR(lin.intercept(), 7.0, 1e-4);
+  EXPECT_NEAR(lin.predict(std::vector<double>{1, 1, 1}), 6.5, 1e-4);
+}
+
+TEST(Linear, RidgeHandlesDuplicatedColumn) {
+  // x1 == x0 makes X^T X singular; the ridge term must keep the solve
+  // stable.
+  Rng rng(2);
+  Dataset d(2);
+  for (int i = 0; i < 50; ++i) {
+    const double x = rng.uniform();
+    d.add_row(std::vector<double>{x, x}, 4 * x);
+  }
+  LinearRegressor lin({.lambda = 1e-6});
+  lin.fit(d);
+  EXPECT_NEAR(lin.predict(std::vector<double>{0.5, 0.5}), 2.0, 1e-3);
+}
+
+TEST(Metrics, RmseMaeR2KnownValues) {
+  const std::vector<double> pred{1, 2, 3};
+  const std::vector<double> truth{1, 2, 5};
+  EXPECT_NEAR(rmse(pred, truth), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mae(pred, truth), 2.0 / 3.0, 1e-12);
+  // ss_res = 4, mean(truth)=8/3, ss_tot = (1-8/3)^2+(2-8/3)^2+(5-8/3)^2.
+  const double m = 8.0 / 3.0;
+  const double ss_tot =
+      (1 - m) * (1 - m) + (2 - m) * (2 - m) + (5 - m) * (5 - m);
+  EXPECT_NEAR(r_squared(pred, truth), 1.0 - 4.0 / ss_tot, 1e-12);
+}
+
+TEST(Metrics, PerfectPredictionScoresOne) {
+  const std::vector<double> y{3, 1, 4};
+  EXPECT_DOUBLE_EQ(r_squared(y, y), 1.0);
+  EXPECT_DOUBLE_EQ(rmse(y, y), 0.0);
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  EXPECT_THROW(rmse(std::vector<double>{1}, std::vector<double>{1, 2}),
+               Error);
+  EXPECT_THROW(mae(std::vector<double>{}, std::vector<double>{}), Error);
+}
+
+TEST(Metrics, KfoldPrefersTrueModelClass) {
+  Rng rng(3);
+  Dataset d(1);
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.uniform();
+    d.add_row(std::vector<double>{x}, 3 * x + 0.01 * rng.normal());
+  }
+  const double lin_rmse = kfold_rmse(
+      d, 4, [] { return std::make_unique<LinearRegressor>(); });
+  const double knn_rmse = kfold_rmse(d, 4, [] {
+    return std::make_unique<KnnRegressor>(KnnParams{.k = 15});
+  });
+  EXPECT_LT(lin_rmse, knn_rmse);  // data is exactly linear
+  EXPECT_THROW(kfold_rmse(d, 1, [] {
+    return std::make_unique<LinearRegressor>();
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace portatune::ml

@@ -1,0 +1,181 @@
+#include "ml/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace portatune::ml {
+namespace {
+
+Dataset step_function(std::size_t n, double threshold, Rng& rng) {
+  // y = 1 if x0 > threshold else 0; x1 is an irrelevant distractor.
+  Dataset d(2, {"x0", "x1"});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x0 = rng.uniform();
+    const double x1 = rng.uniform();
+    d.add_row(std::vector<double>{x0, x1}, x0 > threshold ? 1.0 : 0.0);
+  }
+  return d;
+}
+
+TEST(RegressionTree, PredictBeforeFitThrows) {
+  RegressionTree t;
+  EXPECT_THROW(t.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(RegressionTree, FitOnEmptyThrows) {
+  RegressionTree t;
+  Dataset d(1);
+  EXPECT_THROW(t.fit(d), Error);
+}
+
+TEST(RegressionTree, ConstantTargetsGiveSingleLeaf) {
+  Dataset d(1);
+  for (int i = 0; i < 10; ++i)
+    d.add_row(std::vector<double>{static_cast<double>(i)}, 5.0);
+  RegressionTree t;
+  t.fit(d);
+  EXPECT_EQ(t.leaf_count(), 1u);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{3.0}), 5.0);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{99.0}), 5.0);
+}
+
+TEST(RegressionTree, RecoversStepFunction) {
+  Rng rng(3);
+  const auto d = step_function(500, 0.6, rng);
+  RegressionTree t;
+  t.fit(d);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{0.1, 0.5}), 0.0);
+  EXPECT_DOUBLE_EQ(t.predict(std::vector<double>{0.9, 0.5}), 1.0);
+}
+
+TEST(RegressionTree, ArityMismatchOnPredictThrows) {
+  Rng rng(4);
+  const auto d = step_function(50, 0.5, rng);
+  RegressionTree t;
+  t.fit(d);
+  EXPECT_THROW(t.predict(std::vector<double>{1.0}), Error);
+}
+
+TEST(RegressionTree, MaxDepthBoundsDepth) {
+  Rng rng(5);
+  Dataset d(1);
+  for (int i = 0; i < 256; ++i)
+    d.add_row(std::vector<double>{static_cast<double>(i)},
+              static_cast<double>(i));
+  TreeParams p;
+  p.max_depth = 3;
+  RegressionTree t(p);
+  t.fit(d);
+  EXPECT_LE(t.depth(), 3u);
+  EXPECT_LE(t.leaf_count(), 8u);
+}
+
+TEST(RegressionTree, MinSamplesLeafHonored) {
+  Rng rng(6);
+  Dataset d(1);
+  for (int i = 0; i < 64; ++i)
+    d.add_row(std::vector<double>{static_cast<double>(i)},
+              static_cast<double>(i % 7));
+  TreeParams p;
+  p.min_samples_leaf = 8;
+  RegressionTree t(p);
+  t.fit(d);
+  // With 64 rows and >=8 per leaf, at most 8 leaves exist.
+  EXPECT_LE(t.leaf_count(), 8u);
+}
+
+TEST(RegressionTree, PredictionsWithinTargetRange) {
+  Rng rng(7);
+  Dataset d(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform(), rng.uniform()};
+    d.add_row(x, std::sin(6.0 * x[0]) + x[1]);
+  }
+  RegressionTree t;
+  t.fit(d);
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = 0; i < d.num_rows(); ++i) {
+    lo = std::min(lo, d.target(i));
+    hi = std::max(hi, d.target(i));
+  }
+  for (int i = 0; i < 50; ++i) {
+    const double y = t.predict(
+        std::vector<double>{rng.uniform(), rng.uniform(), rng.uniform()});
+    EXPECT_GE(y, lo - 1e-9);
+    EXPECT_LE(y, hi + 1e-9);
+  }
+}
+
+TEST(RegressionTree, TextRenderingNamesFeatures) {
+  Rng rng(8);
+  const auto d = step_function(200, 0.5, rng);
+  RegressionTree t;
+  t.fit(d);
+  const std::string text = t.to_text({"U_I", "U_J"});
+  EXPECT_NE(text.find("U_I"), std::string::npos);
+  EXPECT_NE(text.find("if"), std::string::npos);
+  EXPECT_NE(text.find("->"), std::string::npos);
+}
+
+TEST(RegressionTree, DotRenderingIsWellFormed) {
+  Rng rng(9);
+  const auto d = step_function(100, 0.5, rng);
+  RegressionTree t;
+  t.fit(d);
+  const std::string dot = t.to_dot();
+  EXPECT_EQ(dot.rfind("digraph tree {", 0), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(RegressionTree, TrainingFitImprovesWithDepth) {
+  Rng rng(10);
+  Dataset d(1);
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform();
+    d.add_row(std::vector<double>{x}, std::sin(10 * x));
+  }
+  const auto sse = [&](const RegressionTree& t) {
+    double acc = 0;
+    for (std::size_t i = 0; i < d.num_rows(); ++i) {
+      const double e = t.predict(d.row(i)) - d.target(i);
+      acc += e * e;
+    }
+    return acc;
+  };
+  TreeParams shallow;
+  shallow.max_depth = 2;
+  RegressionTree t2(shallow);
+  t2.fit(d);
+  TreeParams deep;
+  deep.max_depth = 8;
+  RegressionTree t8(deep);
+  t8.fit(d);
+  EXPECT_LT(sse(t8), sse(t2));
+}
+
+class TreeDepthSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TreeDepthSweep, DepthNeverExceedsLimit) {
+  Rng rng(11);
+  Dataset d(2);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<double> x{rng.uniform(), rng.uniform()};
+    d.add_row(x, x[0] * x[1] + 0.01 * rng.normal());
+  }
+  TreeParams p;
+  p.max_depth = GetParam();
+  RegressionTree t(p);
+  t.fit(d);
+  EXPECT_LE(t.depth(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, TreeDepthSweep,
+                         ::testing::Values(1u, 2u, 4u, 6u, 10u));
+
+}  // namespace
+}  // namespace portatune::ml

@@ -1,0 +1,132 @@
+#include "orio/annotation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace portatune::orio {
+namespace {
+
+TEST(Annotation, ParsesTheExampleMm) {
+  const auto prob = parse_annotation(example_mm_annotation(100));
+  EXPECT_EQ(prob->name(), "MM");
+  EXPECT_EQ(prob->space().num_params(), 10u);  // 9 loop params + SCR
+  ASSERT_EQ(prob->phases().size(), 1u);
+  const auto& nest = prob->phases()[0].nest;
+  EXPECT_EQ(nest.loops.size(), 3u);
+  EXPECT_EQ(nest.loops[0].name, "i");
+  EXPECT_EQ(nest.loops[2].extent, 100);
+  EXPECT_EQ(nest.arrays.size(), 3u);
+  ASSERT_EQ(nest.stmts.size(), 1u);
+  EXPECT_EQ(nest.stmts[0].refs.size(), 4u);
+  EXPECT_DOUBLE_EQ(nest.stmts[0].flops, 2.0);
+  EXPECT_TRUE(nest.compiler_tilable);
+  EXPECT_TRUE(nest.outer_parallel);
+}
+
+TEST(Annotation, StatementTextSurvivesQuoting) {
+  const auto prob = parse_annotation(example_mm_annotation(10));
+  EXPECT_EQ(prob->phases()[0].nest.stmts[0].text,
+            "C[i][j] = C[i][j] + A[i][k] * B[k][j];");
+}
+
+TEST(Annotation, RefsBindToDeclaredLoopsAndArrays) {
+  const auto prob = parse_annotation(example_mm_annotation(10));
+  const auto& s = prob->phases()[0].nest.stmts[0];
+  // reads C[i][j] A[i][k] B[k][j], writes C[i][j].
+  EXPECT_FALSE(s.refs[0].is_write);
+  EXPECT_TRUE(s.refs[3].is_write);
+  EXPECT_EQ(s.refs[1].indices[1].coeff_of(2), 1);  // A's k index
+}
+
+TEST(Annotation, OccupancyAndIntegerIndices) {
+  const auto prob = parse_annotation(
+      "kernel TRI\n"
+      "array A[8][8]\n"
+      "loop i 8\n"
+      "loop j 8 0.5\n"
+      "stmt \"A[i][0] += A[i][j];\" flops 1 reads A[i][j] writes A[i][0]\n"
+      "param U_I unroll i 1..4\n");
+  const auto& nest = prob->phases()[0].nest;
+  EXPECT_DOUBLE_EQ(nest.loops[1].occupancy, 0.5);
+  EXPECT_EQ(nest.stmts[0].refs[1].indices[1].offset, 0);
+  EXPECT_TRUE(nest.stmts[0].refs[1].indices[1].terms.empty());
+}
+
+TEST(Annotation, CommentsAndBlankLinesIgnored) {
+  const auto prob = parse_annotation(
+      "# a comment\n"
+      "kernel K\n"
+      "\n"
+      "array A[4]\n"
+      "loop i 4   # trailing comment\n"
+      "stmt \"A[i] = 0;\" writes A[i]\n"
+      "param U unroll i 1..2\n");
+  EXPECT_EQ(prob->name(), "K");
+}
+
+TEST(Annotation, ErrorsCarryLineNumbers) {
+  try {
+    parse_annotation("kernel K\nloop i 4\nbogus directive\n");
+    FAIL() << "expected a parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Annotation, RejectsUnknownReferences) {
+  EXPECT_THROW(parse_annotation("kernel K\n"
+                                "array A[4]\n"
+                                "loop i 4\n"
+                                "stmt \"x\" reads B[i]\n"),
+               Error);
+  EXPECT_THROW(parse_annotation("kernel K\n"
+                                "array A[4]\n"
+                                "loop i 4\n"
+                                "stmt \"x\" reads A[q]\n"),
+               Error);
+  EXPECT_THROW(parse_annotation("kernel K\n"
+                                "array A[4][4]\n"
+                                "loop i 4\n"
+                                "stmt \"x\" reads A[i]\n"),  // arity
+               Error);
+}
+
+TEST(Annotation, RejectsEmptyKernels) {
+  EXPECT_THROW(parse_annotation("kernel K\n"), Error);
+  EXPECT_THROW(parse_annotation("kernel K\nloop i 4\n"), Error);
+}
+
+TEST(Annotation, ParamKindsRoundTrip) {
+  const auto prob = parse_annotation(
+      "kernel K\n"
+      "array A[64]\n"
+      "loop i 64\n"
+      "stmt \"A[i] += 1;\" flops 1 reads A[i] writes A[i]\n"
+      "param U unroll i 1..8\n"
+      "param T tile i pow2 0..4\n"
+      "param R regtile i pow2 0..2\n"
+      "param V flag vector_pragma\n");
+  const auto& space = prob->space();
+  EXPECT_EQ(space.num_params(), 4u);
+  auto c = space.default_config();
+  c[space.index_of("U")] = 3;  // unroll 4
+  c[space.index_of("T")] = 3;  // tile 8
+  c[space.index_of("V")] = 1;
+  const auto ts = prob->transforms(c, 1);
+  EXPECT_EQ(ts[0].loops[0].unroll, 4);
+  EXPECT_EQ(ts[0].loops[0].cache_tile, 8);
+  EXPECT_TRUE(ts[0].vector_pragma);
+}
+
+TEST(Annotation, ParsedProblemIsTunable) {
+  const auto prob = parse_annotation(example_mm_annotation(50));
+  Rng rng(1);
+  int feasible = 0;
+  for (int i = 0; i < 50; ++i)
+    feasible += prob->feasible(prob->space().random_config(rng));
+  EXPECT_GT(feasible, 10);
+}
+
+}  // namespace
+}  // namespace portatune::orio

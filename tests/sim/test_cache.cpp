@@ -1,0 +1,114 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace portatune::sim {
+namespace {
+
+TEST(Cache, ColdMissThenHit) {
+  Cache c(1024, 64, 2);
+  EXPECT_FALSE(c.access(0));   // cold miss
+  EXPECT_TRUE(c.access(0));    // hit
+  EXPECT_TRUE(c.access(63));   // same line
+  EXPECT_FALSE(c.access(64));  // next line
+  EXPECT_EQ(c.misses(), 2u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEvictsOldest) {
+  // Direct construction: 2 sets x 2 ways x 64B lines = 256 B.
+  Cache c(256, 64, 2);
+  ASSERT_EQ(c.num_sets(), 2u);
+  // Three lines mapping to set 0: line numbers 0, 2, 4 (even lines).
+  c.access(0 * 64);
+  c.access(2 * 64);
+  c.access(0 * 64);      // touch 0: now 2 is LRU
+  c.access(4 * 64);      // evicts 2
+  EXPECT_TRUE(c.contains(0 * 64));
+  EXPECT_FALSE(c.contains(2 * 64));
+  EXPECT_TRUE(c.contains(4 * 64));
+}
+
+TEST(Cache, AssociativityConflicts) {
+  // Direct-mapped: two lines in the same set always conflict.
+  Cache c(512, 64, 1);
+  const std::uint64_t stride = 64 * c.num_sets();
+  for (int rep = 0; rep < 4; ++rep) {
+    c.access(0);
+    c.access(stride);
+  }
+  EXPECT_EQ(c.hits(), 0u);  // ping-pong: every access misses
+}
+
+TEST(Cache, SequentialScanMissRatio) {
+  Cache c(32 * 1024, 64, 8);
+  // Scan 1 MiB of doubles: one miss per 8 accesses (64B line).
+  for (std::uint64_t addr = 0; addr < (1u << 20); addr += 8) c.access(addr);
+  EXPECT_NEAR(c.miss_ratio(), 1.0 / 8.0, 1e-6);
+}
+
+TEST(Cache, WorkingSetThatFitsHitsOnSecondPass) {
+  Cache c(32 * 1024, 64, 8);
+  for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 8) c.access(addr);
+  const auto cold_misses = c.misses();
+  for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 8) c.access(addr);
+  EXPECT_EQ(c.misses(), cold_misses);  // second pass entirely hits
+}
+
+TEST(Cache, ResetClearsState) {
+  Cache c(1024, 64, 2);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.accesses(), 0u);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  EXPECT_THROW(Cache(100, 63, 2), Error);   // non-pow2 line
+  EXPECT_THROW(Cache(64, 64, 2), Error);    // smaller than one set
+  EXPECT_THROW(Cache(1024, 64, 0), Error);  // zero ways
+}
+
+TEST(Cache, NonPowerOfTwoSetCountWorks) {
+  // 10 sets (Power7-style geometry): modulo indexing must still behave.
+  Cache c(10 * 64 * 8, 64, 8);
+  EXPECT_EQ(c.num_sets(), 10u);
+  for (std::uint64_t line = 0; line < 100; ++line) c.access(line * 64);
+  for (std::uint64_t line = 100; line-- > 100 - 10 * 8;) {
+    // The last 80 distinct lines fit exactly; all resident.
+    EXPECT_TRUE(c.contains(line * 64));
+  }
+}
+
+TEST(CacheHierarchy, MissesFallThroughLevels) {
+  CacheHierarchy h({{"L1", 1024, 64, 2, 1, false},
+                    {"L2", 8192, 64, 4, 10, false}});
+  EXPECT_EQ(h.access(0), 2u);   // missed both -> memory
+  EXPECT_EQ(h.access(0), 0u);   // L1 hit
+  // Evict line 0 from L1 by filling it, then find it in L2.
+  for (std::uint64_t line = 1; line < 64; ++line) h.access(line * 64);
+  EXPECT_EQ(h.access(0), 1u);   // L1 miss, L2 hit
+  EXPECT_GT(h.memory_accesses(), 0u);
+  EXPECT_EQ(h.total_accesses(), 2u + 63u + 1u);
+}
+
+TEST(CacheHierarchy, RejectsEmpty) {
+  EXPECT_THROW(CacheHierarchy({}), Error);
+}
+
+class ScanGeometry : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScanGeometry, MissRatioMatchesLineSize) {
+  const int line = GetParam();
+  Cache c(64 * 1024, line, 8);
+  for (std::uint64_t addr = 0; addr < (1u << 21); addr += 8) c.access(addr);
+  EXPECT_NEAR(c.miss_ratio(), 8.0 / line, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lines, ScanGeometry,
+                         ::testing::Values(32, 64, 128, 256));
+
+}  // namespace
+}  // namespace portatune::sim

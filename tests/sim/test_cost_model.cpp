@@ -1,0 +1,210 @@
+#include "sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hpp"
+#include "support/error.hpp"
+
+namespace portatune::sim {
+namespace {
+
+LoopNest mm_nest(std::int64_t n) {
+  LoopNest nest;
+  nest.name = "mm";
+  nest.loops = {{"i", n, 1.0}, {"j", n, 1.0}, {"k", n, 1.0}};
+  nest.arrays = {{"C", {n, n}, 8}, {"A", {n, n}, 8}, {"B", {n, n}, 8}};
+  Statement s;
+  s.depth = 3;
+  s.flops = 2.0;
+  s.refs = {{0, {idx(0), idx(1)}, false},
+            {0, {idx(0), idx(1)}, true},
+            {1, {idx(0), idx(2)}, false},
+            {2, {idx(2), idx(1)}, false}};
+  nest.stmts = {s};
+  nest.compiler_tilable = true;
+  nest.outer_parallel = true;
+  return nest;
+}
+
+AnalyticalCostModel noiseless() {
+  AnalyticalCostModel::Options opt;
+  opt.noise_sigma = 0.0;
+  return AnalyticalCostModel(opt);
+}
+
+TEST(CostModel, DeterministicWithNoise) {
+  const auto nest = mm_nest(512);
+  const auto t = NestTransform::identity(3);
+  AnalyticalCostModel model;  // default noise on
+  const auto m = make_sandybridge();
+  EXPECT_DOUBLE_EQ(model.run_time(nest, t, m, 1),
+                   model.run_time(nest, t, m, 1));
+  // Different configurations draw different noise.
+  EXPECT_NE(model.run_time(nest, t, m, 1), model.run_time(nest, t, m, 2));
+}
+
+TEST(CostModel, NoiseIsMultiplicativeAndBounded) {
+  const auto nest = mm_nest(512);
+  const auto t = NestTransform::identity(3);
+  const auto m = make_sandybridge();
+  const double clean = noiseless().run_time(nest, t, m, 7);
+  AnalyticalCostModel noisy;
+  const double withnoise = noisy.run_time(nest, t, m, 7);
+  EXPECT_GT(withnoise, clean * 0.7);
+  EXPECT_LT(withnoise, clean * 1.4);
+}
+
+TEST(CostModel, TilingReducesDramTraffic) {
+  const auto nest = mm_nest(2000);
+  const auto m = make_sandybridge();
+  const auto model = noiseless();
+  const auto plain = model.evaluate(nest, NestTransform::identity(3), m);
+
+  auto t = NestTransform::identity(3);
+  for (auto& lt : t.loops) lt.cache_tile = 64;
+  const auto tiled = model.evaluate(nest, t, m);
+  EXPECT_LT(tiled.dram_bytes, plain.dram_bytes);
+}
+
+TEST(CostModel, MissesAreMonotoneAcrossLevels) {
+  const auto nest = mm_nest(2000);
+  const auto model = noiseless();
+  for (const auto& m : table2_machines()) {
+    const auto b = model.evaluate(nest, NestTransform::identity(3), m);
+    for (std::size_t c = 1; c < b.level_misses.size(); ++c)
+      EXPECT_LE(b.level_misses[c], b.level_misses[c - 1] + 1e-9)
+          << m.name << " level " << c;
+  }
+}
+
+TEST(CostModel, VectorizableNestGetsVectorFactor) {
+  const auto nest = mm_nest(512);  // inner k: A stride 1, B strided
+  const auto model = noiseless();
+  // MM's inner loop k indexes B's row dimension -> strided -> GNU gets no
+  // vectorization.
+  const auto gnu = model.evaluate(nest, NestTransform::identity(3),
+                                  make_sandybridge(Compiler::Gnu));
+  EXPECT_DOUBLE_EQ(gnu.vec_factor, 1.0);
+}
+
+TEST(CostModel, FasterClockIsFasterOnComputeBound) {
+  auto nest = mm_nest(256);  // fits caches: compute dominated
+  const auto model = noiseless();
+  auto slow = make_sandybridge();
+  auto fast = make_sandybridge();
+  fast.clock_ghz = 2 * slow.clock_ghz;
+  const auto t = NestTransform::identity(3);
+  EXPECT_LT(model.run_time(nest, t, fast), model.run_time(nest, t, slow));
+}
+
+TEST(CostModel, ThreadsSpeedUpParallelNest) {
+  const auto nest = mm_nest(2000);
+  const auto model = noiseless();
+  const auto m = make_sandybridge();
+  auto serial = NestTransform::identity(3);
+  auto threaded = NestTransform::identity(3);
+  threaded.threads = 8;
+  EXPECT_LT(model.run_time(nest, threaded, m),
+            model.run_time(nest, serial, m));
+}
+
+TEST(CostModel, ThreadsIgnoredOnSequentialNest) {
+  auto nest = mm_nest(512);
+  nest.outer_parallel = false;
+  const auto model = noiseless();
+  const auto m = make_sandybridge();
+  auto threaded = NestTransform::identity(3);
+  threaded.threads = 8;
+  EXPECT_DOUBLE_EQ(model.run_time(nest, threaded, m),
+                   model.run_time(nest, NestTransform::identity(3), m));
+}
+
+TEST(CostModel, HugeRegisterTilesSpill) {
+  const auto nest = mm_nest(512);
+  const auto model = noiseless();
+  const auto m = make_xgene();  // 12 effective registers, scalar
+  auto modest = NestTransform::identity(3);
+  modest.loops[1].reg_tile = 2;
+  auto huge = NestTransform::identity(3);
+  huge.loops[0].reg_tile = 16;
+  huge.loops[1].reg_tile = 16;
+  const auto b_modest = model.evaluate(nest, modest, m);
+  const auto b_huge = model.evaluate(nest, huge, m);
+  EXPECT_EQ(b_modest.spill_regs, 0.0);
+  EXPECT_GT(b_huge.spill_regs, 0.0);
+}
+
+TEST(CostModel, IdentityDetection) {
+  auto t = NestTransform::identity(3);
+  EXPECT_TRUE(AnalyticalCostModel::is_identity(t));
+  t.loops[1].unroll = 2;
+  EXPECT_FALSE(AnalyticalCostModel::is_identity(t));
+  t = NestTransform::identity(3);
+  t.loops[0].cache_tile = 64;
+  EXPECT_FALSE(AnalyticalCostModel::is_identity(t));
+  t = NestTransform::identity(3);
+  t.scalar_replacement = true;
+  EXPECT_FALSE(AnalyticalCostModel::is_identity(t));
+  t = NestTransform::identity(3);
+  t.threads = 8;  // threading alone leaves the source clean
+  EXPECT_TRUE(AnalyticalCostModel::is_identity(t));
+}
+
+TEST(CostModel, IntelAutoOptimizesCleanTilableSource) {
+  const auto nest = mm_nest(2000);
+  const auto model = noiseless();
+  const auto icc = make_xeon_phi(Compiler::Intel);
+  const auto b = model.evaluate(nest, NestTransform::identity(3), icc);
+  EXPECT_TRUE(b.compiler_auto_applied);
+
+  // A hand-transformed variant must not receive the auto treatment.
+  auto t = NestTransform::identity(3);
+  t.loops[0].unroll = 4;
+  const auto bh = model.evaluate(nest, t, icc);
+  EXPECT_FALSE(bh.compiler_auto_applied);
+}
+
+TEST(CostModel, GnuNeverAutoTiles) {
+  const auto nest = mm_nest(2000);
+  const auto model = noiseless();
+  const auto b = model.evaluate(nest, NestTransform::identity(3),
+                                make_sandybridge(Compiler::Gnu));
+  EXPECT_FALSE(b.compiler_auto_applied);
+}
+
+TEST(CostModel, MultiPhaseRunTimeIsSum) {
+  const auto nest = mm_nest(256);
+  const auto model = noiseless();
+  const auto m = make_westmere();
+  const std::vector<LoopNest> nests{nest, nest};
+  const std::vector<NestTransform> ts{NestTransform::identity(3),
+                                      NestTransform::identity(3)};
+  const double both = model.run_time(nests, ts, m, 5);
+  const double one = model.run_time(nest, ts[0], m, 5);
+  EXPECT_NEAR(both, 2 * one, 1e-9);
+  EXPECT_THROW(
+      model.run_time(nests, std::vector<NestTransform>{ts[0]}, m, 5),
+      Error);
+}
+
+class MachineSanity : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MachineSanity, RunTimesArePositiveAndFinite) {
+  const auto m = machine_by_name(GetParam());
+  const auto nest = mm_nest(2000);
+  const auto model = noiseless();
+  auto t = NestTransform::identity(3);
+  for (std::int64_t tile : {0, 8, 64, 512}) {
+    for (auto& lt : t.loops) lt.cache_tile = tile;
+    const double s = model.run_time(nest, t, m);
+    EXPECT_GT(s, 0.0) << GetParam() << " tile " << tile;
+    EXPECT_LT(s, 1e5) << GetParam() << " tile " << tile;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, MachineSanity,
+                         ::testing::Values("Westmere", "Sandybridge",
+                                           "XeonPhi", "Power7", "X-Gene"));
+
+}  // namespace
+}  // namespace portatune::sim

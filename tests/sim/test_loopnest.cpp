@@ -1,0 +1,182 @@
+#include "sim/loopnest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace portatune::sim {
+namespace {
+
+LoopNest mm_nest(std::int64_t n) {
+  LoopNest nest;
+  nest.name = "mm";
+  nest.loops = {{"i", n, 1.0}, {"j", n, 1.0}, {"k", n, 1.0}};
+  nest.arrays = {{"C", {n, n}, 8}, {"A", {n, n}, 8}, {"B", {n, n}, 8}};
+  Statement s;
+  s.depth = 3;
+  s.flops = 2.0;
+  s.refs = {{0, {idx(0), idx(1)}, true},
+            {1, {idx(0), idx(2)}, false},
+            {2, {idx(2), idx(1)}, false}};
+  nest.stmts = {s};
+  return nest;
+}
+
+TEST(IndexExpr, EvalAndCoeffs) {
+  const IndexExpr e{{{0, 2}, {2, -1}}, 5};
+  const std::vector<std::int64_t> iters{3, 7, 4};
+  EXPECT_EQ(e.eval(iters), 2 * 3 - 4 + 5);
+  EXPECT_EQ(e.coeff_of(0), 2);
+  EXPECT_EQ(e.coeff_of(1), 0);
+  EXPECT_TRUE(e.depends_on(2));
+  EXPECT_FALSE(e.depends_on(1));
+}
+
+TEST(LoopNest, IterationsRespectOccupancy) {
+  LoopNest nest = mm_nest(10);
+  EXPECT_DOUBLE_EQ(nest.iterations(3), 1000.0);
+  nest.loops[1].occupancy = 0.5;
+  EXPECT_DOUBLE_EQ(nest.iterations(3), 500.0);
+  EXPECT_DOUBLE_EQ(nest.iterations(0), 1.0);
+  EXPECT_THROW(nest.iterations(4), Error);
+}
+
+TEST(LoopNest, TotalFlops) {
+  const auto nest = mm_nest(10);
+  EXPECT_DOUBLE_EQ(nest.total_flops(), 2000.0);
+}
+
+TEST(LoopNest, DataBytes) {
+  const auto nest = mm_nest(10);
+  EXPECT_EQ(nest.data_bytes(), 3 * 10 * 10 * 8);
+}
+
+TEST(Validate, RejectsMalformedTransforms) {
+  const auto nest = mm_nest(16);
+  auto t = NestTransform::identity(3);
+  EXPECT_NO_THROW(nest.validate(t));
+
+  t = NestTransform::identity(2);  // wrong arity
+  EXPECT_THROW(nest.validate(t), Error);
+
+  t = NestTransform::identity(3);
+  t.loops[0].unroll = 0;
+  EXPECT_THROW(nest.validate(t), Error);
+
+  t = NestTransform::identity(3);
+  t.loops[1].cache_tile = 32;  // tile > extent
+  EXPECT_THROW(nest.validate(t), Error);
+
+  t = NestTransform::identity(3);
+  t.loops[1].cache_tile = 4;
+  t.loops[1].reg_tile = 8;  // reg tile > cache tile
+  EXPECT_THROW(nest.validate(t), Error);
+
+  t = NestTransform::identity(3);
+  t.threads = 0;
+  EXPECT_THROW(nest.validate(t), Error);
+}
+
+TEST(EffectiveLevels, IdentityKeepsLoopOrder) {
+  const auto nest = mm_nest(8);
+  const auto levels = effective_levels(nest, NestTransform::identity(3));
+  ASSERT_EQ(levels.size(), 3u);
+  for (std::size_t l = 0; l < 3; ++l) {
+    EXPECT_EQ(levels[l].loop, l);
+    EXPECT_EQ(levels[l].extent, 8);
+    EXPECT_FALSE(levels[l].reg_band);
+  }
+}
+
+TEST(EffectiveLevels, TilingCreatesOuterBand) {
+  const auto nest = mm_nest(16);
+  auto t = NestTransform::identity(3);
+  t.loops[2].cache_tile = 4;
+  const auto levels = effective_levels(nest, t);
+  // [k-tile][i][j][k-intra]
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0].loop, 2u);
+  EXPECT_EQ(levels[0].extent, 4);   // 16/4 tiles
+  EXPECT_EQ(levels[0].stride, 4);   // one tile step advances k by 4
+  EXPECT_EQ(levels[3].loop, 2u);
+  EXPECT_EQ(levels[3].extent, 4);   // intra-tile
+}
+
+TEST(EffectiveLevels, RegisterBandIsInnermost) {
+  const auto nest = mm_nest(16);
+  auto t = NestTransform::identity(3);
+  t.loops[0].reg_tile = 2;
+  t.loops[1].reg_tile = 4;
+  const auto levels = effective_levels(nest, t);
+  // [i][j][k] intra + [i-reg][j-reg]
+  ASSERT_EQ(levels.size(), 5u);
+  EXPECT_TRUE(levels[3].reg_band);
+  EXPECT_TRUE(levels[4].reg_band);
+  EXPECT_EQ(levels[3].loop, 0u);
+  EXPECT_EQ(levels[3].extent, 2);
+  EXPECT_EQ(levels[4].loop, 1u);
+  EXPECT_EQ(levels[4].extent, 4);
+  // Intra band of loop 0 shrinks to 16/2.
+  EXPECT_EQ(levels[0].extent, 8);
+  EXPECT_EQ(levels[0].stride, 2);
+}
+
+TEST(EffectiveLevels, RaggedTilePadsUp) {
+  LoopNest nest = mm_nest(10);
+  auto t = NestTransform::identity(3);
+  t.loops[0].cache_tile = 4;  // 10/4 -> 3 tiles (ceil)
+  const auto levels = effective_levels(nest, t);
+  EXPECT_EQ(levels[0].extent, 3);
+}
+
+TEST(LoopSpans, ProductOfBandsClampedToExtent) {
+  const auto nest = mm_nest(16);
+  auto t = NestTransform::identity(3);
+  t.loops[2].cache_tile = 4;
+  const auto levels = effective_levels(nest, t);
+  // Scope = whole sequence: every loop spans its full extent.
+  auto spans = loop_spans(nest, levels, 0);
+  EXPECT_EQ(spans, (std::vector<std::int64_t>{16, 16, 16}));
+  // Scope from position 1 (inside the k-tile loop): k spans one tile.
+  spans = loop_spans(nest, levels, 1);
+  EXPECT_EQ(spans[2], 4);
+  EXPECT_EQ(spans[0], 16);
+  // Empty scope: all spans 1.
+  spans = loop_spans(nest, levels, levels.size());
+  EXPECT_EQ(spans, (std::vector<std::int64_t>{1, 1, 1}));
+}
+
+TEST(Footprint, RowOfContiguousDoubles) {
+  const auto nest = mm_nest(64);
+  // A[i][k] with i fixed, k spanning 64: 64*8/64 = 8 lines.
+  const ArrayRef ref{1, {idx(0), idx(2)}, false};
+  const std::vector<std::int64_t> spans{1, 1, 64};
+  EXPECT_DOUBLE_EQ(ref_footprint_lines(nest, ref, spans, 64), 8.0);
+}
+
+TEST(Footprint, ColumnTouchesOneLinePerRow) {
+  const auto nest = mm_nest(64);
+  // B[k][j] with j fixed, k spanning 64: 64 distinct rows.
+  const ArrayRef ref{2, {idx(2), idx(1)}, false};
+  const std::vector<std::int64_t> spans{1, 1, 64};
+  EXPECT_DOUBLE_EQ(ref_footprint_lines(nest, ref, spans, 64), 64.0);
+}
+
+TEST(Footprint, SingleElement) {
+  const auto nest = mm_nest(64);
+  const ArrayRef ref{0, {idx(0), idx(1)}, false};
+  const std::vector<std::int64_t> spans{1, 1, 1};
+  EXPECT_DOUBLE_EQ(ref_footprint_lines(nest, ref, spans, 64), 1.0);
+}
+
+TEST(Footprint, ScopeFootprintCapsAtArraySize) {
+  const auto nest = mm_nest(8);  // arrays are 8x8x8B = 512B each
+  const std::vector<std::int64_t> spans{8, 8, 8};
+  const double bytes = scope_footprint_bytes(nest, spans, 64);
+  // 3 arrays x 512 B; the per-array cap prevents double counting.
+  EXPECT_LE(bytes, 3 * 512.0 + 3 * 64.0);
+  EXPECT_GT(bytes, 3 * 300.0);
+}
+
+}  // namespace
+}  // namespace portatune::sim

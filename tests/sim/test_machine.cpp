@@ -1,0 +1,80 @@
+#include "sim/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace portatune::sim {
+namespace {
+
+TEST(Machine, Table2Specifications) {
+  const auto sb = make_sandybridge();
+  EXPECT_EQ(sb.cores, 8);
+  EXPECT_DOUBLE_EQ(sb.clock_ghz, 3.4);
+  ASSERT_EQ(sb.caches.size(), 3u);
+  EXPECT_EQ(sb.caches[0].size_bytes, 32 * 1024);
+  EXPECT_EQ(sb.caches[1].size_bytes, 256 * 1024);
+  EXPECT_EQ(sb.caches[2].size_bytes, 20 * 1024 * 1024);
+  EXPECT_TRUE(sb.caches[2].shared);
+
+  const auto wm = make_westmere();
+  EXPECT_EQ(wm.cores, 6);
+  EXPECT_DOUBLE_EQ(wm.clock_ghz, 2.4);
+  EXPECT_EQ(wm.caches[2].size_bytes, 12 * 1024 * 1024);
+
+  const auto phi = make_xeon_phi();
+  EXPECT_EQ(phi.cores, 61);
+  EXPECT_DOUBLE_EQ(phi.clock_ghz, 1.24);
+  EXPECT_EQ(phi.caches.size(), 2u);  // Table II: no L3
+  EXPECT_FALSE(phi.out_of_order);
+  EXPECT_EQ(phi.vector_doubles, 8);
+
+  const auto p7 = make_power7();
+  EXPECT_EQ(p7.cores, 6);
+  EXPECT_DOUBLE_EQ(p7.clock_ghz, 4.2);
+  EXPECT_FALSE(p7.caches[2].shared);  // per-core L3
+  EXPECT_EQ(p7.caches[0].line_bytes, 128);
+
+  const auto xg = make_xgene();
+  EXPECT_EQ(xg.cores, 8);
+  EXPECT_EQ(xg.caches[2].size_bytes, 8 * 1024 * 1024);
+  EXPECT_EQ(xg.tlb_entries, 32);  // the X-Gene idiosyncrasy
+}
+
+TEST(Machine, PeakGflopsOrdering) {
+  // Phi's 61 wide cores dwarf everything; X-Gene is the weakest.
+  const double phi = make_xeon_phi().peak_gflops();
+  const double sb = make_sandybridge().peak_gflops();
+  const double wm = make_westmere().peak_gflops();
+  const double xg = make_xgene().peak_gflops();
+  EXPECT_GT(phi, sb);
+  EXPECT_GT(sb, wm);
+  EXPECT_GT(wm, xg);
+}
+
+TEST(Machine, CompilerHyperparameter) {
+  EXPECT_EQ(make_sandybridge(Compiler::Intel).compiler, Compiler::Intel);
+  EXPECT_EQ(make_sandybridge().compiler, Compiler::Gnu);
+  EXPECT_EQ(to_string(Compiler::Gnu), "gnu");
+  EXPECT_EQ(to_string(Compiler::Intel), "intel");
+}
+
+TEST(Machine, LookupByNameIsCaseInsensitive) {
+  EXPECT_EQ(machine_by_name("westmere").name, "Westmere");
+  EXPECT_EQ(machine_by_name("XEONPHI").name, "XeonPhi");
+  EXPECT_EQ(machine_by_name("x-gene").name, "X-Gene");
+  EXPECT_THROW(machine_by_name("cray"), Error);
+}
+
+TEST(Machine, Table2ListHasFiveMachines) {
+  const auto machines = table2_machines();
+  EXPECT_EQ(machines.size(), 5u);
+}
+
+TEST(Machine, LlcBytes) {
+  EXPECT_EQ(make_sandybridge().llc_bytes(), 20 * 1024 * 1024);
+  EXPECT_EQ(make_xeon_phi().llc_bytes(), 512 * 1024);
+}
+
+}  // namespace
+}  // namespace portatune::sim

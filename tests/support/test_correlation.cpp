@@ -1,0 +1,128 @@
+#include "support/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace portatune {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{3, 2, 1};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSampleGivesZero) {
+  const std::vector<double> x{1, 1, 1};
+  const std::vector<double> y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{2, 1, 4, 3, 5};
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, MismatchThrows) {
+  EXPECT_THROW(pearson(std::vector<double>{1}, std::vector<double>{1, 2}),
+               Error);
+}
+
+TEST(Spearman, InvariantUnderMonotoneTransform) {
+  Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(x.back() + 0.1 * rng.uniform());
+  }
+  const double base = spearman(x, y);
+  std::vector<double> y_exp;
+  for (double v : y) y_exp.push_back(std::exp(5.0 * v));  // monotone map
+  EXPECT_NEAR(spearman(x, y_exp), base, 1e-12);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x{1, 2, 2, 3};
+  const std::vector<double> y{10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Kendall, PerfectConcordance) {
+  const std::vector<double> x{1, 2, 3, 4};
+  const std::vector<double> y{10, 20, 30, 40};
+  EXPECT_NEAR(kendall(x, y), 1.0, 1e-12);
+}
+
+TEST(Kendall, PerfectDiscordance) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{5, 4, 3};
+  EXPECT_NEAR(kendall(x, y), -1.0, 1e-12);
+}
+
+TEST(Kendall, KnownMixedValue) {
+  const std::vector<double> x{1, 2, 3};
+  const std::vector<double> y{1, 3, 2};
+  EXPECT_NEAR(kendall(x, y), 1.0 / 3.0, 1e-12);
+}
+
+TEST(TopSetOverlap, IdenticalOrdersGiveOne) {
+  const std::vector<double> x{5, 1, 3, 2, 4, 9, 8, 7, 6, 0};
+  EXPECT_DOUBLE_EQ(top_set_overlap(x, x, 0.2), 1.0);
+}
+
+TEST(TopSetOverlap, DisjointTopsGiveZero) {
+  const std::vector<double> x{0, 1, 8, 9};  // best two: indices 0,1
+  const std::vector<double> y{8, 9, 0, 1};  // best two: indices 2,3
+  EXPECT_DOUBLE_EQ(top_set_overlap(x, y, 0.5), 0.0);
+}
+
+TEST(TopSetOverlap, RejectsBadFraction) {
+  const std::vector<double> x{1, 2};
+  EXPECT_THROW(top_set_overlap(x, x, 0.0), Error);
+  EXPECT_THROW(top_set_overlap(x, x, 1.5), Error);
+}
+
+class CorrelationAgreement : public ::testing::TestWithParam<double> {};
+
+TEST_P(CorrelationAgreement, NoiseDegradesAllCoefficients) {
+  // As noise grows, every correlation measure should drop from ~1.
+  const double noise = GetParam();
+  Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 300; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(x.back() + noise * rng.normal());
+  }
+  const double p = pearson(x, y);
+  const double s = spearman(x, y);
+  const double k = kendall(x, y);
+  if (noise <= 0.01) {
+    EXPECT_GT(p, 0.95);
+    EXPECT_GT(s, 0.95);
+    EXPECT_GT(k, 0.85);
+  } else if (noise >= 10.0) {
+    EXPECT_LT(std::abs(p), 0.2);
+    EXPECT_LT(std::abs(s), 0.2);
+    EXPECT_LT(std::abs(k), 0.2);
+  } else {
+    EXPECT_GT(p, 0.0);
+    EXPECT_GT(s, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, CorrelationAgreement,
+                         ::testing::Values(0.0, 0.01, 0.3, 1.0, 10.0));
+
+}  // namespace
+}  // namespace portatune

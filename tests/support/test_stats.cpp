@@ -1,0 +1,111 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace portatune {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{7}), 7.0);
+}
+
+TEST(Stats, VarianceIsUnbiased) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  // Sample variance with n-1 denominator: 32/7.
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1}), 0.0);
+}
+
+TEST(Stats, PopulationVariance) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(population_variance(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, StddevIsSqrtVariance) {
+  const std::vector<double> xs{1, 3};
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs{3, 1, 4, 1, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+TEST(Stats, QuantileInterpolatesLinearly) {
+  const std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);  // numpy type-7 convention
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, QuantileOfSingleton) {
+  EXPECT_DOUBLE_EQ(quantile(std::vector<double>{42}, 0.3), 42.0);
+}
+
+TEST(Stats, QuantileRejectsBadInput) {
+  EXPECT_THROW(quantile(std::vector<double>{}, 0.5), Error);
+  EXPECT_THROW(quantile(std::vector<double>{1}, -0.1), Error);
+  EXPECT_THROW(quantile(std::vector<double>{1}, 1.1), Error);
+}
+
+TEST(Stats, MedianEvenCount) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, SummaryFields) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto s = summarize(xs);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.q25, 2.0);
+  EXPECT_DOUBLE_EQ(s.q75, 4.0);
+}
+
+TEST(Stats, ArgsortAscendingAndStable) {
+  const std::vector<double> xs{3, 1, 2, 1};
+  const auto o = argsort(xs);
+  // Stable: the two 1.0s keep their original relative order.
+  EXPECT_EQ(o, (std::vector<std::size_t>{1, 3, 2, 0}));
+}
+
+TEST(Stats, RanksWithoutTies) {
+  const std::vector<double> xs{30, 10, 20};
+  EXPECT_EQ(ranks(xs), (std::vector<double>{3, 1, 2}));
+}
+
+TEST(Stats, RanksAverageTies) {
+  const std::vector<double> xs{1, 2, 2, 3};
+  EXPECT_EQ(ranks(xs), (std::vector<double>{1, 2.5, 2.5, 4}));
+}
+
+TEST(Stats, RanksAllEqual) {
+  const std::vector<double> xs{5, 5, 5};
+  EXPECT_EQ(ranks(xs), (std::vector<double>{2, 2, 2}));
+}
+
+class QuantileMonotone : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantileMonotone, NonDecreasingInQ) {
+  const std::vector<double> xs{9, 2, 7, 4, 4, 8, 0, 1};
+  const double q = GetParam();
+  EXPECT_LE(quantile(xs, q), quantile(xs, std::min(1.0, q + 0.1)) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, QuantileMonotone,
+                         ::testing::Values(0.0, 0.1, 0.2, 0.35, 0.5, 0.65,
+                                           0.8, 0.9));
+
+}  // namespace
+}  // namespace portatune

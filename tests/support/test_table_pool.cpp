@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace portatune {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os, "Title");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RowArityMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), Error);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num_or_dash(1.0, 2), "1.00");
+  EXPECT_EQ(TextTable::num_or_dash(
+                std::numeric_limits<double>::infinity()),
+            "-");
+  EXPECT_EQ(TextTable::num_or_dash(std::nan("")), "-");
+}
+
+TEST(TextTable, CsvEscaping) {
+  TextTable t({"x"});
+  t.add_row({"has,comma"});
+  t.add_row({"has\"quote"});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_NE(os.str().find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(0, 100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10,
+                                 [](std::size_t i) {
+                                   if (i == 3) throw Error("boom");
+                                 }),
+               Error);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+  ThreadPool pool(2);
+  std::atomic<int> v{0};
+  auto f = pool.submit([&] { v = 42; });
+  f.wait();
+  EXPECT_EQ(v.load(), 42);
+}
+
+TEST(ThreadPool, GlobalIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+TEST(WallTimer, MeasuresForwardTime) {
+  WallTimer t;
+  const double a = t.seconds();
+  const double b = t.seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  t.reset();
+  EXPECT_LE(t.seconds(), b + 1.0);
+}
+
+}  // namespace
+}  // namespace portatune

@@ -1,0 +1,61 @@
+// Shared synthetic evaluators for tuner tests: cheap, deterministic
+// landscapes whose optima are known in closed form.
+#pragma once
+
+#include <cmath>
+#include <functional>
+
+#include "tuner/evaluator.hpp"
+
+namespace portatune::tuner::testing {
+
+inline ParamSpace grid_space(std::size_t params = 4, int values = 10) {
+  ParamSpace s;
+  for (std::size_t p = 0; p < params; ++p)
+    s.add("p" + std::to_string(p), range_values(0, values - 1));
+  return s;
+}
+
+/// runtime = base + sum_i w_i (v_i - opt_i)^2. Optionally fails configs
+/// matching a predicate (to exercise failure handling).
+class QuadraticEvaluator final : public Evaluator {
+ public:
+  QuadraticEvaluator(std::string machine, std::vector<double> optimum,
+                     std::vector<double> weights, double base = 1.0)
+      : space_(grid_space(optimum.size())),
+        machine_(std::move(machine)),
+        optimum_(std::move(optimum)),
+        weights_(std::move(weights)),
+        base_(base) {}
+
+  const ParamSpace& space() const override { return space_; }
+
+  EvalResult evaluate(const ParamConfig& config) override {
+    ++calls_;
+    if (fail_when && fail_when(config))
+      return EvalResult::failure("synthetic failure");
+    const auto v = space_.features(config);
+    double y = base_;
+    for (std::size_t i = 0; i < v.size(); ++i)
+      y += weights_[i] * (v[i] - optimum_[i]) * (v[i] - optimum_[i]);
+    return {y, true, {}};
+  }
+
+  std::string problem_name() const override { return "quadratic"; }
+  std::string machine_name() const override { return machine_; }
+
+  double optimum_value() const { return base_; }
+  std::size_t calls() const { return calls_; }
+
+  std::function<bool(const ParamConfig&)> fail_when;
+
+ private:
+  ParamSpace space_;
+  std::string machine_;
+  std::vector<double> optimum_;
+  std::vector<double> weights_;
+  double base_;
+  std::size_t calls_ = 0;
+};
+
+}  // namespace portatune::tuner::testing

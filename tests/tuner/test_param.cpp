@@ -1,0 +1,104 @@
+#include "tuner/param.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace portatune::tuner {
+namespace {
+
+ParamSpace small_space() {
+  ParamSpace s;
+  s.add("U", range_values(1, 4));       // 4 values
+  s.add("T", pow2_values(0, 3));        // 1,2,4,8
+  s.add("FLAG", flag_values());         // 0,1
+  return s;
+}
+
+TEST(ParamValues, Generators) {
+  EXPECT_EQ(range_values(1, 3), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(pow2_values(0, 4), (std::vector<double>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(flag_values(), (std::vector<double>{0, 1}));
+  EXPECT_THROW(range_values(3, 1), Error);
+  EXPECT_THROW(pow2_values(-1, 2), Error);
+}
+
+TEST(ParamSpace, CardinalityIsProduct) {
+  EXPECT_DOUBLE_EQ(small_space().cardinality(), 4.0 * 4.0 * 2.0);
+}
+
+TEST(ParamSpace, DuplicateNameRejected) {
+  ParamSpace s;
+  s.add("U", range_values(1, 2));
+  EXPECT_THROW(s.add("U", range_values(1, 2)), Error);
+}
+
+TEST(ParamSpace, EmptyValuesRejected) {
+  ParamSpace s;
+  EXPECT_THROW(s.add("x", {}), Error);
+}
+
+TEST(ParamSpace, DefaultConfigIsAllFirstValues) {
+  const auto s = small_space();
+  const auto c = s.default_config();
+  EXPECT_EQ(c, (ParamConfig{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(s.value(c, "U"), 1.0);
+  EXPECT_DOUBLE_EQ(s.value(c, "T"), 1.0);
+}
+
+TEST(ParamSpace, FeaturesAreActualValues) {
+  const auto s = small_space();
+  const ParamConfig c{2, 3, 1};
+  EXPECT_EQ(s.features(c), (std::vector<double>{3, 8, 1}));
+}
+
+TEST(ParamSpace, ValidateCatchesBadConfigs) {
+  const auto s = small_space();
+  EXPECT_THROW(s.validate(ParamConfig{0, 0}), Error);       // arity
+  EXPECT_THROW(s.validate(ParamConfig{4, 0, 0}), Error);    // out of range
+  EXPECT_THROW(s.validate(ParamConfig{0, -1, 0}), Error);   // negative
+  EXPECT_NO_THROW(s.validate(ParamConfig{3, 3, 1}));
+}
+
+TEST(ParamSpace, IndexOfAndUnknownName) {
+  const auto s = small_space();
+  EXPECT_EQ(s.index_of("T"), 1u);
+  EXPECT_THROW(s.index_of("nope"), Error);
+}
+
+TEST(ParamSpace, ConfigHashDiscriminates) {
+  const auto s = small_space();
+  EXPECT_NE(s.config_hash({0, 0, 0}), s.config_hash({1, 0, 0}));
+  EXPECT_EQ(s.config_hash({2, 1, 0}), s.config_hash({2, 1, 0}));
+}
+
+TEST(ParamSpace, RandomConfigIsValid) {
+  const auto s = small_space();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(s.validate(s.random_config(rng)));
+}
+
+TEST(ParamSpace, NeighborsStepOneIndex) {
+  const auto s = small_space();
+  // Interior point: every parameter contributes two neighbors.
+  const auto n1 = s.neighbors({1, 1, 0});
+  EXPECT_EQ(n1.size(), 2u + 2u + 1u);  // FLAG at 0 has only one direction
+  // Corner point: only upward steps.
+  const auto n2 = s.neighbors({0, 0, 0});
+  EXPECT_EQ(n2.size(), 3u);
+  for (const auto& n : n2) {
+    int diffs = 0;
+    const ParamConfig base{0, 0, 0};
+    for (std::size_t i = 0; i < n.size(); ++i)
+      diffs += (n[i] != base[i]);
+    EXPECT_EQ(diffs, 1);
+  }
+}
+
+TEST(ParamSpace, DescribeIsHumanReadable) {
+  const auto s = small_space();
+  EXPECT_EQ(s.describe({1, 2, 1}), "U=2, T=4, FLAG=1");
+}
+
+}  // namespace
+}  // namespace portatune::tuner

@@ -1,0 +1,110 @@
+#include "tuner/persistence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+#include "tests/tuner/synthetic.hpp"
+#include "tuner/random_search.hpp"
+
+namespace portatune::tuner {
+namespace {
+
+using testing::QuadraticEvaluator;
+
+SearchTrace sample_trace(QuadraticEvaluator& eval, std::size_t n = 25) {
+  RandomSearchOptions opt;
+  opt.max_evals = n;
+  opt.seed = 13;
+  return random_search(eval, opt);
+}
+
+TEST(Persistence, RoundTripsExactly) {
+  QuadraticEvaluator eval("M", {5, 5, 5, 5}, {1, 1, 1, 1});
+  const auto original = sample_trace(eval);
+
+  std::stringstream buf;
+  save_trace_csv(buf, original, eval.space());
+  const auto loaded = load_trace_csv(buf, eval.space());
+
+  EXPECT_EQ(loaded.algorithm(), "RS");
+  EXPECT_EQ(loaded.problem(), "quadratic");
+  EXPECT_EQ(loaded.machine(), "M");
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(loaded.entry(i).config, original.entry(i).config);
+    EXPECT_DOUBLE_EQ(loaded.entry(i).seconds, original.entry(i).seconds);
+    EXPECT_EQ(loaded.entry(i).draw_index, original.entry(i).draw_index);
+  }
+  EXPECT_DOUBLE_EQ(loaded.best_seconds(), original.best_seconds());
+}
+
+TEST(Persistence, FileRoundTrip) {
+  QuadraticEvaluator eval("M", {2, 3, 4, 5}, {1, 2, 1, 2});
+  const auto original = sample_trace(eval, 10);
+  const std::string path = ::testing::TempDir() + "/trace.csv";
+  save_trace_csv(path, original, eval.space());
+  const auto loaded = load_trace_csv(path, eval.space());
+  EXPECT_EQ(loaded.size(), 10u);
+}
+
+TEST(Persistence, LoadedTraceFitsSurrogates) {
+  // The round-tripped T_a must be usable as transfer input.
+  QuadraticEvaluator eval("M", {5, 5, 5, 5}, {1, 1, 1, 1});
+  const auto original = sample_trace(eval, 40);
+  std::stringstream buf;
+  save_trace_csv(buf, original, eval.space());
+  const auto loaded = load_trace_csv(buf, eval.space());
+  const auto data = loaded.to_dataset(eval.space());
+  EXPECT_EQ(data.num_rows(), 40u);
+  EXPECT_EQ(data.num_features(), 4u);
+}
+
+TEST(Persistence, RejectsForeignFiles) {
+  QuadraticEvaluator eval("M", {1, 1, 1, 1}, {1, 1, 1, 1});
+  std::stringstream bad("hello,world\n1,2\n");
+  EXPECT_THROW(load_trace_csv(bad, eval.space()), Error);
+}
+
+TEST(Persistence, RejectsMismatchedSpace) {
+  QuadraticEvaluator a("M", {5, 5, 5, 5}, {1, 1, 1, 1});
+  const auto trace = sample_trace(a, 5);
+  std::stringstream buf;
+  save_trace_csv(buf, trace, a.space());
+
+  // A space with different parameter names must be rejected.
+  ParamSpace other;
+  other.add("x", range_values(0, 9));
+  other.add("y", range_values(0, 9));
+  other.add("z", range_values(0, 9));
+  other.add("w", range_values(0, 9));
+  EXPECT_THROW(load_trace_csv(buf, other), Error);
+}
+
+TEST(Persistence, RejectsValuesOutsideTheDomain) {
+  QuadraticEvaluator eval("M", {1, 1, 1, 1}, {1, 1, 1, 1});
+  std::stringstream buf(
+      "# portatune-trace v1,RS,quadratic,M\n"
+      "p0,p1,p2,p3,seconds,draw_index\n"
+      "99,0,0,0,1.5,0\n");  // 99 is not a value of p0 (0..9)
+  EXPECT_THROW(load_trace_csv(buf, eval.space()), Error);
+}
+
+TEST(Persistence, RejectsNegativeRunTimes) {
+  QuadraticEvaluator eval("M", {1, 1, 1, 1}, {1, 1, 1, 1});
+  std::stringstream buf(
+      "# portatune-trace v1,RS,quadratic,M\n"
+      "p0,p1,p2,p3,seconds,draw_index\n"
+      "1,2,3,4,-1.0,0\n");
+  EXPECT_THROW(load_trace_csv(buf, eval.space()), Error);
+}
+
+TEST(Persistence, MissingFileThrows) {
+  QuadraticEvaluator eval("M", {1, 1, 1, 1}, {1, 1, 1, 1});
+  EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv", eval.space()),
+               Error);
+}
+
+}  // namespace
+}  // namespace portatune::tuner

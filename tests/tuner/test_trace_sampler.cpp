@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "tuner/sampler.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+namespace {
+
+ParamSpace tiny_space() {
+  ParamSpace s;
+  s.add("a", range_values(0, 3));
+  s.add("b", range_values(0, 2));
+  return s;  // |D| = 12
+}
+
+TEST(ConfigStream, SmallSpaceExhaustsExactlyOnce) {
+  const auto space = tiny_space();
+  ConfigStream stream(space, 5);
+  std::set<std::uint64_t> seen;
+  std::size_t count = 0;
+  while (auto c = stream.next()) {
+    EXPECT_TRUE(seen.insert(space.config_hash(*c)).second);
+    ++count;
+  }
+  EXPECT_EQ(count, 12u);
+  EXPECT_EQ(stream.produced(), 12u);
+}
+
+TEST(ConfigStream, DeterministicForSeed) {
+  const auto space = tiny_space();
+  ConfigStream a(space, 9), b(space, 9);
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(*a.next(), *b.next());
+}
+
+TEST(ConfigStream, DifferentSeedsDifferentOrder) {
+  const auto space = tiny_space();
+  ConfigStream a(space, 1), b(space, 2);
+  int same = 0;
+  for (int i = 0; i < 12; ++i) same += (*a.next() == *b.next());
+  EXPECT_LT(same, 6);
+}
+
+TEST(ConfigStream, LargeSpaceDrawsAreDistinct) {
+  ParamSpace s;
+  for (int p = 0; p < 8; ++p)
+    s.add("p" + std::to_string(p), range_values(0, 15));
+  ConfigStream stream(s, 3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    auto c = stream.next();
+    ASSERT_TRUE(c.has_value());
+    EXPECT_TRUE(seen.insert(s.config_hash(*c)).second);
+  }
+}
+
+TEST(SearchTrace, RecordsAndSummarizes) {
+  SearchTrace t("RS", "LU", "Sandybridge");
+  EXPECT_TRUE(t.empty());
+  t.record({0, 0}, 5.0, 0);
+  t.record({1, 0}, 3.0, 1);
+  t.record({2, 0}, 4.0, 2);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.best_seconds(), 3.0);
+  EXPECT_EQ(t.best_config(), (ParamConfig{1, 0}));
+  EXPECT_DOUBLE_EQ(t.total_time(), 12.0);
+  // elapsed at each entry is the cumulative evaluation time.
+  EXPECT_DOUBLE_EQ(t.entry(0).elapsed, 5.0);
+  EXPECT_DOUBLE_EQ(t.entry(1).elapsed, 8.0);
+  EXPECT_DOUBLE_EQ(t.entry(2).elapsed, 12.0);
+}
+
+TEST(SearchTrace, TimeToReachSemantics) {
+  SearchTrace t;
+  t.record({0}, 5.0, 0);
+  t.record({1}, 3.0, 1);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(5.0), 5.0);
+  EXPECT_DOUBLE_EQ(t.time_to_reach(3.0), 8.0);
+  EXPECT_DOUBLE_EQ(t.time_to_best(), 8.0);
+  EXPECT_TRUE(std::isinf(t.time_to_reach(1.0)));
+}
+
+TEST(SearchTrace, OverheadAdvancesClock) {
+  SearchTrace t;
+  t.add_overhead(2.0);
+  t.record({0}, 1.0, 0);
+  EXPECT_DOUBLE_EQ(t.entry(0).elapsed, 3.0);
+  EXPECT_DOUBLE_EQ(t.total_time(), 3.0);
+}
+
+TEST(SearchTrace, BestCurveIsMonotone) {
+  SearchTrace t;
+  t.record({0}, 4.0, 0);
+  t.record({1}, 6.0, 1);
+  t.record({2}, 2.0, 2);
+  const auto curve = t.best_curve();
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0].second, 4.0);
+  EXPECT_DOUBLE_EQ(curve[1].second, 4.0);
+  EXPECT_DOUBLE_EQ(curve[2].second, 2.0);
+  EXPECT_LT(curve[0].first, curve[2].first);
+}
+
+TEST(SearchTrace, EmptyTraceBehaviour) {
+  const SearchTrace t;
+  EXPECT_TRUE(std::isinf(t.best_seconds()));
+  EXPECT_THROW(t.best_config(), Error);
+}
+
+TEST(SearchTrace, ToDatasetUsesFeatureEncoding) {
+  const auto space = tiny_space();
+  SearchTrace t;
+  t.record({3, 2}, 1.5, 0);
+  const auto d = t.to_dataset(space);
+  EXPECT_EQ(d.num_rows(), 1u);
+  EXPECT_EQ(d.num_features(), 2u);
+  EXPECT_DOUBLE_EQ(d.row(0)[0], 3.0);  // value, not index
+  EXPECT_DOUBLE_EQ(d.target(0), 1.5);
+  EXPECT_EQ(d.feature_name(0), "a");
+}
+
+}  // namespace
+}  // namespace portatune::tuner
