@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_generalization.dir/bench_ablation_generalization.cpp.o"
+  "CMakeFiles/bench_ablation_generalization.dir/bench_ablation_generalization.cpp.o.d"
+  "bench_ablation_generalization"
+  "bench_ablation_generalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_generalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_westmere_to_sandybridge.dir/bench_fig3_westmere_to_sandybridge.cpp.o"
+  "CMakeFiles/bench_fig3_westmere_to_sandybridge.dir/bench_fig3_westmere_to_sandybridge.cpp.o.d"
+  "bench_fig3_westmere_to_sandybridge"
+  "bench_fig3_westmere_to_sandybridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_westmere_to_sandybridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_sandybridge_to_xeonphi.dir/bench_fig5_sandybridge_to_xeonphi.cpp.o"
+  "CMakeFiles/bench_fig5_sandybridge_to_xeonphi.dir/bench_fig5_sandybridge_to_xeonphi.cpp.o.d"
+  "bench_fig5_sandybridge_to_xeonphi"
+  "bench_fig5_sandybridge_to_xeonphi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_sandybridge_to_xeonphi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setup_tables.dir/bench_setup_tables.cpp.o"
+  "CMakeFiles/bench_setup_tables.dir/bench_setup_tables.cpp.o.d"
+  "bench_setup_tables"
+  "bench_setup_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setup_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_similarity_advisor.dir/bench_similarity_advisor.cpp.o"
+  "CMakeFiles/bench_similarity_advisor.dir/bench_similarity_advisor.cpp.o.d"
+  "bench_similarity_advisor"
+  "bench_similarity_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_similarity_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_speedup_matrix.dir/bench_table4_speedup_matrix.cpp.o"
+  "CMakeFiles/bench_table4_speedup_matrix.dir/bench_table4_speedup_matrix.cpp.o.d"
+  "bench_table4_speedup_matrix"
+  "bench_table4_speedup_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_speedup_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_machine_transfer.dir/cross_machine_transfer.cpp.o"
+  "CMakeFiles/cross_machine_transfer.dir/cross_machine_transfer.cpp.o.d"
+  "cross_machine_transfer"
+  "cross_machine_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_machine_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_autotune.dir/native_autotune.cpp.o"
+  "CMakeFiles/native_autotune.dir/native_autotune.cpp.o.d"
+  "native_autotune"
+  "native_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

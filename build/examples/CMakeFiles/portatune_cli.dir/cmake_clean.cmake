@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_cli.dir/portatune_cli.cpp.o"
+  "CMakeFiles/portatune_cli.dir/portatune_cli.cpp.o.d"
+  "portatune_cli"
+  "portatune_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

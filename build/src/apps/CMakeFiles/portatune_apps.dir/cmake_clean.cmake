@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_apps.dir/hpl.cpp.o"
+  "CMakeFiles/portatune_apps.dir/hpl.cpp.o.d"
+  "CMakeFiles/portatune_apps.dir/raytracer.cpp.o"
+  "CMakeFiles/portatune_apps.dir/raytracer.cpp.o.d"
+  "CMakeFiles/portatune_apps.dir/registry.cpp.o"
+  "CMakeFiles/portatune_apps.dir/registry.cpp.o.d"
+  "libportatune_apps.a"
+  "libportatune_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libportatune_apps.a"
+)

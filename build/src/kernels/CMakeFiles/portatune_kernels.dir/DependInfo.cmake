@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/native.cpp" "src/kernels/CMakeFiles/portatune_kernels.dir/native.cpp.o" "gcc" "src/kernels/CMakeFiles/portatune_kernels.dir/native.cpp.o.d"
+  "/root/repo/src/kernels/sim_evaluator.cpp" "src/kernels/CMakeFiles/portatune_kernels.dir/sim_evaluator.cpp.o" "gcc" "src/kernels/CMakeFiles/portatune_kernels.dir/sim_evaluator.cpp.o.d"
+  "/root/repo/src/kernels/spapt.cpp" "src/kernels/CMakeFiles/portatune_kernels.dir/spapt.cpp.o" "gcc" "src/kernels/CMakeFiles/portatune_kernels.dir/spapt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/portatune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/portatune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/portatune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

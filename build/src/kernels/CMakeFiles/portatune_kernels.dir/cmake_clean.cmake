@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_kernels.dir/native.cpp.o"
+  "CMakeFiles/portatune_kernels.dir/native.cpp.o.d"
+  "CMakeFiles/portatune_kernels.dir/sim_evaluator.cpp.o"
+  "CMakeFiles/portatune_kernels.dir/sim_evaluator.cpp.o.d"
+  "CMakeFiles/portatune_kernels.dir/spapt.cpp.o"
+  "CMakeFiles/portatune_kernels.dir/spapt.cpp.o.d"
+  "libportatune_kernels.a"
+  "libportatune_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

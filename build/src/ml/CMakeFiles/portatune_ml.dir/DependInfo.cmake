@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/portatune_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/forest.cpp" "src/ml/CMakeFiles/portatune_ml.dir/forest.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/forest.cpp.o.d"
+  "/root/repo/src/ml/knn.cpp" "src/ml/CMakeFiles/portatune_ml.dir/knn.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/knn.cpp.o.d"
+  "/root/repo/src/ml/linear.cpp" "src/ml/CMakeFiles/portatune_ml.dir/linear.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/linear.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/portatune_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/model.cpp" "src/ml/CMakeFiles/portatune_ml.dir/model.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/model.cpp.o.d"
+  "/root/repo/src/ml/tree.cpp" "src/ml/CMakeFiles/portatune_ml.dir/tree.cpp.o" "gcc" "src/ml/CMakeFiles/portatune_ml.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_ml.dir/dataset.cpp.o"
+  "CMakeFiles/portatune_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/portatune_ml.dir/forest.cpp.o"
+  "CMakeFiles/portatune_ml.dir/forest.cpp.o.d"
+  "CMakeFiles/portatune_ml.dir/knn.cpp.o"
+  "CMakeFiles/portatune_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/portatune_ml.dir/linear.cpp.o"
+  "CMakeFiles/portatune_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/portatune_ml.dir/metrics.cpp.o"
+  "CMakeFiles/portatune_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/portatune_ml.dir/model.cpp.o"
+  "CMakeFiles/portatune_ml.dir/model.cpp.o.d"
+  "CMakeFiles/portatune_ml.dir/tree.cpp.o"
+  "CMakeFiles/portatune_ml.dir/tree.cpp.o.d"
+  "libportatune_ml.a"
+  "libportatune_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

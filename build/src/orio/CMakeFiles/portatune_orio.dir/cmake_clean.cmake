@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_orio.dir/annotation.cpp.o"
+  "CMakeFiles/portatune_orio.dir/annotation.cpp.o.d"
+  "CMakeFiles/portatune_orio.dir/codegen.cpp.o"
+  "CMakeFiles/portatune_orio.dir/codegen.cpp.o.d"
+  "CMakeFiles/portatune_orio.dir/compiled.cpp.o"
+  "CMakeFiles/portatune_orio.dir/compiled.cpp.o.d"
+  "libportatune_orio.a"
+  "libportatune_orio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_orio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/portatune_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/portatune_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/portatune_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/portatune_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/loopnest.cpp" "src/sim/CMakeFiles/portatune_sim.dir/loopnest.cpp.o" "gcc" "src/sim/CMakeFiles/portatune_sim.dir/loopnest.cpp.o.d"
+  "/root/repo/src/sim/machine.cpp" "src/sim/CMakeFiles/portatune_sim.dir/machine.cpp.o" "gcc" "src/sim/CMakeFiles/portatune_sim.dir/machine.cpp.o.d"
+  "/root/repo/src/sim/trace_sim.cpp" "src/sim/CMakeFiles/portatune_sim.dir/trace_sim.cpp.o" "gcc" "src/sim/CMakeFiles/portatune_sim.dir/trace_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

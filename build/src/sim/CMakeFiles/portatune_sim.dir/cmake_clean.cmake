@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_sim.dir/cache.cpp.o"
+  "CMakeFiles/portatune_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/portatune_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/portatune_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/portatune_sim.dir/loopnest.cpp.o"
+  "CMakeFiles/portatune_sim.dir/loopnest.cpp.o.d"
+  "CMakeFiles/portatune_sim.dir/machine.cpp.o"
+  "CMakeFiles/portatune_sim.dir/machine.cpp.o.d"
+  "CMakeFiles/portatune_sim.dir/trace_sim.cpp.o"
+  "CMakeFiles/portatune_sim.dir/trace_sim.cpp.o.d"
+  "libportatune_sim.a"
+  "libportatune_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

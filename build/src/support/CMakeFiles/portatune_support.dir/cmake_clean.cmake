@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_support.dir/correlation.cpp.o"
+  "CMakeFiles/portatune_support.dir/correlation.cpp.o.d"
+  "CMakeFiles/portatune_support.dir/rng.cpp.o"
+  "CMakeFiles/portatune_support.dir/rng.cpp.o.d"
+  "CMakeFiles/portatune_support.dir/stats.cpp.o"
+  "CMakeFiles/portatune_support.dir/stats.cpp.o.d"
+  "CMakeFiles/portatune_support.dir/table.cpp.o"
+  "CMakeFiles/portatune_support.dir/table.cpp.o.d"
+  "CMakeFiles/portatune_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/portatune_support.dir/thread_pool.cpp.o.d"
+  "libportatune_support.a"
+  "libportatune_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

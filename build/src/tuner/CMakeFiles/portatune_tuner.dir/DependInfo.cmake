@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/adaptive.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/adaptive.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/adaptive.cpp.o.d"
+  "/root/repo/src/tuner/experiment.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/experiment.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/experiment.cpp.o.d"
+  "/root/repo/src/tuner/heuristics.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/heuristics.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/heuristics.cpp.o.d"
+  "/root/repo/src/tuner/metrics.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/metrics.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/metrics.cpp.o.d"
+  "/root/repo/src/tuner/param.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/param.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/param.cpp.o.d"
+  "/root/repo/src/tuner/persistence.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/persistence.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/persistence.cpp.o.d"
+  "/root/repo/src/tuner/random_search.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/random_search.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/random_search.cpp.o.d"
+  "/root/repo/src/tuner/sampler.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/sampler.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/sampler.cpp.o.d"
+  "/root/repo/src/tuner/similarity.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/similarity.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/similarity.cpp.o.d"
+  "/root/repo/src/tuner/trace.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/trace.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/trace.cpp.o.d"
+  "/root/repo/src/tuner/transfer.cpp" "src/tuner/CMakeFiles/portatune_tuner.dir/transfer.cpp.o" "gcc" "src/tuner/CMakeFiles/portatune_tuner.dir/transfer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/portatune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/portatune_tuner.dir/adaptive.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/adaptive.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/experiment.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/experiment.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/heuristics.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/heuristics.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/metrics.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/metrics.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/param.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/param.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/persistence.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/persistence.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/random_search.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/random_search.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/sampler.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/sampler.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/similarity.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/similarity.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/trace.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/trace.cpp.o.d"
+  "CMakeFiles/portatune_tuner.dir/transfer.cpp.o"
+  "CMakeFiles/portatune_tuner.dir/transfer.cpp.o.d"
+  "libportatune_tuner.a"
+  "libportatune_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/portatune_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

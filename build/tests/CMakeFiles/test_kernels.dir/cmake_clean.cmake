@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels.dir/kernels/test_native.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_native.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_spapt.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_spapt.cpp.o.d"
+  "CMakeFiles/test_kernels.dir/kernels/test_spapt_extended.cpp.o"
+  "CMakeFiles/test_kernels.dir/kernels/test_spapt_extended.cpp.o.d"
+  "test_kernels"
+  "test_kernels.pdb"
+  "test_kernels[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_baselines.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_baselines.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_forest.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_forest.cpp.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_tree.cpp.o"
+  "CMakeFiles/test_ml.dir/ml/test_tree.cpp.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

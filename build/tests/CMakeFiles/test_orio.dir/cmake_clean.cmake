@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orio.dir/orio/test_annotation.cpp.o"
+  "CMakeFiles/test_orio.dir/orio/test_annotation.cpp.o.d"
+  "CMakeFiles/test_orio.dir/orio/test_codegen.cpp.o"
+  "CMakeFiles/test_orio.dir/orio/test_codegen.cpp.o.d"
+  "test_orio"
+  "test_orio.pdb"
+  "test_orio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_orio.
+# This may be replaced when dependencies are built.

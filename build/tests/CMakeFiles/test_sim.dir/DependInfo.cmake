@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_cache.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cache.cpp.o.d"
+  "/root/repo/tests/sim/test_cost_model.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cost_model.cpp.o.d"
+  "/root/repo/tests/sim/test_cost_vs_trace.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_cost_vs_trace.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_cost_vs_trace.cpp.o.d"
+  "/root/repo/tests/sim/test_loopnest.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_loopnest.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_loopnest.cpp.o.d"
+  "/root/repo/tests/sim/test_machine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orio/CMakeFiles/portatune_orio.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/portatune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/portatune_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/portatune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/portatune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/portatune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

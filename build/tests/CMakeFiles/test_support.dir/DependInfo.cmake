@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_correlation.cpp" "tests/CMakeFiles/test_support.dir/support/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_correlation.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_stats.cpp" "tests/CMakeFiles/test_support.dir/support/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_stats.cpp.o.d"
+  "/root/repo/tests/support/test_table_pool.cpp" "tests/CMakeFiles/test_support.dir/support/test_table_pool.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_table_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orio/CMakeFiles/portatune_orio.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/portatune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/portatune_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/portatune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/portatune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/portatune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

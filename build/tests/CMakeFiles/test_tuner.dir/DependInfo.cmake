@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuner/test_adaptive_similarity.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_adaptive_similarity.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_adaptive_similarity.cpp.o.d"
+  "/root/repo/tests/tuner/test_heuristics.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_heuristics.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_heuristics.cpp.o.d"
+  "/root/repo/tests/tuner/test_metrics_experiment.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_metrics_experiment.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_metrics_experiment.cpp.o.d"
+  "/root/repo/tests/tuner/test_nm_orthogonal.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_nm_orthogonal.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_nm_orthogonal.cpp.o.d"
+  "/root/repo/tests/tuner/test_param.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o.d"
+  "/root/repo/tests/tuner/test_persistence.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_persistence.cpp.o.d"
+  "/root/repo/tests/tuner/test_random_search.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_random_search.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_random_search.cpp.o.d"
+  "/root/repo/tests/tuner/test_trace_sampler.cpp" "tests/CMakeFiles/test_tuner.dir/tuner/test_trace_sampler.cpp.o" "gcc" "tests/CMakeFiles/test_tuner.dir/tuner/test_trace_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orio/CMakeFiles/portatune_orio.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/portatune_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/portatune_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/portatune_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/portatune_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/portatune_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/portatune_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tuner.dir/tuner/test_adaptive_similarity.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_adaptive_similarity.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_heuristics.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_heuristics.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_metrics_experiment.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_metrics_experiment.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_nm_orthogonal.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_nm_orthogonal.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_param.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_persistence.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_persistence.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_random_search.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_random_search.cpp.o.d"
+  "CMakeFiles/test_tuner.dir/tuner/test_trace_sampler.cpp.o"
+  "CMakeFiles/test_tuner.dir/tuner/test_trace_sampler.cpp.o.d"
+  "test_tuner"
+  "test_tuner.pdb"
+  "test_tuner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
