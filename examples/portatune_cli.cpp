@@ -4,6 +4,10 @@
 //       list problems and machines
 //   portatune_cli collect --problem LU --machine Westmere --out ta.csv
 //       run RS (n_max evals) and save the trace T_a
+//       resilience options: --faults <rate> injects transient failures,
+//       --retries N / --timeout S configure the resilient evaluator,
+//       --checkpoint ck.csv snapshots every --ckpt-every evals, and
+//       --resume ck.csv continues an interrupted collection exactly
 //   portatune_cli transfer --problem LU --source Westmere --target Sandybridge
 //                          [--from ta.csv] [--nmax 100] [--delta 20]
 //       run the full Sec. IV-D experiment (optionally reusing a saved T_a)
@@ -11,13 +15,16 @@
 //       probe-based machine-similarity report and transfer advice
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "apps/registry.hpp"
 #include "support/error.hpp"
 #include "tuner/experiment.hpp"
+#include "tuner/faults.hpp"
 #include "tuner/persistence.hpp"
 #include "tuner/random_search.hpp"
+#include "tuner/resilience.hpp"
 #include "tuner/similarity.hpp"
 #include "tuner/transfer.hpp"
 
@@ -32,8 +39,13 @@ struct Args {
   std::string target = "Sandybridge";
   std::string machine = "Westmere";
   std::string from, out;
+  std::string checkpoint, resume;
+  std::size_t ckpt_every = 10;
   std::size_t nmax = 100;
   double delta = 20.0;
+  double faults = 0.0;    ///< injected transient-failure rate
+  std::size_t retries = 2;
+  double timeout = 0.0;   ///< per-evaluation deadline, seconds
   std::uint64_t seed = 20160401;
 };
 
@@ -42,6 +54,8 @@ Args parse(int argc, char** argv) {
                         "similarity> [options]");
   Args a;
   a.command = argv[1];
+  PT_REQUIRE(argc % 2 == 0,
+             std::string("option ") + argv[argc - 1] + " is missing a value");
   for (int i = 2; i + 1 < argc; i += 2) {
     const std::string key = argv[i];
     const std::string value = argv[i + 1];
@@ -51,12 +65,31 @@ Args parse(int argc, char** argv) {
     else if (key == "--machine") a.machine = value;
     else if (key == "--from") a.from = value;
     else if (key == "--out") a.out = value;
+    else if (key == "--checkpoint") a.checkpoint = value;
+    else if (key == "--resume") a.resume = value;
+    else if (key == "--ckpt-every") a.ckpt_every = std::stoul(value);
     else if (key == "--nmax") a.nmax = std::stoul(value);
     else if (key == "--delta") a.delta = std::stod(value);
+    else if (key == "--faults") a.faults = std::stod(value);
+    else if (key == "--retries") a.retries = std::stoul(value);
+    else if (key == "--timeout") a.timeout = std::stod(value);
     else if (key == "--seed") a.seed = std::stoull(value);
     else throw Error("unknown option: " + key);
   }
   return a;
+}
+
+void print_failure_summary(const tuner::SearchTrace& trace,
+                           const tuner::ResilienceStats& stats) {
+  const auto& fs = trace.failure_stats();
+  if (fs.failures == 0 && stats.retries == 0) return;
+  std::printf("resilience: %zu attempts, %zu failures "
+              "(%zu transient, %zu deterministic, %zu timeout), "
+              "%zu retries, %zu quarantined\n",
+              fs.attempts, fs.failures, fs.transient, fs.deterministic,
+              fs.timeouts, stats.retries, stats.quarantined);
+  if (!trace.stop_reason().empty())
+    std::printf("search aborted: %s\n", trace.stop_reason().c_str());
 }
 
 int cmd_list() {
@@ -71,13 +104,49 @@ int cmd_list() {
 
 int cmd_collect(const Args& a) {
   auto eval = apps::make_simulated_evaluator(a.problem, a.machine);
+
+  // Optionally stack the resilience decorators: backend -> faults ->
+  // retry/timeout. The search itself only ever sees the outermost layer.
+  tuner::Evaluator* backend = eval.get();
+  std::unique_ptr<tuner::FaultInjectingEvaluator> faulty;
+  if (a.faults > 0.0) {
+    tuner::FaultProfile profile;
+    profile.transient_rate = a.faults;
+    profile.seed = a.seed;
+    faulty = std::make_unique<tuner::FaultInjectingEvaluator>(*backend,
+                                                              profile);
+    backend = faulty.get();
+  }
+  tuner::RetryPolicy policy;
+  policy.max_attempts = a.retries + 1;
+  policy.timeout_seconds = a.timeout;
+  tuner::ResilientEvaluator resilient(*backend, policy);
+
   tuner::RandomSearchOptions opt;
   opt.max_evals = a.nmax;
   opt.seed = a.seed;
-  const auto trace = tuner::random_search(*eval, opt);
+
+  tuner::SearchCheckpoint resumed;
+  if (!a.resume.empty()) {
+    resumed = tuner::load_checkpoint_csv(a.resume, eval->space());
+    opt.resume = &resumed;
+    std::printf("resuming from %s: %zu evaluations, %zu draws consumed\n",
+                a.resume.c_str(), resumed.trace.size(), resumed.draws);
+  }
+  if (!a.checkpoint.empty()) {
+    opt.checkpoint_every = a.ckpt_every;
+    opt.on_checkpoint = [&](const tuner::SearchCheckpoint& snapshot) {
+      tuner::save_checkpoint_csv(a.checkpoint, snapshot, eval->space());
+    };
+  }
+
+  const auto trace = tuner::random_search(resilient, opt);
   std::printf("collected %zu evaluations of %s on %s (best %.4f s)\n",
               trace.size(), a.problem.c_str(), a.machine.c_str(),
               trace.best_seconds());
+  print_failure_summary(trace, resilient.stats());
+  if (!a.checkpoint.empty())
+    std::printf("saved checkpoint to %s\n", a.checkpoint.c_str());
   if (!a.out.empty()) {
     tuner::save_trace_csv(a.out, trace, eval->space());
     std::printf("saved T_a to %s\n", a.out.c_str());
@@ -126,6 +195,14 @@ int cmd_transfer(const Args& a) {
   row("RS_b", r.biased_speedup);
   row("RS_pf", r.pruned_mf_speedup);
   row("RS_bf", r.biased_mf_speedup);
+  if (r.failures.failures > 0)
+    std::printf("failures: %zu of %zu attempts "
+                "(%zu transient, %zu deterministic, %zu timeout)\n",
+                r.failures.failures, r.failures.attempts,
+                r.failures.transient, r.failures.deterministic,
+                r.failures.timeouts);
+  for (const auto& aborted : r.aborted_searches)
+    std::printf("aborted: %s\n", aborted.c_str());
   return 0;
 }
 

@@ -66,6 +66,7 @@ SearchTrace adaptive_biased_search(Evaluator& target,
   };
 
   rerank();
+  FailureBudgetTracker budget(opt.failure_budget);
   std::size_t cursor = 0;
   std::size_t since_refit = 0;
   while (trace.size() < opt.max_evals) {
@@ -75,6 +76,11 @@ SearchTrace adaptive_biased_search(Evaluator& target,
     const std::size_t pick = ranked[cursor];
     used[pick] = true;
     const EvalResult r = target.evaluate(pool[pick]);
+    trace.note_result(r);
+    if (budget.note(r)) {
+      trace.set_stop_reason(budget.reason());
+      break;
+    }
     if (r.ok) {
       trace.record(pool[pick], r.seconds, pick);
       if (++since_refit >= opt.refit_interval &&

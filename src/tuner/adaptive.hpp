@@ -13,6 +13,7 @@
 
 #include "ml/forest.hpp"
 #include "tuner/evaluator.hpp"
+#include "tuner/resilience.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
@@ -29,6 +30,7 @@ struct AdaptiveSearchOptions {
   std::size_t forget_source_after = 0;
   std::uint64_t seed = 1;
   ml::ForestParams forest{};
+  FailureBudget failure_budget{};
 };
 
 /// Biased search with periodic refits on accumulated target data.

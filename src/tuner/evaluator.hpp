@@ -15,16 +15,59 @@
 
 namespace portatune::tuner {
 
+/// Why an evaluation failed. Drives the retry policy: transient failures
+/// (noise, racing processes, flaky I/O) are worth retrying; deterministic
+/// failures (infeasible configuration, compile error, segfault on a bad
+/// tile/unroll combination) fail every attempt and are quarantined;
+/// timeouts (hung kernel) are treated as deterministic by default.
+enum class FailureKind {
+  None = 0,       ///< the evaluation succeeded
+  Transient,      ///< may succeed on retry
+  Deterministic,  ///< will fail on every attempt with this configuration
+  Timeout,        ///< exceeded the wall-clock deadline
+};
+
+const char* to_string(FailureKind kind) noexcept;
+
 /// Outcome of evaluating one configuration.
 struct EvalResult {
   double seconds = 0.0;  ///< measured run time (the objective)
   bool ok = true;        ///< false: build/run failure, config is discarded
   std::string error;     ///< diagnostic when !ok
+  /// Failure classification (None when ok).
+  FailureKind failure_kind = FailureKind::None;
+  /// Attempts consumed producing this result (> 1 after retries; 0 when a
+  /// quarantined configuration was rejected without touching the backend).
+  std::size_t attempts = 1;
+  /// Search time spent on this call beyond the reported measurement:
+  /// failed attempts, retry backoff, and timed-out watchdog waits.
+  double overhead_seconds = 0.0;
 
-  static EvalResult failure(std::string why) {
-    return {0.0, false, std::move(why)};
+  /// A failure an evaluator knows to be permanent for this configuration
+  /// (the historical default: infeasible config, build error).
+  static EvalResult failure(std::string why,
+                            FailureKind kind = FailureKind::Deterministic) {
+    EvalResult r;
+    r.ok = false;
+    r.error = std::move(why);
+    r.failure_kind = kind;
+    return r;
+  }
+
+  static EvalResult transient_failure(std::string why) {
+    return failure(std::move(why), FailureKind::Transient);
   }
 };
+
+inline const char* to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::None: return "none";
+    case FailureKind::Transient: return "transient";
+    case FailureKind::Deterministic: return "deterministic";
+    case FailureKind::Timeout: return "timeout";
+  }
+  return "unknown";
+}
 
 class Evaluator {
  public:

@@ -27,6 +27,7 @@ SearchTrace run_reference_rs(Evaluator& eval,
   RandomSearchOptions rs_opt;
   rs_opt.max_evals = settings.nmax;
   rs_opt.seed = settings.seed;
+  rs_opt.failure_budget = settings.failure_budget;
   return random_search(eval, rs_opt);
 }
 
@@ -45,7 +46,8 @@ TransferExperimentResult run_transfer_experiment(
   std::vector<ParamConfig> order;
   order.reserve(out.source_rs.size());
   for (const auto& e : out.source_rs.entries()) order.push_back(e.config);
-  out.target_rs = replay_search(target, order, settings.nmax);
+  out.target_rs = replay_search(target, order, settings.nmax, "RS",
+                                settings.failure_budget);
 
   // 3. Fit the surrogate M_a on T_a.
   ml::ForestParams fp = settings.forest;
@@ -58,18 +60,22 @@ TransferExperimentResult run_transfer_experiment(
   p_opt.pool_size = settings.pool_size;
   p_opt.delta_percent = settings.delta_percent;
   p_opt.seed = settings.seed;
+  p_opt.failure_budget = settings.failure_budget;
   out.pruned = pruned_random_search(target, *model, p_opt);
 
   BiasedSearchOptions b_opt;
   b_opt.max_evals = settings.nmax;
   b_opt.pool_size = settings.pool_size;
   b_opt.seed = settings.seed;
+  b_opt.failure_budget = settings.failure_budget;
   out.biased = biased_random_search(target, *model, b_opt);
 
   // 5. Model-free controls, restricted to T_a's configurations.
-  out.pruned_mf =
-      model_free_pruned(target, out.source_rs, settings.delta_percent);
-  out.biased_mf = model_free_biased(target, out.source_rs);
+  out.pruned_mf = model_free_pruned(target, out.source_rs,
+                                    settings.delta_percent, SIZE_MAX,
+                                    settings.failure_budget);
+  out.biased_mf = model_free_biased(target, out.source_rs, SIZE_MAX,
+                                    settings.failure_budget);
 
   // 6. Metrics.
   out.pruned_speedup = compare_to_rs(out.target_rs, out.pruned);
@@ -95,6 +101,16 @@ TransferExperimentResult run_transfer_experiment(
     out.pearson = pearson(ya, yb);
     out.spearman = spearman(ya, yb);
     out.top_overlap = top_set_overlap(ya, yb, 0.2);
+  }
+
+  // 7. Failure accounting over all six traces.
+  for (const SearchTrace* t :
+       {&out.source_rs, &out.target_rs, &out.pruned, &out.biased,
+        &out.pruned_mf, &out.biased_mf}) {
+    out.failures += t->failure_stats();
+    if (!t->stop_reason().empty())
+      out.aborted_searches.push_back(t->algorithm() + ": " +
+                                     t->stop_reason());
   }
   return out;
 }

@@ -15,6 +15,7 @@
 #include "ml/forest.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/metrics.hpp"
+#include "tuner/resilience.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
@@ -25,6 +26,10 @@ struct ExperimentSettings {
   double delta_percent = 20.0;   ///< RS_p cutoff quantile
   std::uint64_t seed = 20160401; ///< shared CRN seed
   ml::ForestParams forest{};     ///< surrogate hyperparameters
+  /// Per-search bound on failed evaluations (see resilience.hpp); a
+  /// persistently failing machine aborts its search with a diagnostic
+  /// instead of draining the configuration pool.
+  FailureBudget failure_budget{};
 };
 
 struct TransferExperimentResult {
@@ -43,6 +48,14 @@ struct TransferExperimentResult {
   double pearson = 0.0;
   double spearman = 0.0;
   double top_overlap = 0.0;
+
+  /// Failure accounting summed over all six traces (attempts, failures by
+  /// kind, retry/backoff overhead). Per-trace detail is available from
+  /// each trace's failure_stats().
+  FailureStats failures;
+  /// Searches that aborted on their failure budget, as
+  /// "algorithm: reason" diagnostics (empty in a healthy run).
+  std::vector<std::string> aborted_searches;
 };
 
 /// Run the full protocol. `source` and `target` must expose identical

@@ -1,0 +1,95 @@
+#include "tuner/faults.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "support/error.hpp"
+#include "support/hash.hpp"
+
+namespace portatune::tuner {
+
+namespace {
+
+// Distinct salts keep the fault channels statistically independent even
+// though they share the (seed, config, attempt) key.
+constexpr std::uint64_t kDeterministicSalt = 0xdead0001u;
+constexpr std::uint64_t kTransientSalt = 0xdead0002u;
+constexpr std::uint64_t kHangSalt = 0xdead0003u;
+constexpr std::uint64_t kSpikeSalt = 0xdead0004u;
+
+double channel_unit(std::uint64_t seed, std::uint64_t salt,
+                    std::uint64_t config_hash, std::uint64_t attempt) {
+  std::uint64_t h = mix64(seed ^ salt);
+  h = hash_combine(h, config_hash);
+  h = hash_combine(h, attempt);
+  return hash_to_unit(h);
+}
+
+void check_rate(double rate, const char* name) {
+  PT_REQUIRE(rate >= 0.0 && rate <= 1.0,
+             std::string(name) + " rate must lie in [0, 1]");
+}
+
+}  // namespace
+
+FaultInjectingEvaluator::FaultInjectingEvaluator(Evaluator& inner,
+                                                 FaultProfile profile)
+    : inner_(inner), profile_(profile) {
+  check_rate(profile_.transient_rate, "transient");
+  check_rate(profile_.deterministic_rate, "deterministic");
+  check_rate(profile_.hang_rate, "hang");
+  check_rate(profile_.spike_rate, "spike");
+  PT_REQUIRE(profile_.spike_factor >= 1.0, "spike factor must be >= 1");
+}
+
+bool FaultInjectingEvaluator::is_deterministically_failing(
+    const ParamConfig& config) const {
+  const auto h = inner_.space().config_hash(config);
+  return channel_unit(profile_.seed, kDeterministicSalt, h, 0) <
+         profile_.deterministic_rate;
+}
+
+EvalResult FaultInjectingEvaluator::evaluate(const ParamConfig& config) {
+  ++stats_.calls;
+  const std::uint64_t h = inner_.space().config_hash(config);
+
+  // Deterministic channel: a function of the configuration only — the
+  // same config fails on every attempt, in every run, forever.
+  if (is_deterministically_failing(config)) {
+    ++stats_.deterministic_injected;
+    return EvalResult::failure("injected deterministic failure");
+  }
+
+  const std::uint64_t attempt = attempt_counts_[h]++;
+
+  // Hang channel: block for hang_seconds of real wall-clock time, then
+  // fall through to the real evaluation. Under a ResilientEvaluator
+  // deadline shorter than hang_seconds this attempt times out.
+  if (channel_unit(profile_.seed, kHangSalt, h, attempt) <
+      profile_.hang_rate) {
+    ++stats_.hangs_injected;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(profile_.hang_seconds));
+  }
+
+  // Transient channel: fails this attempt; a retry draws a fresh value.
+  if (channel_unit(profile_.seed, kTransientSalt, h, attempt) <
+      profile_.transient_rate) {
+    ++stats_.transient_injected;
+    return EvalResult::transient_failure(
+        "injected transient failure (attempt " + std::to_string(attempt) +
+        ")");
+  }
+
+  EvalResult r = inner_.evaluate(config);
+
+  // Spike channel: the run "succeeds" but the measurement is an outlier.
+  if (r.ok && channel_unit(profile_.seed, kSpikeSalt, h, attempt) <
+                  profile_.spike_rate) {
+    ++stats_.spikes_injected;
+    r.seconds *= profile_.spike_factor;
+  }
+  return r;
+}
+
+}  // namespace portatune::tuner

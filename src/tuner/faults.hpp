@@ -1,0 +1,70 @@
+// Deterministic fault injection for testing search resilience.
+//
+// FaultInjectingEvaluator wraps any Evaluator and injects the failure
+// modes real autotuning backends exhibit — transient failures (system
+// noise, racing processes), deterministic per-configuration failures
+// (variants that never compile or always segfault), simulated hangs
+// (kernels that never return), and noise-spike outliers (measurements
+// polluted by interference).
+//
+// Every injection decision is a pure hash of (seed, configuration, and the
+// per-configuration attempt index) — never of global call order — so a
+// fault schedule is reproducible bit-for-bit across runs, a retried
+// configuration deterministically recovers (or not), and a checkpointed
+// search resumes against the identical fault sequence.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "tuner/evaluator.hpp"
+
+namespace portatune::tuner {
+
+/// Injection rates (each in [0, 1]) and shaping knobs.
+struct FaultProfile {
+  double transient_rate = 0.0;      ///< per-attempt chance of transient failure
+  double deterministic_rate = 0.0;  ///< per-config chance of permanent failure
+  double hang_rate = 0.0;           ///< per-attempt chance of a simulated hang
+  double hang_seconds = 0.05;       ///< real wall-clock duration of a hang
+  double spike_rate = 0.0;          ///< per-attempt chance of a noise outlier
+  double spike_factor = 10.0;       ///< outlier multiplier on the run time
+  std::uint64_t seed = 1;           ///< fault-schedule seed
+};
+
+struct FaultStats {
+  std::size_t calls = 0;
+  std::size_t transient_injected = 0;
+  std::size_t deterministic_injected = 0;
+  std::size_t hangs_injected = 0;
+  std::size_t spikes_injected = 0;
+};
+
+class FaultInjectingEvaluator final : public Evaluator {
+ public:
+  /// The inner evaluator must outlive this decorator.
+  FaultInjectingEvaluator(Evaluator& inner, FaultProfile profile);
+
+  const ParamSpace& space() const override { return inner_.space(); }
+  EvalResult evaluate(const ParamConfig& config) override;
+  std::string problem_name() const override { return inner_.problem_name(); }
+  std::string machine_name() const override { return inner_.machine_name(); }
+
+  const FaultProfile& profile() const noexcept { return profile_; }
+  const FaultStats& stats() const noexcept { return stats_; }
+
+  /// True when the profile condemns this configuration permanently
+  /// (independent of call history — a pure function of seed and config).
+  bool is_deterministically_failing(const ParamConfig& config) const;
+
+ private:
+  Evaluator& inner_;
+  FaultProfile profile_;
+  FaultStats stats_;
+  /// evaluate() calls seen per configuration hash; the attempt index keys
+  /// the per-attempt fault channels so retries see fresh (but still
+  /// deterministic) draws.
+  std::unordered_map<std::uint64_t, std::uint64_t> attempt_counts_;
+};
+
+}  // namespace portatune::tuner

@@ -45,15 +45,17 @@ std::vector<ParamConfig> seeded_starts(const ParamSpace& space,
   return out;
 }
 
-/// Evaluate with dedup; returns false when the budget is exhausted or the
-/// evaluation failed.
+/// Evaluate with dedup; returns false when the evaluation budget or the
+/// failure budget is exhausted, or the evaluation failed.
 class BudgetedEvaluator {
  public:
   BudgetedEvaluator(Evaluator& eval, SearchTrace& trace,
-                    std::size_t max_evals)
-      : eval_(eval), trace_(trace), max_evals_(max_evals) {}
+                    std::size_t max_evals, const FailureBudget& budget = {})
+      : eval_(eval), trace_(trace), max_evals_(max_evals), budget_(budget) {}
 
-  bool exhausted() const { return trace_.size() >= max_evals_; }
+  bool exhausted() const {
+    return trace_.size() >= max_evals_ || budget_.exhausted();
+  }
 
   /// Returns the run time, or nullopt on failure/duplicate/budget end.
   std::optional<double> operator()(const ParamConfig& c) {
@@ -62,10 +64,13 @@ class BudgetedEvaluator {
     if (const auto it = cache_.find(h); it != cache_.end())
       return it->second;  // duplicate: return known value, no budget spent
     const EvalResult r = eval_.evaluate(c);
+    trace_.note_result(r);
     if (!r.ok) {
+      if (budget_.note(r)) trace_.set_stop_reason(budget_.reason());
       cache_.emplace(h, std::nullopt);
       return std::nullopt;
     }
+    budget_.note(r);
     trace_.record(c, r.seconds, trace_.size());
     cache_.emplace(h, r.seconds);
     return r.seconds;
@@ -75,6 +80,7 @@ class BudgetedEvaluator {
   Evaluator& eval_;
   SearchTrace& trace_;
   std::size_t max_evals_;
+  FailureBudgetTracker budget_;
   std::unordered_map<std::uint64_t, std::optional<double>> cache_;
 };
 
@@ -85,7 +91,7 @@ SearchTrace genetic_search(Evaluator& eval, const GeneticOptions& opt) {
   SearchTrace trace("GA", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
-  BudgetedEvaluator run(eval, trace, opt.max_evals);
+  BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
 
   struct Member {
     ParamConfig config;
@@ -137,7 +143,7 @@ SearchTrace annealing_search(Evaluator& eval, const AnnealingOptions& opt) {
   SearchTrace trace("SA", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
-  BudgetedEvaluator run(eval, trace, opt.max_evals);
+  BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
 
   auto starts = seeded_starts(space, opt.surrogate, opt.seed_pool, 1, rng);
   ParamConfig current = starts.front();
@@ -187,7 +193,7 @@ SearchTrace pattern_search(Evaluator& eval, const PatternSearchOptions& opt) {
   SearchTrace trace("PS", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
-  BudgetedEvaluator run(eval, trace, opt.max_evals);
+  BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
 
   auto starts = seeded_starts(space, opt.surrogate, opt.seed_pool, 4, rng);
   std::size_t start_idx = 0;
@@ -228,7 +234,7 @@ SearchTrace ensemble_search(Evaluator& eval, const EnsembleOptions& opt) {
   SearchTrace trace("Ensemble", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
-  BudgetedEvaluator run(eval, trace, opt.max_evals);
+  BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
 
   // Shared incumbent across techniques.
   ParamConfig best_config;
@@ -322,7 +328,7 @@ SearchTrace nelder_mead_search(Evaluator& eval,
   const ParamSpace& space = eval.space();
   const std::size_t dim = space.num_params();
   Rng rng(opt.seed);
-  BudgetedEvaluator run(eval, trace, opt.max_evals);
+  BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
 
   using Point = std::vector<double>;
   struct Vertex {
@@ -436,7 +442,7 @@ SearchTrace orthogonal_search(Evaluator& eval,
   SearchTrace trace("OS", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
-  BudgetedEvaluator run(eval, trace, opt.max_evals);
+  BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
 
   auto starts = seeded_starts(space, opt.surrogate, opt.seed_pool, 2, rng);
   std::size_t start_idx = 0;

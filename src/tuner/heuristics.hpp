@@ -11,6 +11,7 @@
 
 #include "ml/model.hpp"
 #include "tuner/evaluator.hpp"
+#include "tuner/resilience.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
@@ -26,6 +27,7 @@ struct GeneticOptions {
   /// over a pool of `seed_pool` random configurations.
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
+  FailureBudget failure_budget{};
 };
 
 /// Steady-state genetic algorithm with tournament selection, uniform
@@ -39,6 +41,7 @@ struct AnnealingOptions {
   std::uint64_t seed = 1;
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
+  FailureBudget failure_budget{};
 };
 
 /// Simulated annealing over the one-step neighborhood of ParamSpace.
@@ -49,6 +52,7 @@ struct PatternSearchOptions {
   std::uint64_t seed = 1;
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
+  FailureBudget failure_budget{};
 };
 
 /// Coordinate pattern search: probe +-1 step along every parameter, move
@@ -62,6 +66,7 @@ struct EnsembleOptions {
   /// AUC-bandit exploration constant (OpenTuner's technique allocator).
   double exploration = 1.4;
   const ml::Regressor* surrogate = nullptr;
+  FailureBudget failure_budget{};
 };
 
 /// OpenTuner-style multi-technique search: random sampling, mutation
@@ -79,6 +84,7 @@ struct NelderMeadOptions {
   double shrink = 0.5;
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
+  FailureBudget failure_budget{};
 };
 
 /// Nelder–Mead simplex adapted to the discrete index grid: the simplex
@@ -93,6 +99,7 @@ struct OrthogonalSearchOptions {
   std::uint64_t seed = 1;
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
+  FailureBudget failure_budget{};
 };
 
 /// Orthogonal (cyclic coordinate) search: sweep each parameter in turn,

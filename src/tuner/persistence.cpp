@@ -1,6 +1,7 @@
 #include "tuner/persistence.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -105,6 +106,149 @@ SearchTrace load_trace_csv(const std::string& path,
   std::ifstream is(path);
   PT_REQUIRE(is.good(), "cannot open trace file: " + path);
   return load_trace_csv(is, space);
+}
+
+void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
+                         const ParamSpace& space) {
+  const SearchTrace& trace = snapshot.trace;
+  os.precision(17);
+  os << "# portatune-checkpoint v1," << trace.algorithm() << ","
+     << trace.problem() << "," << trace.machine() << "\n";
+  os << "# draws," << snapshot.draws << "\n";
+  os << "# clock," << trace.total_time() << "\n";
+  os << "# stop," << trace.stop_reason() << "\n";
+  const FailureStats& fs = trace.failure_stats();
+  os << "# stats," << fs.attempts << "," << fs.failures << ","
+     << fs.transient << "," << fs.deterministic << "," << fs.timeouts
+     << "," << fs.overhead_seconds << "\n";
+  if (!snapshot.quarantine.empty()) {
+    os << "# quarantine";
+    for (const auto h : snapshot.quarantine) {
+      char buf[2 + 16 + 1];
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(h));
+      os << "," << buf;
+    }
+    os << "\n";
+  }
+  const auto names = space.names();
+  for (const auto& n : names) os << n << ",";
+  os << "seconds,elapsed,draw_index\n";
+  for (const auto& e : trace.entries()) {
+    const auto features = space.features(e.config);
+    for (double v : features) os << v << ",";
+    os << e.seconds << "," << e.elapsed << "," << e.draw_index << "\n";
+  }
+}
+
+void save_checkpoint_csv(const std::string& path,
+                         const SearchCheckpoint& snapshot,
+                         const ParamSpace& space) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp);
+    PT_REQUIRE(os.good(), "cannot open for writing: " + tmp);
+    save_checkpoint_csv(os, snapshot, space);
+    PT_REQUIRE(os.good(), "write failed: " + tmp);
+  }
+  PT_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+             "cannot move checkpoint into place: " + path);
+}
+
+SearchCheckpoint load_checkpoint_csv(std::istream& is,
+                                     const ParamSpace& space) {
+  std::string line;
+  PT_REQUIRE(std::getline(is, line) &&
+                 line.rfind("# portatune-checkpoint v1,", 0) == 0,
+             "not a portatune checkpoint (bad magic line)");
+  const auto meta = split_csv(line.substr(std::string("# ").size()));
+  PT_REQUIRE(meta.size() == 4, "malformed checkpoint metadata");
+
+  SearchCheckpoint snapshot;
+  snapshot.trace = SearchTrace(meta[1], meta[2], meta[3]);
+  SearchTrace& trace = snapshot.trace;
+
+  double clock = 0.0;
+  FailureStats fs;
+  std::string header_line;
+  // Metadata rows run until the first non-"# " line (the column header).
+  while (std::getline(is, line)) {
+    if (line.rfind("# ", 0) != 0) {
+      header_line = line;
+      break;
+    }
+    const std::string body = line.substr(2);
+    const auto comma = body.find(',');
+    const std::string key = body.substr(0, comma);
+    const std::string rest =
+        comma == std::string::npos ? std::string() : body.substr(comma + 1);
+    if (key == "draws") {
+      snapshot.draws = static_cast<std::size_t>(std::stoull(rest));
+    } else if (key == "clock") {
+      clock = std::stod(rest);
+    } else if (key == "stop") {
+      if (!rest.empty()) trace.set_stop_reason(rest);
+    } else if (key == "stats") {
+      const auto cells = split_csv(rest);
+      PT_REQUIRE(cells.size() == 6, "malformed checkpoint stats row");
+      fs.attempts = std::stoull(cells[0]);
+      fs.failures = std::stoull(cells[1]);
+      fs.transient = std::stoull(cells[2]);
+      fs.deterministic = std::stoull(cells[3]);
+      fs.timeouts = std::stoull(cells[4]);
+      fs.overhead_seconds = std::stod(cells[5]);
+    } else if (key == "quarantine") {
+      for (const auto& cell : split_csv(rest))
+        snapshot.quarantine.push_back(std::stoull(cell, nullptr, 16));
+    } else {
+      throw Error("unknown checkpoint metadata key: " + key);
+    }
+  }
+
+  PT_REQUIRE(!header_line.empty(), "missing checkpoint header row");
+  const auto header = split_csv(header_line);
+  PT_REQUIRE(header.size() == space.num_params() + 3,
+             "checkpoint header arity does not match the parameter space");
+  const auto names = space.names();
+  for (std::size_t p = 0; p < names.size(); ++p)
+    PT_REQUIRE(header[p] == names[p],
+               "checkpoint parameter '" + header[p] +
+                   "' does not match space parameter '" + names[p] + "'");
+
+  std::size_t row = 0;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto cells = split_csv(line);
+    PT_REQUIRE(cells.size() == space.num_params() + 3,
+               "checkpoint row " + std::to_string(row) + " has wrong arity");
+    ParamConfig config(space.num_params());
+    for (std::size_t p = 0; p < space.num_params(); ++p)
+      config[p] = value_to_index(space, p, std::stod(cells[p]), row);
+    const double seconds = std::stod(cells[space.num_params()]);
+    const double elapsed = std::stod(cells[space.num_params() + 1]);
+    PT_REQUIRE(std::isfinite(seconds) && seconds >= 0.0,
+               "checkpoint row " + std::to_string(row) +
+                   " has a bad run time");
+    PT_REQUIRE(std::isfinite(elapsed) && elapsed >= 0.0,
+               "checkpoint row " + std::to_string(row) +
+                   " has a bad elapsed time");
+    const auto draw =
+        static_cast<std::size_t>(std::stoull(cells[space.num_params() + 2]));
+    trace.restore_entry(std::move(config), seconds, elapsed, draw);
+  }
+  trace.restore_failure_stats(fs);
+  trace.restore_clock(clock);
+  PT_REQUIRE(snapshot.draws >= trace.size(),
+             "checkpoint draw count is smaller than its trace");
+  return snapshot;
+}
+
+SearchCheckpoint load_checkpoint_csv(const std::string& path,
+                                     const ParamSpace& space) {
+  std::ifstream is(path);
+  PT_REQUIRE(is.good(), "cannot open checkpoint file: " + path);
+  return load_checkpoint_csv(is, space);
 }
 
 }  // namespace portatune::tuner

@@ -15,11 +15,25 @@
 // Values are written as parameter *values* (like the surrogate features),
 // not indices, so traces stay meaningful if a space is re-declared with
 // the same values in a different construction order per parameter.
+//
+// Checkpoints extend the trace format with the sampler and resilience
+// state needed to resume an interrupted search exactly (same magic-line
+// convention; extra `# key,...` metadata rows; rows carry the original
+// elapsed timestamp so the resumed clock is bitwise-identical):
+//
+//   # portatune-checkpoint v1,<algorithm>,<problem>,<machine>
+//   # draws,<stream draws consumed>
+//   # clock,<search clock seconds>
+//   # stop,<stop reason or empty>
+//   # stats,<attempts>,<failures>,<transient>,<deterministic>,<timeouts>,<overhead_seconds>
+//   # quarantine,<hex hash>,<hex hash>,...          (row absent when empty)
+//   <param0>,...,seconds,elapsed,draw_index
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "tuner/random_search.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
@@ -41,5 +55,24 @@ SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space);
 /// Load from a file. Throws portatune::Error on I/O or format errors.
 SearchTrace load_trace_csv(const std::string& path,
                            const ParamSpace& space);
+
+/// Serialize an in-progress search snapshot (trace + sampler position +
+/// quarantine) so the search can be resumed exactly.
+void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
+                         const ParamSpace& space);
+
+/// Serialize to a file. The file is written to `path + ".tmp"` first and
+/// renamed, so a crash mid-write never corrupts the previous checkpoint.
+void save_checkpoint_csv(const std::string& path,
+                         const SearchCheckpoint& snapshot,
+                         const ParamSpace& space);
+
+/// Parse a checkpoint written by save_checkpoint_csv. Validates the space
+/// like load_trace_csv. Throws portatune::Error on I/O or format errors.
+SearchCheckpoint load_checkpoint_csv(std::istream& is,
+                                     const ParamSpace& space);
+
+SearchCheckpoint load_checkpoint_csv(const std::string& path,
+                                     const ParamSpace& space);
 
 }  // namespace portatune::tuner

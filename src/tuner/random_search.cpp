@@ -8,29 +8,91 @@
 
 namespace portatune::tuner {
 
+namespace {
+
+/// Account a result on trace + budget. Returns true when the search must
+/// abort (budget newly exhausted); records the diagnostic on the trace.
+bool abort_on_failure(SearchTrace& trace, FailureBudgetTracker& budget,
+                      const EvalResult& r) {
+  trace.note_result(r);
+  if (!budget.note(r)) return false;
+  trace.set_stop_reason(budget.reason());
+  return true;
+}
+
+}  // namespace
+
 SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
   SearchTrace trace("RS", eval.problem_name(), eval.machine_name());
   ConfigStream stream(eval.space(), opt.seed);
-  while (trace.size() < opt.max_evals) {
+
+  if (opt.resume != nullptr) {
+    trace = opt.resume->trace;
+    // Replay the consumed draws against the same seed: the sampler's RNG
+    // state and dedup set end up exactly where the snapshot left them.
+    for (std::size_t i = 0; i < opt.resume->draws; ++i)
+      if (!stream.next()) break;
+    if (auto* resilient = dynamic_cast<ResilientEvaluator*>(&eval))
+      resilient->restore_quarantine(opt.resume->quarantine);
+  }
+
+  FailureBudgetTracker budget(opt.failure_budget);
+  if (opt.resume != nullptr)
+    budget.restore_total(opt.resume->trace.failure_stats().failures);
+  const auto take_checkpoint = [&] {
+    SearchCheckpoint snapshot;
+    snapshot.trace = trace;
+    snapshot.draws = stream.produced();
+    if (auto* resilient = dynamic_cast<ResilientEvaluator*>(&eval))
+      snapshot.quarantine = resilient->quarantined_hashes();
+    opt.on_checkpoint(snapshot);
+  };
+  std::size_t since_checkpoint = 0;
+  const auto maybe_checkpoint = [&] {
+    if (opt.checkpoint_every == 0 || !opt.on_checkpoint) return;
+    if (++since_checkpoint < opt.checkpoint_every) return;
+    since_checkpoint = 0;
+    take_checkpoint();
+  };
+
+  // An already-exhausted budget (resume of an aborted run) evaluates
+  // nothing; the restored trace keeps its checkpointed stop reason.
+  while (trace.size() < opt.max_evals && !budget.exhausted()) {
     auto config = stream.next();
     if (!config) break;  // space exhausted
     const EvalResult r = eval.evaluate(*config);
-    if (!r.ok) continue;  // failed build/run: configuration discarded
+    if (!r.ok) {
+      if (abort_on_failure(trace, budget, r)) break;
+      continue;
+    }
+    trace.note_result(r);
+    budget.note(r);
     trace.record(std::move(*config), r.seconds, stream.produced() - 1);
+    maybe_checkpoint();
   }
+  // Final snapshot so interrupted-and-finished runs alike can be extended
+  // later (e.g. resumed with a larger eval budget).
+  if (opt.on_checkpoint) take_checkpoint();
   return trace;
 }
 
 SearchTrace replay_search(Evaluator& eval,
                           std::span<const ParamConfig> order,
                           std::size_t max_evals,
-                          std::string algorithm_label) {
+                          std::string algorithm_label,
+                          const FailureBudget& fb) {
   SearchTrace trace(std::move(algorithm_label), eval.problem_name(),
                     eval.machine_name());
+  FailureBudgetTracker budget(fb);
   for (std::size_t i = 0; i < order.size() && trace.size() < max_evals;
        ++i) {
     const EvalResult r = eval.evaluate(order[i]);
-    if (!r.ok) continue;
+    if (!r.ok) {
+      if (abort_on_failure(trace, budget, r)) break;
+      continue;
+    }
+    trace.note_result(r);
+    budget.note(r);
     trace.record(order[i], r.seconds, i);
   }
   return trace;
@@ -44,6 +106,7 @@ SearchTrace pruned_random_search(Evaluator& eval,
              "delta must lie strictly between 0 and 100");
   SearchTrace trace("RS_p", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
+  FailureBudgetTracker budget(opt.failure_budget);
 
   // Phase 1: estimate the pruning cutoff Delta as the delta-quantile of
   // model predictions over a fresh pool of N configurations.
@@ -68,7 +131,12 @@ SearchTrace pruned_random_search(Evaluator& eval,
     ++draws;
     if (model.predict(space.features(*config)) >= cutoff) continue;
     const EvalResult r = eval.evaluate(*config);
-    if (!r.ok) continue;
+    if (!r.ok) {
+      if (abort_on_failure(trace, budget, r)) return trace;
+      continue;
+    }
+    trace.note_result(r);
+    budget.note(r);
     trace.record(std::move(*config), r.seconds, stream.produced() - 1);
   }
 
@@ -81,7 +149,12 @@ SearchTrace pruned_random_search(Evaluator& eval,
       auto config = fallback.next();
       if (!config) break;
       const EvalResult r = eval.evaluate(*config);
-      if (!r.ok) continue;
+      if (!r.ok) {
+        if (abort_on_failure(trace, budget, r)) return trace;
+        continue;
+      }
+      trace.note_result(r);
+      budget.note(r);
       trace.record(std::move(*config), r.seconds, fallback.produced() - 1);
     }
   }
@@ -94,6 +167,7 @@ SearchTrace biased_random_search(Evaluator& eval,
   PT_REQUIRE(model.is_fitted(), "RS_b requires a fitted surrogate");
   SearchTrace trace("RS_b", eval.problem_name(), eval.machine_name());
   const ParamSpace& space = eval.space();
+  FailureBudgetTracker budget(opt.failure_budget);
 
   // Phase 1: sample the candidate pool X_p and predict all run times.
   ConfigStream stream(space, opt.seed);
@@ -116,16 +190,23 @@ SearchTrace biased_random_search(Evaluator& eval,
        rank < order.size() && trace.size() < opt.max_evals; ++rank) {
     const ParamConfig& config = pool[order[rank]];
     const EvalResult r = eval.evaluate(config);
-    if (!r.ok) continue;
+    if (!r.ok) {
+      if (abort_on_failure(trace, budget, r)) break;
+      continue;
+    }
+    trace.note_result(r);
+    budget.note(r);
     trace.record(config, r.seconds, order[rank]);
   }
   return trace;
 }
 
 SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
-                              double delta_percent, std::size_t max_evals) {
+                              double delta_percent, std::size_t max_evals,
+                              const FailureBudget& fb) {
   PT_REQUIRE(!source.empty(), "RS_pf requires source data");
   SearchTrace trace("RS_pf", eval.problem_name(), eval.machine_name());
+  FailureBudgetTracker budget(fb);
   std::vector<double> ys;
   ys.reserve(source.size());
   for (const auto& e : source.entries()) ys.push_back(e.seconds);
@@ -135,16 +216,23 @@ SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
     if (trace.size() >= max_evals) break;
     if (e.seconds >= cutoff) continue;  // pruned by the source run time
     const EvalResult r = eval.evaluate(e.config);
-    if (!r.ok) continue;
+    if (!r.ok) {
+      if (abort_on_failure(trace, budget, r)) break;
+      continue;
+    }
+    trace.note_result(r);
+    budget.note(r);
     trace.record(e.config, r.seconds, e.draw_index);
   }
   return trace;
 }
 
 SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
-                              std::size_t max_evals) {
+                              std::size_t max_evals,
+                              const FailureBudget& fb) {
   PT_REQUIRE(!source.empty(), "RS_bf requires source data");
   SearchTrace trace("RS_bf", eval.problem_name(), eval.machine_name());
+  FailureBudgetTracker budget(fb);
   std::vector<double> ys;
   ys.reserve(source.size());
   for (const auto& e : source.entries()) ys.push_back(e.seconds);
@@ -154,7 +242,12 @@ SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
        rank < order.size() && trace.size() < max_evals; ++rank) {
     const auto& e = source.entry(order[rank]);
     const EvalResult r = eval.evaluate(e.config);
-    if (!r.ok) continue;
+    if (!r.ok) {
+      if (abort_on_failure(trace, budget, r)) break;
+      continue;
+    }
+    trace.note_result(r);
+    budget.note(r);
     trace.record(e.config, r.seconds, e.draw_index);
   }
   return trace;

@@ -18,15 +18,40 @@
 // ConfigStream implements the common-random-numbers protocol of Sec. IV-D.
 #pragma once
 
+#include <functional>
+
 #include "ml/model.hpp"
 #include "tuner/evaluator.hpp"
+#include "tuner/resilience.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
 
+/// Snapshot of an in-progress random search: everything needed to resume
+/// it exactly — the partial trace, the number of stream draws consumed
+/// (replaying them against the same seed reproduces the sampler state),
+/// and the quarantined configuration hashes of a ResilientEvaluator.
+/// Serialized by save_checkpoint_csv / load_checkpoint_csv.
+struct SearchCheckpoint {
+  SearchTrace trace;
+  std::size_t draws = 0;  ///< ConfigStream::produced() at snapshot time
+  std::vector<std::uint64_t> quarantine;
+};
+
 struct RandomSearchOptions {
   std::size_t max_evals = 100;  ///< n_max
   std::uint64_t seed = 1;       ///< shared stream seed (CRN)
+  /// Abort (with a diagnostic stop_reason) once failures exceed this.
+  FailureBudget failure_budget{};
+  /// Invoke on_checkpoint after every `checkpoint_every` recorded
+  /// evaluations (0 disables the periodic snapshots), and once more when
+  /// the search returns. The callback owns persistence.
+  std::size_t checkpoint_every = 0;
+  std::function<void(const SearchCheckpoint&)> on_checkpoint;
+  /// Resume from a snapshot: the trace is continued, the stream is
+  /// fast-forwarded by `draws`, and (when `eval` is a ResilientEvaluator)
+  /// the quarantine is restored. The same seed must be passed.
+  const SearchCheckpoint* resume = nullptr;
 };
 
 /// RS: evaluate the first max_evals draws of the stream.
@@ -34,11 +59,13 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt);
 
 /// Evaluate an explicit configuration order (used to replay a source
 /// machine's RS order on a target machine). Failed evaluations are
-/// skipped and do not count toward max_evals.
+/// skipped and do not count toward max_evals, but do consume the
+/// failure budget.
 SearchTrace replay_search(Evaluator& eval,
                           std::span<const ParamConfig> order,
                           std::size_t max_evals,
-                          std::string algorithm_label = "RS");
+                          std::string algorithm_label = "RS",
+                          const FailureBudget& budget = {});
 
 struct PrunedSearchOptions {
   std::size_t max_evals = 100;     ///< n_max
@@ -46,6 +73,7 @@ struct PrunedSearchOptions {
   double delta_percent = 20.0;     ///< delta: prune above this quantile
   std::uint64_t seed = 1;          ///< shared stream seed (CRN)
   std::size_t max_draws = 10000;   ///< stop after this many stream draws
+  FailureBudget failure_budget{};
 };
 
 /// RS_p (Algorithm 1). `model` must be fitted on the source machine data.
@@ -57,6 +85,7 @@ struct BiasedSearchOptions {
   std::size_t max_evals = 100;   ///< n_max
   std::size_t pool_size = 10000; ///< N
   std::uint64_t seed = 1;
+  FailureBudget failure_budget{};
 };
 
 /// RS_b (Algorithm 2). `model` must be fitted on the source machine data.
@@ -67,10 +96,12 @@ SearchTrace biased_random_search(Evaluator& eval,
 /// RS_pf: model-free pruning over the source trace (delta in percent).
 SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
                               double delta_percent,
-                              std::size_t max_evals = SIZE_MAX);
+                              std::size_t max_evals = SIZE_MAX,
+                              const FailureBudget& budget = {});
 
 /// RS_bf: model-free biasing over the source trace.
 SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
-                              std::size_t max_evals = SIZE_MAX);
+                              std::size_t max_evals = SIZE_MAX,
+                              const FailureBudget& budget = {});
 
 }  // namespace portatune::tuner

@@ -1,5 +1,7 @@
 #include "tuner/trace.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 
 namespace portatune::tuner {
@@ -8,6 +10,25 @@ void SearchTrace::record(ParamConfig config, double seconds,
                          std::size_t draw_index) {
   clock_ += seconds;
   entries_.push_back({std::move(config), seconds, clock_, draw_index});
+}
+
+void SearchTrace::note_result(const EvalResult& r) {
+  failures_.attempts += r.attempts;
+  failures_.overhead_seconds += r.overhead_seconds;
+  clock_ += r.overhead_seconds;
+  if (r.ok) return;
+  ++failures_.failures;
+  switch (r.failure_kind) {
+    case FailureKind::Transient: ++failures_.transient; break;
+    case FailureKind::Timeout: ++failures_.timeouts; break;
+    default: ++failures_.deterministic; break;
+  }
+}
+
+void SearchTrace::restore_entry(ParamConfig config, double seconds,
+                                double elapsed, std::size_t draw_index) {
+  entries_.push_back({std::move(config), seconds, elapsed, draw_index});
+  clock_ = std::max(clock_, elapsed);
 }
 
 double SearchTrace::best_seconds() const {

@@ -10,9 +10,32 @@
 #include <vector>
 
 #include "ml/dataset.hpp"
+#include "tuner/evaluator.hpp"
 #include "tuner/param.hpp"
 
 namespace portatune::tuner {
+
+/// Failure accounting of one search run: every evaluation attempt is
+/// counted, successful or not, so a trace reports how much of the budget
+/// failures consumed (Sec. "Failure semantics" of DESIGN.md).
+struct FailureStats {
+  std::size_t attempts = 0;       ///< backend attempts, incl. retries
+  std::size_t failures = 0;       ///< evaluations that returned !ok
+  std::size_t transient = 0;      ///< ... classified transient
+  std::size_t deterministic = 0;  ///< ... classified deterministic
+  std::size_t timeouts = 0;       ///< ... classified timeout
+  double overhead_seconds = 0.0;  ///< retry/backoff/timeout search time
+
+  FailureStats& operator+=(const FailureStats& o) {
+    attempts += o.attempts;
+    failures += o.failures;
+    transient += o.transient;
+    deterministic += o.deterministic;
+    timeouts += o.timeouts;
+    overhead_seconds += o.overhead_seconds;
+    return *this;
+  }
+};
 
 struct TraceEntry {
   ParamConfig config;
@@ -33,6 +56,28 @@ class SearchTrace {
   /// Account search time that produced no evaluation (e.g. pruned draws,
   /// model fitting); advances the search clock.
   void add_overhead(double seconds) { clock_ += seconds; }
+
+  /// Account one evaluation result (success or failure): attempt/failure
+  /// counters plus any retry/backoff/timeout overhead on the search clock.
+  /// Searches call this for *every* EvalResult, then record() on success.
+  void note_result(const EvalResult& r);
+
+  const FailureStats& failure_stats() const noexcept { return failures_; }
+
+  /// Why the search stopped early (failure budget exhausted, ...); empty
+  /// for a normal completion.
+  void set_stop_reason(std::string reason) { stop_reason_ = std::move(reason); }
+  const std::string& stop_reason() const noexcept { return stop_reason_; }
+
+  // -- Checkpoint restore support (persistence.cpp) ---------------------
+  /// Append an entry with its original elapsed timestamp (does not
+  /// recompute the clock like record() does).
+  void restore_entry(ParamConfig config, double seconds, double elapsed,
+                     std::size_t draw_index);
+  void restore_failure_stats(const FailureStats& stats) { failures_ = stats; }
+  /// Restore the search clock exactly (it may exceed the last entry's
+  /// elapsed when trailing failures charged overhead).
+  void restore_clock(double clock) { clock_ = clock; }
 
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
@@ -66,6 +111,8 @@ class SearchTrace {
   std::string algorithm_, problem_, machine_;
   std::vector<TraceEntry> entries_;
   double clock_ = 0.0;  ///< cumulative search time
+  FailureStats failures_;
+  std::string stop_reason_;
 };
 
 }  // namespace portatune::tuner

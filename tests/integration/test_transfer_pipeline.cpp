@@ -3,10 +3,14 @@
 // kernels -> machine model -> surrogate -> transfer-guided search.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apps/registry.hpp"
 #include "kernels/sim_evaluator.hpp"
 #include "kernels/spapt.hpp"
 #include "tuner/experiment.hpp"
+#include "tuner/faults.hpp"
+#include "tuner/resilience.hpp"
 
 namespace portatune {
 namespace {
@@ -111,6 +115,56 @@ TEST(TransferPipeline, HplCorrelatesWeakly) {
   const auto r_lu =
       run_transfer_experiment(*lu_wm, *lu_sb, paper_settings());
   EXPECT_GT(r_lu.pearson, r.pearson + 0.2);
+}
+
+TEST(TransferPipeline, SurvivesTenPercentTransientFaults) {
+  // The whole experiment runs behind the resilience stack: a fault
+  // injector failing 10% of attempts transiently, wrapped in a retrying
+  // ResilientEvaluator. The pipeline must complete with finite speedups,
+  // visible failure accounting — and deterministically for a fixed seed.
+  const auto run_faulty = [] {
+    auto lu = kernels::make_lu();
+    kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+    kernels::SimulatedKernelEvaluator sb(lu, sim::make_sandybridge());
+    tuner::FaultProfile profile;
+    profile.transient_rate = 0.10;
+    profile.seed = 7;
+    tuner::FaultInjectingEvaluator wm_faulty(wm, profile);
+    tuner::FaultInjectingEvaluator sb_faulty(sb, profile);
+    tuner::ResilientEvaluator wm_res(wm_faulty);
+    tuner::ResilientEvaluator sb_res(sb_faulty);
+    ExperimentSettings s = paper_settings();
+    s.nmax = 40;
+    s.pool_size = 1000;
+    s.forest.num_trees = 16;
+    auto r = run_transfer_experiment(wm_res, sb_res, s);
+    const std::size_t retries =
+        wm_res.stats().retries + sb_res.stats().retries;
+    return std::make_pair(std::move(r), retries);
+  };
+
+  const auto [r, retries] = run_faulty();
+  EXPECT_EQ(r.source_rs.size(), 40u);
+  EXPECT_GT(r.biased.size(), 0u);
+  EXPECT_TRUE(std::isfinite(r.biased_speedup.performance));
+  EXPECT_TRUE(std::isfinite(r.biased_speedup.search));
+  EXPECT_GT(r.biased_speedup.performance, 0.0);
+  EXPECT_GT(r.biased_speedup.search, 0.0);
+  // The injected faults are visible in the failure accounting.
+  EXPECT_GT(retries, 0u);
+  EXPECT_GT(r.failures.attempts,
+            r.source_rs.size() + r.target_rs.size());
+  EXPECT_GT(r.failures.overhead_seconds, 0.0);
+  // No search hit its failure budget at this fault rate.
+  EXPECT_TRUE(r.aborted_searches.empty());
+
+  // Bit-for-bit reproducible: the fault schedule is a pure function of
+  // (seed, config, attempt), so a second run is identical.
+  const auto [r2, retries2] = run_faulty();
+  EXPECT_EQ(retries2, retries);
+  EXPECT_EQ(r2.failures.attempts, r.failures.attempts);
+  EXPECT_EQ(r2.biased.best_seconds(), r.biased.best_seconds());
+  EXPECT_EQ(r2.biased_speedup.search, r.biased_speedup.search);
 }
 
 TEST(TransferPipeline, EveryPaperProblemRunsEndToEnd) {

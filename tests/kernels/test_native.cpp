@@ -143,7 +143,9 @@ TEST_P(NativeKernelsRun, EveryKernelEvaluates) {
     const auto c = prob->space().random_config(rng);
     const auto r = eval.evaluate(c);
     ok += r.ok;
-    if (r.ok) EXPECT_GT(r.seconds, 0.0);
+    if (r.ok) {
+      EXPECT_GT(r.seconds, 0.0);
+    }
   }
   EXPECT_GT(ok, 0);
 }
