@@ -8,6 +8,9 @@
 #include "kernels/sim_evaluator.hpp"
 #include "kernels/spapt.hpp"
 #include "ml/forest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "orio/codegen.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace_sim.hpp"
@@ -92,6 +95,63 @@ void BM_ConfigSampling(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(stream.next());
 }
 BENCHMARK(BM_ConfigSampling);
+
+// --- Observability overhead -----------------------------------------
+// The instrumentation is compiled into every search path but must be
+// dormant when no sink is installed: these bound the disabled-path cost
+// (the acceptance bar is < 1 % on search throughput, see BM_RandomSearch).
+
+void BM_ObsDisabledEnabledCheck(benchmark::State& state) {
+  // The guard every instrumented site evaluates: one relaxed atomic load.
+  for (auto _ : state)
+    benchmark::DoNotOptimize(obs::enabled(obs::Severity::Info));
+}
+BENCHMARK(BM_ObsDisabledEnabledCheck);
+
+void BM_ObsDisabledScopedTimer(benchmark::State& state) {
+  // Inert span: no sink, no histogram -> no clock reads, no allocation.
+  for (auto _ : state) {
+    obs::ScopedTimer span("bench.noop", "bench");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_ObsDisabledScopedTimer);
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& c = registry.counter("bench.counter");
+  for (auto _ : state) c.add();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("bench.hist");
+  double v = 1e-6;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 10.0 ? v * 1.001 : 1e-6;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_RandomSearch(benchmark::State& state) {
+  // Full instrumented search with observability dormant (no sink): the
+  // throughput to compare pre/post-instrumentation builds on.
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  tuner::RandomSearchOptions opt;
+  opt.max_evals = 50;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(tuner::random_search(wm, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_RandomSearch);
 
 void BM_CodeGeneration(benchmark::State& state) {
   auto prob = kernels::make_mm(256);

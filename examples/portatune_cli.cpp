@@ -13,12 +13,26 @@
 //       run the full Sec. IV-D experiment (optionally reusing a saved T_a)
 //   portatune_cli similarity --problem LU --source Westmere --target X-Gene
 //       probe-based machine-similarity report and transfer advice
+//
+// Observability (any command):
+//   --log-json events.jsonl    structured event log, one JSON object/line
+//   --log-level debug|info|warn|error   event threshold (default info)
+//   --metrics-out metrics.json counter/gauge/histogram snapshot at exit
+//   --chrome-trace trace.json  Trace Event file for chrome://tracing or
+//                              https://ui.perfetto.dev
+//   --quiet                    suppress the end-of-run summary line
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "apps/registry.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/observed_evaluator.hpp"
+#include "obs/sink.hpp"
 #include "support/error.hpp"
 #include "tuner/experiment.hpp"
 #include "tuner/faults.hpp"
@@ -47,6 +61,11 @@ struct Args {
   std::size_t retries = 2;
   double timeout = 0.0;   ///< per-evaluation deadline, seconds
   std::uint64_t seed = 20160401;
+  std::string log_json;     ///< JSONL event-log path ("" = off)
+  std::string log_level = "info";
+  std::string metrics_out;  ///< metrics snapshot path ("" = off)
+  std::string chrome_trace; ///< Chrome trace path ("" = off)
+  bool quiet = false;       ///< suppress the end-of-run summary
 };
 
 Args parse(int argc, char** argv) {
@@ -54,10 +73,14 @@ Args parse(int argc, char** argv) {
                         "similarity> [options]");
   Args a;
   a.command = argv[1];
-  PT_REQUIRE(argc % 2 == 0,
-             std::string("option ") + argv[argc - 1] + " is missing a value");
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; i += 2) {
     const std::string key = argv[i];
+    if (key == "--quiet") {  // flag options take no value
+      a.quiet = true;
+      --i;
+      continue;
+    }
+    PT_REQUIRE(i + 1 < argc, "option " + key + " is missing a value");
     const std::string value = argv[i + 1];
     if (key == "--problem") a.problem = value;
     else if (key == "--source") a.source = value;
@@ -74,10 +97,70 @@ Args parse(int argc, char** argv) {
     else if (key == "--retries") a.retries = std::stoul(value);
     else if (key == "--timeout") a.timeout = std::stod(value);
     else if (key == "--seed") a.seed = std::stoull(value);
+    else if (key == "--log-json") a.log_json = value;
+    else if (key == "--log-level") a.log_level = value;
+    else if (key == "--metrics-out") a.metrics_out = value;
+    else if (key == "--chrome-trace") a.chrome_trace = value;
     else throw Error("unknown option: " + key);
   }
   return a;
 }
+
+/// Owns the sinks requested on the command line for the duration of one
+/// run: installs them as the default sink, and on finish() writes the
+/// metrics snapshot and Chrome trace. The destructor always uninstalls,
+/// so an exception cannot leave a dangling sink behind.
+class ObsSession {
+ public:
+  explicit ObsSession(const Args& a) : args_(a) {
+    if (!a.log_json.empty())
+      jsonl_ = std::make_unique<obs::JsonlSink>(a.log_json);
+    if (!a.chrome_trace.empty())
+      memory_ = std::make_unique<obs::MemorySink>();
+    if (jsonl_ && memory_) {
+      tee_ = std::make_unique<obs::TeeSink>(
+          std::vector<obs::EventSink*>{jsonl_.get(), memory_.get()});
+      active_ = tee_.get();
+    } else if (jsonl_) {
+      active_ = jsonl_.get();
+    } else if (memory_) {
+      active_ = memory_.get();
+    }
+    obs::set_log_level(obs::severity_from_string(a.log_level));
+    if (active_ != nullptr) obs::set_default_sink(active_);
+  }
+
+  ~ObsSession() { obs::set_default_sink(nullptr); }
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  /// Write the requested output files after the command finished.
+  void finish() {
+    obs::set_default_sink(nullptr);
+    if (memory_) {
+      const auto events = memory_->events();
+      obs::write_chrome_trace(args_.chrome_trace, events);
+      if (!args_.quiet)
+        std::printf("wrote %zu trace events to %s\n", events.size(),
+                    args_.chrome_trace.c_str());
+    }
+    if (!args_.metrics_out.empty()) {
+      std::ofstream os(args_.metrics_out);
+      PT_REQUIRE(os.good(), "cannot open for writing: " + args_.metrics_out);
+      os << obs::MetricsRegistry::current().snapshot().to_json() << "\n";
+      PT_REQUIRE(os.good(), "write failed: " + args_.metrics_out);
+      if (!args_.quiet)
+        std::printf("wrote metrics to %s\n", args_.metrics_out.c_str());
+    }
+  }
+
+ private:
+  const Args& args_;
+  std::unique_ptr<obs::JsonlSink> jsonl_;
+  std::unique_ptr<obs::MemorySink> memory_;
+  std::unique_ptr<obs::TeeSink> tee_;
+  obs::EventSink* active_ = nullptr;
+};
 
 void print_failure_summary(const tuner::SearchTrace& trace,
                            const tuner::ResilienceStats& stats) {
@@ -105,8 +188,10 @@ int cmd_list() {
 int cmd_collect(const Args& a) {
   auto eval = apps::make_simulated_evaluator(a.problem, a.machine);
 
-  // Optionally stack the resilience decorators: backend -> faults ->
-  // retry/timeout. The search itself only ever sees the outermost layer.
+  // Stack the decorators: backend -> faults -> observer -> retry/timeout.
+  // The observer sits inside the resilient layer so it sees every raw
+  // attempt (including injected faults), one event per attempt. The
+  // search itself only ever sees the outermost layer.
   tuner::Evaluator* backend = eval.get();
   std::unique_ptr<tuner::FaultInjectingEvaluator> faulty;
   if (a.faults > 0.0) {
@@ -117,10 +202,11 @@ int cmd_collect(const Args& a) {
                                                               profile);
     backend = faulty.get();
   }
+  obs::ObservedEvaluator observed(*backend);
   tuner::RetryPolicy policy;
   policy.max_attempts = a.retries + 1;
   policy.timeout_seconds = a.timeout;
-  tuner::ResilientEvaluator resilient(*backend, policy);
+  tuner::ResilientEvaluator resilient(observed, policy);
 
   tuner::RandomSearchOptions opt;
   opt.max_evals = a.nmax;
@@ -151,12 +237,24 @@ int cmd_collect(const Args& a) {
     tuner::save_trace_csv(a.out, trace, eval->space());
     std::printf("saved T_a to %s\n", a.out.c_str());
   }
+  if (!a.quiet && !trace.empty()) {
+    const auto& fs = trace.failure_stats();
+    std::printf("summary: best=%s best_seconds=%.6g evals=%zu "
+                "failures=%zu/%zu overhead_seconds=%.3g\n",
+                eval->space().describe(trace.best_config()).c_str(),
+                trace.best_seconds(), trace.size(), fs.failures,
+                fs.attempts, fs.overhead_seconds);
+  }
   return 0;
 }
 
 int cmd_transfer(const Args& a) {
-  auto source = apps::make_simulated_evaluator(a.problem, a.source);
-  auto target = apps::make_simulated_evaluator(a.problem, a.target);
+  auto source_backend = apps::make_simulated_evaluator(a.problem, a.source);
+  auto target_backend = apps::make_simulated_evaluator(a.problem, a.target);
+  // Per-evaluation telemetry, tagged by role: eval.source.* / eval.target.*
+  // counters and one event per evaluation.
+  obs::ObservedEvaluator source(*source_backend, "eval.source");
+  obs::ObservedEvaluator target(*target_backend, "eval.target");
   tuner::ExperimentSettings s;
   s.nmax = a.nmax;
   s.delta_percent = a.delta;
@@ -165,23 +263,23 @@ int cmd_transfer(const Args& a) {
   if (!a.from.empty()) {
     // Reuse a previously collected T_a: fit the surrogate and run the
     // guided searches directly.
-    const auto ta = tuner::load_trace_csv(a.from, source->space());
+    const auto ta = tuner::load_trace_csv(a.from, source.space());
     std::printf("loaded T_a: %zu rows from %s\n", ta.size(),
                 a.from.c_str());
-    const auto model = tuner::fit_surrogate(ta, source->space());
+    const auto model = tuner::fit_surrogate(ta, source.space());
     tuner::BiasedSearchOptions opt;
     opt.max_evals = a.nmax;
     opt.seed = a.seed;
-    const auto biased = tuner::biased_random_search(*target, *model, opt);
+    const auto biased = tuner::biased_random_search(target, *model, opt);
     std::printf("RS_b on %s: best %.4f s (at %.1f s of search)\n",
                 a.target.c_str(), biased.best_seconds(),
                 biased.time_to_best());
     std::printf("best configuration: %s\n",
-                target->space().describe(biased.best_config()).c_str());
+                target.space().describe(biased.best_config()).c_str());
     return 0;
   }
 
-  const auto r = tuner::run_transfer_experiment(*source, *target, s);
+  const auto r = tuner::run_transfer_experiment(source, target, s);
   std::printf("%s: %s -> %s\n", a.problem.c_str(), a.source.c_str(),
               a.target.c_str());
   std::printf("correlation: pearson %.3f spearman %.3f\n", r.pearson,
@@ -225,11 +323,15 @@ int cmd_similarity(const Args& a) {
 int main(int argc, char** argv) {
   try {
     const Args a = parse(argc, argv);
-    if (a.command == "list") return cmd_list();
-    if (a.command == "collect") return cmd_collect(a);
-    if (a.command == "transfer") return cmd_transfer(a);
-    if (a.command == "similarity") return cmd_similarity(a);
-    throw Error("unknown command: " + a.command);
+    ObsSession obs_session(a);
+    int rc = 1;
+    if (a.command == "list") rc = cmd_list();
+    else if (a.command == "collect") rc = cmd_collect(a);
+    else if (a.command == "transfer") rc = cmd_transfer(a);
+    else if (a.command == "similarity") rc = cmd_similarity(a);
+    else throw Error("unknown command: " + a.command);
+    obs_session.finish();
+    return rc;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <numeric>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -13,6 +15,16 @@ namespace portatune::ml {
 void RandomForest::fit(const Dataset& train) {
   PT_REQUIRE(!train.empty(), "cannot fit a forest on an empty dataset");
   PT_REQUIRE(params_.num_trees > 0, "forest needs at least one tree");
+
+  // Model-fit cost is one of the "search overhead" quantities the paper
+  // argues is negligible; measure it so the claim is checkable.
+  auto& metrics = obs::MetricsRegistry::current();
+  obs::ScopedTimer fit_span("forest.fit", "ml",
+                            {{"rows", train.num_rows()},
+                             {"features", train.num_features()},
+                             {"trees", params_.num_trees}},
+                            &metrics.histogram("forest.fit_seconds"));
+  metrics.counter("forest.fits").add();
 
   const std::size_t m = train.num_features();
   const std::size_t max_features =
@@ -81,6 +93,8 @@ void RandomForest::fit(const Dataset& train) {
   oob_rmse_ = covered > 0
                   ? std::sqrt(sse / static_cast<double>(covered))
                   : std::numeric_limits<double>::quiet_NaN();
+  if (covered > 0) metrics.gauge("forest.oob_rmse").set(oob_rmse_);
+  fit_span.add_field({"oob_rmse", oob_rmse_});
 
   // Permutation feature importance on the training set: importance of
   // feature j = increase in MSE when column j is shuffled.

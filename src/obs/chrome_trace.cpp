@@ -1,0 +1,131 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace portatune::obs {
+
+namespace {
+
+/// Dense small ids for the trace viewer's thread lanes.
+class TidMap {
+ public:
+  int lane(std::uint64_t thread_id) {
+    const auto [it, inserted] =
+        lanes_.emplace(thread_id, static_cast<int>(lanes_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+ private:
+  std::map<std::uint64_t, int> lanes_;
+};
+
+void write_micros(std::ostream& os, double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  os << buf;
+}
+
+void write_one(std::ostream& os, const Event& e, TidMap& tids, bool first) {
+  if (!first) os << ",\n";
+  const bool span = e.duration_seconds >= 0.0;
+  os << "{\"name\":\"" << json::escape(e.name) << "\",\"cat\":\""
+     << json::escape(e.category) << "\",\"ph\":\"" << (span ? 'X' : 'i')
+     << "\",\"ts\":";
+  write_micros(os, e.mono_seconds);
+  if (span) {
+    os << ",\"dur\":";
+    write_micros(os, e.duration_seconds);
+  } else {
+    os << ",\"s\":\"t\"";
+  }
+  os << ",\"pid\":1,\"tid\":" << tids.lane(e.thread_id);
+  os << ",\"args\":{\"level\":\"" << to_string(e.severity) << "\"";
+  for (const auto& f : e.fields) {
+    os << ",\"" << json::escape(f.key) << "\":";
+    if (f.quoted)
+      os << "\"" << json::escape(f.value) << "\"";
+    else
+      os << (f.value.empty() ? "null" : f.value);
+  }
+  os << "}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, std::span<const Event> events) {
+  TidMap tids;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  for (const Event& e : events) {
+    write_one(os, e, tids, first);
+    first = false;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_chrome_trace(const std::string& path,
+                        std::span<const Event> events) {
+  std::ofstream os(path);
+  PT_REQUIRE(os.good(), "cannot open chrome trace for writing: " + path);
+  write_chrome_trace(os, events);
+  PT_REQUIRE(os.good(), "chrome trace write failed: " + path);
+}
+
+std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os) {
+  std::vector<Event> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    json::Value doc;
+    try {
+      doc = json::Value::parse(line);
+    } catch (const Error& e) {
+      throw Error("event log line " + std::to_string(lineno) + ": " +
+                  e.what());
+    }
+    Event e;
+    e.mono_seconds = doc.at("ts").as_number();
+    e.wall_micros = static_cast<std::int64_t>(doc.at("wall_us").as_number());
+    e.severity = severity_from_string(doc.at("level").as_string());
+    e.name = doc.at("name").as_string();
+    e.category = doc.at("cat").as_string();
+    if (const auto* dur = doc.find("dur_s"))
+      e.duration_seconds = dur->as_number();
+    if (const auto* tid = doc.find("tid"))
+      e.thread_id = static_cast<std::uint64_t>(tid->as_number());
+    for (const auto& [key, value] : doc.as_object()) {
+      if (key == "ts" || key == "wall_us" || key == "level" ||
+          key == "name" || key == "cat" || key == "dur_s" || key == "tid")
+        continue;
+      switch (value.type()) {
+        case json::Value::Type::String:
+          e.fields.emplace_back(key, value.as_string());
+          break;
+        case json::Value::Type::Number:
+          e.fields.emplace_back(key, value.as_number());
+          break;
+        case json::Value::Type::Bool:
+          e.fields.emplace_back(key, value.as_bool());
+          break;
+        default:
+          e.fields.emplace_back(key, value.dump());
+          break;
+      }
+    }
+    events.push_back(std::move(e));
+  }
+  write_chrome_trace(os, events);
+  return events.size();
+}
+
+}  // namespace portatune::obs

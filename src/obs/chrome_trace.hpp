@@ -1,0 +1,30 @@
+// Chrome trace-event exporter.
+//
+// Turns a stream of obs::Event records into the Trace Event Format JSON
+// that chrome://tracing and https://ui.perfetto.dev load directly: span
+// events become complete ("ph":"X") slices on a per-thread timeline,
+// instantaneous events become "ph":"i" marks, and every event's fields
+// ride along in "args" so the UI shows configs, outcomes, and
+// FailureKinds on click.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "obs/event.hpp"
+
+namespace portatune::obs {
+
+/// Write a {"traceEvents":[...]} document from in-memory events (e.g. a
+/// MemorySink's contents).
+void write_chrome_trace(std::ostream& os, std::span<const Event> events);
+void write_chrome_trace(const std::string& path,
+                        std::span<const Event> events);
+
+/// Convert a JSONL event log (as written by JsonlSink) into a Chrome
+/// trace document. Returns the number of events converted. Malformed
+/// lines throw portatune::Error with the offending line number.
+std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os);
+
+}  // namespace portatune::obs

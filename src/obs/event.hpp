@@ -1,0 +1,86 @@
+// Structured observability events.
+//
+// An Event is one timestamped, categorised record of something the tuner
+// did: a search phase span, one evaluation attempt, a model refit, an
+// abort. Events carry both a monotonic timestamp (relative to process
+// start, suitable for ordering and for the Chrome trace timeline) and a
+// wall-clock timestamp (for correlating logs across processes), plus a
+// flat key/value field list that serialises to one JSON object per line.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace portatune::obs {
+
+enum class Severity : int {
+  Debug = 0,
+  Info = 1,
+  Warn = 2,
+  Error = 3,
+};
+
+const char* to_string(Severity s) noexcept;
+/// Parse "debug" / "info" / "warn" / "error"; throws portatune::Error on
+/// anything else.
+Severity severity_from_string(const std::string& name);
+
+/// One key/value field of an event. Values are pre-rendered; `quoted`
+/// distinguishes JSON strings from raw numbers/booleans.
+struct Field {
+  std::string key;
+  std::string value;
+  bool quoted = true;
+
+  Field(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  Field(std::string k, const char* v) : key(std::move(k)), value(v) {}
+  Field(std::string k, double v);
+  Field(std::string k, bool v)
+      : key(std::move(k)), value(v ? "true" : "false"), quoted(false) {}
+  Field(std::string k, std::uint64_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  Field(std::string k, std::int64_t v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+  Field(std::string k, int v)
+      : key(std::move(k)), value(std::to_string(v)), quoted(false) {}
+};
+
+struct Event {
+  Severity severity = Severity::Info;
+  std::string name;      ///< what happened, e.g. "eval", "search", "fit"
+  std::string category;  ///< subsystem: "search", "ml", "sim", "experiment"
+  /// Monotonic seconds since the process observability epoch (first use).
+  double mono_seconds = 0.0;
+  /// Wall-clock microseconds since the Unix epoch.
+  std::int64_t wall_micros = 0;
+  /// Span length in seconds; negative for instantaneous events. Spans
+  /// become "complete" slices on the Chrome trace timeline.
+  double duration_seconds = -1.0;
+  std::uint64_t thread_id = 0;
+  std::vector<Field> fields;
+};
+
+/// Monotonic seconds since the process observability epoch.
+double mono_now() noexcept;
+/// Wall-clock microseconds since the Unix epoch.
+std::int64_t wall_micros_now() noexcept;
+/// Wall-clock seconds since the Unix epoch (TraceEntry timestamps).
+double wall_unix_now() noexcept;
+/// Stable small integer id of the calling thread.
+std::uint64_t current_thread_id() noexcept;
+
+/// Build an instantaneous event stamped with the current time and thread.
+Event make_instant(Severity severity, std::string name, std::string category,
+                   std::vector<Field> fields = {});
+/// Build a span event covering the last `duration_seconds` seconds (the
+/// monotonic timestamp is backdated to the span start).
+Event make_span(Severity severity, std::string name, std::string category,
+                double duration_seconds, std::vector<Field> fields = {});
+
+/// Serialise one event as a single-line JSON object (no trailing newline).
+std::string to_json(const Event& event);
+
+}  // namespace portatune::obs

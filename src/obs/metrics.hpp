@@ -1,0 +1,154 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Metrics answer "how much / how often" questions the event log is too
+// verbose for: evaluation latency distributions, prune rates, cache miss
+// rates, model-fit cost. Instruments are created once (name lookup under
+// a mutex) and then updated lock-free with relaxed atomics, so hot paths
+// hold a pointer and pay one atomic RMW per update.
+//
+// MetricsRegistry::current() is the process-wide registry; tests swap in
+// a private registry with ScopedMetricsRedirect.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace portatune::obs {
+
+/// Monotonically increasing count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram: observations are counted into
+/// boundaries.size() + 1 buckets (bucket i holds v <= boundaries[i], the
+/// last bucket is the overflow), plus running count/sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> boundaries);
+
+  void observe(double v) noexcept;
+
+  const std::vector<double>& boundaries() const noexcept {
+    return boundaries_;
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double min() const noexcept { return min_.load(std::memory_order_relaxed); }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  double mean() const noexcept {
+    const auto n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+  }
+  std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+  /// Default latency boundaries: ~1us .. ~100s, log-spaced.
+  static std::vector<double> default_seconds_boundaries();
+
+ private:
+  std::vector<double> boundaries_;  // ascending
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+  std::vector<double> boundaries;
+  std::vector<std::uint64_t> buckets;
+};
+
+/// A point-in-time copy of every instrument, sorted by name.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  bool empty() const noexcept {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  /// Human-readable aligned table.
+  void write_table(std::ostream& os) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Find-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Boundaries are fixed on first creation; later callers get the
+  /// existing instrument regardless of the boundaries they pass.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> boundaries = {});
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every instrument (the instruments themselves survive, so held
+  /// pointers stay valid).
+  void reset();
+
+  /// The process-wide registry instrumentation writes to by default.
+  static MetricsRegistry& global();
+  /// The active registry: global() unless a ScopedMetricsRedirect is live.
+  static MetricsRegistry& current();
+
+ private:
+  friend class ScopedMetricsRedirect;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Point MetricsRegistry::current() at a private registry for the scope's
+/// lifetime (tests; isolated experiment accounting).
+class ScopedMetricsRedirect {
+ public:
+  explicit ScopedMetricsRedirect(MetricsRegistry& registry);
+  ~ScopedMetricsRedirect();
+  ScopedMetricsRedirect(const ScopedMetricsRedirect&) = delete;
+  ScopedMetricsRedirect& operator=(const ScopedMetricsRedirect&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+}  // namespace portatune::obs

@@ -1,0 +1,122 @@
+// ObservedEvaluator: per-evaluation telemetry as an Evaluator decorator.
+//
+// Wraps any Evaluator and, for every evaluate() call, (a) updates the
+// metrics registry (eval.calls / eval.attempts / eval.failures[.kind]
+// counters, eval.seconds and eval.latency_seconds histograms) and
+// (b) emits one "eval" event carrying the configuration, outcome,
+// FailureKind, attempt count, and wall-clock latency.
+//
+// Composes freely with the resilience decorators. The recommended stack
+// for per-*attempt* events is
+//
+//     backend -> FaultInjectingEvaluator -> ObservedEvaluator
+//             -> ResilientEvaluator -> search
+//
+// (the observer sees each raw attempt, including injected faults); wrap
+// the ResilientEvaluator instead to observe per-*call* outcomes after
+// retries collapse.
+//
+// Header-only on purpose: it lives in the obs layer but needs the tuner's
+// Evaluator interface, and inlining it here keeps the library dependency
+// graph acyclic (obs never links tuner).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "support/timer.hpp"
+#include "tuner/evaluator.hpp"
+
+namespace portatune::obs {
+
+class ObservedEvaluator final : public tuner::Evaluator {
+ public:
+  /// The inner evaluator must outlive this decorator. Instruments are
+  /// bound to `registry` (default: the registry current at construction).
+  explicit ObservedEvaluator(tuner::Evaluator& inner,
+                             std::string label = "eval",
+                             MetricsRegistry* registry = nullptr)
+      : inner_(inner), label_(std::move(label)) {
+    MetricsRegistry& r =
+        registry != nullptr ? *registry : MetricsRegistry::current();
+    calls_ = &r.counter(label_ + ".calls");
+    attempts_ = &r.counter(label_ + ".attempts");
+    failures_ = &r.counter(label_ + ".failures");
+    transient_ = &r.counter(label_ + ".failures.transient");
+    deterministic_ = &r.counter(label_ + ".failures.deterministic");
+    timeouts_ = &r.counter(label_ + ".failures.timeout");
+    seconds_ = &r.histogram(label_ + ".seconds");
+    latency_ = &r.histogram(label_ + ".latency_seconds");
+  }
+
+  const tuner::ParamSpace& space() const override { return inner_.space(); }
+  std::string problem_name() const override { return inner_.problem_name(); }
+  std::string machine_name() const override { return inner_.machine_name(); }
+
+  tuner::EvalResult evaluate(const tuner::ParamConfig& config) override {
+    WallTimer timer;
+    const tuner::EvalResult r = inner_.evaluate(config);
+    const double latency = timer.seconds();
+
+    calls_->add();
+    attempts_->add(r.attempts);
+    latency_->observe(latency);
+    if (r.ok) {
+      seconds_->observe(r.seconds);
+    } else {
+      failures_->add();
+      switch (r.failure_kind) {
+        case tuner::FailureKind::Transient: transient_->add(); break;
+        case tuner::FailureKind::Timeout: timeouts_->add(); break;
+        default: deterministic_->add(); break;
+      }
+    }
+
+    // Failures are logged a level up so a Warn-threshold sink still
+    // captures every unhealthy evaluation.
+    const Severity severity = r.ok ? Severity::Debug : Severity::Warn;
+    if (enabled(severity)) {
+      std::vector<Field> fields;
+      fields.reserve(8);
+      fields.emplace_back("config", render_config(config));
+      fields.emplace_back("ok", r.ok);
+      fields.emplace_back("kind", tuner::to_string(r.failure_kind));
+      fields.emplace_back("attempts", r.attempts);
+      fields.emplace_back("latency_s", latency);
+      if (r.ok) fields.emplace_back("seconds", r.seconds);
+      if (r.overhead_seconds > 0.0)
+        fields.emplace_back("overhead_s", r.overhead_seconds);
+      if (!r.ok) fields.emplace_back("error", r.error);
+      emit(make_span(severity, label_, "eval", latency, std::move(fields)));
+    }
+    return r;
+  }
+
+  const std::string& label() const noexcept { return label_; }
+
+ private:
+  static std::string render_config(const tuner::ParamConfig& config) {
+    std::string out;
+    for (std::size_t i = 0; i < config.size(); ++i) {
+      if (i > 0) out += '/';
+      out += std::to_string(config[i]);
+    }
+    return out;
+  }
+
+  tuner::Evaluator& inner_;
+  std::string label_;
+  Counter* calls_;
+  Counter* attempts_;
+  Counter* failures_;
+  Counter* transient_;
+  Counter* deterministic_;
+  Counter* timeouts_;
+  Histogram* seconds_;
+  Histogram* latency_;
+};
+
+}  // namespace portatune::obs

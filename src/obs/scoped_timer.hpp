@@ -1,0 +1,69 @@
+// RAII profiling span.
+//
+// A ScopedTimer measures the wall-clock time from construction to
+// destruction and, on destruction, (a) emits a span event to the default
+// sink and (b) records the duration into an optional histogram. When
+// neither destination is live at construction time the timer is inert:
+// no clock reads, no allocation — so instrumented hot paths cost nothing
+// with observability disabled.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "support/timer.hpp"
+
+namespace portatune::obs {
+
+class ScopedTimer {
+ public:
+  ScopedTimer(std::string name, std::string category,
+              std::vector<Field> fields = {},
+              Histogram* histogram = nullptr,
+              Severity severity = Severity::Info)
+      : active_(histogram != nullptr || enabled(severity)),
+        severity_(severity),
+        histogram_(histogram) {
+    if (!active_) return;
+    name_ = std::move(name);
+    category_ = std::move(category);
+    fields_ = std::move(fields);
+    timer_.reset();
+  }
+
+  ~ScopedTimer() {
+    if (!active_) return;
+    const double elapsed = timer_.seconds();
+    if (histogram_ != nullptr) histogram_->observe(elapsed);
+    if (enabled(severity_))
+      emit(make_span(severity_, std::move(name_), std::move(category_),
+                     elapsed, std::move(fields_)));
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Attach a field after construction (e.g. a result computed inside the
+  /// span). Dropped when the timer is inert.
+  void add_field(Field field) {
+    if (active_) fields_.push_back(std::move(field));
+  }
+
+  /// Seconds since construction (0 when inert).
+  double seconds() const { return active_ ? timer_.seconds() : 0.0; }
+
+  bool active() const noexcept { return active_; }
+
+ private:
+  bool active_;
+  Severity severity_;
+  Histogram* histogram_;
+  std::string name_, category_;
+  std::vector<Field> fields_;
+  WallTimer timer_;
+};
+
+}  // namespace portatune::obs

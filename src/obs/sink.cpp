@@ -1,0 +1,22 @@
+#include "obs/sink.hpp"
+
+#include "support/error.hpp"
+
+namespace portatune::obs {
+
+JsonlSink::JsonlSink(const std::string& path) : owned_(path), os_(&owned_) {
+  PT_REQUIRE(owned_.good(), "cannot open event log for writing: " + path);
+}
+
+JsonlSink::~JsonlSink() {
+  // Destructor flush: a run that ends without an explicit flush (or that
+  // aborted between flush points) still leaves complete lines on disk.
+  os_->flush();
+}
+
+void JsonlSink::write(const Event& event) {
+  *os_ << to_json(event) << '\n';
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace portatune::obs

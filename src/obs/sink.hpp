@@ -1,0 +1,183 @@
+// Event sinks: where structured events go.
+//
+// The tuner's instrumentation is always compiled in but dormant: emit()
+// is a no-op (one relaxed atomic load) until a sink is installed with
+// set_default_sink() or ScopedSinkRedirect. Sinks are lock-protected and
+// safe to share across the thread pool.
+//
+//   JsonlSink   — one JSON object per line to a file/stream; flushes on
+//                 Warn/Error events and on destruction, so aborted runs
+//                 still leave a readable log.
+//   MemorySink  — retains events in memory (Chrome-trace export, tests).
+//   TeeSink     — fans one event out to several sinks.
+#pragma once
+
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace portatune::obs {
+
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Thread-safe: serialises writers internally.
+  void log(const Event& event) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    write(event);
+    if (event.severity >= Severity::Warn) flush_locked();
+  }
+
+  void flush() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_locked();
+  }
+
+ protected:
+  virtual void write(const Event& event) = 0;
+  virtual void flush_locked() {}
+
+ private:
+  std::mutex mutex_;
+};
+
+/// JSON-lines sink. The stream constructor does not own the stream; the
+/// path constructor owns the file and flushes it on destruction.
+class JsonlSink final : public EventSink {
+ public:
+  explicit JsonlSink(std::ostream& os) : os_(&os) {}
+  explicit JsonlSink(const std::string& path);
+  ~JsonlSink() override;
+
+  std::size_t events_written() const noexcept { return count_.load(); }
+
+ protected:
+  void write(const Event& event) override;
+  void flush_locked() override { os_->flush(); }
+
+ private:
+  std::ofstream owned_;
+  std::ostream* os_;
+  std::atomic<std::size_t> count_{0};
+};
+
+/// Retains every event in memory; used for Chrome-trace export and tests.
+class MemorySink final : public EventSink {
+ public:
+  /// Snapshot of all events logged so far.
+  std::vector<Event> events() const {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    return events_;
+  }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    return events_.size();
+  }
+
+ protected:
+  void write(const Event& event) override {
+    std::lock_guard<std::mutex> lock(events_mutex_);
+    events_.push_back(event);
+  }
+
+ private:
+  mutable std::mutex events_mutex_;
+  std::vector<Event> events_;
+};
+
+/// Forwards each event to every child sink (none owned).
+class TeeSink final : public EventSink {
+ public:
+  explicit TeeSink(std::vector<EventSink*> sinks)
+      : sinks_(std::move(sinks)) {}
+
+ protected:
+  void write(const Event& event) override {
+    for (EventSink* s : sinks_)
+      if (s != nullptr) s->log(event);
+  }
+  void flush_locked() override {
+    for (EventSink* s : sinks_)
+      if (s != nullptr) s->flush();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+namespace detail {
+inline std::atomic<EventSink*> g_sink{nullptr};
+inline std::atomic<int> g_level{static_cast<int>(Severity::Info)};
+}  // namespace detail
+
+/// The currently installed default sink (nullptr = observability off).
+inline EventSink* default_sink() noexcept {
+  return detail::g_sink.load(std::memory_order_acquire);
+}
+/// Install a sink (non-owning; pass nullptr to disable). The sink must
+/// outlive its installation.
+inline void set_default_sink(EventSink* sink) noexcept {
+  detail::g_sink.store(sink, std::memory_order_release);
+}
+
+inline Severity log_level() noexcept {
+  return static_cast<Severity>(
+      detail::g_level.load(std::memory_order_relaxed));
+}
+inline void set_log_level(Severity level) noexcept {
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+/// Fast dormant-path check: is anything listening at this severity?
+/// Callers guard event *construction* with this so a disabled build pays
+/// one atomic load and no allocation.
+inline bool enabled(Severity severity) noexcept {
+  return detail::g_sink.load(std::memory_order_relaxed) != nullptr &&
+         severity >= log_level();
+}
+
+/// Log to the default sink if enabled; otherwise drop the event.
+inline void emit(const Event& event) {
+  EventSink* sink = default_sink();
+  if (sink != nullptr && event.severity >= log_level()) sink->log(event);
+}
+
+/// Flush the default sink if one is installed (abort paths call this so
+/// truncated runs still yield a readable log).
+inline void flush_default_sink() {
+  if (EventSink* sink = default_sink()) sink->flush();
+}
+
+/// Scoped sink (and optionally level) redirection for tests: installs a
+/// sink on construction, restores the previous sink and level on
+/// destruction.
+class ScopedSinkRedirect {
+ public:
+  explicit ScopedSinkRedirect(EventSink* sink)
+      : previous_(default_sink()), previous_level_(log_level()) {
+    set_default_sink(sink);
+  }
+  ScopedSinkRedirect(EventSink* sink, Severity level)
+      : ScopedSinkRedirect(sink) {
+    set_log_level(level);
+  }
+  ~ScopedSinkRedirect() {
+    set_default_sink(previous_);
+    set_log_level(previous_level_);
+  }
+  ScopedSinkRedirect(const ScopedSinkRedirect&) = delete;
+  ScopedSinkRedirect& operator=(const ScopedSinkRedirect&) = delete;
+
+ private:
+  EventSink* previous_;
+  Severity previous_level_;
+};
+
+}  // namespace portatune::obs

@@ -1,5 +1,6 @@
 #include "sim/cache.hpp"
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace portatune::sim {
@@ -43,6 +44,7 @@ bool Cache::access(std::uint64_t addr) {
       victim = &way;
     }
   }
+  if (victim->valid) ++evictions_;
   victim->valid = true;
   victim->tag = tag;
   victim->last_use = clock_;
@@ -62,7 +64,7 @@ bool Cache::contains(std::uint64_t addr) const {
 
 void Cache::reset() {
   for (auto& w : ways_) w = Way{};
-  clock_ = hits_ = misses_ = 0;
+  clock_ = hits_ = misses_ = evictions_ = 0;
 }
 
 CacheHierarchy::CacheHierarchy(const std::vector<CacheLevelSpec>& levels) {
@@ -86,6 +88,20 @@ void CacheHierarchy::reset() {
   for (auto& c : caches_) c.reset();
   memory_accesses_ = 0;
   total_accesses_ = 0;
+}
+
+void CacheHierarchy::publish_metrics(const std::string& prefix) const {
+  auto& metrics = obs::MetricsRegistry::current();
+  for (std::size_t i = 0; i < caches_.size(); ++i) {
+    const Cache& c = caches_[i];
+    const std::string level = prefix + ".l" + std::to_string(i);
+    metrics.counter(level + ".hits").add(c.hits());
+    metrics.counter(level + ".misses").add(c.misses());
+    metrics.counter(level + ".evictions").add(c.evictions());
+  }
+  metrics.counter(prefix + ".accesses").add(total_accesses_);
+  metrics.counter(prefix + ".memory_accesses").add(memory_accesses_);
+  metrics.gauge(prefix + ".miss_rate").set(memory_miss_rate());
 }
 
 }  // namespace portatune::sim

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/machine.hpp"
@@ -29,6 +30,9 @@ class Cache {
 
   std::uint64_t hits() const noexcept { return hits_; }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// Misses that displaced a valid resident line (capacity/conflict
+  /// pressure; cold misses filling invalid ways are not evictions).
+  std::uint64_t evictions() const noexcept { return evictions_; }
   std::uint64_t accesses() const noexcept { return hits_ + misses_; }
   double miss_ratio() const noexcept {
     return accesses() ? static_cast<double>(misses_) / accesses() : 0.0;
@@ -51,6 +55,7 @@ class Cache {
   std::uint64_t clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 /// An inclusive multi-level hierarchy built from a machine descriptor.
@@ -70,6 +75,20 @@ class CacheHierarchy {
   std::uint64_t total_accesses() const noexcept { return total_accesses_; }
 
   void reset();
+
+  /// Overall miss rate: the fraction of accesses that reached memory.
+  double memory_miss_rate() const noexcept {
+    return total_accesses_ ? static_cast<double>(memory_accesses_) /
+                                 static_cast<double>(total_accesses_)
+                           : 0.0;
+  }
+
+  /// Accumulate this hierarchy's counters into a metrics registry under
+  /// `prefix` ("cache" -> cache.l0.hits, cache.l0.misses,
+  /// cache.l0.evictions, ..., cache.memory_accesses, cache.miss_rate).
+  /// Explicit, not per-access: the simulator's access path stays free of
+  /// global-state traffic; callers publish once per simulated kernel.
+  void publish_metrics(const std::string& prefix = "cache") const;
 
  private:
   std::vector<Cache> caches_;

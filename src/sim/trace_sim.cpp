@@ -93,7 +93,11 @@ TraceStats simulate_nest(const LoopNest& nest, const NestTransform& t,
                "trace simulation supports rectangular nests only");
   CacheHierarchy caches(hierarchy);
   TraceRunner runner(nest, effective_levels(nest, t), caches);
-  return runner.run();
+  TraceStats stats = runner.run();
+  // One registry update per simulated nest (never per access): the replay
+  // loop stays free of shared-state traffic.
+  caches.publish_metrics();
+  return stats;
 }
 
 }  // namespace portatune::sim

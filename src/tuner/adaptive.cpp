@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "tuner/observe.hpp"
 #include "tuner/sampler.hpp"
 
 namespace portatune::tuner {
@@ -15,6 +18,7 @@ SearchTrace adaptive_biased_search(Evaluator& target,
   PT_REQUIRE(opt.target_weight > 0, "target weight must be positive");
   SearchTrace trace("RS_b_adaptive", target.problem_name(),
                     target.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = target.space();
 
   // Candidate pool, sampled once (same role as X_p in Algorithm 2).
@@ -49,6 +53,7 @@ SearchTrace adaptive_biased_search(Evaluator& target,
   ml::RandomForest model(fp);
 
   std::vector<std::size_t> ranked;  // pool indices, best predicted first
+  std::size_t refits = 0;
   const auto rerank = [&] {
     const auto data = build_training_set();
     if (data.empty()) {
@@ -57,6 +62,12 @@ SearchTrace adaptive_biased_search(Evaluator& target,
       for (std::size_t i = 0; i < pool.size(); ++i) ranked[i] = i;
       return;
     }
+    obs::ScopedTimer refit_span("search.refit", "search",
+                                {{"refit", refits},
+                                 {"training_rows", data.num_rows()},
+                                 {"target_evals", trace.size()}});
+    ++refits;
+    obs::MetricsRegistry::current().counter("search.refits").add();
     model.fit(data);
     std::vector<double> pred(pool.size());
     for (std::size_t i = 0; i < pool.size(); ++i)

@@ -1,5 +1,6 @@
 #include "tuner/experiment.hpp"
 
+#include "obs/scoped_timer.hpp"
 #include "support/correlation.hpp"
 #include "support/error.hpp"
 #include "tuner/random_search.hpp"
@@ -37,22 +38,41 @@ TransferExperimentResult run_transfer_experiment(
   require_same_space(source.space(), target.space());
 
   TransferExperimentResult out;
+  obs::ScopedTimer experiment_span(
+      "experiment.transfer", "experiment",
+      {{"problem", source.problem_name()},
+       {"source", source.machine_name()},
+       {"target", target.machine_name()},
+       {"nmax", settings.nmax}});
+  const auto phase = [&](const char* name) {
+    return obs::ScopedTimer(std::string("phase.") + name, "experiment");
+  };
 
   // 1. RS on the source machine -> T_a.
-  out.source_rs = run_reference_rs(source, settings);
+  {
+    auto span = phase("source_rs");
+    out.source_rs = run_reference_rs(source, settings);
+  }
   PT_REQUIRE(!out.source_rs.empty(), "source RS produced no evaluations");
 
   // 2. RS on the target machine, replaying the source order (CRN).
-  std::vector<ParamConfig> order;
-  order.reserve(out.source_rs.size());
-  for (const auto& e : out.source_rs.entries()) order.push_back(e.config);
-  out.target_rs = replay_search(target, order, settings.nmax, "RS",
-                                settings.failure_budget);
+  {
+    auto span = phase("target_rs");
+    std::vector<ParamConfig> order;
+    order.reserve(out.source_rs.size());
+    for (const auto& e : out.source_rs.entries()) order.push_back(e.config);
+    out.target_rs = replay_search(target, order, settings.nmax, "RS",
+                                  settings.failure_budget);
+  }
 
   // 3. Fit the surrogate M_a on T_a.
   ml::ForestParams fp = settings.forest;
   fp.seed = settings.seed;
-  const auto model = fit_surrogate(out.source_rs, source.space(), fp);
+  ml::RegressorPtr model;
+  {
+    auto span = phase("fit");
+    model = fit_surrogate(out.source_rs, source.space(), fp);
+  }
 
   // 4. Model-based variants on the target machine.
   PrunedSearchOptions p_opt;
@@ -61,23 +81,33 @@ TransferExperimentResult run_transfer_experiment(
   p_opt.delta_percent = settings.delta_percent;
   p_opt.seed = settings.seed;
   p_opt.failure_budget = settings.failure_budget;
-  out.pruned = pruned_random_search(target, *model, p_opt);
+  {
+    auto span = phase("prune");
+    out.pruned = pruned_random_search(target, *model, p_opt);
+  }
 
   BiasedSearchOptions b_opt;
   b_opt.max_evals = settings.nmax;
   b_opt.pool_size = settings.pool_size;
   b_opt.seed = settings.seed;
   b_opt.failure_budget = settings.failure_budget;
-  out.biased = biased_random_search(target, *model, b_opt);
+  {
+    auto span = phase("bias");
+    out.biased = biased_random_search(target, *model, b_opt);
+  }
 
   // 5. Model-free controls, restricted to T_a's configurations.
-  out.pruned_mf = model_free_pruned(target, out.source_rs,
-                                    settings.delta_percent, SIZE_MAX,
-                                    settings.failure_budget);
-  out.biased_mf = model_free_biased(target, out.source_rs, SIZE_MAX,
-                                    settings.failure_budget);
+  {
+    auto span = phase("model_free");
+    out.pruned_mf = model_free_pruned(target, out.source_rs,
+                                      settings.delta_percent, SIZE_MAX,
+                                      settings.failure_budget);
+    out.biased_mf = model_free_biased(target, out.source_rs, SIZE_MAX,
+                                      settings.failure_budget);
+  }
 
   // 6. Metrics.
+  auto metrics_span = phase("metrics");
   out.pruned_speedup = compare_to_rs(out.target_rs, out.pruned);
   out.biased_speedup = compare_to_rs(out.target_rs, out.biased);
   out.pruned_mf_speedup = compare_to_rs(out.target_rs, out.pruned_mf);
@@ -112,6 +142,9 @@ TransferExperimentResult run_transfer_experiment(
       out.aborted_searches.push_back(t->algorithm() + ": " +
                                      t->stop_reason());
   }
+
+  // 8. Attach the observability snapshot so the report is self-contained.
+  out.metrics = obs::MetricsRegistry::current().snapshot();
   return out;
 }
 

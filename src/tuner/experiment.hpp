@@ -13,6 +13,7 @@
 #pragma once
 
 #include "ml/forest.hpp"
+#include "obs/metrics.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/metrics.hpp"
 #include "tuner/resilience.hpp"
@@ -56,6 +57,12 @@ struct TransferExperimentResult {
   /// Searches that aborted on their failure budget, as
   /// "algorithm: reason" diagnostics (empty in a healthy run).
   std::vector<std::string> aborted_searches;
+
+  /// Observability snapshot taken when the experiment finished: every
+  /// counter/gauge/histogram of the active metrics registry (model-fit
+  /// cost, prune rates, cache traffic, per-evaluation latency, ...), so
+  /// each experiment report carries its own telemetry.
+  obs::MetricsSnapshot metrics;
 };
 
 /// Run the full protocol. `source` and `target` must expose identical

@@ -8,6 +8,7 @@
 
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "tuner/observe.hpp"
 #include "tuner/sampler.hpp"
 
 namespace portatune::tuner {
@@ -89,6 +90,7 @@ class BudgetedEvaluator {
 SearchTrace genetic_search(Evaluator& eval, const GeneticOptions& opt) {
   PT_REQUIRE(opt.population >= 2, "population too small");
   SearchTrace trace("GA", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
   BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
@@ -141,6 +143,7 @@ SearchTrace genetic_search(Evaluator& eval, const GeneticOptions& opt) {
 
 SearchTrace annealing_search(Evaluator& eval, const AnnealingOptions& opt) {
   SearchTrace trace("SA", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
   BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
@@ -191,6 +194,7 @@ SearchTrace annealing_search(Evaluator& eval, const AnnealingOptions& opt) {
 
 SearchTrace pattern_search(Evaluator& eval, const PatternSearchOptions& opt) {
   SearchTrace trace("PS", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
   BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
@@ -232,6 +236,7 @@ SearchTrace pattern_search(Evaluator& eval, const PatternSearchOptions& opt) {
 
 SearchTrace ensemble_search(Evaluator& eval, const EnsembleOptions& opt) {
   SearchTrace trace("Ensemble", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
   BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);
@@ -325,6 +330,7 @@ ParamConfig round_to_config(const ParamSpace& space,
 SearchTrace nelder_mead_search(Evaluator& eval,
                                const NelderMeadOptions& opt) {
   SearchTrace trace("NM", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   const std::size_t dim = space.num_params();
   Rng rng(opt.seed);
@@ -440,6 +446,7 @@ SearchTrace nelder_mead_search(Evaluator& eval,
 SearchTrace orthogonal_search(Evaluator& eval,
                               const OrthogonalSearchOptions& opt) {
   SearchTrace trace("OS", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   Rng rng(opt.seed);
   BudgetedEvaluator run(eval, trace, opt.max_evals, opt.failure_budget);

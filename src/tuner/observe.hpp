@@ -1,0 +1,60 @@
+// Search-level observability glue.
+//
+// SearchSpanGuard wraps one search-algorithm invocation: constructed at
+// entry, it emits a "search.<algo>" span event at scope exit summarising
+// the run (evals, attempts, failures, best, simulated search time, stop
+// reason). Inert (no clock reads, no allocation) when no sink is
+// listening, so the search hot loops cost nothing with observability
+// disabled.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
+#include "support/timer.hpp"
+#include "tuner/trace.hpp"
+
+namespace portatune::tuner {
+
+class SearchSpanGuard {
+ public:
+  /// `trace` must outlive the guard (the usual pattern: guard the trace
+  /// local of the search function).
+  explicit SearchSpanGuard(const SearchTrace& trace)
+      : trace_(trace), active_(obs::enabled(obs::Severity::Info)) {
+    if (active_) timer_.reset();
+  }
+
+  ~SearchSpanGuard() {
+    if (!active_ || !obs::enabled(obs::Severity::Info)) return;
+    const auto& fs = trace_.failure_stats();
+    std::vector<obs::Field> fields{
+        {"algorithm", trace_.algorithm()},
+        {"problem", trace_.problem()},
+        {"machine", trace_.machine()},
+        {"evals", trace_.size()},
+        {"attempts", fs.attempts},
+        {"failures", fs.failures},
+        {"search_seconds", trace_.total_time()},
+    };
+    if (!trace_.empty())
+      fields.emplace_back("best_seconds", trace_.best_seconds());
+    if (!trace_.stop_reason().empty())
+      fields.emplace_back("stop", trace_.stop_reason());
+    obs::emit(obs::make_span(obs::Severity::Info,
+                             "search." + trace_.algorithm(), "search",
+                             timer_.seconds(), std::move(fields)));
+  }
+
+  SearchSpanGuard(const SearchSpanGuard&) = delete;
+  SearchSpanGuard& operator=(const SearchSpanGuard&) = delete;
+
+ private:
+  const SearchTrace& trace_;
+  bool active_;
+  WallTimer timer_;
+};
+
+}  // namespace portatune::tuner

@@ -41,16 +41,18 @@ int value_to_index(const ParamSpace& space, std::size_t param,
 
 void save_trace_csv(std::ostream& os, const SearchTrace& trace,
                     const ParamSpace& space) {
-  os << "# portatune-trace v1," << trace.algorithm() << ","
+  // v2 appends the wall_unix column (entry wall-clock timestamps);
+  // load_trace_csv still reads v1 files without it.
+  os << "# portatune-trace v2," << trace.algorithm() << ","
      << trace.problem() << "," << trace.machine() << "\n";
   const auto names = space.names();
   for (const auto& n : names) os << n << ",";
-  os << "seconds,draw_index\n";
+  os << "seconds,draw_index,wall_unix\n";
   os.precision(17);
   for (const auto& e : trace.entries()) {
     const auto features = space.features(e.config);
     for (double v : features) os << v << ",";
-    os << e.seconds << "," << e.draw_index << "\n";
+    os << e.seconds << "," << e.draw_index << "," << e.wall_unix << "\n";
   }
 }
 
@@ -64,16 +66,21 @@ void save_trace_csv(const std::string& path, const SearchTrace& trace,
 
 SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
   std::string line;
-  PT_REQUIRE(std::getline(is, line) &&
-                 line.rfind("# portatune-trace v1,", 0) == 0,
-             "not a portatune trace (bad magic line)");
+  PT_REQUIRE(std::getline(is, line), "empty trace file");
+  // v1 files predate the wall_unix column; both versions load.
+  int version = 0;
+  if (line.rfind("# portatune-trace v1,", 0) == 0) version = 1;
+  else if (line.rfind("# portatune-trace v2,", 0) == 0) version = 2;
+  PT_REQUIRE(version != 0, "not a portatune trace (bad magic line)");
   const auto meta = split_csv(line.substr(std::string("# ").size()));
   PT_REQUIRE(meta.size() == 4, "malformed trace metadata");
   SearchTrace trace(meta[1], meta[2], meta[3]);
 
+  const std::size_t columns =
+      space.num_params() + (version >= 2 ? 3 : 2);
   PT_REQUIRE(std::getline(is, line), "missing trace header row");
   const auto header = split_csv(line);
-  PT_REQUIRE(header.size() == space.num_params() + 2,
+  PT_REQUIRE(header.size() == columns,
              "trace header arity does not match the parameter space");
   const auto names = space.names();
   for (std::size_t p = 0; p < names.size(); ++p)
@@ -86,7 +93,7 @@ SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
     ++row;
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    PT_REQUIRE(cells.size() == space.num_params() + 2,
+    PT_REQUIRE(cells.size() == columns,
                "trace row " + std::to_string(row) + " has wrong arity");
     ParamConfig config(space.num_params());
     for (std::size_t p = 0; p < space.num_params(); ++p)
@@ -96,7 +103,11 @@ SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
                "trace row " + std::to_string(row) + " has a bad run time");
     const auto draw =
         static_cast<std::size_t>(std::stoull(cells[space.num_params() + 1]));
-    trace.record(std::move(config), seconds, draw);
+    // v1 rows carry no wall-clock timestamp: restore as 0 ("unknown")
+    // rather than stamping load time.
+    const double wall =
+        version >= 2 ? std::stod(cells[space.num_params() + 2]) : 0.0;
+    trace.record(std::move(config), seconds, draw, wall);
   }
   return trace;
 }
@@ -112,7 +123,8 @@ void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
                          const ParamSpace& space) {
   const SearchTrace& trace = snapshot.trace;
   os.precision(17);
-  os << "# portatune-checkpoint v1," << trace.algorithm() << ","
+  // v2 appends the wall_unix column; load_checkpoint_csv reads both.
+  os << "# portatune-checkpoint v2," << trace.algorithm() << ","
      << trace.problem() << "," << trace.machine() << "\n";
   os << "# draws," << snapshot.draws << "\n";
   os << "# clock," << trace.total_time() << "\n";
@@ -133,11 +145,12 @@ void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
   }
   const auto names = space.names();
   for (const auto& n : names) os << n << ",";
-  os << "seconds,elapsed,draw_index\n";
+  os << "seconds,elapsed,draw_index,wall_unix\n";
   for (const auto& e : trace.entries()) {
     const auto features = space.features(e.config);
     for (double v : features) os << v << ",";
-    os << e.seconds << "," << e.elapsed << "," << e.draw_index << "\n";
+    os << e.seconds << "," << e.elapsed << "," << e.draw_index << ","
+       << e.wall_unix << "\n";
   }
 }
 
@@ -158,9 +171,12 @@ void save_checkpoint_csv(const std::string& path,
 SearchCheckpoint load_checkpoint_csv(std::istream& is,
                                      const ParamSpace& space) {
   std::string line;
-  PT_REQUIRE(std::getline(is, line) &&
-                 line.rfind("# portatune-checkpoint v1,", 0) == 0,
-             "not a portatune checkpoint (bad magic line)");
+  PT_REQUIRE(std::getline(is, line), "empty checkpoint file");
+  // v1 files predate the wall_unix column; both versions load.
+  int version = 0;
+  if (line.rfind("# portatune-checkpoint v1,", 0) == 0) version = 1;
+  else if (line.rfind("# portatune-checkpoint v2,", 0) == 0) version = 2;
+  PT_REQUIRE(version != 0, "not a portatune checkpoint (bad magic line)");
   const auto meta = split_csv(line.substr(std::string("# ").size()));
   PT_REQUIRE(meta.size() == 4, "malformed checkpoint metadata");
 
@@ -187,7 +203,9 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
     } else if (key == "clock") {
       clock = std::stod(rest);
     } else if (key == "stop") {
-      if (!rest.empty()) trace.set_stop_reason(rest);
+      // restore_stop_reason, not set_stop_reason: loading a checkpoint of
+      // an aborted search must not re-announce the abort (no event/flush).
+      if (!rest.empty()) trace.restore_stop_reason(rest);
     } else if (key == "stats") {
       const auto cells = split_csv(rest);
       PT_REQUIRE(cells.size() == 6, "malformed checkpoint stats row");
@@ -206,8 +224,10 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
   }
 
   PT_REQUIRE(!header_line.empty(), "missing checkpoint header row");
+  const std::size_t columns =
+      space.num_params() + (version >= 2 ? 4 : 3);
   const auto header = split_csv(header_line);
-  PT_REQUIRE(header.size() == space.num_params() + 3,
+  PT_REQUIRE(header.size() == columns,
              "checkpoint header arity does not match the parameter space");
   const auto names = space.names();
   for (std::size_t p = 0; p < names.size(); ++p)
@@ -220,7 +240,7 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
     ++row;
     if (line.empty()) continue;
     const auto cells = split_csv(line);
-    PT_REQUIRE(cells.size() == space.num_params() + 3,
+    PT_REQUIRE(cells.size() == columns,
                "checkpoint row " + std::to_string(row) + " has wrong arity");
     ParamConfig config(space.num_params());
     for (std::size_t p = 0; p < space.num_params(); ++p)
@@ -235,7 +255,9 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
                    " has a bad elapsed time");
     const auto draw =
         static_cast<std::size_t>(std::stoull(cells[space.num_params() + 2]));
-    trace.restore_entry(std::move(config), seconds, elapsed, draw);
+    const double wall =
+        version >= 2 ? std::stod(cells[space.num_params() + 3]) : 0.0;
+    trace.restore_entry(std::move(config), seconds, elapsed, draw, wall);
   }
   trace.restore_failure_stats(fs);
   trace.restore_clock(clock);

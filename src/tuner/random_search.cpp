@@ -2,8 +2,11 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "tuner/observe.hpp"
 #include "tuner/sampler.hpp"
 
 namespace portatune::tuner {
@@ -24,6 +27,7 @@ bool abort_on_failure(SearchTrace& trace, FailureBudgetTracker& budget,
 
 SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
   SearchTrace trace("RS", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   ConfigStream stream(eval.space(), opt.seed);
 
   if (opt.resume != nullptr) {
@@ -83,6 +87,7 @@ SearchTrace replay_search(Evaluator& eval,
                           const FailureBudget& fb) {
   SearchTrace trace(std::move(algorithm_label), eval.problem_name(),
                     eval.machine_name());
+  SearchSpanGuard span(trace);
   FailureBudgetTracker budget(fb);
   for (std::size_t i = 0; i < order.size() && trace.size() < max_evals;
        ++i) {
@@ -105,40 +110,67 @@ SearchTrace pruned_random_search(Evaluator& eval,
   PT_REQUIRE(opt.delta_percent > 0.0 && opt.delta_percent < 100.0,
              "delta must lie strictly between 0 and 100");
   SearchTrace trace("RS_p", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   FailureBudgetTracker budget(opt.failure_budget);
 
   // Phase 1: estimate the pruning cutoff Delta as the delta-quantile of
   // model predictions over a fresh pool of N configurations.
-  ConfigStream pool_stream(space, opt.seed ^ 0xb1a5ed0full);
-  std::vector<double> pool_pred;
-  pool_pred.reserve(opt.pool_size);
-  while (pool_pred.size() < opt.pool_size) {
-    auto c = pool_stream.next();
-    if (!c) break;
-    pool_pred.push_back(model.predict(space.features(*c)));
+  double cutoff = 0.0;
+  {
+    obs::ScopedTimer phase("search.RS_p.cutoff", "search",
+                           {{"pool_size", opt.pool_size},
+                            {"delta_percent", opt.delta_percent}});
+    ConfigStream pool_stream(space, opt.seed ^ 0xb1a5ed0full);
+    std::vector<double> pool_pred;
+    pool_pred.reserve(opt.pool_size);
+    while (pool_pred.size() < opt.pool_size) {
+      auto c = pool_stream.next();
+      if (!c) break;
+      pool_pred.push_back(model.predict(space.features(*c)));
+    }
+    PT_REQUIRE(!pool_pred.empty(), "empty prediction pool");
+    cutoff = quantile(pool_pred, opt.delta_percent / 100.0);
+    phase.add_field({"cutoff_seconds", cutoff});
   }
-  PT_REQUIRE(!pool_pred.empty(), "empty prediction pool");
-  const double cutoff = quantile(pool_pred, opt.delta_percent / 100.0);
 
   // Phase 2: walk the shared stream (same order RS sees), evaluating only
   // configurations the surrogate predicts below the cutoff.
+  obs::ScopedTimer scan_phase("search.RS_p.scan", "search");
   ConfigStream stream(space, opt.seed);
   std::size_t draws = 0;
+  std::size_t pruned = 0;
+  const auto publish_prune_stats = [&] {
+    scan_phase.add_field({"draws", draws});
+    scan_phase.add_field({"pruned", pruned});
+    if (draws == 0) return;
+    auto& metrics = obs::MetricsRegistry::current();
+    metrics.counter("search.draws").add(draws);
+    metrics.counter("search.pruned_draws").add(pruned);
+    metrics.gauge("search.prune_rate")
+        .set(static_cast<double>(pruned) / static_cast<double>(draws));
+  };
   while (trace.size() < opt.max_evals && draws < opt.max_draws) {
     auto config = stream.next();
     if (!config) break;
     ++draws;
-    if (model.predict(space.features(*config)) >= cutoff) continue;
+    if (model.predict(space.features(*config)) >= cutoff) {
+      ++pruned;
+      continue;
+    }
     const EvalResult r = eval.evaluate(*config);
     if (!r.ok) {
-      if (abort_on_failure(trace, budget, r)) return trace;
+      if (abort_on_failure(trace, budget, r)) {
+        publish_prune_stats();
+        return trace;
+      }
       continue;
     }
     trace.note_result(r);
     budget.note(r);
     trace.record(std::move(*config), r.seconds, stream.produced() - 1);
   }
+  publish_prune_stats();
 
   // Fallback guarantee: if the cutoff pruned everything (e.g. a degenerate
   // model), evaluate the first draws unconditionally so the search always
@@ -166,26 +198,34 @@ SearchTrace biased_random_search(Evaluator& eval,
                                  const BiasedSearchOptions& opt) {
   PT_REQUIRE(model.is_fitted(), "RS_b requires a fitted surrogate");
   SearchTrace trace("RS_b", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   const ParamSpace& space = eval.space();
   FailureBudgetTracker budget(opt.failure_budget);
 
-  // Phase 1: sample the candidate pool X_p and predict all run times.
-  ConfigStream stream(space, opt.seed);
+  // Phase 1: sample the candidate pool X_p, predict all run times, and
+  // rank by ascending prediction.
   std::vector<ParamConfig> pool;
-  pool.reserve(opt.pool_size);
-  while (pool.size() < opt.pool_size) {
-    auto c = stream.next();
-    if (!c) break;
-    pool.push_back(std::move(*c));
+  std::vector<std::size_t> order;
+  {
+    obs::ScopedTimer rank_phase("search.RS_b.rank", "search",
+                                {{"pool_size", opt.pool_size}});
+    ConfigStream stream(space, opt.seed);
+    pool.reserve(opt.pool_size);
+    while (pool.size() < opt.pool_size) {
+      auto c = stream.next();
+      if (!c) break;
+      pool.push_back(std::move(*c));
+    }
+    PT_REQUIRE(!pool.empty(), "empty candidate pool");
+    std::vector<double> pred(pool.size());
+    for (std::size_t i = 0; i < pool.size(); ++i)
+      pred[i] = model.predict(space.features(pool[i]));
+    order = argsort(pred);
+    rank_phase.add_field({"pool", pool.size()});
   }
-  PT_REQUIRE(!pool.empty(), "empty candidate pool");
-  std::vector<double> pred(pool.size());
-  for (std::size_t i = 0; i < pool.size(); ++i)
-    pred[i] = model.predict(space.features(pool[i]));
 
   // Phase 2: evaluate in ascending predicted-run-time order (equivalent to
   // repeatedly taking argmin over the remaining pool, Algorithm 2 line 7).
-  const auto order = argsort(pred);
   for (std::size_t rank = 0;
        rank < order.size() && trace.size() < opt.max_evals; ++rank) {
     const ParamConfig& config = pool[order[rank]];
@@ -206,6 +246,7 @@ SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
                               const FailureBudget& fb) {
   PT_REQUIRE(!source.empty(), "RS_pf requires source data");
   SearchTrace trace("RS_pf", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   FailureBudgetTracker budget(fb);
   std::vector<double> ys;
   ys.reserve(source.size());
@@ -232,6 +273,7 @@ SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
                               const FailureBudget& fb) {
   PT_REQUIRE(!source.empty(), "RS_bf requires source data");
   SearchTrace trace("RS_bf", eval.problem_name(), eval.machine_name());
+  SearchSpanGuard span(trace);
   FailureBudgetTracker budget(fb);
   std::vector<double> ys;
   ys.reserve(source.size());

@@ -2,14 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/event.hpp"
+#include "obs/sink.hpp"
 #include "support/error.hpp"
 
 namespace portatune::tuner {
 
 void SearchTrace::record(ParamConfig config, double seconds,
-                         std::size_t draw_index) {
+                         std::size_t draw_index, double wall_unix) {
   clock_ += seconds;
-  entries_.push_back({std::move(config), seconds, clock_, draw_index});
+  if (wall_unix < 0.0) wall_unix = obs::wall_unix_now();
+  entries_.push_back(
+      {std::move(config), seconds, clock_, draw_index, wall_unix});
+}
+
+void SearchTrace::set_stop_reason(std::string reason) {
+  stop_reason_ = std::move(reason);
+  if (stop_reason_.empty()) return;
+  // Announce and flush: an aborted search must leave its diagnostic on
+  // disk even when the process dies before the sink is torn down.
+  if (obs::enabled(obs::Severity::Warn))
+    obs::emit(obs::make_instant(
+        obs::Severity::Warn, "search.abort", "search",
+        {{"algorithm", algorithm_},
+         {"problem", problem_},
+         {"machine", machine_},
+         {"reason", stop_reason_},
+         {"evals", entries_.size()},
+         {"failures", failures_.failures}}));
+  obs::flush_default_sink();
 }
 
 void SearchTrace::note_result(const EvalResult& r) {
@@ -26,8 +47,10 @@ void SearchTrace::note_result(const EvalResult& r) {
 }
 
 void SearchTrace::restore_entry(ParamConfig config, double seconds,
-                                double elapsed, std::size_t draw_index) {
-  entries_.push_back({std::move(config), seconds, elapsed, draw_index});
+                                double elapsed, std::size_t draw_index,
+                                double wall_unix) {
+  entries_.push_back(
+      {std::move(config), seconds, elapsed, draw_index, wall_unix});
   clock_ = std::max(clock_, elapsed);
 }
 

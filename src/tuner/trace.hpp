@@ -42,6 +42,11 @@ struct TraceEntry {
   double seconds = 0.0;       ///< measured run time of this configuration
   double elapsed = 0.0;       ///< cumulative search time after this eval
   std::size_t draw_index = 0; ///< position in the sampling stream (CRN)
+  /// Wall-clock time the entry was recorded, in seconds since the Unix
+  /// epoch (0 for entries restored from files that predate the column).
+  /// `elapsed` is the *simulated* search clock; this is the real one, so
+  /// exports can reconstruct actual timelines.
+  double wall_unix = 0.0;
 };
 
 class SearchTrace {
@@ -52,7 +57,11 @@ class SearchTrace {
         problem_(std::move(problem)),
         machine_(std::move(machine)) {}
 
-  void record(ParamConfig config, double seconds, std::size_t draw_index);
+  /// Record a successful evaluation. The entry is wall-clock stamped at
+  /// call time unless `wall_unix` is >= 0 (persistence passes the saved
+  /// timestamp through).
+  void record(ParamConfig config, double seconds, std::size_t draw_index,
+              double wall_unix = -1.0);
   /// Account search time that produced no evaluation (e.g. pruned draws,
   /// model fitting); advances the search clock.
   void add_overhead(double seconds) { clock_ += seconds; }
@@ -65,16 +74,24 @@ class SearchTrace {
   const FailureStats& failure_stats() const noexcept { return failures_; }
 
   /// Why the search stopped early (failure budget exhausted, ...); empty
-  /// for a normal completion.
-  void set_stop_reason(std::string reason) { stop_reason_ = std::move(reason); }
+  /// for a normal completion. Emits a Warn "search.abort" event and
+  /// flushes the default sink, so even a truncated run leaves a readable
+  /// log of why it stopped.
+  void set_stop_reason(std::string reason);
   const std::string& stop_reason() const noexcept { return stop_reason_; }
 
   // -- Checkpoint restore support (persistence.cpp) ---------------------
   /// Append an entry with its original elapsed timestamp (does not
-  /// recompute the clock like record() does).
+  /// recompute the clock like record() does). `wall_unix` is 0 for
+  /// checkpoints written before the wall-clock column existed.
   void restore_entry(ParamConfig config, double seconds, double elapsed,
-                     std::size_t draw_index);
+                     std::size_t draw_index, double wall_unix = 0.0);
   void restore_failure_stats(const FailureStats& stats) { failures_ = stats; }
+  /// Restore a checkpointed stop reason without re-announcing the abort
+  /// (no event, no flush — it already happened when the run aborted).
+  void restore_stop_reason(std::string reason) {
+    stop_reason_ = std::move(reason);
+  }
   /// Restore the search clock exactly (it may exceed the last entry's
   /// elapsed when trailing failures charged overhead).
   void restore_clock(double clock) { clock_ = clock; }

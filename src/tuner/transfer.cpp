@@ -1,5 +1,6 @@
 #include "tuner/transfer.hpp"
 
+#include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
 
 namespace portatune::tuner {
@@ -8,6 +9,11 @@ ml::RegressorPtr fit_surrogate(const SearchTrace& source,
                                const ParamSpace& space,
                                const ml::ForestParams& params) {
   PT_REQUIRE(!source.empty(), "cannot fit a surrogate on an empty trace");
+  obs::ScopedTimer span("transfer.fit_surrogate", "ml",
+                        {{"source_machine", source.machine()},
+                         {"problem", source.problem()},
+                         {"rows", source.size()},
+                         {"trees", params.num_trees}});
   auto model = std::make_unique<ml::RandomForest>(params);
   model->fit(source.to_dataset(space));
   return model;
@@ -16,6 +22,10 @@ ml::RegressorPtr fit_surrogate(const SearchTrace& source,
 void fit_surrogate_into(ml::Regressor& model, const SearchTrace& source,
                         const ParamSpace& space) {
   PT_REQUIRE(!source.empty(), "cannot fit a surrogate on an empty trace");
+  obs::ScopedTimer span("transfer.fit_surrogate", "ml",
+                        {{"source_machine", source.machine()},
+                         {"problem", source.problem()},
+                         {"rows", source.size()}});
   model.fit(source.to_dataset(space));
 }
 

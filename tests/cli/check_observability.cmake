@@ -1,0 +1,73 @@
+# ctest script: run portatune_cli with every observability flag and
+# validate the emitted files. Structural JSON validation lives in the
+# gtest suites (obs/, integration/); this checks the CLI wiring end to
+# end — the flags are accepted, the files appear, and they carry the
+# expected shape and content.
+#
+# Inputs: -DCLI=<portatune_cli path> -DWORK_DIR=<scratch directory>
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(EVENTS "${WORK_DIR}/events.jsonl")
+set(METRICS "${WORK_DIR}/metrics.json")
+set(TRACE "${WORK_DIR}/trace.json")
+
+execute_process(
+  COMMAND "${CLI}" transfer
+    --problem LU --source Westmere --target Sandybridge
+    --nmax 25 --log-level debug
+    --log-json "${EVENTS}"
+    --metrics-out "${METRICS}"
+    --chrome-trace "${TRACE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "portatune_cli exited with ${rc}:\n${out}\n${err}")
+endif()
+
+foreach(f "${EVENTS}" "${METRICS}" "${TRACE}")
+  if(NOT EXISTS "${f}")
+    message(FATAL_ERROR "expected output file missing: ${f}")
+  endif()
+endforeach()
+
+# --- event log: non-empty, one JSON object per line, required keys ------
+file(STRINGS "${EVENTS}" event_lines ENCODING UTF-8)
+list(LENGTH event_lines n_events)
+if(n_events LESS 10)
+  message(FATAL_ERROR "event stream suspiciously small: ${n_events} lines")
+endif()
+foreach(line IN LISTS event_lines)
+  if(NOT line MATCHES "^\\{.*\\}$")
+    message(FATAL_ERROR "event line is not a JSON object: ${line}")
+  endif()
+endforeach()
+list(GET event_lines 0 first)
+foreach(key "\"ts\":" "\"wall_us\":" "\"level\":" "\"name\":" "\"cat\":")
+  if(NOT first MATCHES "${key}")
+    message(FATAL_ERROR "event schema missing ${key}: ${first}")
+  endif()
+endforeach()
+
+# --- metrics snapshot: one JSON object with all three sections ----------
+file(READ "${METRICS}" metrics_doc)
+foreach(section "\"counters\"" "\"gauges\"" "\"histograms\""
+        "eval.target.calls" "forest.fit_seconds")
+  if(NOT metrics_doc MATCHES "${section}")
+    message(FATAL_ERROR "metrics snapshot missing ${section}")
+  endif()
+endforeach()
+
+# --- Chrome trace: Trace Event Format with phase spans and eval events --
+file(READ "${TRACE}" trace_doc)
+if(NOT trace_doc MATCHES "^\\{\"traceEvents\":\\[")
+  message(FATAL_ERROR "not a Trace Event document: ${TRACE}")
+endif()
+foreach(needle "\"ph\":\"X\"" "phase.fit" "phase.prune" "phase.bias"
+        "\"kind\":")
+  if(NOT trace_doc MATCHES "${needle}")
+    message(FATAL_ERROR "Chrome trace missing ${needle}")
+  endif()
+endforeach()
+
+message(STATUS "cli observability OK: ${n_events} events")

@@ -1,0 +1,124 @@
+#include "obs/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace portatune::obs {
+namespace {
+
+TEST(Severity, RoundTripsThroughStrings) {
+  for (Severity s : {Severity::Debug, Severity::Info, Severity::Warn,
+                     Severity::Error})
+    EXPECT_EQ(severity_from_string(to_string(s)), s);
+  EXPECT_THROW(severity_from_string("verbose"), Error);
+}
+
+TEST(Event, InstantEventsCarryTimestampsAndThread) {
+  const Event e = make_instant(Severity::Info, "tick", "test");
+  EXPECT_GE(e.mono_seconds, 0.0);
+  EXPECT_GT(e.wall_micros, 0);
+  EXPECT_LT(e.duration_seconds, 0.0);  // instant, not a span
+}
+
+TEST(Event, SpansBackdateTheirStart) {
+  const double now = mono_now();
+  const Event e = make_span(Severity::Info, "work", "test", 0.5);
+  EXPECT_DOUBLE_EQ(e.duration_seconds, 0.5);
+  // The span's timestamp is its *start*, half a second before now.
+  EXPECT_LT(e.mono_seconds, now);
+}
+
+TEST(Event, JsonSerialisationIsParseable) {
+  Event e = make_instant(Severity::Warn, "abort", "search",
+                         {{"reason", "it \"broke\"\n"},
+                          {"evals", std::uint64_t{17}},
+                          {"ok", false},
+                          {"rate", 0.25}});
+  const auto v = json::Value::parse(to_json(e));
+  EXPECT_EQ(v.at("name").as_string(), "abort");
+  EXPECT_EQ(v.at("cat").as_string(), "search");
+  EXPECT_EQ(v.at("level").as_string(), "warn");
+  EXPECT_EQ(v.at("reason").as_string(), "it \"broke\"\n");
+  EXPECT_EQ(v.at("evals").as_number(), 17.0);
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_DOUBLE_EQ(v.at("rate").as_number(), 0.25);
+}
+
+TEST(Sink, DormantByDefault) {
+  // No sink installed: nothing listens at any level and emit() is a no-op.
+  ASSERT_EQ(default_sink(), nullptr);
+  EXPECT_FALSE(enabled(Severity::Error));
+  emit(make_instant(Severity::Error, "dropped", "test"));  // must not crash
+}
+
+TEST(Sink, ScopedRedirectInstallsAndRestores) {
+  MemorySink sink;
+  {
+    ScopedSinkRedirect redirect(&sink, Severity::Debug);
+    EXPECT_TRUE(enabled(Severity::Debug));
+    emit(make_instant(Severity::Debug, "inside", "test"));
+  }
+  EXPECT_EQ(default_sink(), nullptr);
+  EXPECT_FALSE(enabled(Severity::Error));
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].name, "inside");
+}
+
+TEST(Sink, LevelThresholdFiltersEmit) {
+  MemorySink sink;
+  ScopedSinkRedirect redirect(&sink, Severity::Warn);
+  EXPECT_FALSE(enabled(Severity::Info));
+  emit(make_instant(Severity::Info, "quiet", "test"));
+  emit(make_instant(Severity::Warn, "loud", "test"));
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.events()[0].name, "loud");
+}
+
+TEST(Sink, JsonlWritesOneObjectPerLine) {
+  std::ostringstream out;
+  JsonlSink sink(out);
+  sink.log(make_instant(Severity::Info, "a", "test"));
+  sink.log(make_instant(Severity::Info, "b", "test"));
+  EXPECT_EQ(sink.events_written(), 2u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    const auto v = json::Value::parse(line);
+    EXPECT_TRUE(v.find("ts") != nullptr);
+    EXPECT_TRUE(v.find("name") != nullptr);
+    ++n;
+  }
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(Sink, JsonlDestructorFlushesTheFile) {
+  const std::string path = ::testing::TempDir() + "/events.jsonl";
+  {
+    JsonlSink sink(path);
+    sink.log(make_instant(Severity::Info, "persisted", "test"));
+  }  // destructor must leave the file readable
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(json::Value::parse(line).at("name").as_string(), "persisted");
+  std::remove(path.c_str());
+}
+
+TEST(Sink, TeeFansOutToAllChildren) {
+  MemorySink a, b;
+  TeeSink tee({&a, &b, nullptr});
+  tee.log(make_instant(Severity::Info, "both", "test"));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+}  // namespace
+}  // namespace portatune::obs

@@ -1,0 +1,102 @@
+#include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/sink.hpp"
+#include "support/error.hpp"
+
+namespace portatune::obs {
+namespace {
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(json::Value::parse("null").is_null());
+  EXPECT_TRUE(json::Value::parse("true").as_bool());
+  EXPECT_FALSE(json::Value::parse("false").as_bool());
+  EXPECT_DOUBLE_EQ(json::Value::parse("-1.5e3").as_number(), -1500.0);
+  EXPECT_EQ(json::Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedDocuments) {
+  const auto v = json::Value::parse(
+      R"({"a":[1,2,{"b":"x"}],"c":{"d":null},"e":true})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_EQ(v.at("a").as_array()[2].at("b").as_string(), "x");
+  EXPECT_TRUE(v.at("c").at("d").is_null());
+  EXPECT_EQ(v.find("missing"), nullptr);
+  EXPECT_THROW(v.at("missing"), Error);
+}
+
+TEST(Json, DecodesEscapes) {
+  const auto v = json::Value::parse(R"("tab\there\nquote\"uA")");
+  EXPECT_EQ(v.as_string(), "tab\there\nquote\"uA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::Value::parse(""), Error);
+  EXPECT_THROW(json::Value::parse("{"), Error);
+  EXPECT_THROW(json::Value::parse("[1,]"), Error);
+  EXPECT_THROW(json::Value::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(json::Value::parse("'single'"), Error);
+}
+
+TEST(Json, DumpRoundTrips) {
+  const std::string doc = R"({"a":[1,true,"x\n"],"b":null})";
+  const auto v = json::Value::parse(doc);
+  const auto again = json::Value::parse(v.dump());
+  EXPECT_EQ(again.at("a").as_array()[2].as_string(), "x\n");
+  EXPECT_TRUE(again.at("b").is_null());
+}
+
+TEST(ChromeTrace, ExportsSpansAndInstants) {
+  std::vector<Event> events;
+  events.push_back(make_span(Severity::Info, "phase.fit", "experiment", 0.25,
+                             {{"rows", std::uint64_t{100}}}));
+  events.push_back(make_instant(Severity::Warn, "search.abort", "search",
+                                {{"reason", "budget"}}));
+
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  const auto doc = json::Value::parse(os.str());
+  const auto& items = doc.at("traceEvents").as_array();
+  ASSERT_EQ(items.size(), 2u);
+
+  const auto& span = items[0];
+  EXPECT_EQ(span.at("name").as_string(), "phase.fit");
+  EXPECT_EQ(span.at("ph").as_string(), "X");
+  EXPECT_NEAR(span.at("dur").as_number(), 250000.0, 1.0);  // microseconds
+  EXPECT_EQ(span.at("pid").as_number(), 1.0);
+  EXPECT_EQ(span.at("args").at("rows").as_number(), 100.0);
+
+  const auto& instant = items[1];
+  EXPECT_EQ(instant.at("ph").as_string(), "i");
+  EXPECT_EQ(instant.at("args").at("reason").as_string(), "budget");
+}
+
+TEST(ChromeTrace, ConvertsJsonlLogs) {
+  // Produce a JSONL log the way JsonlSink would, then convert it.
+  std::ostringstream log;
+  JsonlSink sink(log);
+  sink.log(make_span(Severity::Info, "eval", "eval", 0.001,
+                     {{"ok", true}, {"config", "1/2/3"}}));
+  sink.log(make_instant(Severity::Info, "tick", "test"));
+
+  std::istringstream in(log.str());
+  std::ostringstream out;
+  EXPECT_EQ(jsonl_to_chrome_trace(in, out), 2u);
+  const auto doc = json::Value::parse(out.str());
+  const auto& items = doc.at("traceEvents").as_array();
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].at("args").at("config").as_string(), "1/2/3");
+}
+
+TEST(ChromeTrace, RejectsMalformedJsonl) {
+  std::istringstream in("this is not json\n");
+  std::ostringstream out;
+  EXPECT_THROW(jsonl_to_chrome_trace(in, out), Error);
+}
+
+}  // namespace
+}  // namespace portatune::obs

@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace portatune::obs {
+namespace {
+
+TEST(Metrics, CountersFindOrCreateWithStableIdentity) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("search.draws");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Same name -> the same instrument, not a fresh zero.
+  EXPECT_EQ(&reg.counter("search.draws"), &c);
+  EXPECT_EQ(reg.counter("search.draws").value(), 5u);
+}
+
+TEST(Metrics, GaugesHoldTheLastValue) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("cache.miss_rate");
+  g.set(0.25);
+  g.set(0.125);
+  EXPECT_DOUBLE_EQ(g.value(), 0.125);
+}
+
+TEST(Metrics, HistogramBucketsAndSummaryStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(5.0);    // bucket 1 (<= 10)
+  h.observe(50.0);   // bucket 2 (<= 100)
+  h.observe(500.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 555.5);
+  EXPECT_DOUBLE_EQ(h.min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.max(), 500.0);
+  const auto buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);
+  for (std::uint64_t b : buckets) EXPECT_EQ(b, 1u);
+}
+
+TEST(Metrics, SecondsBoundariesSpanMicrosecondsToMinutes) {
+  const auto b = Histogram::default_seconds_boundaries();
+  ASSERT_FALSE(b.empty());
+  EXPECT_LE(b.front(), 1e-6);
+  EXPECT_GE(b.back(), 100.0);
+  for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(Metrics, SnapshotSerialisesToParseableJson) {
+  MetricsRegistry reg;
+  reg.counter("evals").add(3);
+  reg.gauge("rate").set(0.5);
+  reg.histogram("sec").observe(0.01);
+  const auto v = json::Value::parse(reg.snapshot().to_json());
+  EXPECT_EQ(v.at("counters").at("evals").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("rate").as_number(), 0.5);
+  const auto& h = v.at("histograms").at("sec");
+  EXPECT_EQ(h.at("count").as_number(), 1.0);
+  EXPECT_EQ(h.at("buckets").as_array().size(),
+            h.at("boundaries").as_array().size() + 1);
+}
+
+TEST(Metrics, SnapshotTableIsHumanReadable) {
+  MetricsRegistry reg;
+  reg.counter("evals").add(42);
+  std::ostringstream os;
+  reg.snapshot().write_table(os);
+  EXPECT_NE(os.str().find("evals"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+}
+
+TEST(Metrics, ResetClearsEveryInstrument) {
+  MetricsRegistry reg;
+  reg.counter("c").add(7);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h").observe(2.0);
+  reg.reset();
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(Metrics, ScopedRedirectIsolatesInstrumentedCode) {
+  const std::uint64_t before =
+      MetricsRegistry::global().counter("redirect.test").value();
+  MetricsRegistry local;
+  {
+    ScopedMetricsRedirect redirect(local);
+    MetricsRegistry::current().counter("redirect.test").add();
+  }
+  EXPECT_EQ(local.counter("redirect.test").value(), 1u);
+  // The global registry never saw the increment...
+  EXPECT_EQ(MetricsRegistry::global().counter("redirect.test").value(),
+            before);
+  // ...and current() is the global again after the redirect ends.
+  EXPECT_EQ(&MetricsRegistry::current(), &MetricsRegistry::global());
+}
+
+}  // namespace
+}  // namespace portatune::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
 #include "support/error.hpp"
 
 namespace portatune::sim {
@@ -96,6 +97,37 @@ TEST(CacheHierarchy, MissesFallThroughLevels) {
 
 TEST(CacheHierarchy, RejectsEmpty) {
   EXPECT_THROW(CacheHierarchy({}), Error);
+}
+
+TEST(CacheHierarchy, CountsEvictions) {
+  // 2-way, 8 sets: three lines mapping to the same set force one eviction.
+  Cache c(8 * 64 * 2, 64, 2);
+  const std::uint64_t stride = 8 * 64;  // same set every access
+  c.access(0 * stride);
+  c.access(1 * stride);
+  EXPECT_EQ(c.evictions(), 0u);  // invalid ways filled, nothing displaced
+  c.access(2 * stride);
+  EXPECT_EQ(c.evictions(), 1u);
+  c.reset();
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(CacheHierarchy, PublishesMetricsExplicitly) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRedirect redirect(registry);
+  CacheHierarchy h({{"L1", 1024, 64, 2, 1, false},
+                    {"L2", 8192, 64, 4, 10, false}});
+  h.access(0);
+  h.access(0);
+  // Per-access bookkeeping stays local: nothing reaches the registry
+  // until the hierarchy is asked to publish.
+  EXPECT_EQ(registry.counter("cache.accesses").value(), 0u);
+  h.publish_metrics();
+  EXPECT_EQ(registry.counter("cache.accesses").value(), 2u);
+  EXPECT_EQ(registry.counter("cache.l0.hits").value(), 1u);
+  EXPECT_EQ(registry.counter("cache.l0.misses").value(), 1u);
+  EXPECT_EQ(registry.counter("cache.memory_accesses").value(), 1u);
+  EXPECT_DOUBLE_EQ(registry.gauge("cache.miss_rate").value(), 0.5);
 }
 
 class ScanGeometry : public ::testing::TestWithParam<int> {};
