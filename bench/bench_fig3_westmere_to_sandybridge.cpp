@@ -4,9 +4,10 @@
 // RS_bf), and the run-time correlation of the shared configurations.
 #include "bench/figures_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   portatune::bench::print_figure(
       "Figure 3: Intel Westmere -> Intel Sandybridge", "Westmere",
-      "Sandybridge", {"ATAX", "LU", "HPL", "RT"});
+      "Sandybridge", {"ATAX", "LU", "HPL", "RT"},
+      /*phi_experiment=*/false, portatune::bench::bench_threads(argc, argv));
   return 0;
 }

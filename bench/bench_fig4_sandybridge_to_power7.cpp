@@ -3,9 +3,10 @@
 // portability. Same panel layout as Figure 3.
 #include "bench/figures_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   portatune::bench::print_figure(
       "Figure 4: Intel Sandybridge -> IBM Power 7", "Sandybridge",
-      "Power7", {"ATAX", "LU", "HPL", "RT"});
+      "Power7", {"ATAX", "LU", "HPL", "RT"},
+      /*phi_experiment=*/false, portatune::bench::bench_threads(argc, argv));
   return 0;
 }

@@ -7,12 +7,13 @@
 
 #include "bench/figures_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace portatune;
   bench::print_figure("Figure 5: Intel Sandybridge -> Intel Xeon Phi "
                       "(Intel compiler, OpenMP)",
                       "Sandybridge", "XeonPhi", {"MM", "LU", "COR"},
-                      /*phi_experiment=*/true);
+                      /*phi_experiment=*/true,
+                      bench::bench_threads(argc, argv));
 
   // The MM "default is best" check, stated explicitly.
   auto phi = bench::paper_evaluator("MM", "XeonPhi", true);

@@ -5,6 +5,7 @@
 // empirical evaluations.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hpp"
 #include "kernels/sim_evaluator.hpp"
 #include "kernels/spapt.hpp"
 #include "ml/forest.hpp"
@@ -14,12 +15,25 @@
 #include "orio/codegen.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace_sim.hpp"
+#include "tuner/faults.hpp"
+#include "tuner/parallel.hpp"
 #include "tuner/random_search.hpp"
 #include "tuner/sampler.hpp"
 
 namespace {
 
 using namespace portatune;
+
+std::vector<tuner::ParamConfig> feasible_configs(
+    const kernels::SpaptProblemPtr& prob, std::size_t count) {
+  Rng rng(2);
+  std::vector<tuner::ParamConfig> configs;
+  while (configs.size() < count) {
+    auto c = prob->space().random_config(rng);
+    if (prob->feasible(c)) configs.push_back(std::move(c));
+  }
+  return configs;
+}
 
 ml::Dataset lu_training_data() {
   auto lu = kernels::make_lu();
@@ -152,6 +166,110 @@ void BM_RandomSearch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 50);
 }
 BENCHMARK(BM_RandomSearch);
+
+// --- Parallel evaluation scaling -------------------------------------
+// The batched-evaluation seam: one window fanned out over N workers. Two
+// regimes matter. Real autotuning evaluations are latency-bound — each
+// measurement occupies its worker for a compile+run wall-clock interval —
+// so the fan-out overlaps those waits and scales with the worker count
+// even on a single core (modeled by an injected per-attempt hang). The
+// pure cost-model regime is CPU-bound and scales only with physical
+// cores. UseRealTime throughout: wall time is what the fan-out buys.
+
+void BM_BatchEvalLatencyBound(benchmark::State& state) {
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  tuner::FaultProfile fp;
+  fp.hang_rate = 1.0;  // every attempt waits, like a real compile+run
+  fp.hang_seconds = 0.001;
+  tuner::FaultInjectingEvaluator slow(wm, fp);
+  tuner::ParallelOptions popt;
+  popt.threads = static_cast<std::size_t>(state.range(0));
+  tuner::ParallelEvaluator par(slow, popt);
+  const auto batch = feasible_configs(lu, 32);
+  for (auto _ : state) benchmark::DoNotOptimize(par.evaluate_batch(batch));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch.size()));
+}
+BENCHMARK(BM_BatchEvalLatencyBound)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_BatchEvalCpuBound(benchmark::State& state) {
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  tuner::ParallelOptions popt;
+  popt.threads = static_cast<std::size_t>(state.range(0));
+  tuner::ParallelEvaluator par(wm, popt);
+  const auto batch = feasible_configs(lu, 32);
+  for (auto _ : state) benchmark::DoNotOptimize(par.evaluate_batch(batch));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * batch.size()));
+}
+BENCHMARK(BM_BatchEvalCpuBound)->Arg(1)->Arg(8)->UseRealTime();
+
+void BM_ParallelRandomSearch(benchmark::State& state) {
+  // Full RS through the batched window loop, latency-bound evaluations.
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  tuner::FaultProfile fp;
+  fp.hang_rate = 1.0;
+  fp.hang_seconds = 0.0005;
+  tuner::FaultInjectingEvaluator slow(wm, fp);
+  tuner::ParallelOptions popt;
+  popt.threads = static_cast<std::size_t>(state.range(0));
+  tuner::ParallelEvaluator par(slow, popt);
+  tuner::RandomSearchOptions opt;
+  opt.max_evals = 64;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(tuner::random_search(par, opt));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 64));
+}
+BENCHMARK(BM_ParallelRandomSearch)
+    ->Arg(1)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+tuner::ExperimentJob latency_cell(const std::string& problem,
+                                  const std::string& source,
+                                  const std::string& target) {
+  tuner::ExperimentJob job;
+  job.label = problem + " " + source + "->" + target;
+  job.settings = bench::paper_settings();
+  job.settings.nmax = 30;
+  job.settings.pool_size = 1000;
+  const auto make = [problem](const std::string& machine) {
+    auto o = bench::paper_stack_options(problem, machine);
+    o.faults.hang_rate = 1.0;  // latency-bound, as real measurements are
+    o.faults.hang_seconds = 0.0005;
+    return apps::make_evaluator_stack(o);
+  };
+  job.make_source = [=] { return make(source); };
+  job.make_target = [=] { return make(target); };
+  return job;
+}
+
+void BM_TableIvCells(benchmark::State& state) {
+  // Independent Table IV-style cells fanned out over the experiment
+  // pool; latency-bound evaluations as above. The acceptance bar for the
+  // parallel engine is >= 3x cell throughput at 8 workers vs 1.
+  const std::vector<std::string> problems = {"ATAX", "LU"};
+  const std::vector<std::string> targets = {"Sandybridge", "Power7",
+                                            "X-Gene"};
+  for (auto _ : state) {
+    std::vector<tuner::ExperimentJob> jobs;
+    for (const auto& p : problems)
+      for (const auto& t : targets)
+        jobs.push_back(latency_cell(p, "Westmere", t));
+    const auto results = tuner::run_transfer_experiments(
+        jobs, static_cast<std::size_t>(state.range(0)));
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 6));
+}
+BENCHMARK(BM_TableIvCells)
+    ->Arg(1)->Arg(8)->UseRealTime()->Unit(benchmark::kMillisecond);
 
 void BM_CodeGeneration(benchmark::State& state) {
   auto prob = kernels::make_mm(256);

@@ -3,6 +3,10 @@
 // the GNU compiler. Sources: Westmere, Sandybridge, Power 7. Targets add
 // the ARM X-Gene. As in the paper, MM and COR rows have no X-Gene data
 // (run/compile times were prohibitive there) and the diagonal is empty.
+//
+// Usage: bench_table4_speedup_matrix [threads]
+// Cells are independent experiments; [threads] fans them out (0 = all
+// hardware threads). The table is identical at any thread count.
 #include <cstdio>
 #include <iostream>
 
@@ -10,7 +14,8 @@
 
 using namespace portatune;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::bench_threads(argc, argv);
   const std::vector<std::string> sources = {"Westmere", "Sandybridge",
                                             "Power7"};
   const std::vector<std::string> targets = {"Westmere", "Sandybridge",
@@ -23,21 +28,36 @@ int main() {
               "(paper protocol: nmax=100, N=10000, GNU compiler, single "
               "run with common random numbers)\n\n");
 
+  // Pass 1: enumerate the populated cells as jobs (paper Table IV leaves
+  // MM and COR unmeasured on X-Gene, and the diagonal empty).
+  const auto populated = [&](const std::string& problem,
+                             const std::string& source,
+                             const std::string& target) {
+    if (source == target) return false;
+    return !(target == "X-Gene" && (problem == "MM" || problem == "COR"));
+  };
+  std::vector<tuner::ExperimentJob> jobs;
+  for (const auto& problem : problems)
+    for (const auto& target : targets)
+      for (const auto& source : sources)
+        if (populated(problem, source, target))
+          jobs.push_back(bench::cell_job(problem, source, target));
+
+  const auto results = tuner::run_transfer_experiments(jobs, threads);
+
+  // Pass 2: walk the grid in the same order, consuming results in turn.
   TextTable t({"Problem", "Target", "src Westmere", "src Sandybridge",
                "src Power7"});
+  std::size_t next = 0;
   for (const auto& problem : problems) {
     for (const auto& target : targets) {
-      // Paper Table IV leaves MM and COR unmeasured on X-Gene.
-      const bool unavailable =
-          target == "X-Gene" && (problem == "MM" || problem == "COR");
       std::vector<std::string> row{problem, target};
       for (const auto& source : sources) {
-        if (source == target || unavailable) {
+        if (!populated(problem, source, target)) {
           row.push_back("-");
           continue;
         }
-        const auto r = bench::run_cell(problem, source, target);
-        row.push_back(bench::speedup_cell(r.biased_speedup));
+        row.push_back(bench::speedup_cell(results[next++].biased_speedup));
       }
       t.add_row(row);
     }

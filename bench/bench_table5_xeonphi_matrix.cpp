@@ -2,6 +2,10 @@
 // experiments — MM, LU and COR under the Intel compiler with OpenMP
 // (8 threads on Westmere/Sandybridge, 60 on the Phi), across all
 // source/target combinations of the three machines.
+//
+// Usage: bench_table5_xeonphi_matrix [threads]
+// Cells are independent experiments; [threads] fans them out (0 = all
+// hardware threads). The table is identical at any thread count.
 #include <cstdio>
 #include <iostream>
 
@@ -9,7 +13,8 @@
 
 using namespace portatune;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t threads = bench::bench_threads(argc, argv);
   const std::vector<std::string> machines = {"Westmere", "Sandybridge",
                                              "XeonPhi"};
   const std::vector<std::string> problems = {"MM", "LU", "COR"};
@@ -17,8 +22,19 @@ int main() {
   std::printf("Table V: Prf.Imp / Srh.Imp of RS_b for the Xeon Phi "
               "experiments (Intel compiler, OpenMP)\n\n");
 
+  std::vector<tuner::ExperimentJob> jobs;
+  for (const auto& problem : problems)
+    for (const auto& target : machines)
+      for (const auto& source : machines)
+        if (source != target)
+          jobs.push_back(bench::cell_job(problem, source, target,
+                                         /*phi_experiment=*/true));
+
+  const auto results = tuner::run_transfer_experiments(jobs, threads);
+
   TextTable t({"Problem", "Target", "src Westmere", "src Sandybridge",
                "src XeonPhi"});
+  std::size_t next = 0;
   for (const auto& problem : problems) {
     for (const auto& target : machines) {
       std::vector<std::string> row{problem, target};
@@ -27,9 +43,7 @@ int main() {
           row.push_back("-");
           continue;
         }
-        const auto r = bench::run_cell(problem, source, target,
-                                       /*phi_experiment=*/true);
-        row.push_back(bench::speedup_cell(r.biased_speedup));
+        row.push_back(bench::speedup_cell(results[next++].biased_speedup));
       }
       t.add_row(row);
     }

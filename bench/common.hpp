@@ -1,11 +1,18 @@
 // Shared helpers for the reproduction benches: every bench binary prints
 // the rows/series of one paper table or figure (see DESIGN.md's
 // per-experiment index). Output is aligned text plus optional CSV blocks.
+//
+// Parallelism: every cell of a table/figure is an independent transfer
+// experiment, so the matrix drivers accept a thread count (first CLI
+// argument, default 1) and fan cells out via run_transfer_experiments.
+// All searches are seed-deterministic, so the printed numbers are
+// identical at any thread count — only the wall time changes.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "apps/evaluator_factory.hpp"
 #include "apps/registry.hpp"
 #include "support/table.hpp"
 #include "tuner/experiment.hpp"
@@ -19,13 +26,26 @@ inline int paper_threads(const std::string& machine, bool phi_experiment) {
   return machine == "XeonPhi" ? 60 : 8;
 }
 
+/// Stack description for one paper evaluator; the benches add layers
+/// (faults, observation, parallel fan-out) on top of this as needed.
+inline apps::EvaluatorStackOptions paper_stack_options(
+    const std::string& problem, const std::string& machine,
+    bool phi_experiment = false, std::size_t eval_threads = 1) {
+  apps::EvaluatorStackOptions o;
+  o.problem = problem;
+  o.machine = machine;
+  o.compiler = phi_experiment ? sim::Compiler::Intel : sim::Compiler::Gnu;
+  o.kernel_threads = paper_threads(machine, phi_experiment);
+  o.eval_threads = eval_threads;
+  return o;
+}
+
 inline tuner::EvaluatorPtr paper_evaluator(const std::string& problem,
                                            const std::string& machine,
-                                           bool phi_experiment = false) {
-  const auto compiler =
-      phi_experiment ? sim::Compiler::Intel : sim::Compiler::Gnu;
-  return apps::make_simulated_evaluator(
-      problem, machine, compiler, paper_threads(machine, phi_experiment));
+                                           bool phi_experiment = false,
+                                           std::size_t eval_threads = 1) {
+  return apps::make_evaluator_stack(
+      paper_stack_options(problem, machine, phi_experiment, eval_threads));
 }
 
 inline tuner::ExperimentSettings paper_settings() {
@@ -34,14 +54,41 @@ inline tuner::ExperimentSettings paper_settings() {
   return s;
 }
 
+/// One (problem, source, target) cell as a deferred job for
+/// run_transfer_experiments: evaluators are built lazily on the worker
+/// that runs the cell.
+inline tuner::ExperimentJob cell_job(const std::string& problem,
+                                     const std::string& source,
+                                     const std::string& target,
+                                     bool phi_experiment = false,
+                                     std::size_t eval_threads = 1) {
+  tuner::ExperimentJob job;
+  job.label = problem + " " + source + "->" + target;
+  job.settings = paper_settings();
+  job.make_source = [=] {
+    return paper_evaluator(problem, source, phi_experiment, eval_threads);
+  };
+  job.make_target = [=] {
+    return paper_evaluator(problem, target, phi_experiment, eval_threads);
+  };
+  return job;
+}
+
 /// Run the full Sec. IV-D protocol for one (problem, source, target) cell.
 inline tuner::TransferExperimentResult run_cell(const std::string& problem,
                                                 const std::string& source,
                                                 const std::string& target,
-                                                bool phi_experiment = false) {
-  auto a = paper_evaluator(problem, source, phi_experiment);
-  auto b = paper_evaluator(problem, target, phi_experiment);
+                                                bool phi_experiment = false,
+                                                std::size_t eval_threads = 1) {
+  auto a = paper_evaluator(problem, source, phi_experiment, eval_threads);
+  auto b = paper_evaluator(problem, target, phi_experiment, eval_threads);
   return tuner::run_transfer_experiment(*a, *b, paper_settings());
+}
+
+/// Worker threads for a bench binary: first CLI argument, "0" meaning all
+/// hardware threads; default 1 (the serial paper protocol).
+inline std::size_t bench_threads(int argc, char** argv) {
+  return argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 1;
 }
 
 /// Print a best-so-far curve as "(elapsed, best)" improvement points.

@@ -15,12 +15,21 @@ inline void print_figure(const std::string& title,
                          const std::string& source,
                          const std::string& target,
                          const std::vector<std::string>& problems,
-                         bool phi_experiment = false) {
+                         bool phi_experiment = false,
+                         std::size_t threads = 1) {
   std::printf("%s\n", title.c_str());
   std::printf("(best-so-far improvement points: (elapsed search s, best "
               "run time s))\n");
-  for (const auto& problem : problems) {
-    const auto r = run_cell(problem, source, target, phi_experiment);
+  // One job per problem panel, fanned out over `threads` workers and
+  // printed in problem order (identical output at any thread count).
+  std::vector<tuner::ExperimentJob> jobs;
+  jobs.reserve(problems.size());
+  for (const auto& problem : problems)
+    jobs.push_back(cell_job(problem, source, target, phi_experiment));
+  const auto results = tuner::run_transfer_experiments(jobs, threads);
+  for (std::size_t i = 0; i < problems.size(); ++i) {
+    const auto& problem = problems[i];
+    const auto& r = results[i];
     std::printf("\n== %s ==\n", problem.c_str());
     std::printf(" model-based variants:\n");
     print_curve("RS", r.target_rs);

@@ -14,6 +14,12 @@
 //   portatune_cli similarity --problem LU --source Westmere --target X-Gene
 //       probe-based machine-similarity report and transfer advice
 //
+// Parallel evaluation (collect/transfer): --threads N fans evaluation
+// windows out over N worker threads (0 = all hardware threads). Traces
+// are bit-identical to --threads 1 runs: windows are processed in draw
+// order and the simulated backends are pure functions of (machine,
+// config).
+//
 // Observability (any command):
 //   --log-json events.jsonl    structured event log, one JSON object/line
 //   --log-level debug|info|warn|error   event threshold (default info)
@@ -28,14 +34,13 @@
 #include <string>
 #include <vector>
 
+#include "apps/evaluator_factory.hpp"
 #include "apps/registry.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
-#include "obs/observed_evaluator.hpp"
 #include "obs/sink.hpp"
 #include "support/error.hpp"
 #include "tuner/experiment.hpp"
-#include "tuner/faults.hpp"
 #include "tuner/persistence.hpp"
 #include "tuner/random_search.hpp"
 #include "tuner/resilience.hpp"
@@ -60,6 +65,7 @@ struct Args {
   double faults = 0.0;    ///< injected transient-failure rate
   std::size_t retries = 2;
   double timeout = 0.0;   ///< per-evaluation deadline, seconds
+  std::size_t threads = 1;  ///< evaluation workers (0 = all hardware)
   std::uint64_t seed = 20160401;
   std::string log_json;     ///< JSONL event-log path ("" = off)
   std::string log_level = "info";
@@ -96,6 +102,7 @@ Args parse(int argc, char** argv) {
     else if (key == "--faults") a.faults = std::stod(value);
     else if (key == "--retries") a.retries = std::stoul(value);
     else if (key == "--timeout") a.timeout = std::stod(value);
+    else if (key == "--threads") a.threads = std::stoul(value);
     else if (key == "--seed") a.seed = std::stoull(value);
     else if (key == "--log-json") a.log_json = value;
     else if (key == "--log-level") a.log_level = value;
@@ -186,27 +193,22 @@ int cmd_list() {
 }
 
 int cmd_collect(const Args& a) {
-  auto eval = apps::make_simulated_evaluator(a.problem, a.machine);
-
-  // Stack the decorators: backend -> faults -> observer -> retry/timeout.
-  // The observer sits inside the resilient layer so it sees every raw
-  // attempt (including injected faults), one event per attempt. The
-  // search itself only ever sees the outermost layer.
-  tuner::Evaluator* backend = eval.get();
-  std::unique_ptr<tuner::FaultInjectingEvaluator> faulty;
-  if (a.faults > 0.0) {
-    tuner::FaultProfile profile;
-    profile.transient_rate = a.faults;
-    profile.seed = a.seed;
-    faulty = std::make_unique<tuner::FaultInjectingEvaluator>(*backend,
-                                                              profile);
-    backend = faulty.get();
-  }
-  obs::ObservedEvaluator observed(*backend);
-  tuner::RetryPolicy policy;
-  policy.max_attempts = a.retries + 1;
-  policy.timeout_seconds = a.timeout;
-  tuner::ResilientEvaluator resilient(observed, policy);
+  // Decorator chain (wired by EvaluatorStack): backend -> faults ->
+  // observer -> retry/timeout -> parallel. The observer sits inside the
+  // resilient layer so it sees every raw attempt (including injected
+  // faults), one event per attempt. The search only sees the outermost
+  // layer.
+  apps::EvaluatorStackOptions so;
+  so.problem = a.problem;
+  so.machine = a.machine;
+  so.faults.transient_rate = a.faults;
+  so.faults.seed = a.seed;
+  so.observe = true;
+  so.resilient = true;
+  so.retry.max_attempts = a.retries + 1;
+  so.retry.timeout_seconds = a.timeout;
+  so.eval_threads = a.threads;
+  apps::EvaluatorStack eval(so);
 
   tuner::RandomSearchOptions opt;
   opt.max_evals = a.nmax;
@@ -214,7 +216,7 @@ int cmd_collect(const Args& a) {
 
   tuner::SearchCheckpoint resumed;
   if (!a.resume.empty()) {
-    resumed = tuner::load_checkpoint_csv(a.resume, eval->space());
+    resumed = tuner::load_checkpoint_csv(a.resume, eval.space());
     opt.resume = &resumed;
     std::printf("resuming from %s: %zu evaluations, %zu draws consumed\n",
                 a.resume.c_str(), resumed.trace.size(), resumed.draws);
@@ -222,26 +224,26 @@ int cmd_collect(const Args& a) {
   if (!a.checkpoint.empty()) {
     opt.checkpoint_every = a.ckpt_every;
     opt.on_checkpoint = [&](const tuner::SearchCheckpoint& snapshot) {
-      tuner::save_checkpoint_csv(a.checkpoint, snapshot, eval->space());
+      tuner::save_checkpoint_csv(a.checkpoint, snapshot, eval.space());
     };
   }
 
-  const auto trace = tuner::random_search(resilient, opt);
+  const auto trace = tuner::random_search(eval, opt);
   std::printf("collected %zu evaluations of %s on %s (best %.4f s)\n",
               trace.size(), a.problem.c_str(), a.machine.c_str(),
               trace.best_seconds());
-  print_failure_summary(trace, resilient.stats());
+  print_failure_summary(trace, eval.resilient_layer()->stats());
   if (!a.checkpoint.empty())
     std::printf("saved checkpoint to %s\n", a.checkpoint.c_str());
   if (!a.out.empty()) {
-    tuner::save_trace_csv(a.out, trace, eval->space());
+    tuner::save_trace_csv(a.out, trace, eval.space());
     std::printf("saved T_a to %s\n", a.out.c_str());
   }
   if (!a.quiet && !trace.empty()) {
     const auto& fs = trace.failure_stats();
     std::printf("summary: best=%s best_seconds=%.6g evals=%zu "
                 "failures=%zu/%zu overhead_seconds=%.3g\n",
-                eval->space().describe(trace.best_config()).c_str(),
+                eval.space().describe(trace.best_config()).c_str(),
                 trace.best_seconds(), trace.size(), fs.failures,
                 fs.attempts, fs.overhead_seconds);
   }
@@ -249,12 +251,18 @@ int cmd_collect(const Args& a) {
 }
 
 int cmd_transfer(const Args& a) {
-  auto source_backend = apps::make_simulated_evaluator(a.problem, a.source);
-  auto target_backend = apps::make_simulated_evaluator(a.problem, a.target);
   // Per-evaluation telemetry, tagged by role: eval.source.* / eval.target.*
-  // counters and one event per evaluation.
-  obs::ObservedEvaluator source(*source_backend, "eval.source");
-  obs::ObservedEvaluator target(*target_backend, "eval.target");
+  // counters and one event per evaluation. Both stacks pick up --threads.
+  apps::EvaluatorStackOptions so;
+  so.problem = a.problem;
+  so.observe = true;
+  so.eval_threads = a.threads;
+  so.machine = a.source;
+  so.observe_label = "eval.source";
+  apps::EvaluatorStack source(so);
+  so.machine = a.target;
+  so.observe_label = "eval.target";
+  apps::EvaluatorStack target(so);
   tuner::ExperimentSettings s;
   s.nmax = a.nmax;
   s.delta_percent = a.delta;

@@ -1,39 +1,46 @@
 // Quickstart: autotune one kernel on one machine with plain random search.
 //
 // This is the smallest end-to-end use of the library:
-//   1. pick a SPAPT problem (LU decomposition, Table III),
-//   2. put it on a simulated machine (Sandybridge, Table II),
-//   3. run random search without replacement for a 100-evaluation budget,
-//   4. inspect the best configuration found.
+//   1. describe an evaluator stack — a SPAPT problem (LU decomposition,
+//      Table III) on a simulated machine (Sandybridge, Table II) — and
+//      let make_evaluator_stack wire it,
+//   2. run random search without replacement for a 100-evaluation budget,
+//   3. inspect the best configuration found.
+//
+// The same options struct adds fault injection, retry/timeout, telemetry,
+// or parallel evaluation windows (eval_threads = 0 uses every hardware
+// thread; the trace stays bit-identical, the search just finishes
+// sooner).
 #include <cstdio>
 
-#include "kernels/sim_evaluator.hpp"
-#include "kernels/spapt.hpp"
-#include "sim/machine.hpp"
+#include "apps/evaluator_factory.hpp"
 #include "tuner/random_search.hpp"
 
 int main() {
   using namespace portatune;
 
-  auto problem = kernels::make_lu();  // 9 parameters, |D| ~ 1e10
-  kernels::SimulatedKernelEvaluator sandybridge(problem,
-                                                sim::make_sandybridge());
+  apps::EvaluatorStackOptions options;
+  options.problem = "LU";  // 9 parameters, |D| ~ 1e10
+  options.machine = "Sandybridge";
+  options.eval_threads = 0;  // parallel evaluation windows
+  auto sandybridge = apps::make_evaluator_stack(options);
+  const tuner::ParamSpace& space = sandybridge->space();
 
   tuner::RandomSearchOptions opt;
   opt.max_evals = 100;
   opt.seed = 42;
-  const tuner::SearchTrace trace = tuner::random_search(sandybridge, opt);
+  const tuner::SearchTrace trace = tuner::random_search(*sandybridge, opt);
 
   std::printf("problem: %s on %s\n", trace.problem().c_str(),
               trace.machine().c_str());
   std::printf("evaluated %zu configurations (search space |D| = %.2e)\n",
-              trace.size(), problem->space().cardinality());
+              trace.size(), space.cardinality());
   std::printf("default run time: %.3f s\n",
-              sandybridge.evaluate(problem->space().default_config()).seconds);
+              sandybridge->evaluate(space.default_config()).seconds);
   std::printf("best run time:    %.3f s  (found after %.1f s of search)\n",
               trace.best_seconds(), trace.time_to_best());
   std::printf("best configuration:\n  %s\n",
-              problem->space().describe(trace.best_config()).c_str());
+              space.describe(trace.best_config()).c_str());
 
   std::printf("\nbest-so-far curve (elapsed search seconds -> best):\n");
   double last = -1.0;

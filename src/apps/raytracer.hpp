@@ -81,6 +81,11 @@ class SimulatedRaytracerEvaluator final : public tuner::Evaluator {
 
   const tuner::ParamSpace& space() const override { return space_; }
   tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  /// Thread-safe: evaluate() is a pure function of (machine, config) —
+  /// noise is hashed, never drawn from mutable generator state.
+  tuner::EvalCapabilities capabilities() const override {
+    return {.thread_safe = true, .preferred_batch = 1};
+  }
   std::string problem_name() const override { return "RT"; }
   std::string machine_name() const override { return machine_.name; }
 

@@ -49,6 +49,10 @@ class NativeKernelEvaluator final : public tuner::Evaluator {
     return problem_->space();
   }
   tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  /// NOT thread-safe: evaluations share the scratch buffers below, and
+  /// concurrent timing runs on one host would skew each other's
+  /// measurements anyway. Deliberately reports the serial default.
+  tuner::EvalCapabilities capabilities() const override { return {}; }
   std::string problem_name() const override { return problem_->name(); }
   std::string machine_name() const override { return "host"; }
 

@@ -23,7 +23,7 @@ tuner::EvalResult SimulatedKernelEvaluator::evaluate(
   } catch (const Error& e) {
     return tuner::EvalResult::failure(e.what());
   }
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   const std::uint64_t h = problem_->space().config_hash(config);
   double total = 0.0;
   for (std::size_t p = 0; p < transforms.size(); ++p)
@@ -31,7 +31,7 @@ tuner::EvalResult SimulatedKernelEvaluator::evaluate(
                  .evaluate(problem_->phases()[p].nest, transforms[p],
                            machine_, h)
                  .seconds;
-  return {total, true, {}};
+  return tuner::EvalResult::success(total);
 }
 
 std::vector<sim::CostBreakdown> SimulatedKernelEvaluator::breakdown(

@@ -4,6 +4,8 @@
 // machines; the search algorithms cannot tell the difference.
 #pragma once
 
+#include <atomic>
+
 #include "kernels/spapt.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/machine.hpp"
@@ -17,15 +19,32 @@ class SimulatedKernelEvaluator final : public tuner::Evaluator {
                            sim::MachineDescriptor machine, int threads = 1,
                            sim::AnalyticalCostModel model = {});
 
+  /// Movable despite the atomic counter (benchmarks keep these in
+  /// vectors). Moving while another thread evaluates is not supported.
+  SimulatedKernelEvaluator(SimulatedKernelEvaluator&& other) noexcept
+      : problem_(std::move(other.problem_)),
+        machine_(std::move(other.machine_)),
+        threads_(other.threads_),
+        model_(other.model_),
+        evaluations_(other.evaluations_.load(std::memory_order_relaxed)) {}
+
   const tuner::ParamSpace& space() const override {
     return problem_->space();
   }
   tuner::EvalResult evaluate(const tuner::ParamConfig& config) override;
+  /// Thread-safe: the cost model is a pure function of (nest, transform,
+  /// machine, config hash) — noise included — and the evaluation counter
+  /// is atomic, so concurrent evaluations return bit-identical results.
+  tuner::EvalCapabilities capabilities() const override {
+    return {.thread_safe = true, .preferred_batch = 1};
+  }
   std::string problem_name() const override { return problem_->name(); }
   std::string machine_name() const override { return machine_.name; }
 
   const sim::MachineDescriptor& machine() const noexcept { return machine_; }
-  std::size_t evaluations() const noexcept { return evaluations_; }
+  std::size_t evaluations() const noexcept {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
   /// Full cost breakdowns per phase for one configuration (diagnostics).
   std::vector<sim::CostBreakdown> breakdown(
@@ -36,7 +55,7 @@ class SimulatedKernelEvaluator final : public tuner::Evaluator {
   sim::MachineDescriptor machine_;
   int threads_;
   sim::AnalyticalCostModel model_;
-  std::size_t evaluations_ = 0;
+  std::atomic<std::size_t> evaluations_{0};
 };
 
 }  // namespace portatune::kernels

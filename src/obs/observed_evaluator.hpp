@@ -53,6 +53,13 @@ class ObservedEvaluator final : public tuner::Evaluator {
   }
 
   const tuner::ParamSpace& space() const override { return inner_.space(); }
+  /// Thread-safe when the inner evaluator is: the instruments are relaxed
+  /// atomics and sinks serialize writers internally, so this decorator
+  /// composes under a ParallelEvaluator without extra locking.
+  tuner::EvalCapabilities capabilities() const override {
+    return inner_.capabilities();
+  }
+  tuner::Evaluator* inner_evaluator() noexcept override { return &inner_; }
   std::string problem_name() const override { return inner_.problem_name(); }
   std::string machine_name() const override { return inner_.machine_name(); }
 

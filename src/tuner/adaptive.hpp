@@ -14,12 +14,12 @@
 #include "ml/forest.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/resilience.hpp"
+#include "tuner/search_options.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
 
-struct AdaptiveSearchOptions {
-  std::size_t max_evals = 100;
+struct AdaptiveSearchOptions : SearchCommon {
   std::size_t pool_size = 10000;
   std::size_t refit_interval = 10;  ///< target evals between refits
   /// Each target row enters the training set this many times (cheap
@@ -28,9 +28,7 @@ struct AdaptiveSearchOptions {
   /// Drop the source rows entirely after this many target evaluations
   /// (0 = keep forever).
   std::size_t forget_source_after = 0;
-  std::uint64_t seed = 1;
   ml::ForestParams forest{};
-  FailureBudget failure_budget{};
 };
 
 /// Biased search with periodic refits on accumulated target data.

@@ -6,10 +6,19 @@
 // against this interface only, so the same search runs unchanged on the
 // simulated Table II machines, on the host via the native kernel backend,
 // or on the mini-apps.
+//
+// Evaluation is batch-oriented: searches hand the evaluator a *window* of
+// configurations via evaluate_batch() and size those windows by
+// capabilities().preferred_batch. The default implementation evaluates the
+// batch serially through evaluate(), so every existing backend works
+// unmodified; ParallelEvaluator (tuner/parallel.hpp) overrides it to fan a
+// batch out over a thread pool when the inner backend is thread-safe.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "tuner/param.hpp"
 
@@ -27,9 +36,20 @@ enum class FailureKind {
   Timeout,        ///< exceeded the wall-clock deadline
 };
 
-const char* to_string(FailureKind kind) noexcept;
+inline const char* to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::None: return "none";
+    case FailureKind::Transient: return "transient";
+    case FailureKind::Deterministic: return "deterministic";
+    case FailureKind::Timeout: return "timeout";
+  }
+  return "unknown";
+}
 
-/// Outcome of evaluating one configuration.
+/// Outcome of evaluating one configuration. Construct through the
+/// factories (success / failure / transient_failure) rather than aggregate
+/// initialization so the invariants (ok <-> failure_kind) hold by
+/// construction.
 struct EvalResult {
   double seconds = 0.0;  ///< measured run time (the objective)
   bool ok = true;        ///< false: build/run failure, config is discarded
@@ -42,6 +62,13 @@ struct EvalResult {
   /// Search time spent on this call beyond the reported measurement:
   /// failed attempts, retry backoff, and timed-out watchdog waits.
   double overhead_seconds = 0.0;
+
+  /// A successful measurement of `seconds`.
+  static EvalResult success(double seconds) {
+    EvalResult r;
+    r.seconds = seconds;
+    return r;
+  }
 
   /// A failure an evaluator knows to be permanent for this configuration
   /// (the historical default: infeasible config, build error).
@@ -59,15 +86,20 @@ struct EvalResult {
   }
 };
 
-inline const char* to_string(FailureKind kind) noexcept {
-  switch (kind) {
-    case FailureKind::None: return "none";
-    case FailureKind::Transient: return "transient";
-    case FailureKind::Deterministic: return "deterministic";
-    case FailureKind::Timeout: return "timeout";
-  }
-  return "unknown";
-}
+/// What a caller may assume about an evaluator. Decorators forward their
+/// inner evaluator's capabilities (adjusted for whatever guarantees the
+/// decorator adds or removes).
+struct EvalCapabilities {
+  /// evaluate() may be called concurrently from multiple threads. Backends
+  /// default to false; pure-function backends (the simulated machines)
+  /// override this, while the native timing backend stays serial (shared
+  /// scratch buffers, and concurrent timing runs would skew each other).
+  bool thread_safe = false;
+  /// Preferred number of configurations per evaluate_batch() call.
+  /// Searches size their draw windows by this; 1 means "serial" and
+  /// reproduces the classic one-at-a-time evaluation loop exactly.
+  std::size_t preferred_batch = 1;
+};
 
 class Evaluator {
  public:
@@ -82,10 +114,43 @@ class Evaluator {
   /// reproducibility; the simulated backends are).
   virtual EvalResult evaluate(const ParamConfig& config) = 0;
 
+  /// Measure a batch of configurations; result i corresponds to batch[i]
+  /// regardless of the order evaluations actually complete in. The default
+  /// evaluates serially in batch order, so a batch against a plain backend
+  /// is indistinguishable from a loop of evaluate() calls.
+  virtual std::vector<EvalResult> evaluate_batch(
+      std::span<const ParamConfig> batch) {
+    std::vector<EvalResult> out;
+    out.reserve(batch.size());
+    for (const auto& config : batch) out.push_back(evaluate(config));
+    return out;
+  }
+
+  /// Concurrency/batching contract of this evaluator. The conservative
+  /// default (serial, batch width 1) is correct for every backend.
+  virtual EvalCapabilities capabilities() const { return {}; }
+
+  /// Decorators override this to expose the evaluator they wrap; plain
+  /// backends return nullptr. Lets callers locate a specific layer
+  /// anywhere in a decorator stack (see find_layer below) instead of
+  /// assuming the stack's exact shape.
+  virtual Evaluator* inner_evaluator() noexcept { return nullptr; }
+
   virtual std::string problem_name() const = 0;
   virtual std::string machine_name() const = 0;
 };
 
 using EvaluatorPtr = std::unique_ptr<Evaluator>;
+
+/// Walk a decorator stack outermost-in and return the first layer of type
+/// T, or nullptr when no layer matches. E.g. the checkpoint code uses
+/// find_layer<ResilientEvaluator> to snapshot the quarantine no matter how
+/// many observers or parallel fan-outs wrap it.
+template <typename T>
+T* find_layer(Evaluator* eval) noexcept {
+  for (Evaluator* e = eval; e != nullptr; e = e->inner_evaluator())
+    if (auto* hit = dynamic_cast<T*>(e)) return hit;
+  return nullptr;
+}
 
 }  // namespace portatune::tuner

@@ -1,8 +1,12 @@
 #include "tuner/experiment.hpp"
 
+#include <algorithm>
+#include <thread>
+
 #include "obs/scoped_timer.hpp"
 #include "support/correlation.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 #include "tuner/random_search.hpp"
 #include "tuner/transfer.hpp"
 
@@ -145,6 +149,37 @@ TransferExperimentResult run_transfer_experiment(
 
   // 8. Attach the observability snapshot so the report is self-contained.
   out.metrics = obs::MetricsRegistry::current().snapshot();
+  return out;
+}
+
+std::vector<TransferExperimentResult> run_transfer_experiments(
+    std::span<const ExperimentJob> jobs, std::size_t threads) {
+  std::vector<TransferExperimentResult> out(jobs.size());
+  if (jobs.empty()) return out;
+
+  const auto run_job = [&](std::size_t i) {
+    const ExperimentJob& job = jobs[i];
+    PT_REQUIRE(job.make_source && job.make_target,
+               "experiment job '" + job.label + "' is missing a factory");
+    // Built here, on the worker, so the whole evaluator stack is private
+    // to this job. Results land by index: job order, never finish order.
+    EvaluatorPtr source = job.make_source();
+    EvaluatorPtr target = job.make_target();
+    out[i] = run_transfer_experiment(*source, *target, job.settings);
+  };
+
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  threads = std::min(threads, jobs.size());
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_job(i);
+    return out;
+  }
+  // A dedicated pool, not ThreadPool::global(): experiment cells are
+  // long-running and would otherwise starve the fine-grained prediction
+  // fan-outs the searches themselves put on the global pool.
+  ThreadPool pool(threads);
+  pool.parallel_for(0, jobs.size(), run_job);
   return out;
 }
 

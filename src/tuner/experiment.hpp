@@ -12,6 +12,9 @@
 //      speedups of Table IV/V.
 #pragma once
 
+#include <functional>
+#include <span>
+
 #include "ml/forest.hpp"
 #include "obs/metrics.hpp"
 #include "tuner/evaluator.hpp"
@@ -69,6 +72,31 @@ struct TransferExperimentResult {
 /// parameter spaces (the paper's fixed-D assumption); this is enforced.
 TransferExperimentResult run_transfer_experiment(
     Evaluator& source, Evaluator& target, const ExperimentSettings& settings);
+
+/// One independent cell of a Table IV/V-style experiment grid.
+///
+/// The factories run on the worker thread that executes the job, so every
+/// job owns a private evaluator stack for its whole lifetime — nothing is
+/// shared between concurrent cells except the process-wide metrics
+/// registry (whose instruments are atomic and whose snapshots therefore
+/// aggregate all in-flight cells). Jobs must NOT install per-job
+/// ScopedMetricsRedirects: the current-registry pointer is process-global,
+/// and concurrent redirects would clobber each other.
+struct ExperimentJob {
+  std::function<EvaluatorPtr()> make_source;
+  std::function<EvaluatorPtr()> make_target;
+  ExperimentSettings settings;
+  std::string label;  ///< diagnostic tag, e.g. "MM idataplex->e5"
+};
+
+/// Run every job, fanning independent cells over `threads` workers
+/// (0 = hardware concurrency). Results come back in job order regardless
+/// of completion order; each result is bit-identical to what a serial
+/// run_transfer_experiment of the same job would produce (searches are
+/// seed-deterministic and jobs share no mutable search state).
+/// `threads == 1` runs the jobs inline on the calling thread.
+std::vector<TransferExperimentResult> run_transfer_experiments(
+    std::span<const ExperimentJob> jobs, std::size_t threads = 0);
 
 /// Run only RS on one machine (used to gather T_a once and reuse it).
 SearchTrace run_reference_rs(Evaluator& eval,

@@ -50,43 +50,54 @@ bool FaultInjectingEvaluator::is_deterministically_failing(
 }
 
 EvalResult FaultInjectingEvaluator::evaluate(const ParamConfig& config) {
-  ++stats_.calls;
   const std::uint64_t h = inner_.space().config_hash(config);
 
   // Deterministic channel: a function of the configuration only — the
   // same config fails on every attempt, in every run, forever.
   if (is_deterministically_failing(config)) {
+    std::lock_guard lock(mutex_);
+    ++stats_.calls;
     ++stats_.deterministic_injected;
     return EvalResult::failure("injected deterministic failure");
   }
 
-  const std::uint64_t attempt = attempt_counts_[h]++;
+  std::uint64_t attempt = 0;
+  bool hang = false, transient = false;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.calls;
+    attempt = attempt_counts_[h]++;
+    hang = channel_unit(profile_.seed, kHangSalt, h, attempt) <
+           profile_.hang_rate;
+    transient = channel_unit(profile_.seed, kTransientSalt, h, attempt) <
+                profile_.transient_rate;
+    if (hang) ++stats_.hangs_injected;
+    if (transient) ++stats_.transient_injected;
+  }
 
   // Hang channel: block for hang_seconds of real wall-clock time, then
   // fall through to the real evaluation. Under a ResilientEvaluator
-  // deadline shorter than hang_seconds this attempt times out.
-  if (channel_unit(profile_.seed, kHangSalt, h, attempt) <
-      profile_.hang_rate) {
-    ++stats_.hangs_injected;
+  // deadline shorter than hang_seconds this attempt times out. The sleep
+  // happens outside the lock so a hang stalls one thread, not the batch.
+  if (hang)
     std::this_thread::sleep_for(
         std::chrono::duration<double>(profile_.hang_seconds));
-  }
 
   // Transient channel: fails this attempt; a retry draws a fresh value.
-  if (channel_unit(profile_.seed, kTransientSalt, h, attempt) <
-      profile_.transient_rate) {
-    ++stats_.transient_injected;
+  if (transient)
     return EvalResult::transient_failure(
         "injected transient failure (attempt " + std::to_string(attempt) +
         ")");
-  }
 
   EvalResult r = inner_.evaluate(config);
 
   // Spike channel: the run "succeeds" but the measurement is an outlier.
   if (r.ok && channel_unit(profile_.seed, kSpikeSalt, h, attempt) <
                   profile_.spike_rate) {
-    ++stats_.spikes_injected;
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.spikes_injected;
+    }
     r.seconds *= profile_.spike_factor;
   }
   return r;

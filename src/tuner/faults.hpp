@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "tuner/evaluator.hpp"
@@ -47,11 +48,24 @@ class FaultInjectingEvaluator final : public Evaluator {
 
   const ParamSpace& space() const override { return inner_.space(); }
   EvalResult evaluate(const ParamConfig& config) override;
+  /// Thread-safe when the inner evaluator is: the per-config attempt
+  /// counters are mutex-guarded, and fault draws stay deterministic under
+  /// concurrency because they key on the per-*configuration* attempt
+  /// index, never on global call order.
+  EvalCapabilities capabilities() const override {
+    return inner_.capabilities();
+  }
+  Evaluator* inner_evaluator() noexcept override { return &inner_; }
   std::string problem_name() const override { return inner_.problem_name(); }
   std::string machine_name() const override { return inner_.machine_name(); }
 
   const FaultProfile& profile() const noexcept { return profile_; }
-  const FaultStats& stats() const noexcept { return stats_; }
+  /// Point-in-time copy (the counters move concurrently under a
+  /// ParallelEvaluator).
+  FaultStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
 
   /// True when the profile condemns this configuration permanently
   /// (independent of call history — a pure function of seed and config).
@@ -60,6 +74,8 @@ class FaultInjectingEvaluator final : public Evaluator {
  private:
   Evaluator& inner_;
   FaultProfile profile_;
+  /// Guards stats_ and attempt_counts_.
+  mutable std::mutex mutex_;
   FaultStats stats_;
   /// evaluate() calls seen per configuration hash; the attempt index keys
   /// the per-attempt fault channels so retries see fresh (but still

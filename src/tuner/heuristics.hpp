@@ -12,47 +12,39 @@
 #include "ml/model.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/resilience.hpp"
+#include "tuner/search_options.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
 
-struct GeneticOptions {
-  std::size_t max_evals = 100;
+struct GeneticOptions : SearchCommon {
   std::size_t population = 20;
   double crossover_rate = 0.8;
   double mutation_rate = 0.1;   ///< per-gene mutation probability
   std::size_t tournament = 3;
-  std::uint64_t seed = 1;
   /// When set, the initial population is the model's best predictions
   /// over a pool of `seed_pool` random configurations.
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
-  FailureBudget failure_budget{};
 };
 
 /// Steady-state genetic algorithm with tournament selection, uniform
 /// crossover and per-gene mutation. Infeasible offspring are discarded.
 SearchTrace genetic_search(Evaluator& eval, const GeneticOptions& opt);
 
-struct AnnealingOptions {
-  std::size_t max_evals = 100;
+struct AnnealingOptions : SearchCommon {
   double initial_temp = 1.0;    ///< relative to the first evaluation
   double cooling = 0.95;        ///< geometric cooling per step
-  std::uint64_t seed = 1;
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
-  FailureBudget failure_budget{};
 };
 
 /// Simulated annealing over the one-step neighborhood of ParamSpace.
 SearchTrace annealing_search(Evaluator& eval, const AnnealingOptions& opt);
 
-struct PatternSearchOptions {
-  std::size_t max_evals = 100;
-  std::uint64_t seed = 1;
+struct PatternSearchOptions : SearchCommon {
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
-  FailureBudget failure_budget{};
 };
 
 /// Coordinate pattern search: probe +-1 step along every parameter, move
@@ -60,13 +52,10 @@ struct PatternSearchOptions {
 /// local minima until the budget is exhausted.
 SearchTrace pattern_search(Evaluator& eval, const PatternSearchOptions& opt);
 
-struct EnsembleOptions {
-  std::size_t max_evals = 100;
-  std::uint64_t seed = 1;
+struct EnsembleOptions : SearchCommon {
   /// AUC-bandit exploration constant (OpenTuner's technique allocator).
   double exploration = 1.4;
   const ml::Regressor* surrogate = nullptr;
-  FailureBudget failure_budget{};
 };
 
 /// OpenTuner-style multi-technique search: random sampling, mutation
@@ -75,16 +64,13 @@ struct EnsembleOptions {
 /// produced improvements.
 SearchTrace ensemble_search(Evaluator& eval, const EnsembleOptions& opt);
 
-struct NelderMeadOptions {
-  std::size_t max_evals = 100;
-  std::uint64_t seed = 1;
+struct NelderMeadOptions : SearchCommon {
   double reflection = 1.0;
   double expansion = 2.0;
   double contraction = 0.5;
   double shrink = 0.5;
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
-  FailureBudget failure_budget{};
 };
 
 /// Nelder–Mead simplex adapted to the discrete index grid: the simplex
@@ -94,12 +80,9 @@ struct NelderMeadOptions {
 SearchTrace nelder_mead_search(Evaluator& eval,
                                const NelderMeadOptions& opt);
 
-struct OrthogonalSearchOptions {
-  std::size_t max_evals = 100;
-  std::uint64_t seed = 1;
+struct OrthogonalSearchOptions : SearchCommon {
   const ml::Regressor* surrogate = nullptr;
   std::size_t seed_pool = 2000;
-  FailureBudget failure_budget{};
 };
 
 /// Orthogonal (cyclic coordinate) search: sweep each parameter in turn,

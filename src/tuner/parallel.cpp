@@ -1,0 +1,44 @@
+#include "tuner/parallel.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/thread_pool.hpp"
+
+namespace portatune::tuner {
+
+ParallelEvaluator::ParallelEvaluator(Evaluator& inner, ParallelOptions opt)
+    : inner_(inner), opt_(opt) {
+  std::size_t threads = opt_.threads;
+  if (threads == 0)
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  if (threads > 1 && inner_.capabilities().thread_safe)
+    pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+// Defined where ThreadPool is complete (unique_ptr member).
+ParallelEvaluator::~ParallelEvaluator() = default;
+
+std::size_t ParallelEvaluator::threads() const noexcept {
+  return pool_ ? pool_->size() : 1;
+}
+
+EvalCapabilities ParallelEvaluator::capabilities() const {
+  EvalCapabilities caps = inner_.capabilities();
+  if (!pool_) return caps;
+  caps.preferred_batch =
+      opt_.batch_width != 0 ? opt_.batch_width : 2 * pool_->size();
+  return caps;
+}
+
+std::vector<EvalResult> ParallelEvaluator::evaluate_batch(
+    std::span<const ParamConfig> batch) {
+  if (!pool_ || batch.size() <= 1) return Evaluator::evaluate_batch(batch);
+  std::vector<EvalResult> out(batch.size());
+  pool_->parallel_for(0, batch.size(), [&](std::size_t i) {
+    out[i] = inner_.evaluate(batch[i]);
+  });
+  return out;
+}
+
+}  // namespace portatune::tuner

@@ -6,6 +6,7 @@
 #include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
 #include "tuner/observe.hpp"
 #include "tuner/sampler.hpp"
 
@@ -23,12 +24,46 @@ bool abort_on_failure(SearchTrace& trace, FailureBudgetTracker& budget,
   return true;
 }
 
+/// Evaluation window width for the batched search loops. A plain
+/// evaluator advertises width 1, which collapses every window to a single
+/// draw and reproduces the historical serial loops instruction for
+/// instruction; a ParallelEvaluator widens the window to keep its pool
+/// busy. Trace parity holds either way because windows are always
+/// processed in draw order.
+std::size_t batch_width(const Evaluator& eval) {
+  return std::max<std::size_t>(1, eval.capabilities().preferred_batch);
+}
+
+/// Order-preserving batch prediction over a candidate pool. predict() is
+/// a pure const read of the fitted model, so fanning it out over the
+/// shared pool is deterministic: pred[i] depends only on configs[i].
+/// Small pools stay serial — dispatch would cost more than it saves.
+std::vector<double> predict_all(const ml::Regressor& model,
+                                const ParamSpace& space,
+                                const std::vector<ParamConfig>& configs) {
+  std::vector<double> pred(configs.size());
+  const auto body = [&](std::size_t i) {
+    pred[i] = model.predict(space.features(configs[i]));
+  };
+  constexpr std::size_t kParallelThreshold = 256;
+  if (configs.size() >= kParallelThreshold)
+    ThreadPool::global().parallel_for(0, configs.size(), body);
+  else
+    for (std::size_t i = 0; i < configs.size(); ++i) body(i);
+  return pred;
+}
+
 }  // namespace
 
 SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
   SearchTrace trace("RS", eval.problem_name(), eval.machine_name());
   SearchSpanGuard span(trace);
   ConfigStream stream(eval.space(), opt.seed);
+  // Draws whose results have been accounted on the trace. This — not
+  // stream.produced() — is what checkpoints must store: a window may have
+  // drawn ahead of what was processed when the search stops, and those
+  // tail draws never happened as far as a resumed run is concerned.
+  std::size_t consumed = 0;
 
   if (opt.resume != nullptr) {
     trace = opt.resume->trace;
@@ -36,7 +71,8 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
     // state and dedup set end up exactly where the snapshot left them.
     for (std::size_t i = 0; i < opt.resume->draws; ++i)
       if (!stream.next()) break;
-    if (auto* resilient = dynamic_cast<ResilientEvaluator*>(&eval))
+    consumed = opt.resume->draws;
+    if (auto* resilient = find_layer<ResilientEvaluator>(&eval))
       resilient->restore_quarantine(opt.resume->quarantine);
   }
 
@@ -46,8 +82,8 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
   const auto take_checkpoint = [&] {
     SearchCheckpoint snapshot;
     snapshot.trace = trace;
-    snapshot.draws = stream.produced();
-    if (auto* resilient = dynamic_cast<ResilientEvaluator*>(&eval))
+    snapshot.draws = consumed;
+    if (auto* resilient = find_layer<ResilientEvaluator>(&eval))
       snapshot.quarantine = resilient->quarantined_hashes();
     opt.on_checkpoint(snapshot);
   };
@@ -59,20 +95,51 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
     take_checkpoint();
   };
 
+  const std::size_t width = batch_width(eval);
+  bool space_exhausted = false;
   // An already-exhausted budget (resume of an aborted run) evaluates
   // nothing; the restored trace keeps its checkpointed stop reason.
-  while (trace.size() < opt.max_evals && !budget.exhausted()) {
-    auto config = stream.next();
-    if (!config) break;  // space exhausted
-    const EvalResult r = eval.evaluate(*config);
-    if (!r.ok) {
-      if (abort_on_failure(trace, budget, r)) break;
-      continue;
+  while (trace.size() < opt.max_evals && !budget.exhausted() &&
+         !space_exhausted) {
+    // Windows never overshoot: failed evaluations do not count toward
+    // max_evals, so the remaining budget is re-measured every window and
+    // a short window is drawn near the end.
+    const std::size_t want = std::min(width, opt.max_evals - trace.size());
+    std::vector<ParamConfig> configs;
+    std::vector<std::size_t> draw_idx;
+    configs.reserve(want);
+    draw_idx.reserve(want);
+    while (configs.size() < want) {
+      auto config = stream.next();
+      if (!config) {
+        space_exhausted = true;
+        break;
+      }
+      draw_idx.push_back(stream.produced() - 1);
+      configs.push_back(std::move(*config));
     }
-    trace.note_result(r);
-    budget.note(r);
-    trace.record(std::move(*config), r.seconds, stream.produced() - 1);
-    maybe_checkpoint();
+    if (configs.empty()) break;
+
+    const std::vector<EvalResult> results = eval.evaluate_batch(configs);
+    // Strictly draw order, regardless of completion order inside the
+    // batch — this is what keeps parallel traces bit-identical to serial.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      consumed = draw_idx[i] + 1;
+      const EvalResult& r = results[i];
+      if (!r.ok) {
+        if (abort_on_failure(trace, budget, r)) {
+          // The serial search would have stopped drawing here; results
+          // after the aborting draw are discarded unseen.
+          if (opt.on_checkpoint) take_checkpoint();
+          return trace;
+        }
+        continue;
+      }
+      trace.note_result(r);
+      budget.note(r);
+      trace.record(std::move(configs[i]), r.seconds, draw_idx[i]);
+      maybe_checkpoint();
+    }
   }
   // Final snapshot so interrupted-and-finished runs alike can be extended
   // later (e.g. resumed with a larger eval budget).
@@ -115,27 +182,32 @@ SearchTrace pruned_random_search(Evaluator& eval,
   FailureBudgetTracker budget(opt.failure_budget);
 
   // Phase 1: estimate the pruning cutoff Delta as the delta-quantile of
-  // model predictions over a fresh pool of N configurations.
+  // model predictions over a fresh pool of N configurations. Predictions
+  // fan out over the shared pool; the quantile sees them in pool order
+  // either way, so the cutoff is identical to the serial computation.
   double cutoff = 0.0;
   {
     obs::ScopedTimer phase("search.RS_p.cutoff", "search",
                            {{"pool_size", opt.pool_size},
                             {"delta_percent", opt.delta_percent}});
     ConfigStream pool_stream(space, opt.seed ^ 0xb1a5ed0full);
-    std::vector<double> pool_pred;
-    pool_pred.reserve(opt.pool_size);
-    while (pool_pred.size() < opt.pool_size) {
+    std::vector<ParamConfig> pool;
+    pool.reserve(opt.pool_size);
+    while (pool.size() < opt.pool_size) {
       auto c = pool_stream.next();
       if (!c) break;
-      pool_pred.push_back(model.predict(space.features(*c)));
+      pool.push_back(std::move(*c));
     }
-    PT_REQUIRE(!pool_pred.empty(), "empty prediction pool");
+    PT_REQUIRE(!pool.empty(), "empty prediction pool");
+    const std::vector<double> pool_pred = predict_all(model, space, pool);
     cutoff = quantile(pool_pred, opt.delta_percent / 100.0);
     phase.add_field({"cutoff_seconds", cutoff});
   }
 
   // Phase 2: walk the shared stream (same order RS sees), evaluating only
-  // configurations the surrogate predicts below the cutoff.
+  // configurations the surrogate predicts below the cutoff. Survivors are
+  // gathered into evaluation windows; the prediction filter itself stays
+  // on the (sequential) draw path.
   obs::ScopedTimer scan_phase("search.RS_p.scan", "search");
   ConfigStream stream(space, opt.seed);
   std::size_t draws = 0;
@@ -150,31 +222,52 @@ SearchTrace pruned_random_search(Evaluator& eval,
     metrics.gauge("search.prune_rate")
         .set(static_cast<double>(pruned) / static_cast<double>(draws));
   };
-  while (trace.size() < opt.max_evals && draws < opt.max_draws) {
-    auto config = stream.next();
-    if (!config) break;
-    ++draws;
-    if (model.predict(space.features(*config)) >= cutoff) {
-      ++pruned;
-      continue;
-    }
-    const EvalResult r = eval.evaluate(*config);
-    if (!r.ok) {
-      if (abort_on_failure(trace, budget, r)) {
-        publish_prune_stats();
-        return trace;
+  const std::size_t width = batch_width(eval);
+  bool space_exhausted = false;
+  while (trace.size() < opt.max_evals && draws < opt.max_draws &&
+         !space_exhausted) {
+    const std::size_t want = std::min(width, opt.max_evals - trace.size());
+    std::vector<ParamConfig> configs;
+    std::vector<std::size_t> draw_idx;
+    configs.reserve(want);
+    draw_idx.reserve(want);
+    while (configs.size() < want && draws < opt.max_draws) {
+      auto config = stream.next();
+      if (!config) {
+        space_exhausted = true;
+        break;
       }
-      continue;
+      ++draws;
+      if (model.predict(space.features(*config)) >= cutoff) {
+        ++pruned;
+        continue;
+      }
+      draw_idx.push_back(stream.produced() - 1);
+      configs.push_back(std::move(*config));
     }
-    trace.note_result(r);
-    budget.note(r);
-    trace.record(std::move(*config), r.seconds, stream.produced() - 1);
+    if (configs.empty()) break;  // everything left was pruned or drawn out
+
+    const std::vector<EvalResult> results = eval.evaluate_batch(configs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const EvalResult& r = results[i];
+      if (!r.ok) {
+        if (abort_on_failure(trace, budget, r)) {
+          publish_prune_stats();
+          return trace;
+        }
+        continue;
+      }
+      trace.note_result(r);
+      budget.note(r);
+      trace.record(std::move(configs[i]), r.seconds, draw_idx[i]);
+    }
   }
   publish_prune_stats();
 
   // Fallback guarantee: if the cutoff pruned everything (e.g. a degenerate
   // model), evaluate the first draws unconditionally so the search always
-  // returns a configuration.
+  // returns a configuration. Deliberately serial: it is a <= 10-eval
+  // emergency path, not a throughput path.
   if (trace.empty()) {
     ConfigStream fallback(space, opt.seed);
     while (trace.size() < std::min<std::size_t>(opt.max_evals, 10)) {
@@ -202,8 +295,9 @@ SearchTrace biased_random_search(Evaluator& eval,
   const ParamSpace& space = eval.space();
   FailureBudgetTracker budget(opt.failure_budget);
 
-  // Phase 1: sample the candidate pool X_p, predict all run times, and
-  // rank by ascending prediction.
+  // Phase 1: sample the candidate pool X_p, predict all run times (fanned
+  // out over the shared pool — prediction i depends only on pool entry i,
+  // so the ranking is deterministic), and rank by ascending prediction.
   std::vector<ParamConfig> pool;
   std::vector<std::size_t> order;
   {
@@ -217,26 +311,38 @@ SearchTrace biased_random_search(Evaluator& eval,
       pool.push_back(std::move(*c));
     }
     PT_REQUIRE(!pool.empty(), "empty candidate pool");
-    std::vector<double> pred(pool.size());
-    for (std::size_t i = 0; i < pool.size(); ++i)
-      pred[i] = model.predict(space.features(pool[i]));
-    order = argsort(pred);
+    order = argsort(predict_all(model, space, pool));
     rank_phase.add_field({"pool", pool.size()});
   }
 
   // Phase 2: evaluate in ascending predicted-run-time order (equivalent to
-  // repeatedly taking argmin over the remaining pool, Algorithm 2 line 7).
-  for (std::size_t rank = 0;
-       rank < order.size() && trace.size() < opt.max_evals; ++rank) {
-    const ParamConfig& config = pool[order[rank]];
-    const EvalResult r = eval.evaluate(config);
-    if (!r.ok) {
-      if (abort_on_failure(trace, budget, r)) break;
-      continue;
+  // repeatedly taking argmin over the remaining pool, Algorithm 2 line 7),
+  // one window of consecutive ranks at a time.
+  const std::size_t width = batch_width(eval);
+  std::size_t rank = 0;
+  while (rank < order.size() && trace.size() < opt.max_evals) {
+    const std::size_t want = std::min(
+        {width, opt.max_evals - trace.size(), order.size() - rank});
+    std::vector<ParamConfig> configs;
+    std::vector<std::size_t> pool_idx;
+    configs.reserve(want);
+    pool_idx.reserve(want);
+    for (std::size_t k = 0; k < want; ++k, ++rank) {
+      pool_idx.push_back(order[rank]);
+      configs.push_back(pool[order[rank]]);
     }
-    trace.note_result(r);
-    budget.note(r);
-    trace.record(config, r.seconds, order[rank]);
+
+    const std::vector<EvalResult> results = eval.evaluate_batch(configs);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const EvalResult& r = results[i];
+      if (!r.ok) {
+        if (abort_on_failure(trace, budget, r)) return trace;
+        continue;
+      }
+      trace.note_result(r);
+      budget.note(r);
+      trace.record(std::move(configs[i]), r.seconds, pool_idx[i]);
+    }
   }
   return trace;
 }

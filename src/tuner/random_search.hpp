@@ -23,6 +23,7 @@
 #include "ml/model.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/resilience.hpp"
+#include "tuner/search_options.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
@@ -38,11 +39,7 @@ struct SearchCheckpoint {
   std::vector<std::uint64_t> quarantine;
 };
 
-struct RandomSearchOptions {
-  std::size_t max_evals = 100;  ///< n_max
-  std::uint64_t seed = 1;       ///< shared stream seed (CRN)
-  /// Abort (with a diagnostic stop_reason) once failures exceed this.
-  FailureBudget failure_budget{};
+struct RandomSearchOptions : SearchCommon {
   /// Invoke on_checkpoint after every `checkpoint_every` recorded
   /// evaluations (0 disables the periodic snapshots), and once more when
   /// the search returns. The callback owns persistence.
@@ -67,13 +64,10 @@ SearchTrace replay_search(Evaluator& eval,
                           std::string algorithm_label = "RS",
                           const FailureBudget& budget = {});
 
-struct PrunedSearchOptions {
-  std::size_t max_evals = 100;     ///< n_max
+struct PrunedSearchOptions : SearchCommon {
   std::size_t pool_size = 10000;   ///< N, for the cutoff quantile estimate
   double delta_percent = 20.0;     ///< delta: prune above this quantile
-  std::uint64_t seed = 1;          ///< shared stream seed (CRN)
   std::size_t max_draws = 10000;   ///< stop after this many stream draws
-  FailureBudget failure_budget{};
 };
 
 /// RS_p (Algorithm 1). `model` must be fitted on the source machine data.
@@ -81,11 +75,8 @@ SearchTrace pruned_random_search(Evaluator& eval,
                                  const ml::Regressor& model,
                                  const PrunedSearchOptions& opt);
 
-struct BiasedSearchOptions {
-  std::size_t max_evals = 100;   ///< n_max
+struct BiasedSearchOptions : SearchCommon {
   std::size_t pool_size = 10000; ///< N
-  std::uint64_t seed = 1;
-  FailureBudget failure_budget{};
 };
 
 /// RS_b (Algorithm 2). `model` must be fitted on the source machine data.

@@ -52,10 +52,13 @@ ResilientEvaluator::ResilientEvaluator(Evaluator& inner, RetryPolicy policy)
 ResilientEvaluator::~ResilientEvaluator() = default;
 
 bool ResilientEvaluator::is_quarantined(const ParamConfig& config) const {
-  return quarantine_.count(inner_.space().config_hash(config)) > 0;
+  const std::uint64_t hash = inner_.space().config_hash(config);
+  std::lock_guard lock(mutex_);
+  return quarantine_.count(hash) > 0;
 }
 
 std::vector<std::uint64_t> ResilientEvaluator::quarantined_hashes() const {
+  std::lock_guard lock(mutex_);
   std::vector<std::uint64_t> out;
   out.reserve(quarantine_.size());
   for (const auto& [hash, kind] : quarantine_) out.push_back(hash);
@@ -65,12 +68,14 @@ std::vector<std::uint64_t> ResilientEvaluator::quarantined_hashes() const {
 
 void ResilientEvaluator::restore_quarantine(
     const std::vector<std::uint64_t>& hashes) {
+  std::lock_guard lock(mutex_);
   for (const auto h : hashes)
     if (quarantine_.emplace(h, FailureKind::Deterministic).second)
       ++stats_.quarantined;
 }
 
 void ResilientEvaluator::quarantine(std::uint64_t hash, FailureKind kind) {
+  std::lock_guard lock(mutex_);
   if (quarantine_.emplace(hash, kind).second) ++stats_.quarantined;
 }
 
@@ -116,16 +121,19 @@ EvalResult ResilientEvaluator::attempt(const ParamConfig& config) {
 }
 
 EvalResult ResilientEvaluator::evaluate(const ParamConfig& config) {
-  ++stats_.calls;
   const std::uint64_t hash = inner_.space().config_hash(config);
-  if (const auto it = quarantine_.find(hash); it != quarantine_.end()) {
-    ++stats_.quarantine_hits;
-    EvalResult r = EvalResult::failure(
-        "configuration is quarantined (prior " +
-            std::string(to_string(it->second)) + " failure)",
-        it->second);
-    r.attempts = 0;
-    return r;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.calls;
+    if (const auto it = quarantine_.find(hash); it != quarantine_.end()) {
+      ++stats_.quarantine_hits;
+      EvalResult r = EvalResult::failure(
+          "configuration is quarantined (prior " +
+              std::string(to_string(it->second)) + " failure)",
+          it->second);
+      r.attempts = 0;
+      return r;
+    }
   }
 
   double overhead = 0.0;
@@ -133,12 +141,25 @@ EvalResult ResilientEvaluator::evaluate(const ParamConfig& config) {
   EvalResult last;
   for (std::size_t attempt_no = 1; attempt_no <= policy_.max_attempts;
        ++attempt_no) {
+    // The backend attempt runs outside the lock: concurrent callers (a
+    // ParallelEvaluator window) only serialize on the counter updates.
     EvalResult r = attempt(config);
-    ++stats_.attempts;
-    if (attempt_no > 1) ++stats_.retries;
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.attempts;
+      if (attempt_no > 1) ++stats_.retries;
+      if (r.ok) {
+        ++stats_.successes;
+      } else {
+        switch (r.failure_kind) {
+          case FailureKind::Timeout: ++stats_.timeouts; break;
+          case FailureKind::Transient: ++stats_.transient_failures; break;
+          default: ++stats_.deterministic_failures; break;
+        }
+      }
+    }
 
     if (r.ok) {
-      ++stats_.successes;
       r.failure_kind = FailureKind::None;
       r.attempts = attempt_no;
       r.overhead_seconds += overhead;
@@ -150,17 +171,14 @@ EvalResult ResilientEvaluator::evaluate(const ParamConfig& config) {
     // config that failed once is never hammered with retries by mistake.
     switch (r.failure_kind) {
       case FailureKind::Timeout:
-        ++stats_.timeouts;
         overhead += policy_.timeout_seconds;  // wall-clock spent waiting
         if (policy_.quarantine_timeout) quarantine(hash, FailureKind::Timeout);
         r.attempts = attempt_no;
         r.overhead_seconds = overhead;
         return r;
       case FailureKind::Transient:
-        ++stats_.transient_failures;
         break;
       default:
-        ++stats_.deterministic_failures;
         r.failure_kind = FailureKind::Deterministic;
         if (policy_.quarantine_deterministic)
           quarantine(hash, FailureKind::Deterministic);
@@ -173,7 +191,10 @@ EvalResult ResilientEvaluator::evaluate(const ParamConfig& config) {
     if (attempt_no < policy_.max_attempts) {
       const double delay = std::min(backoff, policy_.backoff_max);
       overhead += delay;
-      stats_.backoff_seconds += delay;
+      {
+        std::lock_guard lock(mutex_);
+        stats_.backoff_seconds += delay;
+      }
       backoff *= policy_.backoff_multiplier;
       if (policy_.sleep_on_backoff)
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -125,6 +126,14 @@ struct ResilienceStats {
 /// Evaluator. The inner evaluator must outlive this object; when a
 /// deadline is configured, destruction additionally waits for any
 /// abandoned (timed-out) attempts to finish.
+///
+/// Thread safety: the quarantine set and the statistics are guarded by an
+/// internal mutex, so evaluate() may be called concurrently (e.g. from a
+/// ParallelEvaluator stacked on top) as long as the inner evaluator is
+/// itself thread-safe; capabilities() forwards the inner evaluator's
+/// answer. Quarantine semantics stay exact under concurrency: two threads
+/// racing the same deterministically failing configuration both fail, and
+/// exactly one insertion is counted.
 class ResilientEvaluator final : public Evaluator {
  public:
   explicit ResilientEvaluator(Evaluator& inner, RetryPolicy policy = {});
@@ -132,14 +141,26 @@ class ResilientEvaluator final : public Evaluator {
 
   const ParamSpace& space() const override { return inner_.space(); }
   EvalResult evaluate(const ParamConfig& config) override;
+  EvalCapabilities capabilities() const override {
+    return inner_.capabilities();
+  }
+  Evaluator* inner_evaluator() noexcept override { return &inner_; }
   std::string problem_name() const override { return inner_.problem_name(); }
   std::string machine_name() const override { return inner_.machine_name(); }
 
   const RetryPolicy& policy() const noexcept { return policy_; }
-  const ResilienceStats& stats() const noexcept { return stats_; }
+  /// Point-in-time copy (the counters move concurrently under a
+  /// ParallelEvaluator).
+  ResilienceStats stats() const {
+    std::lock_guard lock(mutex_);
+    return stats_;
+  }
 
   bool is_quarantined(const ParamConfig& config) const;
-  std::size_t quarantine_size() const noexcept { return quarantine_.size(); }
+  std::size_t quarantine_size() const {
+    std::lock_guard lock(mutex_);
+    return quarantine_.size();
+  }
 
   /// Quarantined configuration hashes, sorted (stable for checkpoints).
   std::vector<std::uint64_t> quarantined_hashes() const;
@@ -153,6 +174,10 @@ class ResilientEvaluator final : public Evaluator {
 
   Evaluator& inner_;
   RetryPolicy policy_;
+  /// Guards stats_ and quarantine_ (sharded finer only if contention ever
+  /// shows up in bench_micro's parallel-search benchmarks; evaluations
+  /// dominate by orders of magnitude).
+  mutable std::mutex mutex_;
   ResilienceStats stats_;
   std::unordered_map<std::uint64_t, FailureKind> quarantine_;
   /// Watchdog workers (created lazily when timeout_seconds > 0).

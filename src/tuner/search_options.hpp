@@ -1,0 +1,24 @@
+// Options shared by every search algorithm.
+//
+// Each algorithm's option struct embeds SearchCommon as a base, so the
+// evaluation budget, the CRN stream seed, and the failure budget are
+// declared once instead of being repeated across a dozen structs. The
+// option structs remain aggregates: `Options{.field = x}` designated
+// initialization at call sites keeps working (the base is then
+// default-initialized), as does plain member assignment.
+#pragma once
+
+#include <cstdint>
+
+#include "tuner/resilience.hpp"
+
+namespace portatune::tuner {
+
+struct SearchCommon {
+  std::size_t max_evals = 100;  ///< n_max, the evaluation budget
+  std::uint64_t seed = 1;       ///< shared stream seed (CRN, Sec. IV-D)
+  /// Abort (with a diagnostic stop_reason) once failures exceed this.
+  FailureBudget failure_budget{};
+};
+
+}  // namespace portatune::tuner

@@ -2,6 +2,7 @@
 // landscapes whose optima are known in closed form.
 #pragma once
 
+#include <atomic>
 #include <cmath>
 #include <functional>
 
@@ -28,24 +29,42 @@ class QuadraticEvaluator final : public Evaluator {
         weights_(std::move(weights)),
         base_(base) {}
 
+  // The atomic call counter deletes the implicit move constructor; tests
+  // store these in containers, so move explicitly (counter carried over).
+  QuadraticEvaluator(QuadraticEvaluator&& other) noexcept
+      : fail_when(std::move(other.fail_when)),
+        space_(std::move(other.space_)),
+        machine_(std::move(other.machine_)),
+        optimum_(std::move(other.optimum_)),
+        weights_(std::move(other.weights_)),
+        base_(other.base_),
+        calls_(other.calls_.load(std::memory_order_relaxed)) {}
+
   const ParamSpace& space() const override { return space_; }
 
   EvalResult evaluate(const ParamConfig& config) override {
-    ++calls_;
+    calls_.fetch_add(1, std::memory_order_relaxed);
     if (fail_when && fail_when(config))
       return EvalResult::failure("synthetic failure");
     const auto v = space_.features(config);
     double y = base_;
     for (std::size_t i = 0; i < v.size(); ++i)
       y += weights_[i] * (v[i] - optimum_[i]) * (v[i] - optimum_[i]);
-    return {y, true, {}};
+    return EvalResult::success(y);
+  }
+
+  /// Thread-safe: pure landscape, atomic call counter. (Tests that set
+  /// fail_when must install it before sharing the evaluator across
+  /// threads.)
+  EvalCapabilities capabilities() const override {
+    return {.thread_safe = true, .preferred_batch = 1};
   }
 
   std::string problem_name() const override { return "quadratic"; }
   std::string machine_name() const override { return machine_; }
 
   double optimum_value() const { return base_; }
-  std::size_t calls() const { return calls_; }
+  std::size_t calls() const { return calls_.load(std::memory_order_relaxed); }
 
   std::function<bool(const ParamConfig&)> fail_when;
 
@@ -55,7 +74,7 @@ class QuadraticEvaluator final : public Evaluator {
   std::vector<double> optimum_;
   std::vector<double> weights_;
   double base_;
-  std::size_t calls_ = 0;
+  std::atomic<std::size_t> calls_{0};
 };
 
 }  // namespace portatune::tuner::testing

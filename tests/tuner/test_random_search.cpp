@@ -142,9 +142,9 @@ TEST(PrunedSearch, FallsBackWhenModelPrunesEverything) {
 TEST(PrunedSearch, RejectsBadDelta) {
   auto b = machine_b();
   ml::RandomForest model;
-  EXPECT_THROW(
-      pruned_random_search(b, model, PrunedSearchOptions{.delta_percent = 0}),
-      Error);
+  PrunedSearchOptions opt;
+  opt.delta_percent = 0;
+  EXPECT_THROW(pruned_random_search(b, model, opt), Error);
 }
 
 TEST(BiasedSearch, EvaluatesInAscendingPredictedOrder) {
