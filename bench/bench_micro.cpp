@@ -12,6 +12,9 @@
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
+#include "obs/thread_pool_metrics.hpp"
+#include "support/span_context.hpp"
+#include "support/thread_pool.hpp"
 #include "orio/codegen.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace_sim.hpp"
@@ -130,6 +133,43 @@ void BM_ObsDisabledScopedTimer(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsDisabledScopedTimer);
+
+void BM_ObsDisabledSpanScope(benchmark::State& state) {
+  // The causal-context install/restore every pool task pays: two TLS
+  // word writes, no atomics, no clock.
+  const SpanContext ctx{42};
+  for (auto _ : state) {
+    SpanScope scope(ctx);
+    benchmark::DoNotOptimize(current_span_context().span);
+  }
+}
+BENCHMARK(BM_ObsDisabledSpanScope);
+
+void BM_PoolFanOutDormant(benchmark::State& state) {
+  // Thread-pool fan-out with telemetry dormant (no observer installed):
+  // bounds the per-task cost of the context capture + observer check.
+  ThreadPool pool(4);
+  for (auto _ : state)
+    pool.parallel_for(0, 256, [](std::size_t i) {
+      benchmark::DoNotOptimize(i);
+    });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 256));
+}
+BENCHMARK(BM_PoolFanOutDormant)->UseRealTime();
+
+void BM_PoolFanOutWithMetrics(benchmark::State& state) {
+  // Same fan-out with ThreadPoolMetrics installed: adds two clock reads
+  // and a handful of relaxed atomic RMWs per task.
+  obs::MetricsRegistry registry;
+  obs::ScopedThreadPoolMetrics metrics(&registry);
+  ThreadPool pool(4);
+  for (auto _ : state)
+    pool.parallel_for(0, 256, [](std::size_t i) {
+      benchmark::DoNotOptimize(i);
+    });
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 256));
+}
+BENCHMARK(BM_PoolFanOutWithMetrics)->UseRealTime();
 
 void BM_ObsCounterAdd(benchmark::State& state) {
   obs::MetricsRegistry registry;

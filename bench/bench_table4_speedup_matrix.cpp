@@ -4,13 +4,16 @@
 // the ARM X-Gene. As in the paper, MM and COR rows have no X-Gene data
 // (run/compile times were prohibitive there) and the diagonal is empty.
 //
-// Usage: bench_table4_speedup_matrix [threads]
+// Usage: bench_table4_speedup_matrix [threads] [bench.json]
 // Cells are independent experiments; [threads] fans them out (0 = all
-// hardware threads). The table is identical at any thread count.
+// hardware threads). The table is identical at any thread count. With a
+// second argument, wall-clock timings are written in google-benchmark
+// JSON shape for `portatune_report --compare-bench` regression gating.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "support/timer.hpp"
 
 using namespace portatune;
 
@@ -43,7 +46,15 @@ int main(int argc, char** argv) {
         if (populated(problem, source, target))
           jobs.push_back(bench::cell_job(problem, source, target));
 
+  WallTimer timer;
   const auto results = tuner::run_transfer_experiments(jobs, threads);
+  const double wall = timer.seconds();
+  if (argc > 2) {
+    bench::write_bench_json(
+        argv[2],
+        {{"table4/total_wall", wall},
+         {"table4/per_cell_wall", wall / static_cast<double>(jobs.size())}});
+  }
 
   // Pass 2: walk the grid in the same order, consuming results in turn.
   TextTable t({"Problem", "Target", "src Westmere", "src Sandybridge",

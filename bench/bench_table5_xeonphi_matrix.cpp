@@ -3,13 +3,16 @@
 // (8 threads on Westmere/Sandybridge, 60 on the Phi), across all
 // source/target combinations of the three machines.
 //
-// Usage: bench_table5_xeonphi_matrix [threads]
+// Usage: bench_table5_xeonphi_matrix [threads] [bench.json]
 // Cells are independent experiments; [threads] fans them out (0 = all
-// hardware threads). The table is identical at any thread count.
+// hardware threads). The table is identical at any thread count. With a
+// second argument, wall-clock timings are written in google-benchmark
+// JSON shape for `portatune_report --compare-bench` regression gating.
 #include <cstdio>
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "support/timer.hpp"
 
 using namespace portatune;
 
@@ -30,7 +33,15 @@ int main(int argc, char** argv) {
           jobs.push_back(bench::cell_job(problem, source, target,
                                          /*phi_experiment=*/true));
 
+  WallTimer timer;
   const auto results = tuner::run_transfer_experiments(jobs, threads);
+  const double wall = timer.seconds();
+  if (argc > 2) {
+    bench::write_bench_json(
+        argv[2],
+        {{"table5/total_wall", wall},
+         {"table5/per_cell_wall", wall / static_cast<double>(jobs.size())}});
+  }
 
   TextTable t({"Problem", "Target", "src Westmere", "src Sandybridge",
                "src XeonPhi"});

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "apps/evaluator_factory.hpp"
 #include "apps/registry.hpp"
@@ -104,6 +105,39 @@ inline void print_curve(const char* label, const tuner::SearchTrace& trace) {
   }
   std::printf("  [final best %.3fs at %.1fs]\n", trace.best_seconds(),
               trace.time_to_best());
+}
+
+/// One timing for write_bench_json.
+struct BenchRecord {
+  std::string name;
+  double real_time = 0.0;
+  std::string time_unit = "s";
+};
+
+/// Write timings in google-benchmark's --benchmark_out JSON shape, so
+/// `portatune_report --compare-bench` gates every driver the same way
+/// whether the numbers came from google-benchmark or a table driver.
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\"context\":{},\"benchmarks\":[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"run_type\":\"iteration\","
+                 "\"iterations\":1,\"real_time\":%.9g,\"cpu_time\":%.9g,"
+                 "\"time_unit\":\"%s\"}%s\n",
+                 r.name.c_str(), r.real_time, r.real_time,
+                 r.time_unit.c_str(), i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  std::printf("wrote %zu benchmark records to %s\n", records.size(),
+              path.c_str());
 }
 
 /// Speedup cell rendering matching the paper's Table IV typography:

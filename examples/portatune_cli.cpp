@@ -39,6 +39,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "obs/thread_pool_metrics.hpp"
 #include "support/error.hpp"
 #include "tuner/experiment.hpp"
 #include "tuner/persistence.hpp"
@@ -135,6 +136,10 @@ class ObsSession {
     }
     obs::set_log_level(obs::severity_from_string(a.log_level));
     if (active_ != nullptr) obs::set_default_sink(active_);
+    // Thread-pool telemetry rides along whenever any observability
+    // output was asked for; with none, the pools stay fully dormant.
+    if (active_ != nullptr || !a.metrics_out.empty())
+      pool_metrics_ = std::make_unique<obs::ScopedThreadPoolMetrics>();
   }
 
   ~ObsSession() { obs::set_default_sink(nullptr); }
@@ -166,6 +171,7 @@ class ObsSession {
   std::unique_ptr<obs::JsonlSink> jsonl_;
   std::unique_ptr<obs::MemorySink> memory_;
   std::unique_ptr<obs::TeeSink> tee_;
+  std::unique_ptr<obs::ScopedThreadPoolMetrics> pool_metrics_;
   obs::EventSink* active_ = nullptr;
 };
 

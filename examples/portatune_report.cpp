@@ -1,0 +1,103 @@
+// portatune_report — offline analysis of a run's observability output.
+//
+//   portatune_report --log events.jsonl
+//       per-phase latency breakdown (self vs child time), per-worker
+//       occupancy, per-cell experiment stats, and search convergence
+//       summaries (evals-to-best, failures, retries)
+//   portatune_report --log events.jsonl --metrics metrics.json
+//       additionally summarise the metrics snapshot
+//   portatune_report --log events.jsonl --compare baseline.jsonl
+//       phase-by-phase percent deltas against a baseline run; exits 2
+//       when any phase's total time regressed by --threshold percent
+//       (default 20) or more, so CI can gate on it
+//   portatune_report --compare-bench baseline.json --bench current.json
+//       the same comparison over google-benchmark JSON output
+//       (--benchmark_out), e.g. the checked-in BENCH_4.json baseline
+//
+// Exit codes: 0 ok, 1 usage/input error, 2 regression detected.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/chrome_trace.hpp"
+#include "obs/report.hpp"
+#include "support/error.hpp"
+
+using namespace portatune;
+
+namespace {
+
+struct Args {
+  std::string log;            ///< JSONL event log to analyse
+  std::string metrics;        ///< metrics snapshot to summarise
+  std::string compare;        ///< baseline JSONL for regression diff
+  std::string compare_bench;  ///< baseline google-benchmark JSON
+  std::string bench;          ///< current google-benchmark JSON
+  double threshold = 20.0;    ///< regression threshold, percent
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; i += 2) {
+    const std::string key = argv[i];
+    PT_REQUIRE(i + 1 < argc, "option " + key + " is missing a value");
+    const std::string value = argv[i + 1];
+    if (key == "--log") a.log = value;
+    else if (key == "--metrics") a.metrics = value;
+    else if (key == "--compare") a.compare = value;
+    else if (key == "--compare-bench") a.compare_bench = value;
+    else if (key == "--bench") a.bench = value;
+    else if (key == "--threshold") a.threshold = std::stod(value);
+    else throw Error("unknown option: " + key);
+  }
+  PT_REQUIRE(!a.log.empty() || !a.compare_bench.empty(),
+             "usage: portatune_report --log events.jsonl "
+             "[--metrics metrics.json] [--compare baseline.jsonl] "
+             "[--threshold pct] | --compare-bench baseline.json "
+             "--bench current.json");
+  PT_REQUIRE(a.compare_bench.empty() == a.bench.empty(),
+             "--compare-bench and --bench must be given together");
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    bool regressed = false;
+
+    if (!a.log.empty()) {
+      const auto events = obs::read_event_log(a.log);
+      const obs::Report report = obs::analyze_events(events);
+      obs::write_report(std::cout, report);
+      if (!a.metrics.empty()) {
+        std::cout << "\n";
+        obs::write_metrics_summary(std::cout, a.metrics);
+      }
+      if (!a.compare.empty()) {
+        const auto baseline_events = obs::read_event_log(a.compare);
+        const obs::Report baseline = obs::analyze_events(baseline_events);
+        const obs::Comparison c =
+            obs::compare_reports(baseline, report, a.threshold);
+        std::cout << "\n";
+        obs::write_comparison(std::cout, c);
+        regressed = regressed || c.regressed();
+      }
+    }
+
+    if (!a.compare_bench.empty()) {
+      const obs::Comparison c =
+          obs::compare_bench_json(a.compare_bench, a.bench, a.threshold);
+      if (!a.log.empty()) std::cout << "\n";
+      obs::write_comparison(std::cout, c);
+      regressed = regressed || c.regressed();
+    }
+
+    return regressed ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "portatune_report: %s\n", e.what());
+    return 1;
+  }
+}

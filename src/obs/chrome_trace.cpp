@@ -1,10 +1,12 @@
 #include "obs/chrome_trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <istream>
 #include <map>
 #include <ostream>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "support/error.hpp"
@@ -48,6 +50,8 @@ void write_one(std::ostream& os, const Event& e, TidMap& tids, bool first) {
   }
   os << ",\"pid\":1,\"tid\":" << tids.lane(e.thread_id);
   os << ",\"args\":{\"level\":\"" << to_string(e.severity) << "\"";
+  if (e.span_id != 0) os << ",\"span\":" << e.span_id;
+  if (e.parent_span_id != 0) os << ",\"parent\":" << e.parent_span_id;
   for (const auto& f : e.fields) {
     os << ",\"" << json::escape(f.key) << "\":";
     if (f.quoted)
@@ -58,15 +62,69 @@ void write_one(std::ostream& os, const Event& e, TidMap& tids, bool first) {
   os << "}}";
 }
 
+/// One half of a flow arrow ("s" = start on the parent's lane, "f" =
+/// finish binding to the child slice). The shared id is the child's
+/// span id, so each cross-thread parent/child edge is its own flow.
+void write_flow(std::ostream& os, char phase, std::uint64_t id, double ts,
+                int lane) {
+  os << ",\n{\"name\":\"span\",\"cat\":\"flow\",\"ph\":\"" << phase
+     << "\",\"id\":" << id << ",\"ts\":";
+  write_micros(os, ts);
+  os << ",\"pid\":1,\"tid\":" << lane;
+  if (phase == 'f') os << ",\"bp\":\"e\"";
+  os << "}";
+}
+
 }  // namespace
 
 void write_chrome_trace(std::ostream& os, std::span<const Event> events) {
+  // The viewer wants each lane's slices in timestamp order; the sink
+  // emits in *completion* order, which interleaves threads arbitrarily.
+  // Sort by (thread, start time, longest-first) so nesting slices
+  // serialise parent-before-child even when they start the same instant.
+  std::vector<const Event*> order;
+  order.reserve(events.size());
+  for (const Event& e : events) order.push_back(&e);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->thread_id != b->thread_id)
+                       return a->thread_id < b->thread_id;
+                     if (a->mono_seconds != b->mono_seconds)
+                       return a->mono_seconds < b->mono_seconds;
+                     return a->duration_seconds > b->duration_seconds;
+                   });
+
+  // Index span slices by id so cross-thread parent links (a window span
+  // on the submitting thread, its evaluations on pool workers) can be
+  // drawn as flow arrows; same-thread nesting already shows as slice
+  // containment.
+  struct SpanRef {
+    const Event* event;
+    int lane;
+  };
   TidMap tids;
+  std::map<std::uint64_t, SpanRef> spans;
+  for (const Event* e : order) {
+    const int lane = tids.lane(e->thread_id);
+    if (e->span_id != 0 && e->duration_seconds >= 0.0)
+      spans.emplace(e->span_id, SpanRef{e, lane});
+  }
+
   os << "{\"traceEvents\":[\n";
   bool first = true;
-  for (const Event& e : events) {
-    write_one(os, e, tids, first);
+  for (const Event* e : order) {
+    write_one(os, *e, tids, first);
     first = false;
+  }
+  for (const auto& [id, child] : spans) {
+    if (child.event->parent_span_id == 0) continue;
+    const auto it = spans.find(child.event->parent_span_id);
+    if (it == spans.end() || it->second.lane == child.lane) continue;
+    if (first) continue;  // defensive: flows need at least one slice
+    // Anchor the arrow at the child's start: inside the parent slice on
+    // the parent's lane, at the child slice's opening edge on its own.
+    write_flow(os, 's', id, child.event->mono_seconds, it->second.lane);
+    write_flow(os, 'f', id, child.event->mono_seconds, child.lane);
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -79,7 +137,7 @@ void write_chrome_trace(const std::string& path,
   PT_REQUIRE(os.good(), "chrome trace write failed: " + path);
 }
 
-std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os) {
+std::vector<Event> read_event_log(std::istream& is) {
   std::vector<Event> events;
   std::string line;
   std::size_t lineno = 0;
@@ -103,9 +161,14 @@ std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os) {
       e.duration_seconds = dur->as_number();
     if (const auto* tid = doc.find("tid"))
       e.thread_id = static_cast<std::uint64_t>(tid->as_number());
+    if (const auto* span = doc.find("span"))
+      e.span_id = static_cast<std::uint64_t>(span->as_number());
+    if (const auto* parent = doc.find("parent"))
+      e.parent_span_id = static_cast<std::uint64_t>(parent->as_number());
     for (const auto& [key, value] : doc.as_object()) {
       if (key == "ts" || key == "wall_us" || key == "level" ||
-          key == "name" || key == "cat" || key == "dur_s" || key == "tid")
+          key == "name" || key == "cat" || key == "dur_s" || key == "tid" ||
+          key == "span" || key == "parent")
         continue;
       switch (value.type()) {
         case json::Value::Type::String:
@@ -124,6 +187,17 @@ std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os) {
     }
     events.push_back(std::move(e));
   }
+  return events;
+}
+
+std::vector<Event> read_event_log(const std::string& path) {
+  std::ifstream is(path);
+  PT_REQUIRE(is.good(), "cannot open event log: " + path);
+  return read_event_log(is);
+}
+
+std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os) {
+  const std::vector<Event> events = read_event_log(is);
   write_chrome_trace(os, events);
   return events.size();
 }

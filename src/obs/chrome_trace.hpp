@@ -5,16 +5,26 @@
 // events become complete ("ph":"X") slices on a per-thread timeline,
 // instantaneous events become "ph":"i" marks, and every event's fields
 // ride along in "args" so the UI shows configs, outcomes, and
-// FailureKinds on click.
+// FailureKinds on click. Spans whose parent lives on another thread (a
+// search window fanned out to pool workers) additionally get flow
+// arrows ("ph":"s"/"f") so cross-thread nesting stays visible.
 #pragma once
 
 #include <iosfwd>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "obs/event.hpp"
 
 namespace portatune::obs {
+
+/// Parse a JSONL event log (as written by JsonlSink) back into Event
+/// records, including span/parent causal ids. Malformed lines throw
+/// portatune::Error with the offending line number. Shared by the trace
+/// exporter and the portatune-report analyser.
+std::vector<Event> read_event_log(std::istream& is);
+std::vector<Event> read_event_log(const std::string& path);
 
 /// Write a {"traceEvents":[...]} document from in-memory events (e.g. a
 /// MemorySink's contents).

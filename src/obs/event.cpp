@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "support/error.hpp"
+#include "support/span_context.hpp"
 
 namespace portatune::obs {
 
@@ -109,6 +110,7 @@ Event make_instant(Severity severity, std::string name, std::string category,
   e.mono_seconds = mono_now();
   e.wall_micros = wall_micros_now();
   e.thread_id = current_thread_id();
+  e.parent_span_id = current_span_context().span;
   e.fields = std::move(fields);
   return e;
 }
@@ -147,6 +149,10 @@ std::string to_json(const Event& event) {
     out += buf;
   }
   out += ",\"tid\":" + std::to_string(event.thread_id);
+  if (event.span_id != 0)
+    out += ",\"span\":" + std::to_string(event.span_id);
+  if (event.parent_span_id != 0)
+    out += ",\"parent\":" + std::to_string(event.parent_span_id);
   for (const auto& f : event.fields) {
     out += ",\"";
     json_escape_into(out, f.key);

@@ -60,6 +60,15 @@ struct Event {
   /// become "complete" slices on the Chrome trace timeline.
   double duration_seconds = -1.0;
   std::uint64_t thread_id = 0;
+  /// Causal identity: the span this event *is* (0 for instants and
+  /// unscoped spans) and the span it happened *inside* (0 at top level).
+  /// make_instant/make_span fill parent_span_id from the thread-local
+  /// SpanContext, so events parent correctly even when the context was
+  /// carried across a ThreadPool hop; span_id is assigned by whichever
+  /// instrumentation site opened the span (ScopedTimer, SearchSpanGuard,
+  /// ObservedEvaluator).
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
   std::vector<Field> fields;
 };
 

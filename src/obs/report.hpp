@@ -1,0 +1,141 @@
+// Offline analysis of observability output (the portatune-report tool).
+//
+// Consumes the JSONL event log a run wrote (via --log-json) and distils
+// it into the questions a tuning engineer actually asks:
+//
+//   * where did the time go?      per-phase totals with self vs child
+//                                 time, per-worker occupancy, per-cell
+//                                 breakdowns of experiment grids
+//   * did the search converge?    per-search eval counts, failures,
+//                                 retries, best value and evals-to-best
+//   * did this run regress?       phase-by-phase percent deltas against
+//                                 a baseline log (or google-benchmark
+//                                 JSON), with a configurable threshold
+//
+// All analysis is pure (events in, structs out) so tests can drive it
+// without files; the CLI in examples/portatune_report.cpp is a thin
+// argument parser around these functions.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace portatune::obs {
+
+/// Aggregate over every span sharing one name ("phase.fit",
+/// "search.window", "eval", ...). Self time subtracts the direct
+/// children's durations, so a phase that merely waits on worker-side
+/// spans shows near-zero self time.
+struct PhaseStat {
+  std::string name;
+  std::size_t count = 0;
+  double total_seconds = 0.0;
+  double self_seconds = 0.0;
+  double max_seconds = 0.0;
+
+  double mean_seconds() const noexcept {
+    return count > 0 ? total_seconds / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// One thread lane (dense ids in order of first appearance, matching the
+/// Chrome trace's lanes for a log written in the same order).
+struct WorkerStat {
+  int lane = 0;
+  std::uint64_t thread_id = 0;
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  double busy_seconds = 0.0;  ///< sum of span self time on this thread
+};
+
+/// One experiment grid cell ("experiment.cell" span), with the
+/// evaluations attributed to it via the causal span chain.
+struct CellStat {
+  std::string label;
+  double seconds = 0.0;
+  std::size_t evals = 0;
+  std::size_t failures = 0;
+};
+
+/// One search invocation ("search.<algo>" span). Counts come from the
+/// eval events nested (transitively) under the search span; best /
+/// evals-to-best track the minimum successful runtime in event order.
+struct SearchStat {
+  std::string algorithm;
+  double duration_seconds = 0.0;
+  std::size_t evals = 0;
+  std::size_t failures = 0;
+  std::size_t retried = 0;  ///< evaluations that needed > 1 attempt
+  double best_seconds = 0.0;
+  std::size_t evals_to_best = 0;  ///< 1-based; 0 when no eval succeeded
+};
+
+struct Report {
+  std::size_t events = 0;
+  std::size_t spans = 0;
+  /// Events whose parent span id never appears as an emitted span — a
+  /// broken causal chain (or a parent filtered below the sink severity).
+  std::size_t orphan_events = 0;
+  double wall_seconds = 0.0;  ///< max span end minus min timestamp
+
+  std::size_t eval_events = 0;
+  std::size_t eval_failures = 0;
+  std::size_t eval_retries = 0;
+  std::size_t batched_evals = 0;
+
+  std::vector<PhaseStat> phases;      ///< sorted by name
+  std::vector<WorkerStat> workers;    ///< by lane
+  std::vector<CellStat> cells;        ///< in span order
+  std::vector<SearchStat> searches;   ///< in span order
+};
+
+/// Build a Report from parsed events (see read_event_log).
+Report analyze_events(std::span<const Event> events);
+
+/// Render the human-readable report.
+void write_report(std::ostream& os, const Report& report);
+
+/// One compared series. delta_percent is (current - baseline) /
+/// baseline * 100; `regressed` marks slowdowns at or beyond the
+/// threshold.
+struct DeltaRow {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta_percent = 0.0;
+  bool regressed = false;
+};
+
+struct Comparison {
+  double threshold_percent = 20.0;
+  std::vector<DeltaRow> rows;               ///< names present in both
+  std::vector<std::string> only_baseline;   ///< disappeared series
+  std::vector<std::string> only_current;    ///< new series (never regress)
+  std::size_t regressions = 0;
+
+  bool regressed() const noexcept { return regressions > 0; }
+};
+
+/// Phase-by-phase total-time comparison of two analysed logs.
+Comparison compare_reports(const Report& baseline, const Report& current,
+                           double threshold_percent = 20.0);
+
+/// Compare two google-benchmark JSON files (--benchmark_out format) by
+/// per-benchmark real_time. Throws portatune::Error on malformed input.
+Comparison compare_bench_json(const std::string& baseline_path,
+                              const std::string& current_path,
+                              double threshold_percent = 20.0);
+
+/// Render a comparison table plus the regression verdict line.
+void write_comparison(std::ostream& os, const Comparison& comparison);
+
+/// Render a compact summary of a metrics snapshot file (the
+/// --metrics-out JSON: {"counters":{},"gauges":{},"histograms":{}}).
+void write_metrics_summary(std::ostream& os, const std::string& path);
+
+}  // namespace portatune::obs

@@ -6,14 +6,25 @@
 // neither destination is live at construction time the timer is inert:
 // no clock reads, no allocation — so instrumented hot paths cost nothing
 // with observability disabled.
+//
+// When the span event will be emitted, the timer also *opens a causal
+// span*: it allocates a span id and installs it as the thread-local
+// SpanContext for its lifetime, so every event created inside the scope
+// (including on worker threads, via ThreadPool's context capture)
+// records this span as its parent. The emitted event carries the span id
+// and the parent that was current at construction. A timer that is
+// active only for its histogram does not open a span — it will emit no
+// event, and children should attach to the nearest emitted ancestor.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "support/span_context.hpp"
 #include "support/timer.hpp"
 
 namespace portatune::obs {
@@ -31,6 +42,11 @@ class ScopedTimer {
     name_ = std::move(name);
     category_ = std::move(category);
     fields_ = std::move(fields);
+    if (enabled(severity_)) {
+      span_id_ = next_span_id();
+      parent_span_id_ = current_span_context().span;
+      scope_.emplace(SpanContext{span_id_});
+    }
     timer_.reset();
   }
 
@@ -38,9 +54,13 @@ class ScopedTimer {
     if (!active_) return;
     const double elapsed = timer_.seconds();
     if (histogram_ != nullptr) histogram_->observe(elapsed);
-    if (enabled(severity_))
-      emit(make_span(severity_, std::move(name_), std::move(category_),
-                     elapsed, std::move(fields_)));
+    if (span_id_ != 0 && enabled(severity_)) {
+      Event e = make_span(severity_, std::move(name_), std::move(category_),
+                          elapsed, std::move(fields_));
+      e.span_id = span_id_;
+      e.parent_span_id = parent_span_id_;
+      emit(e);
+    }
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -56,13 +76,18 @@ class ScopedTimer {
   double seconds() const { return active_ ? timer_.seconds() : 0.0; }
 
   bool active() const noexcept { return active_; }
+  /// The causal span this timer opened (0 when inert or histogram-only).
+  std::uint64_t span_id() const noexcept { return span_id_; }
 
  private:
   bool active_;
   Severity severity_;
   Histogram* histogram_;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
   std::string name_, category_;
   std::vector<Field> fields_;
+  std::optional<SpanScope> scope_;
   WallTimer timer_;
 };
 

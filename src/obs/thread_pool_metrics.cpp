@@ -1,0 +1,16 @@
+#include "obs/thread_pool_metrics.hpp"
+
+namespace portatune::obs {
+
+ThreadPoolMetrics::ThreadPoolMetrics(MetricsRegistry* registry) {
+  MetricsRegistry& r =
+      registry != nullptr ? *registry : MetricsRegistry::current();
+  submitted_ = &r.counter("pool.tasks_submitted");
+  completed_ = &r.counter("pool.tasks_completed");
+  queue_depth_ = &r.gauge("pool.queue_depth");
+  workers_busy_ = &r.gauge("pool.workers_busy");
+  queue_wait_ = &r.histogram("pool.queue_wait_seconds");
+  execute_ = &r.histogram("pool.execute_seconds");
+}
+
+}  // namespace portatune::obs

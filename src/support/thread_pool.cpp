@@ -25,15 +25,34 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
+    std::size_t depth;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
     }
-    task();
+    ThreadPoolObserver* const observer = thread_pool_observer();
+    if (observer == nullptr) {
+      task.fn();
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    // A zero enqueue stamp means the observer was installed after this
+    // task was queued; report an unknown (zero) wait rather than a bogus
+    // epoch-relative one.
+    const double wait =
+        task.enqueued.time_since_epoch().count() != 0
+            ? std::chrono::duration<double>(start - task.enqueued).count()
+            : 0.0;
+    observer->on_start(wait, depth);
+    task.fn();
+    observer->on_finish(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
   }
 }
 

@@ -4,8 +4,20 @@
 // tree fitting, batch prediction, sweeps over configurations). All
 // parallelism in portatune is explicit and goes through this pool, per the
 // HPC guideline of keeping thread creation out of hot paths.
+//
+// Two observability seams, both dormant by default:
+//   * Span propagation — submit() captures the submitter's SpanContext
+//     and re-installs it around the task on the worker, so profiling
+//     spans emitted worker-side still parent to the search window /
+//     experiment cell that scheduled them (two TLS words, no locks).
+//   * Telemetry — an optional process-wide ThreadPoolObserver receives
+//     queue-depth / queue-wait / execute callbacks per task. With none
+//     installed the pool pays one relaxed atomic load per transition and
+//     never reads the clock (obs::ThreadPoolMetrics is the standard
+//     implementation, publishing pool.* instruments).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -15,7 +27,44 @@
 #include <thread>
 #include <vector>
 
+#include "support/span_context.hpp"
+
 namespace portatune {
+
+/// Telemetry callbacks for thread-pool activity. Implementations must be
+/// thread-safe and cheap (they run inline on submitters and workers).
+/// Install process-wide with set_thread_pool_observer; all pools (the
+/// global pool, parallel evaluators, the experiment pool, watchdogs)
+/// report to the same observer.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+
+  /// A task was enqueued; `queue_depth` is the depth after the push.
+  virtual void on_submit(std::size_t queue_depth) noexcept = 0;
+  /// A worker dequeued a task and is about to run it. `queue_wait_seconds`
+  /// is the time the task spent queued (0 when the observer was installed
+  /// after the task was enqueued); `queue_depth` is the depth after the
+  /// pop.
+  virtual void on_start(double queue_wait_seconds,
+                        std::size_t queue_depth) noexcept = 0;
+  /// The task returned after `execute_seconds` on the worker.
+  virtual void on_finish(double execute_seconds) noexcept = 0;
+};
+
+namespace detail {
+inline std::atomic<ThreadPoolObserver*> g_pool_observer{nullptr};
+}  // namespace detail
+
+/// The installed observer (nullptr = telemetry off, the dormant default).
+inline ThreadPoolObserver* thread_pool_observer() noexcept {
+  return detail::g_pool_observer.load(std::memory_order_acquire);
+}
+/// Install a process-wide observer (non-owning; nullptr to disable). The
+/// observer must outlive its installation.
+inline void set_thread_pool_observer(ThreadPoolObserver* observer) noexcept {
+  detail::g_pool_observer.store(observer, std::memory_order_release);
+}
 
 class ThreadPool {
  public:
@@ -28,16 +77,28 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
-  /// Enqueue a task; returns a future for its completion.
+  /// Enqueue a task; returns a future for its completion. The task runs
+  /// under the submitter's SpanContext.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<void()>>(
         std::forward<F>(f));
     std::future<void> fut = task->get_future();
+    const SpanContext ctx = current_span_context();
+    ThreadPoolObserver* const observer = thread_pool_observer();
+    std::size_t depth;
     {
       std::lock_guard lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.push(QueuedTask{
+          [task, ctx] {
+            SpanScope scope(ctx);
+            (*task)();
+          },
+          observer != nullptr ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{}});
+      depth = queue_.size();
     }
+    if (observer != nullptr) observer->on_submit(depth);
     cv_.notify_one();
     return fut;
   }
@@ -51,10 +112,18 @@ class ThreadPool {
   static ThreadPool& global();
 
  private:
+  /// One queued task plus its enqueue timestamp (default-constructed —
+  /// "unknown" — when no observer was installed at submit time, so the
+  /// dormant path never reads the clock).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;

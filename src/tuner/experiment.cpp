@@ -161,6 +161,13 @@ std::vector<TransferExperimentResult> run_transfer_experiments(
     const ExperimentJob& job = jobs[i];
     PT_REQUIRE(job.make_source && job.make_target,
                "experiment job '" + job.label + "' is missing a factory");
+    // One causal span per cell, opened on the worker that runs it: the
+    // whole experiment (its transfer span, phases, windows, evaluations)
+    // nests under the cell, so a trace of a Table IV/V run attributes
+    // every worker-side event to its grid cell by label.
+    obs::ScopedTimer cell_span("experiment.cell", "experiment",
+                               {{"label", job.label},
+                                {"cell", static_cast<std::uint64_t>(i)}});
     // Built here, on the worker, so the whole evaluator stack is private
     // to this job. Results land by index: job order, never finish order.
     EvaluatorPtr source = job.make_source();

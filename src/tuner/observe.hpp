@@ -3,16 +3,20 @@
 // SearchSpanGuard wraps one search-algorithm invocation: constructed at
 // entry, it emits a "search.<algo>" span event at scope exit summarising
 // the run (evals, attempts, failures, best, simulated search time, stop
-// reason). Inert (no clock reads, no allocation) when no sink is
-// listening, so the search hot loops cost nothing with observability
-// disabled.
+// reason). It also opens the causal span every window/evaluation event
+// of the search nests under — including events emitted on worker threads,
+// whose SpanContext is carried across the ThreadPool hop. Inert (no
+// clock reads, no allocation) when no sink is listening, so the search
+// hot loops cost nothing with observability disabled.
 #pragma once
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "obs/event.hpp"
 #include "obs/sink.hpp"
+#include "support/span_context.hpp"
 #include "support/timer.hpp"
 #include "tuner/trace.hpp"
 
@@ -24,7 +28,11 @@ class SearchSpanGuard {
   /// local of the search function).
   explicit SearchSpanGuard(const SearchTrace& trace)
       : trace_(trace), active_(obs::enabled(obs::Severity::Info)) {
-    if (active_) timer_.reset();
+    if (!active_) return;
+    span_id_ = next_span_id();
+    parent_span_id_ = current_span_context().span;
+    scope_.emplace(SpanContext{span_id_});
+    timer_.reset();
   }
 
   ~SearchSpanGuard() {
@@ -43,9 +51,12 @@ class SearchSpanGuard {
       fields.emplace_back("best_seconds", trace_.best_seconds());
     if (!trace_.stop_reason().empty())
       fields.emplace_back("stop", trace_.stop_reason());
-    obs::emit(obs::make_span(obs::Severity::Info,
-                             "search." + trace_.algorithm(), "search",
-                             timer_.seconds(), std::move(fields)));
+    obs::Event e = obs::make_span(obs::Severity::Info,
+                                  "search." + trace_.algorithm(), "search",
+                                  timer_.seconds(), std::move(fields));
+    e.span_id = span_id_;
+    e.parent_span_id = parent_span_id_;
+    obs::emit(e);
   }
 
   SearchSpanGuard(const SearchSpanGuard&) = delete;
@@ -54,6 +65,9 @@ class SearchSpanGuard {
  private:
   const SearchTrace& trace_;
   bool active_;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_span_id_ = 0;
+  std::optional<SpanScope> scope_;
   WallTimer timer_;
 };
 

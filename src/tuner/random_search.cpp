@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
@@ -32,6 +34,23 @@ bool abort_on_failure(SearchTrace& trace, FailureBudgetTracker& budget,
 /// processed in draw order.
 std::size_t batch_width(const Evaluator& eval) {
   return std::max<std::size_t>(1, eval.capabilities().preferred_batch);
+}
+
+/// Evaluate one search window under a "search.window" span: the causal
+/// parent of every evaluation it fans out, across worker threads (the
+/// ThreadPool carries the SpanContext into each task). `evals_done` is
+/// the trace size going in, so a trace viewer can line windows up with
+/// search progress. Dormant path: one enabled() check, no allocation.
+std::vector<EvalResult> evaluate_window(Evaluator& eval,
+                                        std::span<const ParamConfig> configs,
+                                        std::size_t evals_done) {
+  std::optional<obs::ScopedTimer> span;
+  if (obs::enabled(obs::Severity::Debug))
+    span.emplace("search.window", "search",
+                 std::vector<obs::Field>{{"window", configs.size()},
+                                         {"evals_done", evals_done}},
+                 nullptr, obs::Severity::Debug);
+  return eval.evaluate_batch(configs);
 }
 
 /// Order-preserving batch prediction over a candidate pool. predict() is
@@ -120,7 +139,8 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
     }
     if (configs.empty()) break;
 
-    const std::vector<EvalResult> results = eval.evaluate_batch(configs);
+    const std::vector<EvalResult> results =
+        evaluate_window(eval, configs, trace.size());
     // Strictly draw order, regardless of completion order inside the
     // batch — this is what keeps parallel traces bit-identical to serial.
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -247,7 +267,8 @@ SearchTrace pruned_random_search(Evaluator& eval,
     }
     if (configs.empty()) break;  // everything left was pruned or drawn out
 
-    const std::vector<EvalResult> results = eval.evaluate_batch(configs);
+    const std::vector<EvalResult> results =
+        evaluate_window(eval, configs, trace.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const EvalResult& r = results[i];
       if (!r.ok) {
@@ -332,7 +353,8 @@ SearchTrace biased_random_search(Evaluator& eval,
       configs.push_back(pool[order[rank]]);
     }
 
-    const std::vector<EvalResult> results = eval.evaluate_batch(configs);
+    const std::vector<EvalResult> results =
+        evaluate_window(eval, configs, trace.size());
     for (std::size_t i = 0; i < results.size(); ++i) {
       const EvalResult& r = results[i];
       if (!r.ok) {

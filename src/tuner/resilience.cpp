@@ -4,8 +4,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
+#include <optional>
 #include <thread>
 
+#include "obs/scoped_timer.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
 
@@ -121,6 +123,14 @@ EvalResult ResilientEvaluator::attempt(const ParamConfig& config) {
 }
 
 EvalResult ResilientEvaluator::evaluate(const ParamConfig& config) {
+  // One causal span per call: the per-attempt events the inner observer
+  // emits (including retries, and the watchdog-thread hop — ThreadPool
+  // carries the SpanContext into the supervised attempt) all nest under
+  // this retry chain. Dormant path: one enabled() check.
+  std::optional<obs::ScopedTimer> call_span;
+  if (obs::enabled(obs::Severity::Debug))
+    call_span.emplace("resilient.call", "eval", std::vector<obs::Field>{},
+                      nullptr, obs::Severity::Debug);
   const std::uint64_t hash = inner_.space().config_hash(config);
   {
     std::lock_guard lock(mutex_);

@@ -1,0 +1,62 @@
+# ctest script: golden-output test for portatune_report, plus an
+# end-to-end exercise of the regression gate's exit codes.
+#
+# The canned event log is hand-written and deterministic, so the whole
+# analysis output is byte-comparable against a checked-in golden file.
+# If the report format changes deliberately, regenerate the golden:
+#   portatune_report --log tests/data/canned_events.jsonl \
+#     > tests/data/canned_report.golden
+#
+# Inputs: -DREPORT=<portatune_report path> -DDATA=<tests/data directory>
+#         -DWORK_DIR=<scratch directory>
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(EVENTS "${DATA}/canned_events.jsonl")
+set(BASELINE "${DATA}/canned_baseline.jsonl")
+set(GOLDEN "${DATA}/canned_report.golden")
+
+# --- golden output: the analysis of a canned log is byte-stable ---------
+execute_process(
+  COMMAND "${REPORT}" --log "${EVENTS}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "portatune_report exited with ${rc}:\n${out}\n${err}")
+endif()
+file(WRITE "${WORK_DIR}/report.out" "${out}")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+    "${WORK_DIR}/report.out" "${GOLDEN}"
+  RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR
+    "report output differs from golden file ${GOLDEN}:\n${out}")
+endif()
+
+# --- regression gate: slower-than-baseline run exits 2 ------------------
+execute_process(
+  COMMAND "${REPORT}" --log "${EVENTS}" --compare "${BASELINE}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR
+    "expected exit 2 on regression, got ${rc}:\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "REGRESSED")
+  message(FATAL_ERROR "comparison did not flag a regression:\n${out}")
+endif()
+
+# --- a run compared against itself is never a regression ----------------
+execute_process(
+  COMMAND "${REPORT}" --log "${EVENTS}" --compare "${EVENTS}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "self-comparison should exit 0, got ${rc}:\n${out}\n${err}")
+endif()
+
+message(STATUS "portatune_report golden + gate OK")

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -13,8 +15,13 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/observed_evaluator.hpp"
+#include "obs/report.hpp"
 #include "obs/sink.hpp"
 #include "tuner/experiment.hpp"
+#include "tuner/faults.hpp"
+#include "tuner/parallel.hpp"
+#include "tuner/random_search.hpp"
+#include "tuner/resilience.hpp"
 
 namespace portatune {
 namespace {
@@ -141,6 +148,82 @@ TEST_F(ObservabilityPipeline, ExperimentResultCarriesMetrics) {
   const auto& gauges = doc.at("gauges");
   EXPECT_NE(gauges.find("search.prune_rate"), nullptr);
   std::remove(jsonl_path.c_str());
+}
+
+TEST(SpanTreeIntegrity, ParallelFaultInjectedSearchHasNoOrphans) {
+  // The acceptance scenario: a fault-injected search fanned out over 4
+  // workers must emit a closed span tree — every event's parent was
+  // itself emitted, and every evaluation chains up to the search span
+  // even though it ran (and retried) on a pool worker.
+  obs::MemorySink memory;
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRedirect metrics_redirect(registry);
+  obs::ScopedSinkRedirect sink_redirect(&memory, obs::Severity::Debug);
+
+  auto backend = apps::make_simulated_evaluator("LU", "Westmere");
+  tuner::FaultProfile profile;
+  profile.transient_rate = 0.2;
+  profile.seed = 11;
+  tuner::FaultInjectingEvaluator faulty(*backend, profile);
+  obs::ObservedEvaluator observed(faulty, "eval");
+  tuner::RetryPolicy policy;
+  policy.max_attempts = 3;
+  tuner::ResilientEvaluator resilient(observed, policy);
+  tuner::ParallelOptions popt;
+  popt.threads = 4;
+  tuner::ParallelEvaluator parallel(resilient, popt);
+
+  tuner::RandomSearchOptions opt;
+  opt.max_evals = 40;
+  opt.seed = 5;
+  const auto trace = tuner::random_search(parallel, opt);
+  ASSERT_GT(trace.size(), 0u);
+
+  const auto events = memory.events();
+  std::set<std::uint64_t> span_ids, threads;
+  std::uint64_t search_span = 0;
+  for (const auto& e : events) {
+    threads.insert(e.thread_id);
+    if (e.span_id != 0) span_ids.insert(e.span_id);
+    if (e.name == "search.RS") search_span = e.span_id;
+  }
+  ASSERT_NE(search_span, 0u);
+  EXPECT_GT(threads.size(), 1u);  // the fan-out actually used workers
+
+  // No orphans: every parent link resolves to an emitted span.
+  for (const auto& e : events)
+    if (e.parent_span_id != 0)
+      EXPECT_TRUE(span_ids.count(e.parent_span_id))
+          << e.name << " references unknown span " << e.parent_span_id;
+
+  // Every eval event chains (transitively) up to the search span.
+  std::map<std::uint64_t, std::uint64_t> parent_of;
+  for (const auto& e : events)
+    if (e.span_id != 0) parent_of[e.span_id] = e.parent_span_id;
+  std::size_t evals = 0;
+  for (const auto& e : events) {
+    if (e.name != "eval") continue;
+    ++evals;
+    std::uint64_t cursor = e.parent_span_id;
+    bool reached = false;
+    for (int depth = 0; cursor != 0 && depth < 64; ++depth) {
+      if (cursor == search_span) {
+        reached = true;
+        break;
+      }
+      const auto it = parent_of.find(cursor);
+      cursor = it != parent_of.end() ? it->second : 0;
+    }
+    EXPECT_TRUE(reached) << "eval event not under the search span";
+  }
+  EXPECT_GE(evals, 40u);  // retries emit extra per-attempt events
+
+  // The report pipeline agrees: zero orphans, retries surfaced.
+  const auto rep = obs::analyze_events(events);
+  EXPECT_EQ(rep.orphan_events, 0u);
+  ASSERT_EQ(rep.searches.size(), 1u);
+  EXPECT_EQ(rep.searches[0].evals, evals);
+  EXPECT_GT(rep.workers.size(), 1u);
 }
 
 }  // namespace

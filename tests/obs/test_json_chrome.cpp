@@ -98,5 +98,98 @@ TEST(ChromeTrace, RejectsMalformedJsonl) {
   EXPECT_THROW(jsonl_to_chrome_trace(in, out), Error);
 }
 
+namespace {
+
+Event placed_span(std::string name, std::uint64_t id, std::uint64_t parent,
+                  double ts, double dur, std::uint64_t tid) {
+  Event e = make_span(Severity::Info, std::move(name), "test", dur);
+  e.mono_seconds = ts;
+  e.thread_id = tid;
+  e.span_id = id;
+  e.parent_span_id = parent;
+  return e;
+}
+
+}  // namespace
+
+TEST(ChromeTrace, SortsSlicesByThreadAndTimestamp) {
+  // The sink logs in completion order; the exporter must serialize each
+  // lane's slices in start order, parents before same-start children.
+  std::vector<Event> events;
+  events.push_back(placed_span("late", 0, 0, 5.0, 0.1, 7));
+  events.push_back(placed_span("child", 2, 1, 1.0, 0.5, 7));
+  events.push_back(placed_span("parent", 1, 0, 1.0, 2.0, 7));
+  events.push_back(placed_span("other-thread", 0, 0, 0.5, 0.1, 3));
+
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  const auto doc = json::Value::parse(os.str());
+  const auto& items = doc.at("traceEvents").as_array();
+  ASSERT_EQ(items.size(), 4u);
+  std::vector<std::string> names;
+  for (const auto& item : items) names.push_back(item.at("name").as_string());
+  // Lanes serialise in thread-id order; within a lane, "parent" (same
+  // start, longer) precedes "child" so the viewer nests them correctly.
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"other-thread", "parent", "child",
+                                      "late"}));
+}
+
+TEST(ChromeTrace, SpanIdsRoundTripThroughJsonl) {
+  Event e = make_span(Severity::Info, "eval", "eval", 0.001);
+  e.span_id = 42;
+  e.parent_span_id = 7;
+  std::ostringstream log;
+  JsonlSink sink(log);
+  sink.log(e);
+
+  std::istringstream in(log.str());
+  const auto events = read_event_log(in);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].span_id, 42u);
+  EXPECT_EQ(events[0].parent_span_id, 7u);
+  // Causal ids are schema keys, not fields — no duplicate "span" field.
+  for (const auto& f : events[0].fields)
+    EXPECT_NE(f.key, "span");
+
+  // The trace exporter surfaces them in args for the viewer.
+  std::ostringstream trace;
+  write_chrome_trace(trace, events);
+  const auto doc = json::Value::parse(trace.str());
+  const auto& items = doc.at("traceEvents").as_array();
+  EXPECT_EQ(items[0].at("args").at("span").as_number(), 42.0);
+  EXPECT_EQ(items[0].at("args").at("parent").as_number(), 7.0);
+}
+
+TEST(ChromeTrace, EmitsFlowArrowsForCrossThreadParents) {
+  // window (tid 1) -> eval (tid 2): cross-thread, needs a flow pair.
+  // window -> sibling (tid 1): same lane, slice nesting is enough.
+  std::vector<Event> events;
+  events.push_back(placed_span("window", 1, 0, 0.0, 1.0, 1));
+  events.push_back(placed_span("eval", 2, 1, 0.2, 0.3, 2));
+  events.push_back(placed_span("sibling", 3, 1, 0.6, 0.2, 1));
+
+  std::ostringstream os;
+  write_chrome_trace(os, events);
+  const auto doc = json::Value::parse(os.str());
+  const auto& items = doc.at("traceEvents").as_array();
+  std::size_t starts = 0, finishes = 0;
+  for (const auto& item : items) {
+    const std::string& ph = item.at("ph").as_string();
+    if (ph == "s") {
+      ++starts;
+      EXPECT_EQ(item.at("id").as_number(), 2.0);  // the child's span id
+      EXPECT_EQ(item.at("cat").as_string(), "flow");
+    } else if (ph == "f") {
+      ++finishes;
+      EXPECT_EQ(item.at("id").as_number(), 2.0);
+      EXPECT_EQ(item.at("bp").as_string(), "e");
+    }
+  }
+  EXPECT_EQ(starts, 1u);
+  EXPECT_EQ(finishes, 1u);
+  EXPECT_EQ(items.size(), 3u + 2u);  // three slices + one flow pair
+}
+
 }  // namespace
 }  // namespace portatune::obs

@@ -76,7 +76,21 @@ TEST(ObservedEvaluator, SeesEachAttemptInsideTheResilientStack) {
   const auto r = resilient.evaluate({1, 2, 3, 4});
   EXPECT_FALSE(r.ok);
   EXPECT_EQ(reg.counter("eval.calls").value(), 3u);  // one per attempt
-  EXPECT_EQ(sink.size(), 3u);
+
+  // Three attempt events plus the retry-chain span they nest under —
+  // the chain survives the watchdog's thread hop.
+  std::uint64_t chain_span = 0;
+  std::size_t attempts = 0;
+  for (const auto& e : sink.events())
+    if (e.name == "resilient.call") chain_span = e.span_id;
+  ASSERT_NE(chain_span, 0u);
+  for (const auto& e : sink.events())
+    if (e.name == "eval") {
+      ++attempts;
+      EXPECT_EQ(e.parent_span_id, chain_span);
+    }
+  EXPECT_EQ(attempts, 3u);
+  EXPECT_EQ(sink.size(), 4u);
 }
 
 TEST(ObservedEvaluator, SearchAbortFlushesTheEventLog) {

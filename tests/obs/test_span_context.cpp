@@ -1,0 +1,66 @@
+// Causal span-context propagation: thread-local scopes, id allocation,
+// and the ThreadPool hop that carries a submitter's context onto the
+// worker that runs its task.
+#include "support/span_context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+
+namespace portatune {
+namespace {
+
+TEST(SpanContext, IdsAreUniqueAndNonZero) {
+  const std::uint64_t a = next_span_id();
+  const std::uint64_t b = next_span_id();
+  EXPECT_NE(a, 0u);  // 0 is reserved for "no span"
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(SpanContext, ScopesNestAndRestore) {
+  const SpanContext before = current_span_context();
+  {
+    SpanScope outer(SpanContext{11});
+    EXPECT_EQ(current_span_context().span, 11u);
+    {
+      SpanScope inner(SpanContext{22});
+      EXPECT_EQ(current_span_context().span, 22u);
+    }
+    EXPECT_EQ(current_span_context().span, 11u);
+  }
+  EXPECT_EQ(current_span_context().span, before.span);
+}
+
+TEST(SpanContext, SubmitCarriesTheSubmittersContext) {
+  ThreadPool pool(2);
+  SpanScope scope(SpanContext{77});
+  std::uint64_t seen = 0;
+  pool.submit([&] { seen = current_span_context().span; }).wait();
+  EXPECT_EQ(seen, 77u);
+
+  // The context travels with each task, not with the worker: a task
+  // submitted outside any scope must see none.
+  std::uint64_t bare = 99;
+  {
+    SpanScope cleared(SpanContext{});
+    pool.submit([&] { bare = current_span_context().span; }).wait();
+  }
+  EXPECT_EQ(bare, 0u);
+}
+
+TEST(SpanContext, ParallelForCarriesTheContextToEveryIteration) {
+  ThreadPool pool(4);
+  SpanScope scope(SpanContext{123});
+  std::vector<std::uint64_t> seen(64, 0);
+  pool.parallel_for(0, seen.size(), [&](std::size_t i) {
+    seen[i] = current_span_context().span;
+  });
+  for (const auto v : seen) EXPECT_EQ(v, 123u);
+}
+
+}  // namespace
+}  // namespace portatune
