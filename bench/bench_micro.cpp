@@ -19,6 +19,7 @@
 #include "sim/cost_model.hpp"
 #include "sim/trace_sim.hpp"
 #include "tuner/faults.hpp"
+#include "tuner/guard.hpp"
 #include "tuner/parallel.hpp"
 #include "tuner/random_search.hpp"
 #include "tuner/sampler.hpp"
@@ -190,6 +191,66 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 BENCHMARK(BM_ObsHistogramObserve);
+
+// --- Guard overhead ---------------------------------------------------
+// The surrogate-trust guard (tuner/guard.hpp) is compiled into RS_p and
+// RS_b but must be free when GuardOptions::enabled is false: the monitor
+// optional stays empty and every per-draw check is one boolean. These
+// bound the dormant-path cost; BM_GuardTrustUpdate bounds the armed-path
+// cost of one windowed-Spearman trust refresh for scale.
+
+void BM_GuardDisabledPrunedSearch(benchmark::State& state) {
+  // Full RS_p with the guard off: the baseline the --compare-bench gate
+  // holds the guarded build to.
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  ml::RandomForest model;
+  model.fit(lu_training_data());
+  tuner::PrunedSearchOptions opt;
+  opt.max_evals = 50;
+  opt.pool_size = 1000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(tuner::pruned_random_search(wm, model, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_GuardDisabledPrunedSearch);
+
+void BM_GuardDisabledBiasedSearch(benchmark::State& state) {
+  // Full RS_b with the guard off (dormant reorder/refit plumbing).
+  auto lu = kernels::make_lu();
+  kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
+  ml::RandomForest model;
+  model.fit(lu_training_data());
+  tuner::BiasedSearchOptions opt;
+  opt.max_evals = 50;
+  opt.pool_size = 1000;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    opt.seed = seed++;
+    benchmark::DoNotOptimize(tuner::biased_random_search(wm, model, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+}
+BENCHMARK(BM_GuardDisabledBiasedSearch);
+
+void BM_GuardTrustUpdate(benchmark::State& state) {
+  // Armed path: one observe() = window push + Spearman over 25 pairs.
+  tuner::GuardOptions gopt;
+  gopt.enabled = true;
+  tuner::TrustMonitor monitor(gopt, "bench");
+  double pred = 0.1;
+  std::size_t evals = 0;
+  for (auto _ : state) {
+    pred = pred < 1.0 ? pred * 1.01 : 0.1;
+    monitor.observe(pred, pred * 1.1, ++evals);
+    benchmark::DoNotOptimize(monitor.trust());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GuardTrustUpdate);
 
 void BM_RandomSearch(benchmark::State& state) {
   // Full instrumented search with observability dormant (no sink): the

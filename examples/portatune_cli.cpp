@@ -20,6 +20,20 @@
 // order and the simulated backends are pure functions of (machine,
 // config).
 //
+// Guarded transfer (transfer): --guard enables the surrogate-trust
+// monitor inside RS_p / RS_b — a sliding-window rank correlation between
+// predicted and observed run times relaxes and ultimately disables
+// pruning/biasing when the transferred model turns out to mislead on the
+// target machine (see src/tuner/guard.hpp). --guard-floor F (default
+// 0.2) and --guard-window N (default 25) tune the trust threshold and
+// correlation window. Guard state transitions appear as "guard: ..."
+// lines and as guard.state events in the JSONL log.
+//
+// Fault shaping: --faults R injects transient failures at rate R;
+// --hang S makes every evaluation stall S seconds before returning its
+// (unchanged) result — a deterministic slow-motion mode the chaos CI
+// step uses to reliably SIGKILL a run mid-flight.
+//
 // Observability (any command):
 //   --log-json events.jsonl    structured event log, one JSON object/line
 //   --log-level debug|info|warn|error   event threshold (default info)
@@ -64,6 +78,7 @@ struct Args {
   std::size_t nmax = 100;
   double delta = 20.0;
   double faults = 0.0;    ///< injected transient-failure rate
+  double hang = 0.0;      ///< per-evaluation stall, seconds (0 = off)
   std::size_t retries = 2;
   double timeout = 0.0;   ///< per-evaluation deadline, seconds
   std::size_t threads = 1;  ///< evaluation workers (0 = all hardware)
@@ -73,6 +88,9 @@ struct Args {
   std::string metrics_out;  ///< metrics snapshot path ("" = off)
   std::string chrome_trace; ///< Chrome trace path ("" = off)
   bool quiet = false;       ///< suppress the end-of-run summary
+  bool guard = false;       ///< surrogate-trust guard on RS_p / RS_b
+  double guard_floor = 0.2; ///< trust floor (GuardOptions::floor)
+  std::size_t guard_window = 25;  ///< trust window (GuardOptions::window)
 };
 
 Args parse(int argc, char** argv) {
@@ -84,6 +102,11 @@ Args parse(int argc, char** argv) {
     const std::string key = argv[i];
     if (key == "--quiet") {  // flag options take no value
       a.quiet = true;
+      --i;
+      continue;
+    }
+    if (key == "--guard") {
+      a.guard = true;
       --i;
       continue;
     }
@@ -101,6 +124,9 @@ Args parse(int argc, char** argv) {
     else if (key == "--nmax") a.nmax = std::stoul(value);
     else if (key == "--delta") a.delta = std::stod(value);
     else if (key == "--faults") a.faults = std::stod(value);
+    else if (key == "--hang") a.hang = std::stod(value);
+    else if (key == "--guard-floor") a.guard_floor = std::stod(value);
+    else if (key == "--guard-window") a.guard_window = std::stoul(value);
     else if (key == "--retries") a.retries = std::stoul(value);
     else if (key == "--timeout") a.timeout = std::stod(value);
     else if (key == "--threads") a.threads = std::stoul(value);
@@ -208,6 +234,13 @@ int cmd_collect(const Args& a) {
   so.problem = a.problem;
   so.machine = a.machine;
   so.faults.transient_rate = a.faults;
+  if (a.hang > 0.0) {
+    // Deterministic slow motion: every evaluation sleeps a.hang seconds
+    // and then returns its normal result, so the chaos CI step can kill
+    // the run mid-flight without changing what the trace records.
+    so.faults.hang_rate = 1.0;
+    so.faults.hang_seconds = a.hang;
+  }
   so.faults.seed = a.seed;
   so.observe = true;
   so.resilient = true;
@@ -269,10 +302,16 @@ int cmd_transfer(const Args& a) {
   so.machine = a.target;
   so.observe_label = "eval.target";
   apps::EvaluatorStack target(so);
+  tuner::GuardOptions guard;
+  guard.enabled = a.guard;
+  guard.floor = a.guard_floor;
+  guard.window = a.guard_window;
+
   tuner::ExperimentSettings s;
   s.nmax = a.nmax;
   s.delta_percent = a.delta;
   s.seed = a.seed;
+  s.guard = guard;
 
   if (!a.from.empty()) {
     // Reuse a previously collected T_a: fit the surrogate and run the
@@ -284,6 +323,13 @@ int cmd_transfer(const Args& a) {
     tuner::BiasedSearchOptions opt;
     opt.max_evals = a.nmax;
     opt.seed = a.seed;
+    opt.guard = guard;
+    opt.guard.refit_source = &ta;
+    opt.guard.on_transition = [](const tuner::GuardTransition& tr) {
+      std::printf("guard: RS_b %s->%s @%zu (%s, trust=%.3f)\n",
+                  to_string(tr.from), to_string(tr.to), tr.evals,
+                  tr.reason.c_str(), tr.trust);
+    };
     const auto biased = tuner::biased_random_search(target, *model, opt);
     std::printf("RS_b on %s: best %.4f s (at %.1f s of search)\n",
                 a.target.c_str(), biased.best_seconds(),
@@ -313,6 +359,7 @@ int cmd_transfer(const Args& a) {
                 r.failures.failures, r.failures.attempts,
                 r.failures.transient, r.failures.deterministic,
                 r.failures.timeouts);
+  for (const auto& g : r.guard_log) std::printf("guard: %s\n", g.c_str());
   for (const auto& aborted : r.aborted_searches)
     std::printf("aborted: %s\n", aborted.c_str());
   return 0;

@@ -69,16 +69,34 @@ int main(int argc, char** argv) {
     bool regressed = false;
 
     if (!a.log.empty()) {
-      const auto events = obs::read_event_log(a.log);
-      const obs::Report report = obs::analyze_events(events);
+      // Lenient read: a crashed run's torn last line is skipped (and
+      // counted on the report) instead of poisoning the whole analysis.
+      obs::LogReadStats stats;
+      const auto events = obs::read_event_log(a.log, &stats);
+      if (stats.skipped > 0)
+        std::fprintf(stderr,
+                     "portatune_report: warning: skipped %zu malformed "
+                     "line(s) in %s (first: %s)\n",
+                     stats.skipped, a.log.c_str(),
+                     stats.first_error.c_str());
+      obs::Report report = obs::analyze_events(events);
+      report.skipped_lines = stats.skipped;
       obs::write_report(std::cout, report);
       if (!a.metrics.empty()) {
         std::cout << "\n";
         obs::write_metrics_summary(std::cout, a.metrics);
       }
       if (!a.compare.empty()) {
-        const auto baseline_events = obs::read_event_log(a.compare);
-        const obs::Report baseline = obs::analyze_events(baseline_events);
+        obs::LogReadStats base_stats;
+        const auto baseline_events =
+            obs::read_event_log(a.compare, &base_stats);
+        if (base_stats.skipped > 0)
+          std::fprintf(stderr,
+                       "portatune_report: warning: skipped %zu malformed "
+                       "line(s) in %s\n",
+                       base_stats.skipped, a.compare.c_str());
+        obs::Report baseline = obs::analyze_events(baseline_events);
+        baseline.skipped_lines = base_stats.skipped;
         const obs::Comparison c =
             obs::compare_reports(baseline, report, a.threshold);
         std::cout << "\n";

@@ -14,7 +14,8 @@ bool injects_faults(const tuner::FaultProfile& p) {
 }  // namespace
 
 EvaluatorStack::EvaluatorStack(const EvaluatorStackOptions& opt)
-    : backend_(make_simulated_evaluator(opt.problem, opt.machine,
+    : guard_(opt.guard),
+      backend_(make_simulated_evaluator(opt.problem, opt.machine,
                                         opt.compiler, opt.kernel_threads)) {
   tuner::Evaluator* top = backend_.get();
   if (injects_faults(opt.faults)) {

@@ -21,6 +21,7 @@
 #include "sim/machine.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/faults.hpp"
+#include "tuner/guard.hpp"
 #include "tuner/parallel.hpp"
 #include "tuner/resilience.hpp"
 
@@ -49,6 +50,13 @@ struct EvaluatorStackOptions {
   /// (0 = hardware concurrency, exactly as ParallelOptions::threads).
   std::size_t eval_threads = 1;
   std::size_t batch_width = 0;  ///< 0 = ParallelEvaluator's default
+
+  /// Surrogate-trust guard settings to thread into the searches run
+  /// against this stack (tuner/guard.hpp). Not a decorator layer — the
+  /// guard lives inside RS_p / RS_b — but carried here so drivers
+  /// configure the whole run (stack + search behavior) in one place;
+  /// read it back via guard_options().
+  tuner::GuardOptions guard{};
 };
 
 /// Owns a fully wired decorator stack and forwards the Evaluator interface
@@ -85,7 +93,13 @@ class EvaluatorStack final : public tuner::Evaluator {
   }
   tuner::Evaluator& backend() noexcept { return *backend_; }
 
+  /// Guard settings carried by this stack (see EvaluatorStackOptions).
+  const tuner::GuardOptions& guard_options() const noexcept {
+    return guard_;
+  }
+
  private:
+  tuner::GuardOptions guard_;
   tuner::EvaluatorPtr backend_;
   std::unique_ptr<tuner::FaultInjectingEvaluator> faults_;
   std::unique_ptr<obs::ObservedEvaluator> observed_;

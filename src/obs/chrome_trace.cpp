@@ -137,20 +137,19 @@ void write_chrome_trace(const std::string& path,
   PT_REQUIRE(os.good(), "chrome trace write failed: " + path);
 }
 
-std::vector<Event> read_event_log(std::istream& is) {
-  std::vector<Event> events;
-  std::string line;
-  std::size_t lineno = 0;
-  while (std::getline(is, line)) {
-    ++lineno;
-    if (line.empty()) continue;
-    json::Value doc;
-    try {
-      doc = json::Value::parse(line);
-    } catch (const Error& e) {
-      throw Error("event log line " + std::to_string(lineno) + ": " +
-                  e.what());
-    }
+namespace {
+
+/// Parse one JSONL line into an Event; throws portatune::Error on any
+/// malformation (bad JSON, missing required key, bad severity).
+Event parse_event_line(const std::string& line, std::size_t lineno) {
+  json::Value doc;
+  try {
+    doc = json::Value::parse(line);
+  } catch (const Error& e) {
+    throw Error("event log line " + std::to_string(lineno) + ": " +
+                e.what());
+  }
+  try {
     Event e;
     e.mono_seconds = doc.at("ts").as_number();
     e.wall_micros = static_cast<std::int64_t>(doc.at("wall_us").as_number());
@@ -185,15 +184,39 @@ std::vector<Event> read_event_log(std::istream& is) {
           break;
       }
     }
-    events.push_back(std::move(e));
+    return e;
+  } catch (const Error& e) {
+    throw Error("event log line " + std::to_string(lineno) + ": " +
+                e.what());
+  }
+}
+
+}  // namespace
+
+std::vector<Event> read_event_log(std::istream& is, LogReadStats* stats) {
+  std::vector<Event> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (stats != nullptr) ++stats->lines;
+    try {
+      events.push_back(parse_event_line(line, lineno));
+    } catch (const Error& e) {
+      if (stats == nullptr) throw;  // strict mode
+      ++stats->skipped;
+      if (stats->first_error.empty()) stats->first_error = e.what();
+    }
   }
   return events;
 }
 
-std::vector<Event> read_event_log(const std::string& path) {
+std::vector<Event> read_event_log(const std::string& path,
+                                  LogReadStats* stats) {
   std::ifstream is(path);
   PT_REQUIRE(is.good(), "cannot open event log: " + path);
-  return read_event_log(is);
+  return read_event_log(is, stats);
 }
 
 std::size_t jsonl_to_chrome_trace(std::istream& is, std::ostream& os) {

@@ -19,12 +19,26 @@
 
 namespace portatune::obs {
 
+/// Accounting for a lenient event-log read: how many non-empty lines
+/// were seen and how many were skipped as malformed (a crashed run's
+/// torn last line, a bit-flipped byte, ...).
+struct LogReadStats {
+  std::size_t lines = 0;    ///< non-empty lines seen
+  std::size_t skipped = 0;  ///< malformed lines skipped
+  std::string first_error;  ///< diagnostic for the first skipped line
+};
+
 /// Parse a JSONL event log (as written by JsonlSink) back into Event
-/// records, including span/parent causal ids. Malformed lines throw
-/// portatune::Error with the offending line number. Shared by the trace
-/// exporter and the portatune-report analyser.
-std::vector<Event> read_event_log(std::istream& is);
-std::vector<Event> read_event_log(const std::string& path);
+/// records, including span/parent causal ids. With `stats == nullptr`
+/// (the default) malformed lines throw portatune::Error with the
+/// offending line number; with a stats object the read is lenient —
+/// malformed lines are skipped and counted instead, so one torn line
+/// cannot poison a whole report. Shared by the trace exporter and the
+/// portatune-report analyser.
+std::vector<Event> read_event_log(std::istream& is,
+                                  LogReadStats* stats = nullptr);
+std::vector<Event> read_event_log(const std::string& path,
+                                  LogReadStats* stats = nullptr);
 
 /// Write a {"traceEvents":[...]} document from in-memory events (e.g. a
 /// MemorySink's contents).

@@ -114,6 +114,17 @@ Report analyze_events(std::span<const Event> events) {
     }
     ++rep.workers[widx].events;
 
+    if (e.name == "guard.state") {
+      GuardEventStat g;
+      if (const Field* f = find_field(e, "search")) g.search = f->value;
+      if (const Field* f = find_field(e, "from")) g.from = f->value;
+      if (const Field* f = find_field(e, "to")) g.to = f->value;
+      if (const Field* f = find_field(e, "reason")) g.reason = f->value;
+      g.trust = field_number(e, "trust", 0.0);
+      g.evals = static_cast<std::size_t>(field_number(e, "evals", 0.0));
+      rep.guard_events.push_back(std::move(g));
+    }
+
     if (e.duration_seconds < 0.0) continue;
     double self = e.duration_seconds;
     if (e.span_id != 0) {
@@ -246,7 +257,8 @@ void write_report(std::ostream& os, const Report& rep) {
      << fmt_seconds(rep.wall_seconds) << " s\n"
      << "  evals " << rep.eval_events << "  failures " << rep.eval_failures
      << "  retried " << rep.eval_retries << "  batched "
-     << rep.batched_evals << "\n";
+     << rep.batched_evals << "  skipped_lines " << rep.skipped_lines
+     << "\n";
 
   if (!rep.phases.empty()) {
     std::size_t w = 5;
@@ -312,6 +324,33 @@ void write_report(std::ostream& os, const Report& rep) {
                12);
       pad_left(os, fmt_seconds(s.duration_seconds), 12);
       os << "\n";
+    }
+  }
+
+  if (!rep.guard_events.empty()) {
+    std::size_t w = 6;
+    for (const auto& g : rep.guard_events)
+      w = std::max(w, g.search.size());
+    os << "\nguard timeline\n  ";
+    pad_to(os, "search", w);
+    os << "  evals  ";
+    pad_to(os, "from", 8);
+    os << "  ";
+    pad_to(os, "to", 8);
+    pad_left(os, "trust", 9);
+    os << "  reason\n";
+    for (const auto& g : rep.guard_events) {
+      os << "  ";
+      pad_to(os, g.search, w);
+      pad_left(os, std::to_string(g.evals), 7);
+      os << "  ";
+      pad_to(os, g.from, 8);
+      os << "  ";
+      pad_to(os, g.to, 8);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%+.3f", g.trust);
+      pad_left(os, buf, 9);
+      os << "  " << g.reason << "\n";
     }
   }
 }

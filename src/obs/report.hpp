@@ -75,12 +75,26 @@ struct SearchStat {
   std::size_t evals_to_best = 0;  ///< 1-based; 0 when no eval succeeded
 };
 
+/// One guard state transition ("guard.state" instant, emitted by the
+/// TrustMonitor of a guarded RS_p / RS_b run), in event order.
+struct GuardEventStat {
+  std::string search;  ///< emitting search label ("RS_p", "RS_b")
+  std::string from;
+  std::string to;
+  std::string reason;
+  double trust = 0.0;
+  std::size_t evals = 0;
+};
+
 struct Report {
   std::size_t events = 0;
   std::size_t spans = 0;
   /// Events whose parent span id never appears as an emitted span — a
   /// broken causal chain (or a parent filtered below the sink severity).
   std::size_t orphan_events = 0;
+  /// Malformed JSONL lines the (lenient) log read skipped; set by the
+  /// caller from LogReadStats, not by analyze_events.
+  std::size_t skipped_lines = 0;
   double wall_seconds = 0.0;  ///< max span end minus min timestamp
 
   std::size_t eval_events = 0;
@@ -92,6 +106,7 @@ struct Report {
   std::vector<WorkerStat> workers;    ///< by lane
   std::vector<CellStat> cells;        ///< in span order
   std::vector<SearchStat> searches;   ///< in span order
+  std::vector<GuardEventStat> guard_events;  ///< in event order
 };
 
 /// Build a Report from parsed events (see read_event_log).

@@ -8,6 +8,7 @@
 #include "support/stats.hpp"
 #include "tuner/observe.hpp"
 #include "tuner/sampler.hpp"
+#include "tuner/transfer.hpp"
 
 namespace portatune::tuner {
 
@@ -34,18 +35,11 @@ SearchTrace adaptive_biased_search(Evaluator& target,
   std::vector<bool> used(pool.size(), false);
 
   const auto build_training_set = [&]() {
-    ml::Dataset data(space.num_params(), space.names());
     const bool keep_source =
         opt.forget_source_after == 0 ||
         trace.size() < opt.forget_source_after;
-    if (keep_source) {
-      for (const auto& e : source.entries())
-        data.add_row(space.features(e.config), e.seconds);
-    }
-    for (const auto& e : trace.entries())
-      for (std::size_t w = 0; w < opt.target_weight; ++w)
-        data.add_row(space.features(e.config), e.seconds);
-    return data;
+    return hybrid_dataset(keep_source ? &source : nullptr, trace, space,
+                          opt.target_weight);
   };
 
   ml::ForestParams fp = opt.forest;

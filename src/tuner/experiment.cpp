@@ -1,6 +1,7 @@
 #include "tuner/experiment.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <thread>
 
 #include "obs/scoped_timer.hpp"
@@ -78,13 +79,34 @@ TransferExperimentResult run_transfer_experiment(
     model = fit_surrogate(out.source_rs, source.space(), fp);
   }
 
-  // 4. Model-based variants on the target machine.
+  // 4. Model-based variants on the target machine. When the guard is on,
+  // its refits train on T_a + accumulated target rows, and every state
+  // transition lands on the result's guard_log tagged with the search
+  // that fired it.
+  const auto guard_for = [&](const char* algo) {
+    GuardOptions g = settings.guard;
+    if (!g.enabled) return g;
+    g.refit_source = &out.source_rs;
+    g.refit_forest = settings.forest;
+    g.refit_forest.seed = settings.seed;
+    g.on_transition = [&out, algo](const GuardTransition& tr) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "%s: %s->%s @%zu (%s, trust=%.3f)", algo,
+                    to_string(tr.from), to_string(tr.to), tr.evals,
+                    tr.reason.c_str(), tr.trust);
+      out.guard_log.emplace_back(line);
+    };
+    return g;
+  };
+
   PrunedSearchOptions p_opt;
   p_opt.max_evals = settings.nmax;
   p_opt.pool_size = settings.pool_size;
   p_opt.delta_percent = settings.delta_percent;
   p_opt.seed = settings.seed;
   p_opt.failure_budget = settings.failure_budget;
+  p_opt.guard = guard_for("RS_p");
   {
     auto span = phase("prune");
     out.pruned = pruned_random_search(target, *model, p_opt);
@@ -95,6 +117,7 @@ TransferExperimentResult run_transfer_experiment(
   b_opt.pool_size = settings.pool_size;
   b_opt.seed = settings.seed;
   b_opt.failure_budget = settings.failure_budget;
+  b_opt.guard = guard_for("RS_b");
   {
     auto span = phase("bias");
     out.biased = biased_random_search(target, *model, b_opt);

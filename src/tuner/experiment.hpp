@@ -18,6 +18,7 @@
 #include "ml/forest.hpp"
 #include "obs/metrics.hpp"
 #include "tuner/evaluator.hpp"
+#include "tuner/guard.hpp"
 #include "tuner/metrics.hpp"
 #include "tuner/resilience.hpp"
 #include "tuner/trace.hpp"
@@ -34,6 +35,12 @@ struct ExperimentSettings {
   /// persistently failing machine aborts its search with a diagnostic
   /// instead of draining the configuration pool.
   FailureBudget failure_budget{};
+  /// Surrogate-trust guard applied to RS_p / RS_b (tuner/guard.hpp).
+  /// The engine wires refit_source to T_a itself, refits with the cell's
+  /// forest hyperparameters, and captures the guard timelines on the
+  /// result's guard_log; refit_source, refit_forest, and on_transition
+  /// set here are overridden.
+  GuardOptions guard{};
 };
 
 struct TransferExperimentResult {
@@ -60,6 +67,11 @@ struct TransferExperimentResult {
   /// Searches that aborted on their failure budget, as
   /// "algorithm: reason" diagnostics (empty in a healthy run).
   std::vector<std::string> aborted_searches;
+
+  /// Guard state transitions of the guarded searches, in firing order, as
+  /// "algorithm: from->to @evals (reason, trust=x)" lines (empty when the
+  /// guard is off or never fired).
+  std::vector<std::string> guard_log;
 
   /// Observability snapshot taken when the experiment finished: every
   /// counter/gauge/histogram of the active metrics registry (model-fit

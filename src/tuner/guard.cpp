@@ -1,0 +1,106 @@
+#include "tuner/guard.hpp"
+
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "support/correlation.hpp"
+
+namespace portatune::tuner {
+
+const char* to_string(GuardState s) noexcept {
+  switch (s) {
+    case GuardState::Trusted:
+      return "trusted";
+    case GuardState::Degraded:
+      return "degraded";
+    case GuardState::Disabled:
+      return "disabled";
+  }
+  return "unknown";
+}
+
+TrustMonitor::TrustMonitor(const GuardOptions& opt, std::string label)
+    : opt_(opt), label_(std::move(label)) {}
+
+double TrustMonitor::trust() const {
+  if (window_.size() < opt_.min_observations) return 1.0;
+  std::vector<double> predicted;
+  std::vector<double> observed;
+  predicted.reserve(window_.size());
+  observed.reserve(window_.size());
+  for (const auto& [p, o] : window_) {
+    predicted.push_back(p);
+    observed.push_back(o);
+  }
+  return spearman(predicted, observed);
+}
+
+void TrustMonitor::observe(double predicted, double observed_seconds,
+                           std::size_t evals) {
+  window_.emplace_back(predicted, observed_seconds);
+  if (opt_.window > 0 && window_.size() > opt_.window) window_.pop_front();
+  if (state_ == GuardState::Disabled) return;  // sticky (refit excepted)
+
+  const double t = trust();
+  if (t < opt_.disable_floor) {
+    transition(GuardState::Disabled, evals, "trust-collapse");
+  } else if (t < opt_.floor) {
+    if (state_ == GuardState::Trusted)
+      transition(GuardState::Degraded, evals, "trust-floor");
+  } else if (state_ == GuardState::Degraded) {
+    transition(GuardState::Trusted, evals, "recovered");
+  }
+}
+
+bool TrustMonitor::note_prune(std::size_t evals) {
+  ++consecutive_prunes_;
+  if (state_ == GuardState::Disabled) return false;
+  if (consecutive_prunes_ > opt_.max_consecutive_prunes) {
+    transition(GuardState::Disabled, evals, "starvation");
+    return true;
+  }
+  return false;
+}
+
+void TrustMonitor::note_refit(std::size_t evals) {
+  refit_spent_ = true;
+  window_.clear();
+  consecutive_prunes_ = 0;
+  transition(GuardState::Trusted, evals, "refit");
+  auto& reg = obs::MetricsRegistry::current();
+  reg.counter("guard.refits").add(1);
+}
+
+void TrustMonitor::transition(GuardState to, std::size_t evals,
+                              const char* reason) {
+  if (to == state_) return;
+  GuardTransition tr;
+  tr.from = state_;
+  tr.to = to;
+  tr.evals = evals;
+  tr.trust = trust();
+  tr.reason = reason;
+  state_ = to;
+  timeline_.push_back(tr);
+
+  auto& reg = obs::MetricsRegistry::current();
+  reg.counter("guard.transitions").add(1);
+  reg.gauge("guard.trust").set(tr.trust);
+  reg.gauge("guard.state").set(static_cast<double>(static_cast<int>(to)));
+
+  if (obs::enabled(obs::Severity::Warn)) {
+    obs::emit(obs::make_instant(
+        obs::Severity::Warn, "guard.state", "search",
+        {{"search", label_},
+         {"from", to_string(tr.from)},
+         {"to", to_string(tr.to)},
+         {"trust", tr.trust},
+         {"evals", static_cast<std::uint64_t>(tr.evals)},
+         {"reason", tr.reason}}));
+  }
+
+  if (opt_.on_transition) opt_.on_transition(tr);
+}
+
+}  // namespace portatune::tuner

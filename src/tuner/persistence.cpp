@@ -1,15 +1,66 @@
 #include "tuner/persistence.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 #include "support/error.hpp"
+#include "support/hash.hpp"
 
 namespace portatune::tuner {
 
 namespace {
+
+constexpr std::string_view kChecksumPrefix = "# checksum,";
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string read_all(std::istream& is) {
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Verify and strip the v3 checksum footer: the last line must read
+/// `# checksum,<16 hex digits>` and the FNV-1a hash of everything before
+/// it must match. Any truncation or bit-flip fails here with a clear
+/// diagnostic instead of parsing (and silently resuming from) garbage —
+/// FNV-1a's per-byte step is a bijection for a fixed byte, so any single
+/// corrupted byte is guaranteed to change the final hash.
+std::string verify_v3_payload(const std::string& content, const char* what) {
+  const auto pos = content.rfind(kChecksumPrefix);
+  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n'))
+    throw Error(std::string(what) +
+                " checksum footer is missing — the file was truncated");
+  std::size_t end = pos + kChecksumPrefix.size();
+  std::size_t digits = 0;
+  bool hex_ok = true;
+  while (end < content.size() && content[end] != '\n') {
+    hex_ok = hex_ok && std::isxdigit(static_cast<unsigned char>(content[end]));
+    ++digits;
+    ++end;
+  }
+  if (digits != 16 || !hex_ok ||
+      content.find_first_not_of('\n', end) != std::string::npos)
+    throw Error(std::string(what) +
+                " checksum footer is malformed — the file was truncated "
+                "or corrupted");
+  const std::uint64_t expect = std::stoull(
+      content.substr(pos + kChecksumPrefix.size(), 16), nullptr, 16);
+  const std::string payload = content.substr(0, pos);
+  if (hash_bytes(payload) != expect)
+    throw Error(std::string(what) +
+                " checksum mismatch — the file is truncated or corrupted");
+  return payload;
+}
 
 std::vector<std::string> split_csv(const std::string& line) {
   std::vector<std::string> out;
@@ -41,19 +92,23 @@ int value_to_index(const ParamSpace& space, std::size_t param,
 
 void save_trace_csv(std::ostream& os, const SearchTrace& trace,
                     const ParamSpace& space) {
-  // v2 appends the wall_unix column (entry wall-clock timestamps);
-  // load_trace_csv still reads v1 files without it.
-  os << "# portatune-trace v2," << trace.algorithm() << ","
-     << trace.problem() << "," << trace.machine() << "\n";
+  // v3 appends a checksum footer over the whole payload (v2 added the
+  // wall_unix column); load_trace_csv still reads v1/v2 files.
+  std::ostringstream payload;
+  payload << "# portatune-trace v3," << trace.algorithm() << ","
+          << trace.problem() << "," << trace.machine() << "\n";
   const auto names = space.names();
-  for (const auto& n : names) os << n << ",";
-  os << "seconds,draw_index,wall_unix\n";
-  os.precision(17);
+  for (const auto& n : names) payload << n << ",";
+  payload << "seconds,draw_index,wall_unix\n";
+  payload.precision(17);
   for (const auto& e : trace.entries()) {
     const auto features = space.features(e.config);
-    for (double v : features) os << v << ",";
-    os << e.seconds << "," << e.draw_index << "," << e.wall_unix << "\n";
+    for (double v : features) payload << v << ",";
+    payload << e.seconds << "," << e.draw_index << "," << e.wall_unix
+            << "\n";
   }
+  const std::string body = payload.str();
+  os << body << kChecksumPrefix << hex16(hash_bytes(body)) << "\n";
 }
 
 void save_trace_csv(const std::string& path, const SearchTrace& trace,
@@ -65,12 +120,22 @@ void save_trace_csv(const std::string& path, const SearchTrace& trace,
 }
 
 SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
+  // v3 files carry a checksum footer over the whole payload; verify it
+  // before any parsing so truncation/corruption fails with a checksum
+  // diagnostic, never a confusing parse error deep in the rows.
+  std::string content = read_all(is);
+  PT_REQUIRE(!content.empty(), "empty trace file");
+  if (content.rfind("# portatune-trace v3,", 0) == 0)
+    content = verify_v3_payload(content, "trace");
+  std::istringstream in(content);
+
   std::string line;
-  PT_REQUIRE(std::getline(is, line), "empty trace file");
-  // v1 files predate the wall_unix column; both versions load.
+  PT_REQUIRE(std::getline(in, line), "empty trace file");
+  // v1 files predate the wall_unix column; all versions load.
   int version = 0;
   if (line.rfind("# portatune-trace v1,", 0) == 0) version = 1;
   else if (line.rfind("# portatune-trace v2,", 0) == 0) version = 2;
+  else if (line.rfind("# portatune-trace v3,", 0) == 0) version = 3;
   PT_REQUIRE(version != 0, "not a portatune trace (bad magic line)");
   const auto meta = split_csv(line.substr(std::string("# ").size()));
   PT_REQUIRE(meta.size() == 4, "malformed trace metadata");
@@ -78,7 +143,7 @@ SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
 
   const std::size_t columns =
       space.num_params() + (version >= 2 ? 3 : 2);
-  PT_REQUIRE(std::getline(is, line), "missing trace header row");
+  PT_REQUIRE(std::getline(in, line), "missing trace header row");
   const auto header = split_csv(line);
   PT_REQUIRE(header.size() == columns,
              "trace header arity does not match the parameter space");
@@ -89,7 +154,7 @@ SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
                    "' does not match space parameter '" + names[p] + "'");
 
   std::size_t row = 0;
-  while (std::getline(is, line)) {
+  while (std::getline(in, line)) {
     ++row;
     if (line.empty()) continue;
     const auto cells = split_csv(line);
@@ -122,36 +187,35 @@ SearchTrace load_trace_csv(const std::string& path,
 void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
                          const ParamSpace& space) {
   const SearchTrace& trace = snapshot.trace;
-  os.precision(17);
-  // v2 appends the wall_unix column; load_checkpoint_csv reads both.
-  os << "# portatune-checkpoint v2," << trace.algorithm() << ","
-     << trace.problem() << "," << trace.machine() << "\n";
-  os << "# draws," << snapshot.draws << "\n";
-  os << "# clock," << trace.total_time() << "\n";
-  os << "# stop," << trace.stop_reason() << "\n";
+  // v3 appends a checksum footer (v2 added the wall_unix column);
+  // load_checkpoint_csv reads all three.
+  std::ostringstream payload;
+  payload.precision(17);
+  payload << "# portatune-checkpoint v3," << trace.algorithm() << ","
+          << trace.problem() << "," << trace.machine() << "\n";
+  payload << "# draws," << snapshot.draws << "\n";
+  payload << "# clock," << trace.total_time() << "\n";
+  payload << "# stop," << trace.stop_reason() << "\n";
   const FailureStats& fs = trace.failure_stats();
-  os << "# stats," << fs.attempts << "," << fs.failures << ","
-     << fs.transient << "," << fs.deterministic << "," << fs.timeouts
-     << "," << fs.overhead_seconds << "\n";
+  payload << "# stats," << fs.attempts << "," << fs.failures << ","
+          << fs.transient << "," << fs.deterministic << "," << fs.timeouts
+          << "," << fs.overhead_seconds << "\n";
   if (!snapshot.quarantine.empty()) {
-    os << "# quarantine";
-    for (const auto h : snapshot.quarantine) {
-      char buf[2 + 16 + 1];
-      std::snprintf(buf, sizeof buf, "%016llx",
-                    static_cast<unsigned long long>(h));
-      os << "," << buf;
-    }
-    os << "\n";
+    payload << "# quarantine";
+    for (const auto h : snapshot.quarantine) payload << "," << hex16(h);
+    payload << "\n";
   }
   const auto names = space.names();
-  for (const auto& n : names) os << n << ",";
-  os << "seconds,elapsed,draw_index,wall_unix\n";
+  for (const auto& n : names) payload << n << ",";
+  payload << "seconds,elapsed,draw_index,wall_unix\n";
   for (const auto& e : trace.entries()) {
     const auto features = space.features(e.config);
-    for (double v : features) os << v << ",";
-    os << e.seconds << "," << e.elapsed << "," << e.draw_index << ","
-       << e.wall_unix << "\n";
+    for (double v : features) payload << v << ",";
+    payload << e.seconds << "," << e.elapsed << "," << e.draw_index << ","
+            << e.wall_unix << "\n";
   }
+  const std::string body = payload.str();
+  os << body << kChecksumPrefix << hex16(hash_bytes(body)) << "\n";
 }
 
 void save_checkpoint_csv(const std::string& path,
@@ -170,12 +234,21 @@ void save_checkpoint_csv(const std::string& path,
 
 SearchCheckpoint load_checkpoint_csv(std::istream& is,
                                      const ParamSpace& space) {
+  // Checksum verification first (v3): a resumed run must never proceed
+  // from a checkpoint whose bytes cannot be trusted.
+  std::string content = read_all(is);
+  PT_REQUIRE(!content.empty(), "empty checkpoint file");
+  if (content.rfind("# portatune-checkpoint v3,", 0) == 0)
+    content = verify_v3_payload(content, "checkpoint");
+  std::istringstream in(content);
+
   std::string line;
-  PT_REQUIRE(std::getline(is, line), "empty checkpoint file");
-  // v1 files predate the wall_unix column; both versions load.
+  PT_REQUIRE(std::getline(in, line), "empty checkpoint file");
+  // v1 files predate the wall_unix column; all versions load.
   int version = 0;
   if (line.rfind("# portatune-checkpoint v1,", 0) == 0) version = 1;
   else if (line.rfind("# portatune-checkpoint v2,", 0) == 0) version = 2;
+  else if (line.rfind("# portatune-checkpoint v3,", 0) == 0) version = 3;
   PT_REQUIRE(version != 0, "not a portatune checkpoint (bad magic line)");
   const auto meta = split_csv(line.substr(std::string("# ").size()));
   PT_REQUIRE(meta.size() == 4, "malformed checkpoint metadata");
@@ -188,7 +261,7 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
   FailureStats fs;
   std::string header_line;
   // Metadata rows run until the first non-"# " line (the column header).
-  while (std::getline(is, line)) {
+  while (std::getline(in, line)) {
     if (line.rfind("# ", 0) != 0) {
       header_line = line;
       break;
@@ -236,7 +309,7 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
                    "' does not match space parameter '" + names[p] + "'");
 
   std::size_t row = 0;
-  while (std::getline(is, line)) {
+  while (std::getline(in, line)) {
     ++row;
     if (line.empty()) continue;
     const auto cells = split_csv(line);

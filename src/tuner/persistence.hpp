@@ -28,6 +28,15 @@
 //   # stats,<attempts>,<failures>,<transient>,<deterministic>,<timeouts>,<overhead_seconds>
 //   # quarantine,<hex hash>,<hex hash>,...          (row absent when empty)
 //   <param0>,...,seconds,elapsed,draw_index
+//
+// Version history (loaders accept every version; writers emit the
+// newest):
+//   v1  original format above
+//   v2  rows gain a trailing wall_unix column
+//   v3  a final `# checksum,<16 hex digits>` footer carries the FNV-1a
+//       hash of every byte before it, so loaders reject truncated or
+//       bit-flipped files with a checksum diagnostic instead of silently
+//       resuming from garbage
 #pragma once
 
 #include <iosfwd>

@@ -9,8 +9,10 @@
 #include "support/error.hpp"
 #include "support/stats.hpp"
 #include "support/thread_pool.hpp"
+#include "tuner/guard.hpp"
 #include "tuner/observe.hpp"
 #include "tuner/sampler.hpp"
+#include "tuner/transfer.hpp"
 
 namespace portatune::tuner {
 
@@ -34,6 +36,21 @@ bool abort_on_failure(SearchTrace& trace, FailureBudgetTracker& budget,
 /// processed in draw order.
 std::size_t batch_width(const Evaluator& eval) {
   return std::max<std::size_t>(1, eval.capabilities().preferred_batch);
+}
+
+/// Window width for the guarded search loops. With the guard enabled the
+/// width is pinned to GuardOptions::sync_window instead of the
+/// evaluator's preferred batch: adaptive decisions (relax/disable
+/// pruning, re-rank the pool) depend on observed results, so the
+/// interleaving of trust updates and draw decisions must not vary with
+/// the thread count — a fixed window keeps serial and parallel traces
+/// bit-identical even when the guard fires mid-search. evaluate_batch
+/// accepts any window size; a ParallelEvaluator still fans the fixed
+/// window out over its pool.
+std::size_t guarded_batch_width(const Evaluator& eval,
+                                const GuardOptions& guard) {
+  if (!guard.enabled) return batch_width(eval);
+  return std::max<std::size_t>(1, guard.sync_window);
 }
 
 /// Evaluate one search window under a "search.window" span: the causal
@@ -205,7 +222,12 @@ SearchTrace pruned_random_search(Evaluator& eval,
   // model predictions over a fresh pool of N configurations. Predictions
   // fan out over the shared pool; the quantile sees them in pool order
   // either way, so the cutoff is identical to the serial computation.
+  // With the guard enabled a second, relaxed cutoff is precomputed at the
+  // midpoint between delta and 100% — the Degraded state prunes against
+  // that instead, keeping roughly half the draws the strict cutoff would
+  // have discarded.
   double cutoff = 0.0;
+  double relaxed_cutoff = 0.0;
   {
     obs::ScopedTimer phase("search.RS_p.cutoff", "search",
                            {{"pool_size", opt.pool_size},
@@ -222,19 +244,35 @@ SearchTrace pruned_random_search(Evaluator& eval,
     const std::vector<double> pool_pred = predict_all(model, space, pool);
     cutoff = quantile(pool_pred, opt.delta_percent / 100.0);
     phase.add_field({"cutoff_seconds", cutoff});
+    if (opt.guard.enabled) {
+      const double relaxed_percent =
+          opt.delta_percent + (100.0 - opt.delta_percent) / 2.0;
+      relaxed_cutoff = quantile(pool_pred, relaxed_percent / 100.0);
+      phase.add_field({"relaxed_cutoff_seconds", relaxed_cutoff});
+    }
   }
 
   // Phase 2: walk the shared stream (same order RS sees), evaluating only
   // configurations the surrogate predicts below the cutoff. Survivors are
   // gathered into evaluation windows; the prediction filter itself stays
-  // on the (sequential) draw path.
+  // on the (sequential) draw path. The guard, when enabled, owns the
+  // effective cutoff: strict while Trusted, relaxed while Degraded, and
+  // no pruning at all once Disabled (trust collapse or starvation cap) —
+  // from that point the scan degenerates to plain RS over the same
+  // stream.
   obs::ScopedTimer scan_phase("search.RS_p.scan", "search");
+  std::optional<TrustMonitor> monitor;
+  if (opt.guard.enabled) monitor.emplace(opt.guard, "RS_p");
   ConfigStream stream(space, opt.seed);
   std::size_t draws = 0;
   std::size_t pruned = 0;
   const auto publish_prune_stats = [&] {
     scan_phase.add_field({"draws", draws});
     scan_phase.add_field({"pruned", pruned});
+    if (monitor) {
+      scan_phase.add_field({"guard_state", to_string(monitor->state())});
+      scan_phase.add_field({"guard_trust", monitor->trust()});
+    }
     if (draws == 0) return;
     auto& metrics = obs::MetricsRegistry::current();
     metrics.counter("search.draws").add(draws);
@@ -242,15 +280,29 @@ SearchTrace pruned_random_search(Evaluator& eval,
     metrics.gauge("search.prune_rate")
         .set(static_cast<double>(pruned) / static_cast<double>(draws));
   };
-  const std::size_t width = batch_width(eval);
+  const auto should_prune = [&](double predicted) {
+    if (!monitor) return predicted >= cutoff;
+    switch (monitor->state()) {
+      case GuardState::Trusted:
+        return predicted >= cutoff;
+      case GuardState::Degraded:
+        return predicted >= relaxed_cutoff;
+      case GuardState::Disabled:
+        return false;
+    }
+    return false;
+  };
+  const std::size_t width = guarded_batch_width(eval, opt.guard);
   bool space_exhausted = false;
   while (trace.size() < opt.max_evals && draws < opt.max_draws &&
          !space_exhausted) {
     const std::size_t want = std::min(width, opt.max_evals - trace.size());
     std::vector<ParamConfig> configs;
     std::vector<std::size_t> draw_idx;
+    std::vector<double> window_pred;
     configs.reserve(want);
     draw_idx.reserve(want);
+    window_pred.reserve(want);
     while (configs.size() < want && draws < opt.max_draws) {
       auto config = stream.next();
       if (!config) {
@@ -258,12 +310,18 @@ SearchTrace pruned_random_search(Evaluator& eval,
         break;
       }
       ++draws;
-      if (model.predict(space.features(*config)) >= cutoff) {
+      const double predicted = model.predict(space.features(*config));
+      if (should_prune(predicted)) {
         ++pruned;
+        // note_prune transitions to Disabled when the starvation cap
+        // trips; should_prune then lets every later draw through.
+        if (monitor) monitor->note_prune(trace.size());
         continue;
       }
+      if (monitor) monitor->note_pass();
       draw_idx.push_back(stream.produced() - 1);
       configs.push_back(std::move(*config));
+      window_pred.push_back(predicted);
     }
     if (configs.empty()) break;  // everything left was pruned or drawn out
 
@@ -281,6 +339,7 @@ SearchTrace pruned_random_search(Evaluator& eval,
       trace.note_result(r);
       budget.note(r);
       trace.record(std::move(configs[i]), r.seconds, draw_idx[i]);
+      if (monitor) monitor->observe(window_pred[i], r.seconds, trace.size());
     }
   }
   publish_prune_stats();
@@ -320,6 +379,7 @@ SearchTrace biased_random_search(Evaluator& eval,
   // out over the shared pool — prediction i depends only on pool entry i,
   // so the ranking is deterministic), and rank by ascending prediction.
   std::vector<ParamConfig> pool;
+  std::vector<double> pred;
   std::vector<std::size_t> order;
   {
     obs::ScopedTimer rank_phase("search.RS_b.rank", "search",
@@ -332,26 +392,67 @@ SearchTrace biased_random_search(Evaluator& eval,
       pool.push_back(std::move(*c));
     }
     PT_REQUIRE(!pool.empty(), "empty candidate pool");
-    order = argsort(predict_all(model, space, pool));
+    pred = predict_all(model, space, pool);
+    order = argsort(pred);
     rank_phase.add_field({"pool", pool.size()});
   }
 
   // Phase 2: evaluate in ascending predicted-run-time order (equivalent to
   // repeatedly taking argmin over the remaining pool, Algorithm 2 line 7),
-  // one window of consecutive ranks at a time.
-  const std::size_t width = batch_width(eval);
-  std::size_t rank = 0;
-  while (rank < order.size() && trace.size() < opt.max_evals) {
-    const std::size_t want = std::min(
-        {width, opt.max_evals - trace.size(), order.size() - rank});
+  // one window at a time. With the guard enabled the order is no longer
+  // immutable: when trust degrades and enough target observations have
+  // accumulated, a hybrid forest (source rows + weighted target rows) is
+  // refitted once and the remaining pool re-ranked; when trust collapses
+  // or the refit fails too, the remainder falls back to draw order — the
+  // order the pool was sampled in, i.e. plain RS over X_p. `used` makes
+  // the re-orderings safe: a configuration is evaluated at most once.
+  std::optional<TrustMonitor> monitor;
+  if (opt.guard.enabled) monitor.emplace(opt.guard, "RS_b");
+  ml::RegressorPtr refit_model;  // owns the hybrid forest after a refit
+  std::vector<bool> used(pool.size(), false);
+  std::size_t cursor = 0;
+  bool draw_order_fallback = false;
+  const auto maybe_react = [&] {
+    if (!monitor || draw_order_fallback) return;
+    if (monitor->state() == GuardState::Disabled) {
+      order.resize(pool.size());
+      for (std::size_t i = 0; i < pool.size(); ++i) order[i] = i;
+      cursor = 0;
+      draw_order_fallback = true;
+      return;
+    }
+    if (monitor->state() == GuardState::Degraded &&
+        opt.guard.refit_after > 0 && !monitor->refit_spent() &&
+        trace.size() >= opt.guard.refit_after) {
+      refit_model =
+          fit_hybrid_surrogate(opt.guard.refit_source, trace, space,
+                               opt.guard.refit_target_weight,
+                               opt.guard.refit_forest);
+      pred = predict_all(*refit_model, space, pool);
+      order = argsort(pred);
+      cursor = 0;
+      monitor->note_refit(trace.size());
+    }
+  };
+
+  const std::size_t width = guarded_batch_width(eval, opt.guard);
+  while (trace.size() < opt.max_evals) {
+    const std::size_t want = std::min(width, opt.max_evals - trace.size());
     std::vector<ParamConfig> configs;
     std::vector<std::size_t> pool_idx;
+    std::vector<double> window_pred;
     configs.reserve(want);
     pool_idx.reserve(want);
-    for (std::size_t k = 0; k < want; ++k, ++rank) {
-      pool_idx.push_back(order[rank]);
-      configs.push_back(pool[order[rank]]);
+    window_pred.reserve(want);
+    while (configs.size() < want && cursor < order.size()) {
+      const std::size_t pick = order[cursor++];
+      if (used[pick]) continue;  // evaluated before a re-ranking
+      used[pick] = true;
+      pool_idx.push_back(pick);
+      configs.push_back(pool[pick]);
+      window_pred.push_back(pred[pick]);
     }
+    if (configs.empty()) break;  // pool exhausted
 
     const std::vector<EvalResult> results =
         evaluate_window(eval, configs, trace.size());
@@ -364,7 +465,12 @@ SearchTrace biased_random_search(Evaluator& eval,
       trace.note_result(r);
       budget.note(r);
       trace.record(std::move(configs[i]), r.seconds, pool_idx[i]);
+      if (monitor) monitor->observe(window_pred[i], r.seconds, trace.size());
     }
+    // Guard reactions happen at window granularity, after the window's
+    // results are accounted in draw order — the same points in the
+    // decision sequence at every thread count.
+    maybe_react();
   }
   return trace;
 }

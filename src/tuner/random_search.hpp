@@ -71,6 +71,10 @@ struct PrunedSearchOptions : SearchCommon {
 };
 
 /// RS_p (Algorithm 1). `model` must be fitted on the source machine data.
+/// With `opt.guard.enabled` the pruning cutoff follows the TrustMonitor:
+/// strict while Trusted, relaxed to the midpoint quantile while Degraded,
+/// and no pruning at all once Disabled (trust collapse or starvation
+/// cap) — see tuner/guard.hpp.
 SearchTrace pruned_random_search(Evaluator& eval,
                                  const ml::Regressor& model,
                                  const PrunedSearchOptions& opt);
@@ -80,6 +84,10 @@ struct BiasedSearchOptions : SearchCommon {
 };
 
 /// RS_b (Algorithm 2). `model` must be fitted on the source machine data.
+/// With `opt.guard.enabled` the evaluation order follows the
+/// TrustMonitor: model-ranked while Trusted, re-ranked by a once-refitted
+/// hybrid forest (guard.refit_after target rows accumulated) on
+/// degradation, and falling back to draw order once Disabled.
 SearchTrace biased_random_search(Evaluator& eval,
                                  const ml::Regressor& model,
                                  const BiasedSearchOptions& opt);

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "tuner/guard.hpp"
 #include "tuner/resilience.hpp"
 
 namespace portatune::tuner {
@@ -19,6 +20,9 @@ struct SearchCommon {
   std::uint64_t seed = 1;       ///< shared stream seed (CRN, Sec. IV-D)
   /// Abort (with a diagnostic stop_reason) once failures exceed this.
   FailureBudget failure_budget{};
+  /// Surrogate-trust guard (RS_p / RS_b only; inert everywhere else and
+  /// inert by default — see tuner/guard.hpp for the state machine).
+  GuardOptions guard{};
 };
 
 }  // namespace portatune::tuner

@@ -20,4 +20,21 @@ ml::RegressorPtr fit_surrogate(const SearchTrace& source,
 void fit_surrogate_into(ml::Regressor& model, const SearchTrace& source,
                         const ParamSpace& space);
 
+/// Training set mixing source rows (when `source` is non-null) with the
+/// target rows repeated `target_weight` times — cheap importance
+/// weighting of on-target evidence against the source prior. Shared by
+/// the adaptive search's periodic refits and the guard's rescue refit.
+ml::Dataset hybrid_dataset(const SearchTrace* source,
+                           const SearchTrace& target,
+                           const ParamSpace& space,
+                           std::size_t target_weight);
+
+/// Fit a random forest on hybrid_dataset(). Requires at least one row
+/// between the two traces.
+ml::RegressorPtr fit_hybrid_surrogate(const SearchTrace* source,
+                                      const SearchTrace& target,
+                                      const ParamSpace& space,
+                                      std::size_t target_weight,
+                                      const ml::ForestParams& params = {});
+
 }  // namespace portatune::tuner

@@ -30,11 +30,16 @@ foreach(run "serial;1" "parallel;4")
   endif()
 endforeach()
 
-# Strip the trailing wall_unix column from every data row, then compare.
+# Strip the trailing wall_unix column from every data row — and the v3
+# checksum footer, which hashes those timestamps and so differs too —
+# then compare.
 function(canonicalize path out_var)
   file(STRINGS "${path}" lines ENCODING UTF-8)
   set(result "")
   foreach(line IN LISTS lines)
+    if(line MATCHES "^# checksum,")
+      continue()
+    endif()
     if(line MATCHES "^[0-9]")
       string(REGEX REPLACE ",[0-9.eE+-]+$" "" line "${line}")
     endif()

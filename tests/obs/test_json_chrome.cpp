@@ -98,6 +98,77 @@ TEST(ChromeTrace, RejectsMalformedJsonl) {
   EXPECT_THROW(jsonl_to_chrome_trace(in, out), Error);
 }
 
+TEST(ChromeTrace, StrictReadThrowsOnTornLine) {
+  // Default (no stats out-param): malformed input is an error, exactly
+  // as before the lenient mode existed.
+  std::istringstream in(
+      R"({"name":"a","cat":"c","sev":"info","ts":1.0})" "\n"
+      R"({"name":"b","cat":"c","sev":)" "\n");  // torn mid-write
+  EXPECT_THROW(read_event_log(in), Error);
+}
+
+TEST(ChromeTrace, LenientReadSkipsAndCountsTornLines) {
+  // A crashed run tears its last JSONL line mid-write; with a stats
+  // out-param the reader salvages every intact event and reports what it
+  // dropped instead of throwing the whole log away.
+  std::ostringstream log;
+  JsonlSink sink(log);
+  sink.log(make_instant(Severity::Info, "first", "test"));
+  sink.log(make_instant(Severity::Info, "second", "test"));
+  std::string text = log.str();
+  text += R"({"name":"torn","cat":"test","sev":)";  // no newline, torn
+
+  std::istringstream in(text);
+  LogReadStats stats;
+  const auto events = read_event_log(in, &stats);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "second");
+  EXPECT_EQ(stats.lines, 3u);
+  EXPECT_EQ(stats.skipped, 1u);
+  EXPECT_NE(stats.first_error.find("line 3"), std::string::npos)
+      << stats.first_error;
+}
+
+TEST(ChromeTrace, LenientReadSkipsMidFileGarbage) {
+  // Bit-flipped or interleaved junk between valid lines: each bad line
+  // is skipped independently; the good ones all survive.
+  std::ostringstream log;
+  JsonlSink sink(log);
+  sink.log(make_instant(Severity::Info, "keep.1", "test"));
+  std::string text = log.str();
+  text += "#### not json at all\n";
+  text += R"({"cat":"test","sev":"info","ts":1.0})" "\n";  // missing name
+  {
+    std::ostringstream more;
+    JsonlSink tail(more);
+    tail.log(make_instant(Severity::Info, "keep.2", "test"));
+    text += more.str();
+  }
+
+  std::istringstream in(text);
+  LogReadStats stats;
+  const auto events = read_event_log(in, &stats);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "keep.1");
+  EXPECT_EQ(events[1].name, "keep.2");
+  EXPECT_EQ(stats.skipped, 2u);
+  EXPECT_FALSE(stats.first_error.empty());
+}
+
+TEST(ChromeTrace, LenientReadOnCleanLogCountsNothing) {
+  std::ostringstream log;
+  JsonlSink sink(log);
+  sink.log(make_instant(Severity::Info, "only", "test"));
+  std::istringstream in(log.str());
+  LogReadStats stats;
+  const auto events = read_event_log(in, &stats);
+  EXPECT_EQ(events.size(), 1u);
+  EXPECT_EQ(stats.lines, 1u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_TRUE(stats.first_error.empty());
+}
+
 namespace {
 
 Event placed_span(std::string name, std::uint64_t id, std::uint64_t parent,

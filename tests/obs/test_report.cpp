@@ -126,6 +126,44 @@ TEST(Report, AttributesEvalsToExperimentCells) {
   EXPECT_EQ(rep.cells[0].failures, 1u);
 }
 
+TEST(Report, CollectsGuardTimeline) {
+  auto log = canned_log();
+  Event g;
+  g.severity = Severity::Warn;
+  g.name = "guard.state";
+  g.category = "search";
+  g.mono_seconds = 0.06;
+  g.thread_id = 1;
+  g.fields = {{"search", "RS_p"},
+              {"from", "trusted"},
+              {"to", "degraded"},
+              {"trust", 0.15},
+              {"evals", std::uint64_t{20}},
+              {"reason", "trust-floor"}};
+  log.push_back(g);
+  const auto rep = analyze_events(log);
+  ASSERT_EQ(rep.guard_events.size(), 1u);
+  EXPECT_EQ(rep.guard_events[0].search, "RS_p");
+  EXPECT_EQ(rep.guard_events[0].from, "trusted");
+  EXPECT_EQ(rep.guard_events[0].to, "degraded");
+  EXPECT_EQ(rep.guard_events[0].reason, "trust-floor");
+  EXPECT_NEAR(rep.guard_events[0].trust, 0.15, 1e-9);
+  EXPECT_EQ(rep.guard_events[0].evals, 20u);
+
+  std::ostringstream os;
+  write_report(os, rep);
+  EXPECT_NE(os.str().find("guard timeline"), std::string::npos);
+  EXPECT_NE(os.str().find("trust-floor"), std::string::npos);
+}
+
+TEST(Report, ReportsSkippedLines) {
+  Report rep = analyze_events(canned_log());
+  rep.skipped_lines = 3;
+  std::ostringstream os;
+  write_report(os, rep);
+  EXPECT_NE(os.str().find("skipped_lines 3"), std::string::npos);
+}
+
 TEST(Report, WriteReportMentionsEverySection) {
   std::ostringstream os;
   write_report(os, analyze_events(canned_log()));
