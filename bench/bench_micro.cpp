@@ -273,7 +273,7 @@ BENCHMARK(BM_RandomSearch);
 // regimes matter. Real autotuning evaluations are latency-bound — each
 // measurement occupies its worker for a compile+run wall-clock interval —
 // so the fan-out overlaps those waits and scales with the worker count
-// even on a single core (modeled by an injected per-attempt hang). The
+// even on a single core (modeled by an injected per-attempt delay). The
 // pure cost-model regime is CPU-bound and scales only with physical
 // cores. UseRealTime throughout: wall time is what the fan-out buys.
 
@@ -281,8 +281,8 @@ void BM_BatchEvalLatencyBound(benchmark::State& state) {
   auto lu = kernels::make_lu();
   kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
   tuner::FaultProfile fp;
-  fp.hang_rate = 1.0;  // every attempt waits, like a real compile+run
-  fp.hang_seconds = 0.001;
+  fp.delay_rate = 1.0;  // every attempt waits, like a real compile+run
+  fp.delay_seconds = 0.001;
   tuner::FaultInjectingEvaluator slow(wm, fp);
   tuner::ParallelOptions popt;
   popt.threads = static_cast<std::size_t>(state.range(0));
@@ -314,8 +314,8 @@ void BM_ParallelRandomSearch(benchmark::State& state) {
   auto lu = kernels::make_lu();
   kernels::SimulatedKernelEvaluator wm(lu, sim::make_westmere());
   tuner::FaultProfile fp;
-  fp.hang_rate = 1.0;
-  fp.hang_seconds = 0.0005;
+  fp.delay_rate = 1.0;
+  fp.delay_seconds = 0.0005;
   tuner::FaultInjectingEvaluator slow(wm, fp);
   tuner::ParallelOptions popt;
   popt.threads = static_cast<std::size_t>(state.range(0));
@@ -342,8 +342,8 @@ tuner::ExperimentJob latency_cell(const std::string& problem,
   job.settings.pool_size = 1000;
   const auto make = [problem](const std::string& machine) {
     auto o = bench::paper_stack_options(problem, machine);
-    o.faults.hang_rate = 1.0;  // latency-bound, as real measurements are
-    o.faults.hang_seconds = 0.0005;
+    o.faults.delay_rate = 1.0;  // latency-bound, as real measurements are
+    o.faults.delay_seconds = 0.0005;
     return apps::make_evaluator_stack(o);
   };
   job.make_source = [=] { return make(source); };

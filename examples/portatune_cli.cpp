@@ -13,6 +13,18 @@
 //       run the full Sec. IV-D experiment (optionally reusing a saved T_a)
 //   portatune_cli similarity --problem LU --source Westmere --target X-Gene
 //       probe-based machine-similarity report and transfer advice
+//   portatune_cli experiment --problem LU --pairs W:SB,W:XG --run-dir d
+//       journaled experiment fan-out: one Sec. IV-D cell per src:tgt
+//       pair, each phase persisted as it completes into <run-dir>. A run
+//       killed or interrupted mid-flight is continued exactly with
+//       --resume <run-dir> (done cells restored, partial searches resumed
+//       from their checkpoints).
+//
+// Graceful shutdown (collect/experiment): SIGINT/SIGTERM requests
+// cooperative cancellation — searches stop at the next window boundary,
+// checkpoints/journal/logs are flushed, and the process exits with code 3
+// so scripts can distinguish "interrupted but resumable" from success (0)
+// and failure (1). A second signal force-exits immediately.
 //
 // Parallel evaluation (collect/transfer): --threads N fans evaluation
 // windows out over N worker threads (0 = all hardware threads). Traces
@@ -29,10 +41,15 @@
 // correlation window. Guard state transitions appear as "guard: ..."
 // lines and as guard.state events in the JSONL log.
 //
-// Fault shaping: --faults R injects transient failures at rate R;
-// --hang S makes every evaluation stall S seconds before returning its
-// (unchanged) result — a deterministic slow-motion mode the chaos CI
-// step uses to reliably SIGKILL a run mid-flight.
+// Fault shaping: --faults takes either a bare rate R (historic spelling:
+// transient failures at rate R) or a comma list of seeded channels, e.g.
+// --faults "transient:0.05,hang:0.02,hang-stall:30" (see
+// tuner::parse_fault_spec for every key). Injected hangs park on the
+// cooperative cancellation token and are rescued by the eval watchdog at
+// the --timeout deadline, classified Timeout. --slow S makes every
+// evaluation sleep S seconds before returning its (unchanged) result — a
+// deterministic slow-motion mode the chaos CI step uses to reliably
+// SIGKILL a run mid-flight.
 //
 // Observability (any command):
 //   --log-json events.jsonl    structured event log, one JSON object/line
@@ -54,11 +71,14 @@
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "obs/thread_pool_metrics.hpp"
+#include "support/atomic_file.hpp"
 #include "support/error.hpp"
+#include "support/signal.hpp"
 #include "tuner/experiment.hpp"
 #include "tuner/persistence.hpp"
 #include "tuner/random_search.hpp"
 #include "tuner/resilience.hpp"
+#include "tuner/run_journal.hpp"
 #include "tuner/similarity.hpp"
 #include "tuner/transfer.hpp"
 
@@ -74,11 +94,13 @@ struct Args {
   std::string machine = "Westmere";
   std::string from, out;
   std::string checkpoint, resume;
+  std::string pairs;      ///< experiment: src:tgt[,src:tgt...]
+  std::string run_dir;    ///< experiment: journaled run directory
   std::size_t ckpt_every = 10;
   std::size_t nmax = 100;
   double delta = 20.0;
-  double faults = 0.0;    ///< injected transient-failure rate
-  double hang = 0.0;      ///< per-evaluation stall, seconds (0 = off)
+  std::string faults;     ///< fault spec (rate or key:value list)
+  double slow = 0.0;      ///< per-evaluation sleep, seconds (0 = off)
   std::size_t retries = 2;
   double timeout = 0.0;   ///< per-evaluation deadline, seconds
   std::size_t threads = 1;  ///< evaluation workers (0 = all hardware)
@@ -95,7 +117,7 @@ struct Args {
 
 Args parse(int argc, char** argv) {
   PT_REQUIRE(argc >= 2, "usage: portatune_cli <list|collect|transfer|"
-                        "similarity> [options]");
+                        "experiment|similarity> [options]");
   Args a;
   a.command = argv[1];
   for (int i = 2; i < argc; i += 2) {
@@ -123,8 +145,10 @@ Args parse(int argc, char** argv) {
     else if (key == "--ckpt-every") a.ckpt_every = std::stoul(value);
     else if (key == "--nmax") a.nmax = std::stoul(value);
     else if (key == "--delta") a.delta = std::stod(value);
-    else if (key == "--faults") a.faults = std::stod(value);
-    else if (key == "--hang") a.hang = std::stod(value);
+    else if (key == "--faults") a.faults = value;
+    else if (key == "--slow") a.slow = std::stod(value);
+    else if (key == "--pairs") a.pairs = value;
+    else if (key == "--run-dir") a.run_dir = value;
     else if (key == "--guard-floor") a.guard_floor = std::stod(value);
     else if (key == "--guard-window") a.guard_window = std::stoul(value);
     else if (key == "--retries") a.retries = std::stoul(value);
@@ -183,10 +207,11 @@ class ObsSession {
                     args_.chrome_trace.c_str());
     }
     if (!args_.metrics_out.empty()) {
-      std::ofstream os(args_.metrics_out);
-      PT_REQUIRE(os.good(), "cannot open for writing: " + args_.metrics_out);
-      os << obs::MetricsRegistry::current().snapshot().to_json() << "\n";
-      PT_REQUIRE(os.good(), "write failed: " + args_.metrics_out);
+      // Crash-safe like every persistence artifact: an interrupt during
+      // the write never leaves a torn snapshot behind.
+      atomic_write_file(
+          args_.metrics_out,
+          obs::MetricsRegistry::current().snapshot().to_json() + "\n");
       if (!args_.quiet)
         std::printf("wrote metrics to %s\n", args_.metrics_out.c_str());
     }
@@ -233,13 +258,13 @@ int cmd_collect(const Args& a) {
   apps::EvaluatorStackOptions so;
   so.problem = a.problem;
   so.machine = a.machine;
-  so.faults.transient_rate = a.faults;
-  if (a.hang > 0.0) {
-    // Deterministic slow motion: every evaluation sleeps a.hang seconds
+  if (!a.faults.empty()) so.faults = tuner::parse_fault_spec(a.faults);
+  if (a.slow > 0.0) {
+    // Deterministic slow motion: every evaluation sleeps a.slow seconds
     // and then returns its normal result, so the chaos CI step can kill
     // the run mid-flight without changing what the trace records.
-    so.faults.hang_rate = 1.0;
-    so.faults.hang_seconds = a.hang;
+    so.faults.delay_rate = 1.0;
+    so.faults.delay_seconds = a.slow;
   }
   so.faults.seed = a.seed;
   so.observe = true;
@@ -247,11 +272,13 @@ int cmd_collect(const Args& a) {
   so.retry.max_attempts = a.retries + 1;
   so.retry.timeout_seconds = a.timeout;
   so.eval_threads = a.threads;
+  so.cancel = shutdown_token();
   apps::EvaluatorStack eval(so);
 
   tuner::RandomSearchOptions opt;
   opt.max_evals = a.nmax;
   opt.seed = a.seed;
+  opt.cancel = shutdown_token();
 
   tuner::SearchCheckpoint resumed;
   if (!a.resume.empty()) {
@@ -286,6 +313,14 @@ int cmd_collect(const Args& a) {
                 trace.best_seconds(), trace.size(), fs.failures,
                 fs.attempts, fs.overhead_seconds);
   }
+  if (trace.stop_reason() == tuner::kCancelledStopReason) {
+    std::printf("interrupted by shutdown request after %zu evaluations",
+                trace.size());
+    if (!a.checkpoint.empty())
+      std::printf("; resume with --resume %s", a.checkpoint.c_str());
+    std::printf("\n");
+    return 3;
+  }
   return 0;
 }
 
@@ -296,6 +331,10 @@ int cmd_transfer(const Args& a) {
   so.problem = a.problem;
   so.observe = true;
   so.eval_threads = a.threads;
+  so.cancel = shutdown_token();
+  // No resilient layer here, so the parallel layer owns the watchdog
+  // deadline: a cooperatively hung evaluation is rescued at --timeout.
+  so.eval_deadline_seconds = a.timeout;
   so.machine = a.source;
   so.observe_label = "eval.source";
   apps::EvaluatorStack source(so);
@@ -312,6 +351,7 @@ int cmd_transfer(const Args& a) {
   s.delta_percent = a.delta;
   s.seed = a.seed;
   s.guard = guard;
+  s.cancel = shutdown_token();
 
   if (!a.from.empty()) {
     // Reuse a previously collected T_a: fit the surrogate and run the
@@ -340,6 +380,12 @@ int cmd_transfer(const Args& a) {
   }
 
   const auto r = tuner::run_transfer_experiment(source, target, s);
+  if (r.interrupted) {
+    std::printf("interrupted by shutdown request (transfer runs are not "
+                "journaled; use the experiment command for resumable "
+                "runs)\n");
+    return 3;
+  }
   std::printf("%s: %s -> %s\n", a.problem.c_str(), a.source.c_str(),
               a.target.c_str());
   std::printf("correlation: pearson %.3f spearman %.3f\n", r.pearson,
@@ -365,6 +411,91 @@ int cmd_transfer(const Args& a) {
   return 0;
 }
 
+int cmd_experiment(const Args& a) {
+  PT_REQUIRE(!a.pairs.empty(),
+             "experiment requires --pairs src:tgt[,src:tgt...]");
+  tuner::JournaledRunOptions jopt;
+  jopt.run_dir = a.resume.empty() ? a.run_dir : a.resume;
+  jopt.resume = !a.resume.empty();
+  jopt.threads = a.threads;
+  jopt.rs_checkpoint_every = a.ckpt_every;
+  jopt.cancel = shutdown_token();
+  PT_REQUIRE(!jopt.run_dir.empty(),
+             "experiment requires --run-dir <dir> (or --resume <dir>)");
+
+  std::vector<tuner::ExperimentJob> jobs;
+  std::string rest = a.pairs;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string pair = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string()
+                                      : rest.substr(comma + 1);
+    const auto colon = pair.find(':');
+    PT_REQUIRE(colon != std::string::npos && colon > 0 &&
+                   colon + 1 < pair.size(),
+               "malformed --pairs entry '" + pair + "' (want src:tgt)");
+    const std::string src = pair.substr(0, colon);
+    const std::string tgt = pair.substr(colon + 1);
+
+    apps::EvaluatorStackOptions base;
+    base.problem = a.problem;
+    if (!a.faults.empty()) base.faults = tuner::parse_fault_spec(a.faults);
+    if (a.slow > 0.0) {
+      base.faults.delay_rate = 1.0;
+      base.faults.delay_seconds = a.slow;
+    }
+    base.faults.seed = a.seed;
+    base.observe = true;
+
+    tuner::ExperimentJob job;
+    job.label = a.problem + " " + src + "->" + tgt;
+    job.make_source = [base, src]() -> tuner::EvaluatorPtr {
+      auto o = base;
+      o.machine = src;
+      o.observe_label = "eval.source";
+      return apps::make_evaluator_stack(o);
+    };
+    job.make_target = [base, tgt]() -> tuner::EvaluatorPtr {
+      auto o = base;
+      o.machine = tgt;
+      o.observe_label = "eval.target";
+      return apps::make_evaluator_stack(o);
+    };
+    job.settings.nmax = a.nmax;
+    job.settings.delta_percent = a.delta;
+    job.settings.seed = a.seed;
+    job.settings.guard.enabled = a.guard;
+    job.settings.guard.floor = a.guard_floor;
+    job.settings.guard.window = a.guard_window;
+    jobs.push_back(std::move(job));
+  }
+
+  tuner::JournaledRunSummary sum;
+  const auto results =
+      tuner::run_transfer_experiments_journaled(jobs, jopt, &sum);
+  std::printf("journaled run %s: %zu cells (%zu restored, %zu completed "
+              "this run)\n",
+              jopt.run_dir.c_str(), sum.cells_total, sum.cells_restored,
+              sum.cells_completed);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    if (r.source_rs.empty()) continue;  // interrupted before this cell
+    std::printf("  %-28s RS_p %.2f/%.2f  RS_b %.2f/%.2f  "
+                "pearson %.3f%s\n",
+                jobs[i].label.c_str(), r.pruned_speedup.performance,
+                r.pruned_speedup.search, r.biased_speedup.performance,
+                r.biased_speedup.search, r.pearson,
+                r.interrupted ? "  (interrupted)" : "");
+  }
+  if (sum.interrupted) {
+    std::printf("interrupted by shutdown request; resume with: "
+                "portatune_cli experiment --resume %s ...\n",
+                jopt.run_dir.c_str());
+    return 3;
+  }
+  return 0;
+}
+
 int cmd_similarity(const Args& a) {
   auto source = apps::make_simulated_evaluator(a.problem, a.source);
   auto target = apps::make_simulated_evaluator(a.problem, a.target);
@@ -384,11 +515,15 @@ int cmd_similarity(const Args& a) {
 int main(int argc, char** argv) {
   try {
     const Args a = parse(argc, argv);
+    // SIGINT/SIGTERM request a graceful shutdown (cooperative
+    // cancellation + flush); a second signal force-exits.
+    install_shutdown_signal_handler();
     ObsSession obs_session(a);
     int rc = 1;
     if (a.command == "list") rc = cmd_list();
     else if (a.command == "collect") rc = cmd_collect(a);
     else if (a.command == "transfer") rc = cmd_transfer(a);
+    else if (a.command == "experiment") rc = cmd_experiment(a);
     else if (a.command == "similarity") rc = cmd_similarity(a);
     else throw Error("unknown command: " + a.command);
     obs_session.finish();

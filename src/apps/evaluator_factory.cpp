@@ -8,7 +8,7 @@ namespace {
 
 bool injects_faults(const tuner::FaultProfile& p) {
   return p.transient_rate > 0.0 || p.deterministic_rate > 0.0 ||
-         p.hang_rate > 0.0 || p.spike_rate > 0.0;
+         p.hang_rate > 0.0 || p.delay_rate > 0.0 || p.spike_rate > 0.0;
 }
 
 }  // namespace
@@ -38,6 +38,8 @@ EvaluatorStack::EvaluatorStack(const EvaluatorStackOptions& opt)
     tuner::ParallelOptions popt;
     popt.threads = opt.eval_threads;
     popt.batch_width = opt.batch_width;
+    popt.cancel = opt.cancel;
+    popt.eval_deadline_seconds = opt.eval_deadline_seconds;
     parallel_ = std::make_unique<tuner::ParallelEvaluator>(*top, popt);
     top = parallel_.get();
   }

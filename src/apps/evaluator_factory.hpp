@@ -50,6 +50,10 @@ struct EvaluatorStackOptions {
   /// (0 = hardware concurrency, exactly as ParallelOptions::threads).
   std::size_t eval_threads = 1;
   std::size_t batch_width = 0;  ///< 0 = ParallelEvaluator's default
+  /// Cooperative cancellation + per-evaluation watchdog deadline, wired
+  /// into the parallel layer (see ParallelOptions).
+  CancellationToken cancel{};
+  double eval_deadline_seconds = 0.0;
 
   /// Surrogate-trust guard settings to thread into the searches run
   /// against this stack (tuner/guard.hpp). Not a decorator layer — the

@@ -1,0 +1,80 @@
+#include "support/atomic_file.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "support/error.hpp"
+
+namespace portatune {
+
+namespace {
+
+/// fsync an already-written file (POSIX; no-op elsewhere). Throws on
+/// failure: an unsynced "atomic" write is a silent lie about durability.
+void fsync_path(const std::string& path, bool directory) {
+#ifndef _WIN32
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY;
+  const int fd = open(path.c_str(), flags);
+  PT_REQUIRE(fd >= 0, "cannot open for fsync: " + path);
+  const int rc = fsync(fd);
+  close(fd);
+  PT_REQUIRE(rc == 0, "fsync failed: " + path);
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+}  // namespace
+
+void atomic_write_file(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  try {
+    {
+      std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+      PT_REQUIRE(os.good(), "cannot open for writing: " + tmp);
+      os.write(contents.data(),
+               static_cast<std::streamsize>(contents.size()));
+      PT_REQUIRE(os.good(), "write failed: " + tmp);
+    }
+    fsync_path(tmp, /*directory=*/false);
+    PT_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+               "cannot move into place: " + path);
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  // Durable rename: sync the directory entry too. Without this a crash
+  // can forget the rename even though both file versions were synced.
+  const auto parent = std::filesystem::path(path).parent_path();
+  fsync_path(parent.empty() ? "." : parent.string(), /*directory=*/true);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  PT_REQUIRE(is.good(), "cannot open file: " + path);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  PT_REQUIRE(!ec, "cannot create directory " + path + ": " + ec.message());
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+}  // namespace portatune

@@ -1,0 +1,31 @@
+// Crash-safe file replacement.
+//
+// atomic_write_file() is the single write path for every persistence
+// artifact (checkpoints, traces, journal manifests, metrics snapshots):
+// the contents go to `<path>.tmp`, are fsync'ed, and the temp file is
+// renamed over the destination — and the parent directory is fsync'ed so
+// the rename itself is durable. A SIGKILL (or power loss) at any instant
+// therefore leaves either the complete old file or the complete new file,
+// never a torn hybrid; the v3 checksum loaders then never see bytes our
+// own writer produced half-way.
+#pragma once
+
+#include <string>
+
+namespace portatune {
+
+/// Atomically replace `path` with `contents` (write-temp + fsync +
+/// rename + directory fsync). Throws portatune::Error on any I/O error;
+/// the temp file is removed on failure.
+void atomic_write_file(const std::string& path, const std::string& contents);
+
+/// Whole-file read. Throws portatune::Error when the file cannot be
+/// opened.
+std::string read_file(const std::string& path);
+
+/// mkdir -p. Throws portatune::Error on failure.
+void ensure_directory(const std::string& path);
+
+bool file_exists(const std::string& path);
+
+}  // namespace portatune

@@ -1,0 +1,45 @@
+#include "support/cancellation.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace portatune {
+
+bool CancellationToken::wait_for(double seconds) const {
+  const auto duration = std::chrono::duration<double>(seconds);
+  if (state_ == nullptr) {
+    if (seconds > 0.0) std::this_thread::sleep_for(duration);
+    return false;
+  }
+  std::unique_lock lock(state_->mutex);
+  return state_->cv.wait_for(lock, duration, [this] {
+    return state_->cancelled.load(std::memory_order_acquire);
+  });
+}
+
+void CancellationSource::request_cancel() noexcept {
+  // The store happens under the lock so a waiter cannot check the flag,
+  // decide to sleep, and miss the notify in between.
+  {
+    std::lock_guard lock(state_->mutex);
+    state_->cancelled.store(true, std::memory_order_release);
+  }
+  state_->cv.notify_all();
+}
+
+namespace {
+thread_local CancellationToken t_ambient_token{};
+}  // namespace
+
+CancellationToken current_cancellation_token() noexcept {
+  return t_ambient_token;
+}
+
+CancellationScope::CancellationScope(CancellationToken token) noexcept
+    : previous_(t_ambient_token) {
+  t_ambient_token = std::move(token);
+}
+
+CancellationScope::~CancellationScope() { t_ambient_token = previous_; }
+
+}  // namespace portatune

@@ -1,0 +1,111 @@
+// Cooperative cancellation: the primitive behind graceful shutdown and
+// the hang watchdog.
+//
+// A CancellationSource owns a flag; every CancellationToken copied from
+// it observes that flag. Cancellation is *cooperative*: nothing is
+// interrupted — long-running work (an evaluation stall, a search window
+// loop) polls cancelled() or parks on wait_for(), and unwinds on its own
+// terms. That is what keeps cancelled runs deterministic enough to
+// resume: a search that stops "because cancelled" stops at a window
+// boundary with a consistent checkpoint, never mid-record.
+//
+// Like SpanContext, a thread-local *ambient* token rides along so layers
+// deep inside an evaluator stack (e.g. the fault injector's simulated
+// hang) can observe the cancellation of the attempt or search that
+// scheduled them without a token threaded through every signature.
+// ThreadPool::submit captures the submitter's ambient token and
+// re-installs it around the task, so the ambient token survives the
+// thread hop exactly like the span context does.
+//
+// This header lives in support (not tuner) because ThreadPool needs it,
+// and support cannot link tuner.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace portatune {
+
+namespace detail {
+
+/// Shared state of one cancellation domain. The mutex/cv pair exists so
+/// wait_for() wakes *immediately* on cancellation instead of timing out;
+/// the flag alone would only support polling.
+struct CancelState {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::atomic<bool> cancelled{false};
+};
+
+}  // namespace detail
+
+/// Read-only view of a cancellation domain. Default-constructed tokens
+/// are *invalid*: they never report cancellation and wait_for() degrades
+/// to a plain sleep — so APIs can take a token by value with `{}` as the
+/// "not cancellable" default.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// True once the source requested cancellation (acquire load).
+  bool cancelled() const noexcept {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// Park for up to `seconds`: returns true the moment cancellation is
+  /// requested, false when the full duration elapsed without it. An
+  /// invalid token sleeps the whole duration and returns false.
+  bool wait_for(double seconds) const;
+
+ private:
+  friend class CancellationSource;
+  explicit CancellationToken(std::shared_ptr<detail::CancelState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// Owner of a cancellation domain. Copyable — copies share the domain, so
+/// a watchdog can hold a source whose token is parked on by a worker.
+class CancellationSource {
+ public:
+  CancellationSource() : state_(std::make_shared<detail::CancelState>()) {}
+
+  CancellationToken token() const noexcept {
+    return CancellationToken(state_);
+  }
+
+  /// Idempotent: sets the flag and wakes every wait_for().
+  void request_cancel() noexcept;
+
+  bool cancel_requested() const noexcept {
+    return state_->cancelled.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<detail::CancelState> state_;
+};
+
+/// The ambient token of the calling thread (invalid when none installed).
+CancellationToken current_cancellation_token() noexcept;
+
+/// RAII: install `token` as the calling thread's ambient token, restore
+/// the previous one on destruction (mirrors SpanScope).
+class CancellationScope {
+ public:
+  explicit CancellationScope(CancellationToken token) noexcept;
+  ~CancellationScope();
+
+  CancellationScope(const CancellationScope&) = delete;
+  CancellationScope& operator=(const CancellationScope&) = delete;
+
+ private:
+  CancellationToken previous_;
+};
+
+}  // namespace portatune

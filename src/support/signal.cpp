@@ -1,0 +1,82 @@
+#include "support/signal.hpp"
+
+#include <atomic>
+
+#ifndef _WIN32
+#include <csignal>
+#include <thread>
+#include <unistd.h>
+#endif
+
+namespace portatune {
+
+namespace {
+
+CancellationSource& shutdown_source() {
+  // Function-local: valid regardless of static-init order, and the shared
+  // state is intentionally leaked on exit (detached watcher threads and
+  // late tokens may still touch it while the process unwinds).
+  static CancellationSource* source = new CancellationSource();
+  return *source;
+}
+
+#ifndef _WIN32
+// Written by install (main thread), read by the async handler.
+std::atomic<int> g_signal_pipe_fd{-1};
+// How many shutdown signals arrived; sig_atomic_t per POSIX handler rules.
+volatile std::sig_atomic_t g_signals_seen = 0;
+
+extern "C" void shutdown_signal_handler(int signo) {
+  if (g_signals_seen++ > 0) {
+    // Second signal: cooperative shutdown is taking too long (or is
+    // itself stuck) — force-exit with the conventional signal status.
+    _exit(128 + signo);
+  }
+  const int fd = g_signal_pipe_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // write() is async-signal-safe; the watcher thread does the rest.
+    [[maybe_unused]] const auto ignored = write(fd, &byte, 1);
+  }
+}
+#endif
+
+}  // namespace
+
+CancellationToken shutdown_token() noexcept {
+  return shutdown_source().token();
+}
+
+bool shutdown_requested() noexcept {
+  return shutdown_source().cancel_requested();
+}
+
+void request_shutdown() noexcept { shutdown_source().request_cancel(); }
+
+void install_shutdown_signal_handler() {
+#ifndef _WIN32
+  static std::atomic<bool> installed{false};
+  if (installed.exchange(true)) return;
+
+  int fds[2];
+  if (pipe(fds) != 0) return;  // no pipe, no handler — stay signal-default
+  const int read_fd = fds[0];
+  g_signal_pipe_fd.store(fds[1], std::memory_order_relaxed);
+
+  // Detached on purpose: it blocks in read() for the process lifetime and
+  // is reaped by process exit. It must not hold anything destructible.
+  std::thread([read_fd] {
+    char byte;
+    while (read(read_fd, &byte, 1) == 1) request_shutdown();
+  }).detach();
+
+  struct sigaction sa = {};
+  sa.sa_handler = shutdown_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#endif
+}
+
+}  // namespace portatune

@@ -1,0 +1,37 @@
+// Process-wide graceful shutdown.
+//
+// One global cancellation domain represents "this process was asked to
+// stop". Drivers wire shutdown_token() into their search options and
+// evaluator stacks; long-running loops then unwind at the next window
+// boundary, flush their checkpoints/journals, and exit with resumable
+// state on disk.
+//
+// install_shutdown_signal_handler() maps SIGINT/SIGTERM onto that domain
+// using the self-pipe pattern: the handler only write()s one byte (async-
+// signal-safe), and a lazily started watcher thread does the actual
+// request_shutdown() — which takes locks and notifies condition variables,
+// neither of which is legal inside a signal handler. A *second* signal
+// force-exits immediately (handler-side _exit, no flushing): the escape
+// hatch when cooperative shutdown itself is stuck.
+#pragma once
+
+#include "support/cancellation.hpp"
+
+namespace portatune {
+
+/// Token of the process-wide shutdown domain. Valid from the first call.
+CancellationToken shutdown_token() noexcept;
+
+/// True once shutdown was requested (signal or programmatic).
+bool shutdown_requested() noexcept;
+
+/// Programmatic shutdown (tests, embedders): cancels the shutdown domain
+/// exactly as the first SIGINT/SIGTERM would.
+void request_shutdown() noexcept;
+
+/// Install the SIGINT/SIGTERM handler (POSIX; no-op elsewhere and on
+/// repeat calls). First signal: graceful shutdown via the self-pipe;
+/// second signal: _exit(128 + signo).
+void install_shutdown_signal_handler();
+
+}  // namespace portatune

@@ -10,6 +10,8 @@
 //     and re-installs it around the task on the worker, so profiling
 //     spans emitted worker-side still parent to the search window /
 //     experiment cell that scheduled them (two TLS words, no locks).
+//     The submitter's ambient CancellationToken rides along the same way,
+//     so a cancelled search window reaches the evaluations it fanned out.
 //   * Telemetry — an optional process-wide ThreadPoolObserver receives
 //     queue-depth / queue-wait / execute callbacks per task. With none
 //     installed the pool pays one relaxed atomic load per transition and
@@ -27,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/cancellation.hpp"
 #include "support/span_context.hpp"
 
 namespace portatune {
@@ -78,20 +81,23 @@ class ThreadPool {
   std::size_t size() const noexcept { return workers_.size(); }
 
   /// Enqueue a task; returns a future for its completion. The task runs
-  /// under the submitter's SpanContext.
+  /// under the submitter's SpanContext and ambient CancellationToken, so
+  /// both causality and cancellation survive the thread hop.
   template <typename F>
   std::future<void> submit(F&& f) {
     auto task = std::make_shared<std::packaged_task<void()>>(
         std::forward<F>(f));
     std::future<void> fut = task->get_future();
     const SpanContext ctx = current_span_context();
+    const CancellationToken cancel = current_cancellation_token();
     ThreadPoolObserver* const observer = thread_pool_observer();
     std::size_t depth;
     {
       std::lock_guard lock(mutex_);
       queue_.push(QueuedTask{
-          [task, ctx] {
+          [task, ctx, cancel] {
             SpanScope scope(ctx);
+            CancellationScope cancel_scope(cancel);
             (*task)();
           },
           observer != nullptr ? std::chrono::steady_clock::now()

@@ -34,6 +34,7 @@ SearchTrace run_reference_rs(Evaluator& eval,
   rs_opt.max_evals = settings.nmax;
   rs_opt.seed = settings.seed;
   rs_opt.failure_budget = settings.failure_budget;
+  rs_opt.cancel = settings.cancel;
   return random_search(eval, rs_opt);
 }
 
@@ -53,22 +54,65 @@ TransferExperimentResult run_transfer_experiment(
     return obs::ScopedTimer(std::string("phase.") + name, "experiment");
   };
 
-  // 1. RS on the source machine -> T_a.
-  {
-    auto span = phase("source_rs");
-    out.source_rs = run_reference_rs(source, settings);
-  }
+  // Run one named search phase: try the restore hook first, then check
+  // for cancellation, then run. A phase whose trace carries the
+  // cancellation stop reason (or that never started) flips `interrupted`,
+  // which short-circuits every later phase — the caller gets back exactly
+  // the completed prefix of the protocol plus the partial phase's trace.
+  const auto run_phase = [&](const char* name, SearchTrace& slot,
+                             auto&& body) {
+    if (out.interrupted) return;
+    if (settings.hooks.restore_phase) {
+      if (std::optional<SearchTrace> restored =
+              settings.hooks.restore_phase(name)) {
+        slot = std::move(*restored);
+        return;
+      }
+    }
+    if (settings.cancel.cancelled()) {
+      out.interrupted = true;
+      return;
+    }
+    {
+      auto span = phase(name);
+      slot = body();
+    }
+    if (slot.stop_reason() == kCancelledStopReason) {
+      out.interrupted = true;
+      return;
+    }
+    if (settings.hooks.phase_done) settings.hooks.phase_done(name, slot);
+  };
+
+  // 1. RS on the source machine -> T_a. This is the long phase, so it is
+  // additionally checkpointed mid-flight through the rs_* hooks.
+  std::optional<SearchCheckpoint> rs_snapshot;
+  run_phase("source_rs", out.source_rs, [&] {
+    RandomSearchOptions rs_opt;
+    rs_opt.max_evals = settings.nmax;
+    rs_opt.seed = settings.seed;
+    rs_opt.failure_budget = settings.failure_budget;
+    rs_opt.cancel = settings.cancel;
+    rs_opt.checkpoint_every = settings.hooks.rs_checkpoint_every;
+    rs_opt.on_checkpoint = settings.hooks.rs_checkpoint;
+    if (settings.hooks.rs_resume) {
+      rs_snapshot = settings.hooks.rs_resume();
+      if (rs_snapshot) rs_opt.resume = &*rs_snapshot;
+    }
+    return random_search(source, rs_opt);
+  });
+  if (out.interrupted) return out;
   PT_REQUIRE(!out.source_rs.empty(), "source RS produced no evaluations");
 
   // 2. RS on the target machine, replaying the source order (CRN).
-  {
-    auto span = phase("target_rs");
+  run_phase("target_rs", out.target_rs, [&] {
     std::vector<ParamConfig> order;
     order.reserve(out.source_rs.size());
     for (const auto& e : out.source_rs.entries()) order.push_back(e.config);
-    out.target_rs = replay_search(target, order, settings.nmax, "RS",
-                                  settings.failure_budget);
-  }
+    return replay_search(target, order, settings.nmax, "RS",
+                         settings.failure_budget, settings.cancel);
+  });
+  if (out.interrupted) return out;
 
   // 3. Fit the surrogate M_a on T_a.
   ml::ForestParams fp = settings.forest;
@@ -100,41 +144,49 @@ TransferExperimentResult run_transfer_experiment(
     return g;
   };
 
-  PrunedSearchOptions p_opt;
-  p_opt.max_evals = settings.nmax;
-  p_opt.pool_size = settings.pool_size;
-  p_opt.delta_percent = settings.delta_percent;
-  p_opt.seed = settings.seed;
-  p_opt.failure_budget = settings.failure_budget;
-  p_opt.guard = guard_for("RS_p");
-  {
-    auto span = phase("prune");
-    out.pruned = pruned_random_search(target, *model, p_opt);
-  }
+  run_phase("pruned", out.pruned, [&] {
+    PrunedSearchOptions p_opt;
+    p_opt.max_evals = settings.nmax;
+    p_opt.pool_size = settings.pool_size;
+    p_opt.delta_percent = settings.delta_percent;
+    p_opt.seed = settings.seed;
+    p_opt.failure_budget = settings.failure_budget;
+    p_opt.guard = guard_for("RS_p");
+    p_opt.cancel = settings.cancel;
+    return pruned_random_search(target, *model, p_opt);
+  });
 
-  BiasedSearchOptions b_opt;
-  b_opt.max_evals = settings.nmax;
-  b_opt.pool_size = settings.pool_size;
-  b_opt.seed = settings.seed;
-  b_opt.failure_budget = settings.failure_budget;
-  b_opt.guard = guard_for("RS_b");
-  {
-    auto span = phase("bias");
-    out.biased = biased_random_search(target, *model, b_opt);
-  }
+  run_phase("biased", out.biased, [&] {
+    BiasedSearchOptions b_opt;
+    b_opt.max_evals = settings.nmax;
+    b_opt.pool_size = settings.pool_size;
+    b_opt.seed = settings.seed;
+    b_opt.failure_budget = settings.failure_budget;
+    b_opt.guard = guard_for("RS_b");
+    b_opt.cancel = settings.cancel;
+    return biased_random_search(target, *model, b_opt);
+  });
 
   // 5. Model-free controls, restricted to T_a's configurations.
-  {
-    auto span = phase("model_free");
-    out.pruned_mf = model_free_pruned(target, out.source_rs,
-                                      settings.delta_percent, SIZE_MAX,
-                                      settings.failure_budget);
-    out.biased_mf = model_free_biased(target, out.source_rs, SIZE_MAX,
-                                      settings.failure_budget);
-  }
+  run_phase("pruned_mf", out.pruned_mf, [&] {
+    return model_free_pruned(target, out.source_rs, settings.delta_percent,
+                             SIZE_MAX, settings.failure_budget,
+                             settings.cancel);
+  });
+  run_phase("biased_mf", out.biased_mf, [&] {
+    return model_free_biased(target, out.source_rs, SIZE_MAX,
+                             settings.failure_budget, settings.cancel);
+  });
+  if (out.interrupted) return out;
 
-  // 6. Metrics.
+  // 6-8. Derived metrics, computed only for complete runs.
   auto metrics_span = phase("metrics");
+  finalize_transfer_result(out);
+  return out;
+}
+
+void finalize_transfer_result(TransferExperimentResult& out) {
+  // 6. Metrics.
   out.pruned_speedup = compare_to_rs(out.target_rs, out.pruned);
   out.biased_speedup = compare_to_rs(out.target_rs, out.biased);
   out.pruned_mf_speedup = compare_to_rs(out.target_rs, out.pruned_mf);
@@ -160,7 +212,10 @@ TransferExperimentResult run_transfer_experiment(
     out.top_overlap = top_set_overlap(ya, yb, 0.2);
   }
 
-  // 7. Failure accounting over all six traces.
+  // 7. Failure accounting over all six traces (idempotent: reset first so
+  // re-finalizing a restored cell does not double-count).
+  out.failures = FailureStats{};
+  out.aborted_searches.clear();
   for (const SearchTrace* t :
        {&out.source_rs, &out.target_rs, &out.pruned, &out.biased,
         &out.pruned_mf, &out.biased_mf}) {
@@ -172,7 +227,6 @@ TransferExperimentResult run_transfer_experiment(
 
   // 8. Attach the observability snapshot so the report is self-contained.
   out.metrics = obs::MetricsRegistry::current().snapshot();
-  return out;
 }
 
 std::vector<TransferExperimentResult> run_transfer_experiments(

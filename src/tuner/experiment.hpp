@@ -13,17 +13,45 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
+#include <string>
 
 #include "ml/forest.hpp"
 #include "obs/metrics.hpp"
+#include "support/cancellation.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/guard.hpp"
 #include "tuner/metrics.hpp"
+#include "tuner/random_search.hpp"
 #include "tuner/resilience.hpp"
 #include "tuner/trace.hpp"
 
 namespace portatune::tuner {
+
+/// Persistence hooks for crash-safe experiments (tuner/run_journal.hpp).
+/// The engine runs its searches as named phases — "source_rs",
+/// "target_rs", "pruned", "biased", "pruned_mf", "biased_mf" — and calls
+/// these hooks at phase boundaries. All hooks are optional; the default
+/// (empty) hooks reproduce the unjournaled behaviour exactly.
+struct ExperimentHooks {
+  /// Called before a phase runs. Returning a trace skips the phase and
+  /// uses the restored trace instead (its guard transitions are not
+  /// replayed onto guard_log — they were logged by the original run).
+  std::function<std::optional<SearchTrace>(const std::string& phase)>
+      restore_phase;
+  /// Called after a phase completes normally (not when it was restored,
+  /// cancelled, or skipped). The hook owns persistence.
+  std::function<void(const std::string& phase, const SearchTrace& trace)>
+      phase_done;
+  /// Periodic checkpointing of the long source RS phase (0 disables);
+  /// forwarded to RandomSearchOptions::{checkpoint_every, on_checkpoint}.
+  std::size_t rs_checkpoint_every = 0;
+  std::function<void(const SearchCheckpoint&)> rs_checkpoint;
+  /// Consulted once when the source_rs phase starts (and was not restored
+  /// whole): a returned snapshot resumes the partial search.
+  std::function<std::optional<SearchCheckpoint>()> rs_resume;
+};
 
 struct ExperimentSettings {
   std::size_t nmax = 100;        ///< evaluation budget per search
@@ -41,6 +69,12 @@ struct ExperimentSettings {
   /// result's guard_log; refit_source, refit_forest, and on_transition
   /// set here are overridden.
   GuardOptions guard{};
+  /// Cooperative cancellation, threaded into every phase's search. Once
+  /// cancelled the experiment stops at the next phase/window boundary
+  /// with result.interrupted = true (see TransferExperimentResult).
+  CancellationToken cancel{};
+  /// Crash-safety hooks (empty = plain in-memory run).
+  ExperimentHooks hooks{};
 };
 
 struct TransferExperimentResult {
@@ -78,12 +112,26 @@ struct TransferExperimentResult {
   /// cost, prune rates, cache traffic, per-evaluation latency, ...), so
   /// each experiment report carries its own telemetry.
   obs::MetricsSnapshot metrics;
+
+  /// True when the experiment was stopped by cooperative cancellation
+  /// before all six phases finished. The traces up to (and including) the
+  /// partially-run phase are populated; the derived metrics above are NOT
+  /// computed — resume the run and let finalize_transfer_result() produce
+  /// them once every phase is complete.
+  bool interrupted = false;
 };
 
 /// Run the full protocol. `source` and `target` must expose identical
 /// parameter spaces (the paper's fixed-D assumption); this is enforced.
 TransferExperimentResult run_transfer_experiment(
     Evaluator& source, Evaluator& target, const ExperimentSettings& settings);
+
+/// Steps 6-8 of the protocol: compute the speedups, the cross-machine
+/// correlations, and the failure accounting from the six traces already
+/// on `out`, and attach the current metrics snapshot. Pure function of the
+/// traces (plus the process-wide registry), so a journal-restored cell
+/// recomputes exactly what the uninterrupted run would have reported.
+void finalize_transfer_result(TransferExperimentResult& out);
 
 /// One independent cell of a Table IV/V-style experiment grid.
 ///

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <thread>
 
+#include "support/cancellation.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
@@ -14,8 +15,9 @@ namespace {
 // though they share the (seed, config, attempt) key.
 constexpr std::uint64_t kDeterministicSalt = 0xdead0001u;
 constexpr std::uint64_t kTransientSalt = 0xdead0002u;
-constexpr std::uint64_t kHangSalt = 0xdead0003u;
+constexpr std::uint64_t kDelaySalt = 0xdead0003u;
 constexpr std::uint64_t kSpikeSalt = 0xdead0004u;
+constexpr std::uint64_t kHangSalt = 0xdead0005u;
 
 double channel_unit(std::uint64_t seed, std::uint64_t salt,
                     std::uint64_t config_hash, std::uint64_t attempt) {
@@ -32,14 +34,61 @@ void check_rate(double rate, const char* name) {
 
 }  // namespace
 
+FaultProfile parse_fault_spec(const std::string& spec, FaultProfile base) {
+  PT_REQUIRE(!spec.empty(), "empty fault spec");
+  FaultProfile p = base;
+  // Historic spelling: a bare number is the transient rate.
+  if (spec.find(':') == std::string::npos) {
+    try {
+      p.transient_rate = std::stod(spec);
+    } catch (const std::exception&) {
+      throw Error("bad fault spec: " + spec);
+    }
+    return p;
+  }
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const auto comma = spec.find(',', start);
+    const std::string item = spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    start = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const auto colon = item.find(':');
+    PT_REQUIRE(colon != std::string::npos,
+               "fault spec entry '" + item + "' is missing a ':'");
+    const std::string key = item.substr(0, colon);
+    const std::string value = item.substr(colon + 1);
+    double v = 0.0;
+    try {
+      v = std::stod(value);
+    } catch (const std::exception&) {
+      throw Error("bad value in fault spec entry '" + item + "'");
+    }
+    if (key == "transient") p.transient_rate = v;
+    else if (key == "deterministic" || key == "det") p.deterministic_rate = v;
+    else if (key == "hang") p.hang_rate = v;
+    else if (key == "hang-stall") p.hang_stall_seconds = v;
+    else if (key == "delay") p.delay_rate = v;
+    else if (key == "delay-seconds") p.delay_seconds = v;
+    else if (key == "spike") p.spike_rate = v;
+    else if (key == "spike-factor") p.spike_factor = v;
+    else if (key == "seed") p.seed = static_cast<std::uint64_t>(v);
+    else throw Error("unknown fault spec key: " + key);
+  }
+  return p;
+}
+
 FaultInjectingEvaluator::FaultInjectingEvaluator(Evaluator& inner,
                                                  FaultProfile profile)
     : inner_(inner), profile_(profile) {
   check_rate(profile_.transient_rate, "transient");
   check_rate(profile_.deterministic_rate, "deterministic");
   check_rate(profile_.hang_rate, "hang");
+  check_rate(profile_.delay_rate, "delay");
   check_rate(profile_.spike_rate, "spike");
   PT_REQUIRE(profile_.spike_factor >= 1.0, "spike factor must be >= 1");
+  PT_REQUIRE(profile_.hang_stall_seconds >= 0.0,
+             "hang stall must be >= 0 seconds");
 }
 
 bool FaultInjectingEvaluator::is_deterministically_failing(
@@ -62,26 +111,42 @@ EvalResult FaultInjectingEvaluator::evaluate(const ParamConfig& config) {
   }
 
   std::uint64_t attempt = 0;
-  bool hang = false, transient = false;
+  bool hang = false, delay = false, transient = false;
   {
     std::lock_guard lock(mutex_);
     ++stats_.calls;
     attempt = attempt_counts_[h]++;
     hang = channel_unit(profile_.seed, kHangSalt, h, attempt) <
            profile_.hang_rate;
+    delay = channel_unit(profile_.seed, kDelaySalt, h, attempt) <
+            profile_.delay_rate;
     transient = channel_unit(profile_.seed, kTransientSalt, h, attempt) <
                 profile_.transient_rate;
     if (hang) ++stats_.hangs_injected;
-    if (transient) ++stats_.transient_injected;
+    else if (delay) ++stats_.delays_injected;
+    if (!hang && transient) ++stats_.transient_injected;
   }
 
-  // Hang channel: block for hang_seconds of real wall-clock time, then
-  // fall through to the real evaluation. Under a ResilientEvaluator
-  // deadline shorter than hang_seconds this attempt times out. The sleep
-  // happens outside the lock so a hang stalls one thread, not the batch.
-  if (hang)
+  // Hang channel: the attempt is stuck. Park on the ambient cancellation
+  // token — a deadline watchdog (or process shutdown) wakes it early,
+  // otherwise the full stall elapses — and return a Timeout failure
+  // either way. The *result* is a pure function of the fault schedule;
+  // only the wall-clock cost depends on who (if anyone) rescued it, so
+  // serial, parallel, and watchdog-rescued traces all record the same
+  // thing. The stall happens outside the lock so one hung attempt stalls
+  // one thread, not the whole window.
+  if (hang) {
+    const CancellationToken token = current_cancellation_token();
+    token.wait_for(profile_.hang_stall_seconds);
+    return EvalResult::failure(
+        "injected hang (attempt " + std::to_string(attempt) + ")",
+        FailureKind::Timeout);
+  }
+
+  // Delay channel: slow motion. Sleep, then evaluate normally.
+  if (delay)
     std::this_thread::sleep_for(
-        std::chrono::duration<double>(profile_.hang_seconds));
+        std::chrono::duration<double>(profile_.delay_seconds));
 
   // Transient channel: fails this attempt; a retry draws a fresh value.
   if (transient)

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 
 #include "tuner/evaluator.hpp"
@@ -26,8 +27,21 @@ namespace portatune::tuner {
 struct FaultProfile {
   double transient_rate = 0.0;      ///< per-attempt chance of transient failure
   double deterministic_rate = 0.0;  ///< per-config chance of permanent failure
-  double hang_rate = 0.0;           ///< per-attempt chance of a simulated hang
-  double hang_seconds = 0.05;       ///< real wall-clock duration of a hang
+  /// Per-attempt chance of a *hang*: the attempt stalls (parked on the
+  /// ambient CancellationToken) until a watchdog/shutdown cancel wakes it
+  /// or hang_stall_seconds elapse, and then — either way — returns a
+  /// Timeout-classified failure without ever reaching the inner
+  /// evaluator. The result is identical whether a watchdog rescued the
+  /// stall early or it ran its full course, so traces stay deterministic
+  /// regardless of watchdog timing.
+  double hang_rate = 0.0;
+  double hang_stall_seconds = 30.0;  ///< max real wall-clock stall per hang
+  /// Per-attempt chance of a latency injection: sleep delay_seconds of
+  /// real time, then evaluate normally. Slow motion for chaos testing
+  /// (--slow) and the latency-bound micro-benchmarks; never changes the
+  /// result.
+  double delay_rate = 0.0;
+  double delay_seconds = 0.05;
   double spike_rate = 0.0;          ///< per-attempt chance of a noise outlier
   double spike_factor = 10.0;       ///< outlier multiplier on the run time
   std::uint64_t seed = 1;           ///< fault-schedule seed
@@ -38,8 +52,19 @@ struct FaultStats {
   std::size_t transient_injected = 0;
   std::size_t deterministic_injected = 0;
   std::size_t hangs_injected = 0;
+  std::size_t delays_injected = 0;
   std::size_t spikes_injected = 0;
 };
+
+/// Parse a CLI fault spec onto `base`. A bare number ("0.1") is the
+/// historic spelling for the transient rate; otherwise a comma list of
+/// key:value pairs — transient, deterministic (det), hang, hang-stall,
+/// delay, delay-seconds, spike, spike-factor, seed. Example:
+/// "transient:0.1,hang:0.05,hang-stall:2". Throws portatune::Error on
+/// unknown keys or unparsable values; rates are validated by the
+/// FaultInjectingEvaluator constructor.
+FaultProfile parse_fault_spec(const std::string& spec,
+                              FaultProfile base = {});
 
 class FaultInjectingEvaluator final : public Evaluator {
  public:

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "support/thread_pool.hpp"
+#include "tuner/watchdog.hpp"
 
 namespace portatune::tuner {
 
@@ -33,11 +34,52 @@ EvalCapabilities ParallelEvaluator::capabilities() const {
 
 std::vector<EvalResult> ParallelEvaluator::evaluate_batch(
     std::span<const ParamConfig> batch) {
-  if (!pool_ || batch.size() <= 1) return Evaluator::evaluate_batch(batch);
+  const auto run_one = [&](const ParamConfig& config) {
+    if (opt_.eval_deadline_seconds <= 0.0) return inner_.evaluate(config);
+    // Watched per-eval cancellation domain: a cooperative hang below
+    // (e.g. the injected Hang fault parked on the ambient token) is woken
+    // and reported at the deadline instead of stalling this slot.
+    CancellationSource per_eval;
+    EvalWatchdog::Ticket ticket = EvalWatchdog::global().watch(
+        per_eval, opt_.eval_deadline_seconds,
+        inner_.problem_name() + "@" + inner_.machine_name());
+    CancellationScope scope(per_eval.token());
+    return inner_.evaluate(config);
+  };
+
+  if (!pool_ || batch.size() <= 1) {
+    // Serial path, cancellation-aware: stop *between* evaluations once
+    // cancellation is requested and return the prefix evaluated so far.
+    std::vector<EvalResult> out;
+    out.reserve(batch.size());
+    for (const auto& config : batch) {
+      if (opt_.cancel.cancelled()) break;
+      out.push_back(run_one(config));
+    }
+    return out;
+  }
+
   std::vector<EvalResult> out(batch.size());
+  // Which slots actually ran: workers skip (not fail) evaluations once
+  // cancellation is requested, and the result vector is truncated at the
+  // first skipped slot so the search still sees a clean draw-order
+  // prefix — exactly what the serial path would have produced had it
+  // been cancelled at that draw.
+  std::vector<char> ran(batch.size(), 1);
   pool_->parallel_for(0, batch.size(), [&](std::size_t i) {
-    out[i] = inner_.evaluate(batch[i]);
+    if (opt_.cancel.cancelled()) {
+      ran[i] = 0;
+      return;
+    }
+    out[i] = run_one(batch[i]);
   });
+  std::size_t keep = batch.size();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    if (!ran[i]) {
+      keep = i;
+      break;
+    }
+  out.resize(keep);
   return out;
 }
 

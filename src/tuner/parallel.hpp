@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <memory>
 
+#include "support/cancellation.hpp"
 #include "tuner/evaluator.hpp"
 
 namespace portatune {
@@ -46,6 +47,19 @@ struct ParallelOptions {
   /// 0 means 2x the worker count (keeps the pool busy across the tail of
   /// a window whose evaluations have uneven cost).
   std::size_t batch_width = 0;
+  /// Cooperative cancellation (graceful shutdown): once cancelled,
+  /// evaluate_batch stops starting evaluations and returns the clean
+  /// *prefix* of results whose evaluations all ran — the search accounts
+  /// them in draw order and stops at a consistent, checkpointable point.
+  /// Invalid (default) = never cancelled.
+  CancellationToken cancel{};
+  /// Per-evaluation deadline registered with the EvalWatchdog (0 = off).
+  /// Each evaluation runs under a watched per-eval cancellation domain,
+  /// so a cooperatively hung evaluation is woken (and reported as
+  /// eval.hang_detected) at the deadline instead of stalling its batch
+  /// window for the hang's full duration. Layers below may enforce their
+  /// own (typically shorter) deadlines; the innermost one wins.
+  double eval_deadline_seconds = 0.0;
 };
 
 /// Decorator fanning evaluate_batch() out over a thread pool with

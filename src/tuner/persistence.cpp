@@ -1,12 +1,12 @@
 #include "tuner/persistence.hpp"
 
-#include <cctype>
 #include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string_view>
 
+#include "support/atomic_file.hpp"
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 #include "support/hash.hpp"
 
@@ -14,52 +14,16 @@ namespace portatune::tuner {
 
 namespace {
 
-constexpr std::string_view kChecksumPrefix = "# checksum,";
-
-std::string hex16(std::uint64_t v) {
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(v));
-  return buf;
-}
-
 std::string read_all(std::istream& is) {
   std::ostringstream ss;
   ss << is.rdbuf();
   return ss.str();
 }
 
-/// Verify and strip the v3 checksum footer: the last line must read
-/// `# checksum,<16 hex digits>` and the FNV-1a hash of everything before
-/// it must match. Any truncation or bit-flip fails here with a clear
-/// diagnostic instead of parsing (and silently resuming from) garbage —
-/// FNV-1a's per-byte step is a bijection for a fixed byte, so any single
-/// corrupted byte is guaranteed to change the final hash.
+/// Verify and strip the v3 checksum footer — shared with every other
+/// persistence format (see support/checksum.hpp).
 std::string verify_v3_payload(const std::string& content, const char* what) {
-  const auto pos = content.rfind(kChecksumPrefix);
-  if (pos == std::string::npos || (pos != 0 && content[pos - 1] != '\n'))
-    throw Error(std::string(what) +
-                " checksum footer is missing — the file was truncated");
-  std::size_t end = pos + kChecksumPrefix.size();
-  std::size_t digits = 0;
-  bool hex_ok = true;
-  while (end < content.size() && content[end] != '\n') {
-    hex_ok = hex_ok && std::isxdigit(static_cast<unsigned char>(content[end]));
-    ++digits;
-    ++end;
-  }
-  if (digits != 16 || !hex_ok ||
-      content.find_first_not_of('\n', end) != std::string::npos)
-    throw Error(std::string(what) +
-                " checksum footer is malformed — the file was truncated "
-                "or corrupted");
-  const std::uint64_t expect = std::stoull(
-      content.substr(pos + kChecksumPrefix.size(), 16), nullptr, 16);
-  const std::string payload = content.substr(0, pos);
-  if (hash_bytes(payload) != expect)
-    throw Error(std::string(what) +
-                " checksum mismatch — the file is truncated or corrupted");
-  return payload;
+  return strip_verified_checksum_footer(content, what);
 }
 
 std::vector<std::string> split_csv(const std::string& line) {
@@ -107,16 +71,17 @@ void save_trace_csv(std::ostream& os, const SearchTrace& trace,
     payload << e.seconds << "," << e.draw_index << "," << e.wall_unix
             << "\n";
   }
-  const std::string body = payload.str();
-  os << body << kChecksumPrefix << hex16(hash_bytes(body)) << "\n";
+  os << append_checksum_footer(payload.str());
 }
 
 void save_trace_csv(const std::string& path, const SearchTrace& trace,
                     const ParamSpace& space) {
-  std::ofstream os(path);
-  PT_REQUIRE(os.good(), "cannot open for writing: " + path);
+  // Serialize in memory and go through the crash-safe replacement path:
+  // a kill mid-save leaves the previous trace file intact, never a torn
+  // one the checksum loader would (correctly but uselessly) reject.
+  std::ostringstream os;
   save_trace_csv(os, trace, space);
-  PT_REQUIRE(os.good(), "write failed: " + path);
+  atomic_write_file(path, os.str());
 }
 
 SearchTrace load_trace_csv(std::istream& is, const ParamSpace& space) {
@@ -214,22 +179,17 @@ void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
     payload << e.seconds << "," << e.elapsed << "," << e.draw_index << ","
             << e.wall_unix << "\n";
   }
-  const std::string body = payload.str();
-  os << body << kChecksumPrefix << hex16(hash_bytes(body)) << "\n";
+  os << append_checksum_footer(payload.str());
 }
 
 void save_checkpoint_csv(const std::string& path,
                          const SearchCheckpoint& snapshot,
                          const ParamSpace& space) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp);
-    PT_REQUIRE(os.good(), "cannot open for writing: " + tmp);
-    save_checkpoint_csv(os, snapshot, space);
-    PT_REQUIRE(os.good(), "write failed: " + tmp);
-  }
-  PT_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-             "cannot move checkpoint into place: " + path);
+  // Crash-safe replacement (write-temp + fsync + rename + dir fsync):
+  // a kill at any instant leaves the previous checkpoint whole.
+  std::ostringstream os;
+  save_checkpoint_csv(os, snapshot, space);
+  atomic_write_file(path, os.str());
 }
 
 SearchCheckpoint load_checkpoint_csv(std::istream& is,

@@ -110,6 +110,10 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
     consumed = opt.resume->draws;
     if (auto* resilient = find_layer<ResilientEvaluator>(&eval))
       resilient->restore_quarantine(opt.resume->quarantine);
+    // A cancellation marker is "interrupted", not "finished": clear it so
+    // the resumed search continues where the shutdown stopped it.
+    if (trace.stop_reason() == kCancelledStopReason)
+      trace.restore_stop_reason("");
   }
 
   FailureBudgetTracker budget(opt.failure_budget);
@@ -137,6 +141,12 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
   // nothing; the restored trace keeps its checkpointed stop reason.
   while (trace.size() < opt.max_evals && !budget.exhausted() &&
          !space_exhausted) {
+    // Graceful shutdown: stop at the window boundary. The final
+    // checkpoint below still runs, so the run directory stays resumable.
+    if (opt.cancel.cancelled()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      break;
+    }
     // Windows never overshoot: failed evaluations do not count toward
     // max_evals, so the remaining budget is re-measured every window and
     // a short window is drawn near the end.
@@ -177,6 +187,13 @@ SearchTrace random_search(Evaluator& eval, const RandomSearchOptions& opt) {
       trace.record(std::move(configs[i]), r.seconds, draw_idx[i]);
       maybe_checkpoint();
     }
+    // A short result vector means the window was cancelled mid-flight:
+    // the accounted prefix is consistent (draw order, `consumed` points
+    // at the first unprocessed draw), the tail never happened.
+    if (results.size() < configs.size()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      break;
+    }
   }
   // Final snapshot so interrupted-and-finished runs alike can be extended
   // later (e.g. resumed with a larger eval budget).
@@ -188,13 +205,18 @@ SearchTrace replay_search(Evaluator& eval,
                           std::span<const ParamConfig> order,
                           std::size_t max_evals,
                           std::string algorithm_label,
-                          const FailureBudget& fb) {
+                          const FailureBudget& fb,
+                          CancellationToken cancel) {
   SearchTrace trace(std::move(algorithm_label), eval.problem_name(),
                     eval.machine_name());
   SearchSpanGuard span(trace);
   FailureBudgetTracker budget(fb);
   for (std::size_t i = 0; i < order.size() && trace.size() < max_evals;
        ++i) {
+    if (cancel.cancelled()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      break;
+    }
     const EvalResult r = eval.evaluate(order[i]);
     if (!r.ok) {
       if (abort_on_failure(trace, budget, r)) break;
@@ -296,6 +318,11 @@ SearchTrace pruned_random_search(Evaluator& eval,
   bool space_exhausted = false;
   while (trace.size() < opt.max_evals && draws < opt.max_draws &&
          !space_exhausted) {
+    if (opt.cancel.cancelled()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      publish_prune_stats();
+      return trace;
+    }
     const std::size_t want = std::min(width, opt.max_evals - trace.size());
     std::vector<ParamConfig> configs;
     std::vector<std::size_t> draw_idx;
@@ -340,6 +367,11 @@ SearchTrace pruned_random_search(Evaluator& eval,
       budget.note(r);
       trace.record(std::move(configs[i]), r.seconds, draw_idx[i]);
       if (monitor) monitor->observe(window_pred[i], r.seconds, trace.size());
+    }
+    if (results.size() < configs.size()) {  // cancelled mid-window
+      trace.set_stop_reason(kCancelledStopReason);
+      publish_prune_stats();
+      return trace;
     }
   }
   publish_prune_stats();
@@ -437,6 +469,10 @@ SearchTrace biased_random_search(Evaluator& eval,
 
   const std::size_t width = guarded_batch_width(eval, opt.guard);
   while (trace.size() < opt.max_evals) {
+    if (opt.cancel.cancelled()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      return trace;
+    }
     const std::size_t want = std::min(width, opt.max_evals - trace.size());
     std::vector<ParamConfig> configs;
     std::vector<std::size_t> pool_idx;
@@ -467,6 +503,10 @@ SearchTrace biased_random_search(Evaluator& eval,
       trace.record(std::move(configs[i]), r.seconds, pool_idx[i]);
       if (monitor) monitor->observe(window_pred[i], r.seconds, trace.size());
     }
+    if (results.size() < configs.size()) {  // cancelled mid-window
+      trace.set_stop_reason(kCancelledStopReason);
+      return trace;
+    }
     // Guard reactions happen at window granularity, after the window's
     // results are accounted in draw order — the same points in the
     // decision sequence at every thread count.
@@ -477,7 +517,8 @@ SearchTrace biased_random_search(Evaluator& eval,
 
 SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
                               double delta_percent, std::size_t max_evals,
-                              const FailureBudget& fb) {
+                              const FailureBudget& fb,
+                              CancellationToken cancel) {
   PT_REQUIRE(!source.empty(), "RS_pf requires source data");
   SearchTrace trace("RS_pf", eval.problem_name(), eval.machine_name());
   SearchSpanGuard span(trace);
@@ -489,6 +530,10 @@ SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
 
   for (const auto& e : source.entries()) {
     if (trace.size() >= max_evals) break;
+    if (cancel.cancelled()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      break;
+    }
     if (e.seconds >= cutoff) continue;  // pruned by the source run time
     const EvalResult r = eval.evaluate(e.config);
     if (!r.ok) {
@@ -504,7 +549,8 @@ SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
 
 SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
                               std::size_t max_evals,
-                              const FailureBudget& fb) {
+                              const FailureBudget& fb,
+                              CancellationToken cancel) {
   PT_REQUIRE(!source.empty(), "RS_bf requires source data");
   SearchTrace trace("RS_bf", eval.problem_name(), eval.machine_name());
   SearchSpanGuard span(trace);
@@ -516,6 +562,10 @@ SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
 
   for (std::size_t rank = 0;
        rank < order.size() && trace.size() < max_evals; ++rank) {
+    if (cancel.cancelled()) {
+      trace.set_stop_reason(kCancelledStopReason);
+      break;
+    }
     const auto& e = source.entry(order[rank]);
     const EvalResult r = eval.evaluate(e.config);
     if (!r.ok) {

@@ -62,7 +62,8 @@ SearchTrace replay_search(Evaluator& eval,
                           std::span<const ParamConfig> order,
                           std::size_t max_evals,
                           std::string algorithm_label = "RS",
-                          const FailureBudget& budget = {});
+                          const FailureBudget& budget = {},
+                          CancellationToken cancel = {});
 
 struct PrunedSearchOptions : SearchCommon {
   std::size_t pool_size = 10000;   ///< N, for the cutoff quantile estimate
@@ -96,11 +97,13 @@ SearchTrace biased_random_search(Evaluator& eval,
 SearchTrace model_free_pruned(Evaluator& eval, const SearchTrace& source,
                               double delta_percent,
                               std::size_t max_evals = SIZE_MAX,
-                              const FailureBudget& budget = {});
+                              const FailureBudget& budget = {},
+                              CancellationToken cancel = {});
 
 /// RS_bf: model-free biasing over the source trace.
 SearchTrace model_free_biased(Evaluator& eval, const SearchTrace& source,
                               std::size_t max_evals = SIZE_MAX,
-                              const FailureBudget& budget = {});
+                              const FailureBudget& budget = {},
+                              CancellationToken cancel = {});
 
 }  // namespace portatune::tuner

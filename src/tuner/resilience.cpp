@@ -8,8 +8,10 @@
 #include <thread>
 
 #include "obs/scoped_timer.hpp"
+#include "support/cancellation.hpp"
 #include "support/error.hpp"
 #include "support/thread_pool.hpp"
+#include "tuner/watchdog.hpp"
 
 namespace portatune::tuner {
 
@@ -94,7 +96,20 @@ EvalResult ResilientEvaluator::attempt(const ParamConfig& config) {
 
   auto slot = std::make_shared<WatchdogSlot>();
   Evaluator* inner = &inner_;
-  watchdog_->submit([slot, inner, config] {
+  // Per-attempt cancellation domain, registered with the global deadline
+  // watchdog: a cooperatively hung attempt (parked on the ambient token)
+  // wakes the moment the deadline fires — or the process shuts down —
+  // instead of stalling its worker for the hang's full duration. The
+  // attempt runs under the domain's token; ThreadPool::submit would
+  // propagate the *caller's* ambient token, so the scope is re-installed
+  // inside the task.
+  CancellationSource attempt_cancel;
+  EvalWatchdog::Ticket ticket = EvalWatchdog::global().watch(
+      attempt_cancel, policy_.timeout_seconds,
+      inner_.problem_name() + "@" + inner_.machine_name());
+  watchdog_->submit([slot, inner, config,
+                     token = attempt_cancel.token()] {
+    CancellationScope cancel_scope(token);
     EvalResult r;
     try {
       r = inner->evaluate(config);
@@ -113,7 +128,10 @@ EvalResult ResilientEvaluator::attempt(const ParamConfig& config) {
       std::chrono::duration<double>(policy_.timeout_seconds);
   if (!slot->cv.wait_until(lock, deadline, [&] { return slot->done; })) {
     // Abandon the attempt: the worker keeps running and will discard its
-    // result into the slot; the pool reaps it at destruction.
+    // result into the slot; the pool reaps it at destruction. expire()
+    // cancels the attempt's domain and reports the hang (exactly once —
+    // the monitor backs this up if the caller never reaches here).
+    ticket.expire();
     return EvalResult::failure(
         "evaluation exceeded the " +
             std::to_string(policy_.timeout_seconds) + " s deadline",

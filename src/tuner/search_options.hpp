@@ -10,10 +10,17 @@
 
 #include <cstdint>
 
+#include "support/cancellation.hpp"
 #include "tuner/guard.hpp"
 #include "tuner/resilience.hpp"
 
 namespace portatune::tuner {
+
+/// stop_reason() recorded when a search is stopped by cooperative
+/// cancellation (graceful shutdown). Resume paths clear it: a cancelled
+/// search is interrupted, not finished.
+inline constexpr const char* kCancelledStopReason =
+    "cancelled: shutdown requested";
 
 struct SearchCommon {
   std::size_t max_evals = 100;  ///< n_max, the evaluation budget
@@ -23,6 +30,10 @@ struct SearchCommon {
   /// Surrogate-trust guard (RS_p / RS_b only; inert everywhere else and
   /// inert by default — see tuner/guard.hpp for the state machine).
   GuardOptions guard{};
+  /// Cooperative cancellation: checked at window boundaries. A cancelled
+  /// search stops cleanly (kCancelledStopReason on the trace, final
+  /// checkpoint taken) so the run can be resumed. Invalid by default.
+  CancellationToken cancel{};
 };
 
 }  // namespace portatune::tuner

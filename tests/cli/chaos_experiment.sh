@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Chaos crash-resume parity for the journaled experiment fan-out.
+#
+# Run a two-cell experiment grid in deterministic slow motion (--slow
+# stretches every evaluation so SIGKILL reliably lands mid-run), kill it
+# with no chance to clean up, resume from the surviving journal, and
+# require every phase artifact to match an uninterrupted reference run
+# byte for byte. Wall-clock timestamps (the last column of each data row)
+# and the v3 checksum footers that hash them legitimately differ between
+# runs, so both are stripped before the diff — everything else must be
+# identical.
+#
+# Usage: chaos_experiment.sh <portatune_cli> <work-dir>
+set -euo pipefail
+
+CLI=$(realpath "$1")
+WORK=$2
+rm -rf "$WORK"
+mkdir -p "$WORK"
+cd "$WORK"
+
+ARGS=(experiment --problem LU --pairs Westmere:Sandybridge,Westmere:Power7
+      --nmax 40 --seed 7 --slow 0.02 --ckpt-every 5 --threads 1)
+
+# Uninterrupted reference run.
+"$CLI" "${ARGS[@]}" --run-dir ref-run
+
+# Chaos run: SIGKILL mid-flight, then resume from the journal.
+"$CLI" "${ARGS[@]}" --run-dir chaos-run &
+pid=$!
+sleep 2
+kill -KILL "$pid" 2> /dev/null || true
+wait "$pid" || true
+
+# The kill must land mid-run: the manifest survived and holds
+# unfinished cells.
+grep -Eq '^(pending|running),' chaos-run/journal.csv
+
+"$CLI" "${ARGS[@]}" --resume chaos-run
+
+# Strip the wall_unix column from data rows, and the checksum footer.
+canon() { grep -v '^# checksum' "$1" | sed -E '/^[0-9]/ s/,[0-9.eE+-]+$//'; }
+for cell in ref-run/cell-*; do
+  name=$(basename "$cell")
+  for f in "$cell"/*.csv; do
+    phase=$(basename "$f")
+    diff <(canon "$f") <(canon "chaos-run/$name/$phase")
+  done
+done
+echo "chaos experiment crash-resume parity OK"

@@ -63,7 +63,7 @@ file(READ "${TRACE}" trace_doc)
 if(NOT trace_doc MATCHES "^\\{\"traceEvents\":\\[")
   message(FATAL_ERROR "not a Trace Event document: ${TRACE}")
 endif()
-foreach(needle "\"ph\":\"X\"" "phase.fit" "phase.prune" "phase.bias"
+foreach(needle "\"ph\":\"X\"" "phase.fit" "phase.pruned" "phase.biased"
         "\"kind\":")
   if(NOT trace_doc MATCHES "${needle}")
     message(FATAL_ERROR "Chrome trace missing ${needle}")

@@ -61,10 +61,10 @@ TEST_F(ObservabilityPipeline, EmitsAValidatableEventStream) {
   ASSERT_GT(memory.size(), 0u);
   std::set<std::string> names;
   for (const auto& e : memory.events()) names.insert(e.name);
-  // The fit/prune/bias phases each produced a span...
+  // The fit/pruned/biased phases each produced a span...
   EXPECT_TRUE(names.count("phase.fit"));
-  EXPECT_TRUE(names.count("phase.prune"));
-  EXPECT_TRUE(names.count("phase.bias"));
+  EXPECT_TRUE(names.count("phase.pruned"));
+  EXPECT_TRUE(names.count("phase.biased"));
   EXPECT_TRUE(names.count("experiment.transfer"));
   // ...and every evaluation produced a per-attempt event.
   EXPECT_TRUE(names.count("eval.source"));

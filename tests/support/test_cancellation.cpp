@@ -1,0 +1,94 @@
+#include "support/cancellation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "support/thread_pool.hpp"
+
+namespace portatune {
+namespace {
+
+TEST(Cancellation, DefaultTokenIsInertButSleeps) {
+  CancellationToken token;
+  EXPECT_FALSE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(token.wait_for(0.02));  // degrades to a plain sleep
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(waited, 0.02);
+}
+
+TEST(Cancellation, TokenObservesItsSource) {
+  CancellationSource source;
+  const CancellationToken token = source.token();
+  EXPECT_TRUE(token.valid());
+  EXPECT_FALSE(token.cancelled());
+  source.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(source.cancel_requested());
+  // Idempotent.
+  source.request_cancel();
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(Cancellation, WaitForWakesImmediatelyOnCancel) {
+  CancellationSource source;
+  const CancellationToken token = source.token();
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    source.request_cancel();
+  });
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(token.wait_for(30.0));  // returns long before 30 s
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_LT(waited, 5.0);
+  canceller.join();
+}
+
+TEST(Cancellation, WaitForOnAlreadyCancelledReturnsAtOnce) {
+  CancellationSource source;
+  source.request_cancel();
+  EXPECT_TRUE(source.token().wait_for(30.0));
+}
+
+TEST(Cancellation, ScopeInstallsAndRestoresAmbientToken) {
+  EXPECT_FALSE(current_cancellation_token().valid());
+  CancellationSource source;
+  {
+    CancellationScope scope(source.token());
+    EXPECT_TRUE(current_cancellation_token().valid());
+    source.request_cancel();
+    EXPECT_TRUE(current_cancellation_token().cancelled());
+    {
+      CancellationScope inner(CancellationToken{});  // nested override
+      EXPECT_FALSE(current_cancellation_token().valid());
+    }
+    EXPECT_TRUE(current_cancellation_token().cancelled());
+  }
+  EXPECT_FALSE(current_cancellation_token().valid());
+}
+
+TEST(Cancellation, ThreadPoolPropagatesAmbientToken) {
+  // The submitter's ambient token must ride across the thread hop, so
+  // work deep inside a pooled task observes the caller's cancellation
+  // domain (exactly like SpanContext propagation).
+  CancellationSource source;
+  source.request_cancel();
+  CancellationScope scope(source.token());
+  ThreadPool pool(2);
+  std::atomic<int> seen{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    if (current_cancellation_token().cancelled())
+      seen.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(seen.load(), 8);
+}
+
+}  // namespace
+}  // namespace portatune

@@ -4,6 +4,7 @@
 
 #include <chrono>
 
+#include "support/cancellation.hpp"
 #include "support/error.hpp"
 #include "tests/tuner/synthetic.hpp"
 #include "tuner/random_search.hpp"
@@ -120,11 +121,11 @@ TEST(FaultInjection, SpikesScaleTheMeasurement) {
   EXPECT_EQ(faulty.stats().spikes_injected, 1u);
 }
 
-TEST(FaultInjection, HangsBlockForRealTime) {
+TEST(FaultInjection, DelaysBlockForRealTime) {
   auto eval = backend();
   FaultProfile profile;
-  profile.hang_rate = 1.0;
-  profile.hang_seconds = 0.02;
+  profile.delay_rate = 1.0;
+  profile.delay_seconds = 0.02;
   FaultInjectingEvaluator faulty(eval, profile);
 
   const auto start = std::chrono::steady_clock::now();
@@ -132,9 +133,51 @@ TEST(FaultInjection, HangsBlockForRealTime) {
   const double waited =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  EXPECT_TRUE(r.ok);  // a hang delays but does not fail the evaluation
+  EXPECT_TRUE(r.ok);  // a delay slows but does not fail the evaluation
   EXPECT_GE(waited, 0.02);
+  EXPECT_EQ(faulty.stats().delays_injected, 1u);
+}
+
+TEST(FaultInjection, HangsParkOnTheAmbientTokenAndFailAsTimeout) {
+  auto eval = backend();
+  FaultProfile profile;
+  profile.hang_rate = 1.0;
+  profile.hang_stall_seconds = 30.0;  // would stall half a minute...
+  FaultInjectingEvaluator faulty(eval, profile);
+
+  CancellationSource cancel;
+  cancel.request_cancel();  // ...but the token is already cancelled
+  CancellationScope scope(cancel.token());
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = faulty.evaluate({0, 0, 0, 0});
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failure_kind, FailureKind::Timeout);
+  EXPECT_LT(waited, 5.0);  // woken by the token, not the 30 s stall
   EXPECT_EQ(faulty.stats().hangs_injected, 1u);
+}
+
+TEST(FaultInjection, ParsesFaultSpecs) {
+  // Historic spelling: a bare number is a transient rate.
+  EXPECT_DOUBLE_EQ(parse_fault_spec("0.25").transient_rate, 0.25);
+
+  const FaultProfile p = parse_fault_spec(
+      "transient:0.1,det:0.05,hang:0.02,hang-stall:12,delay:0.5,"
+      "delay-seconds:0.01,spike:0.2,spike-factor:4,seed:7");
+  EXPECT_DOUBLE_EQ(p.transient_rate, 0.1);
+  EXPECT_DOUBLE_EQ(p.deterministic_rate, 0.05);
+  EXPECT_DOUBLE_EQ(p.hang_rate, 0.02);
+  EXPECT_DOUBLE_EQ(p.hang_stall_seconds, 12.0);
+  EXPECT_DOUBLE_EQ(p.delay_rate, 0.5);
+  EXPECT_DOUBLE_EQ(p.delay_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(p.spike_rate, 0.2);
+  EXPECT_DOUBLE_EQ(p.spike_factor, 4.0);
+  EXPECT_EQ(p.seed, 7u);
+
+  EXPECT_THROW(parse_fault_spec("bogus:1"), Error);
+  EXPECT_THROW(parse_fault_spec("hang:not-a-number"), Error);
 }
 
 TEST(FaultInjection, ResilientEvaluatorRecoversInjectedTransients) {
