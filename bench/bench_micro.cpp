@@ -9,6 +9,8 @@
 #include "kernels/sim_evaluator.hpp"
 #include "kernels/spapt.hpp"
 #include "ml/forest.hpp"
+#include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
 #include "obs/sink.hpp"
@@ -191,6 +193,38 @@ void BM_ObsHistogramObserve(benchmark::State& state) {
   benchmark::DoNotOptimize(h.count());
 }
 BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsFlightRecorderRecord(benchmark::State& state) {
+  // The flight recorder in the sink chain: one ring-slot copy per event.
+  // This is the per-event cost telemetry adds when logging is already on
+  // (with logging off the recorder never sees the event at all — that
+  // dormant path is BM_ObsDisabledEnabledCheck).
+  obs::FlightRecorder rec(256);
+  const obs::Event e =
+      obs::make_instant(obs::Severity::Debug, "bench.event", "bench", {});
+  for (auto _ : state) {
+    rec.log(e);
+    benchmark::DoNotOptimize(rec.events_seen());
+  }
+}
+BENCHMARK(BM_ObsFlightRecorderRecord);
+
+void BM_ObsHistogramPercentile(benchmark::State& state) {
+  // Snapshot-time percentile interpolation: what every sampler tick pays
+  // per histogram (observe() itself never computes percentiles).
+  obs::MetricsRegistry registry;
+  obs::Histogram& h = registry.histogram("bench.hist");
+  double v = 1e-6;
+  for (int i = 0; i < 4096; ++i) {
+    h.observe(v);
+    v = v < 10.0 ? v * 1.01 : 1e-6;
+  }
+  for (auto _ : state) {
+    const obs::MetricsSnapshot snap = registry.snapshot();
+    benchmark::DoNotOptimize(snap.histograms[0].p99);
+  }
+}
+BENCHMARK(BM_ObsHistogramPercentile);
 
 // --- Guard overhead ---------------------------------------------------
 // The surrogate-trust guard (tuner/guard.hpp) is compiled into RS_p and

@@ -19,6 +19,23 @@
 //       killed or interrupted mid-flight is continued exactly with
 //       --resume <run-dir> (done cells restored, partial searches resumed
 //       from their checkpoints).
+//   portatune_cli status --run-dir d [--stale-after 10]
+//       read-only live view of a journaled run: journal summary,
+//       heartbeat freshness, per-cell progress, throughput/ETA. Safe to
+//       invoke while the run is executing (every file it reads is
+//       written atomically). Exit 0 = running or complete, 2 = dead
+//       (stale/missing heartbeat with unfinished cells; prints the
+//       resume hint).
+//
+// Live telemetry (experiment): unless --telemetry-every 0, a journaled
+// run continuously maintains three files in <run-dir>:
+//   status.json               atomic heartbeat (progress, ETA, gauges)
+//   metrics_timeseries.jsonl  one metrics sample appended per period
+//   flight_recorder.jsonl     ring of the last events at ALL severities,
+//                             dumped on SIGINT/SIGTERM, watchdog hangs,
+//                             search aborts, PT_REQUIRE failures, and
+//                             every sampler tick (so even SIGKILL leaves
+//                             a black box at most one period old)
 //
 // Graceful shutdown (collect/experiment): SIGINT/SIGTERM requests
 // cooperative cancellation — searches stop at the next window boundary,
@@ -62,13 +79,16 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "apps/evaluator_factory.hpp"
 #include "apps/registry.hpp"
 #include "obs/chrome_trace.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "obs/thread_pool_metrics.hpp"
 #include "support/atomic_file.hpp"
@@ -79,6 +99,7 @@
 #include "tuner/random_search.hpp"
 #include "tuner/resilience.hpp"
 #include "tuner/run_journal.hpp"
+#include "tuner/run_status.hpp"
 #include "tuner/similarity.hpp"
 #include "tuner/transfer.hpp"
 
@@ -113,11 +134,23 @@ struct Args {
   bool guard = false;       ///< surrogate-trust guard on RS_p / RS_b
   double guard_floor = 0.2; ///< trust floor (GuardOptions::floor)
   std::size_t guard_window = 25;  ///< trust window (GuardOptions::window)
+  /// Live-telemetry cadence of journaled runs (status.json heartbeat,
+  /// metrics time-series tick, periodic flight-recorder dump). 0
+  /// disables all three — no threads, no files.
+  double telemetry_every = 1.0;
+  /// `status`: heartbeat age beyond which a run counts as dead.
+  double stale_after = 10.0;
+
+  /// The run directory the experiment/status command operates on
+  /// (--resume doubles as the directory for resumed experiments).
+  std::string effective_run_dir() const {
+    return resume.empty() ? run_dir : resume;
+  }
 };
 
 Args parse(int argc, char** argv) {
   PT_REQUIRE(argc >= 2, "usage: portatune_cli <list|collect|transfer|"
-                        "experiment|similarity> [options]");
+                        "experiment|status|similarity> [options]");
   Args a;
   a.command = argv[1];
   for (int i = 2; i < argc; i += 2) {
@@ -159,6 +192,8 @@ Args parse(int argc, char** argv) {
     else if (key == "--log-level") a.log_level = value;
     else if (key == "--metrics-out") a.metrics_out = value;
     else if (key == "--chrome-trace") a.chrome_trace = value;
+    else if (key == "--telemetry-every") a.telemetry_every = std::stod(value);
+    else if (key == "--stale-after") a.stale_after = std::stod(value);
     else throw Error("unknown option: " + key);
   }
   return a;
@@ -166,38 +201,104 @@ Args parse(int argc, char** argv) {
 
 /// Owns the sinks requested on the command line for the duration of one
 /// run: installs them as the default sink, and on finish() writes the
-/// metrics snapshot and Chrome trace. The destructor always uninstalls,
-/// so an exception cannot leave a dangling sink behind.
+/// metrics snapshot and Chrome trace. finish() is idempotent and the
+/// destructor invokes it too, so the artifacts are emitted on *every*
+/// exit path — success, graceful shutdown (exit 3), and the catch(Error)
+/// unwind alike — and an exception cannot leave a dangling sink behind.
+///
+/// For journaled experiment runs the session additionally composes the
+/// live-telemetry trio (unless --telemetry-every 0):
+///   * a FlightRecorder ring joins the sink fan-out. The global log
+///     level drops to Debug so the recorder sees every severity, and the
+///     conventional sinks are re-filtered at the level the user asked
+///     for — the hot path and the user-visible log are unchanged.
+///   * a ScopedFlightRecorder arms the dump triggers (signals,
+///     PT_REQUIRE, watchdog/abort sites).
+///   * a MetricsSampler appends the time-series, and its tick piggybacks
+///     a periodic recorder dump so even SIGKILL leaves a black box.
 class ObsSession {
  public:
   explicit ObsSession(const Args& a) : args_(a) {
+    const std::string run_dir = a.effective_run_dir();
+    const bool telemetry = a.command == "experiment" &&
+                           !run_dir.empty() && a.telemetry_every > 0.0;
+    // The run directory must exist before any sink opens a file inside
+    // it (the conventional layout puts events.jsonl there too).
+    if (telemetry) ensure_directory(run_dir);
+
     if (!a.log_json.empty())
       jsonl_ = std::make_unique<obs::JsonlSink>(a.log_json);
     if (!a.chrome_trace.empty())
       memory_ = std::make_unique<obs::MemorySink>();
-    if (jsonl_ && memory_) {
-      tee_ = std::make_unique<obs::TeeSink>(
-          std::vector<obs::EventSink*>{jsonl_.get(), memory_.get()});
-      active_ = tee_.get();
-    } else if (jsonl_) {
-      active_ = jsonl_.get();
-    } else if (memory_) {
-      active_ = memory_.get();
+    const obs::Severity user_level =
+        obs::severity_from_string(a.log_level);
+
+    std::vector<obs::EventSink*> fanout;
+    if (telemetry) {
+      recorder_ = std::make_unique<obs::FlightRecorder>();
+      recorder_->set_dump_path(run_dir + "/flight_recorder.jsonl");
+      // The recorder must retain Debug/Info detail even when the user
+      // filtered their log to warn/error: lower the global threshold and
+      // push the user's threshold down into per-sink filters.
+      for (obs::EventSink* sink :
+           {static_cast<obs::EventSink*>(jsonl_.get()),
+            static_cast<obs::EventSink*>(memory_.get())})
+        if (sink != nullptr) {
+          filters_.push_back(
+              std::make_unique<obs::FilterSink>(sink, user_level));
+          fanout.push_back(filters_.back().get());
+        }
+      fanout.push_back(recorder_.get());
+      obs::set_log_level(obs::Severity::Debug);
+    } else {
+      if (jsonl_) fanout.push_back(jsonl_.get());
+      if (memory_) fanout.push_back(memory_.get());
+      obs::set_log_level(user_level);
     }
-    obs::set_log_level(obs::severity_from_string(a.log_level));
+    if (fanout.size() == 1) {
+      active_ = fanout.front();
+    } else if (fanout.size() > 1) {
+      tee_ = std::make_unique<obs::TeeSink>(fanout);
+      active_ = tee_.get();
+    }
     if (active_ != nullptr) obs::set_default_sink(active_);
     // Thread-pool telemetry rides along whenever any observability
     // output was asked for; with none, the pools stay fully dormant.
     if (active_ != nullptr || !a.metrics_out.empty())
       pool_metrics_ = std::make_unique<obs::ScopedThreadPoolMetrics>();
+    if (telemetry) {
+      scoped_recorder_ =
+          std::make_unique<obs::ScopedFlightRecorder>(*recorder_);
+      obs::MetricsSampler::Options so;
+      so.path = run_dir + "/metrics_timeseries.jsonl";
+      so.period_seconds = a.telemetry_every;
+      so.on_tick = [] { obs::dump_flight_recorder("periodic"); };
+      sampler_ = std::make_unique<obs::MetricsSampler>(std::move(so));
+    }
   }
 
-  ~ObsSession() { obs::set_default_sink(nullptr); }
+  ~ObsSession() {
+    try {
+      finish();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "warning: observability artifacts not fully "
+                           "written: %s\n",
+                   e.what());
+    }
+    obs::set_default_sink(nullptr);  // never leave a dangling sink
+  }
   ObsSession(const ObsSession&) = delete;
   ObsSession& operator=(const ObsSession&) = delete;
 
   /// Write the requested output files after the command finished.
+  /// Idempotent: the destructor calls it again harmlessly, which is what
+  /// makes the artifacts survive the error-unwind path.
   void finish() {
+    if (finished_) return;
+    finished_ = true;
+    // Stop the sampler before tearing the sinks down: its final tick
+    // (and final recorder dump) must still see the full chain.
+    sampler_.reset();
     obs::set_default_sink(nullptr);
     if (memory_) {
       const auto events = memory_->events();
@@ -221,9 +322,14 @@ class ObsSession {
   const Args& args_;
   std::unique_ptr<obs::JsonlSink> jsonl_;
   std::unique_ptr<obs::MemorySink> memory_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  std::vector<std::unique_ptr<obs::FilterSink>> filters_;
   std::unique_ptr<obs::TeeSink> tee_;
   std::unique_ptr<obs::ScopedThreadPoolMetrics> pool_metrics_;
+  std::unique_ptr<obs::ScopedFlightRecorder> scoped_recorder_;
+  std::unique_ptr<obs::MetricsSampler> sampler_;
   obs::EventSink* active_ = nullptr;
+  bool finished_ = false;
 };
 
 void print_failure_summary(const tuner::SearchTrace& trace,
@@ -415,11 +521,12 @@ int cmd_experiment(const Args& a) {
   PT_REQUIRE(!a.pairs.empty(),
              "experiment requires --pairs src:tgt[,src:tgt...]");
   tuner::JournaledRunOptions jopt;
-  jopt.run_dir = a.resume.empty() ? a.run_dir : a.resume;
+  jopt.run_dir = a.effective_run_dir();
   jopt.resume = !a.resume.empty();
   jopt.threads = a.threads;
   jopt.rs_checkpoint_every = a.ckpt_every;
   jopt.cancel = shutdown_token();
+  jopt.status_every_seconds = a.telemetry_every;
   PT_REQUIRE(!jopt.run_dir.empty(),
              "experiment requires --run-dir <dir> (or --resume <dir>)");
 
@@ -496,6 +603,18 @@ int cmd_experiment(const Args& a) {
   return 0;
 }
 
+int cmd_status(const Args& a) {
+  PT_REQUIRE(!a.effective_run_dir().empty(),
+             "status requires --run-dir <dir>");
+  // Render into a buffer first: a concurrent writer can't interleave
+  // with our reads mid-line, and a throwing parse leaves no half-report.
+  std::ostringstream os;
+  const tuner::RunLiveness liveness =
+      tuner::render_run_status(os, a.effective_run_dir(), a.stale_after);
+  std::fputs(os.str().c_str(), stdout);
+  return liveness == tuner::RunLiveness::Dead ? 2 : 0;
+}
+
 int cmd_similarity(const Args& a) {
   auto source = apps::make_simulated_evaluator(a.problem, a.source);
   auto target = apps::make_simulated_evaluator(a.problem, a.target);
@@ -524,6 +643,7 @@ int main(int argc, char** argv) {
     else if (a.command == "collect") rc = cmd_collect(a);
     else if (a.command == "transfer") rc = cmd_transfer(a);
     else if (a.command == "experiment") rc = cmd_experiment(a);
+    else if (a.command == "status") rc = cmd_status(a);
     else if (a.command == "similarity") rc = cmd_similarity(a);
     else throw Error("unknown command: " + a.command);
     obs_session.finish();

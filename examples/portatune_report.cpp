@@ -6,6 +6,10 @@
 //       summaries (evals-to-best, failures, retries)
 //   portatune_report --log events.jsonl --metrics metrics.json
 //       additionally summarise the metrics snapshot
+//   portatune_report --timeseries run/metrics_timeseries.jsonl
+//       summarise a sampler time-series (throughput, queue depth, guard
+//       trust over the run; kill+resume segments counted by pid). Can be
+//       given alone or alongside --log.
 //   portatune_report --log events.jsonl --compare baseline.jsonl
 //       phase-by-phase percent deltas against a baseline run; exits 2
 //       when any phase's total time regressed by --threshold percent
@@ -31,6 +35,7 @@ namespace {
 struct Args {
   std::string log;            ///< JSONL event log to analyse
   std::string metrics;        ///< metrics snapshot to summarise
+  std::string timeseries;     ///< sampler time-series to summarise
   std::string compare;        ///< baseline JSONL for regression diff
   std::string compare_bench;  ///< baseline google-benchmark JSON
   std::string bench;          ///< current google-benchmark JSON
@@ -45,17 +50,20 @@ Args parse(int argc, char** argv) {
     const std::string value = argv[i + 1];
     if (key == "--log") a.log = value;
     else if (key == "--metrics") a.metrics = value;
+    else if (key == "--timeseries") a.timeseries = value;
     else if (key == "--compare") a.compare = value;
     else if (key == "--compare-bench") a.compare_bench = value;
     else if (key == "--bench") a.bench = value;
     else if (key == "--threshold") a.threshold = std::stod(value);
     else throw Error("unknown option: " + key);
   }
-  PT_REQUIRE(!a.log.empty() || !a.compare_bench.empty(),
+  PT_REQUIRE(!a.log.empty() || !a.compare_bench.empty() ||
+                 !a.timeseries.empty(),
              "usage: portatune_report --log events.jsonl "
-             "[--metrics metrics.json] [--compare baseline.jsonl] "
-             "[--threshold pct] | --compare-bench baseline.json "
-             "--bench current.json");
+             "[--metrics metrics.json] [--timeseries series.jsonl] "
+             "[--compare baseline.jsonl] [--threshold pct] | "
+             "--compare-bench baseline.json --bench current.json | "
+             "--timeseries series.jsonl");
   PT_REQUIRE(a.compare_bench.empty() == a.bench.empty(),
              "--compare-bench and --bench must be given together");
   return a;
@@ -86,6 +94,7 @@ int main(int argc, char** argv) {
         std::cout << "\n";
         obs::write_metrics_summary(std::cout, a.metrics);
       }
+      if (!a.timeseries.empty()) std::cout << "\n";
       if (!a.compare.empty()) {
         obs::LogReadStats base_stats;
         const auto baseline_events =
@@ -104,6 +113,10 @@ int main(int argc, char** argv) {
         regressed = regressed || c.regressed();
       }
     }
+
+    if (!a.timeseries.empty())
+      obs::write_timeseries_summary(
+          std::cout, obs::analyze_timeseries(a.timeseries), a.timeseries);
 
     if (!a.compare_bench.empty()) {
       const obs::Comparison c =

@@ -1,0 +1,143 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+#include "support/atomic_file.hpp"
+#include "support/error.hpp"
+#include "support/signal.hpp"
+
+namespace portatune::obs {
+
+namespace {
+
+std::atomic<FlightRecorder*> g_recorder{nullptr};
+/// Re-entrancy latch: a dump that itself fails a requirement (unwritable
+/// path surfacing as PT_REQUIRE in atomic_write_file) must not recurse
+/// through the error hook into another dump.
+std::atomic<bool> g_dumping{false};
+
+void error_hook_trampoline(const char* what) noexcept {
+  std::string reason = "pt_require: ";
+  reason += what;
+  dump_flight_recorder(reason.c_str());
+}
+
+void shutdown_hook_trampoline() noexcept {
+  dump_flight_recorder("shutdown_signal");
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void FlightRecorder::set_dump_path(std::string path) {
+  std::lock_guard lock(ring_mutex_);
+  dump_path_ = std::move(path);
+}
+
+void FlightRecorder::write(const Event& event) {
+  std::lock_guard lock(ring_mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[static_cast<std::size_t>(seen_ % capacity_)] = event;
+  }
+  ++seen_;
+}
+
+std::vector<Event> FlightRecorder::snapshot() const {
+  std::lock_guard lock(ring_mutex_);
+  std::vector<Event> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // not yet wrapped: already oldest-first
+  } else {
+    const std::size_t start = static_cast<std::size_t>(seen_ % capacity_);
+    for (std::size_t i = 0; i < capacity_; ++i)
+      out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::events_seen() const noexcept {
+  std::lock_guard lock(ring_mutex_);
+  return seen_;
+}
+
+std::uint64_t FlightRecorder::dumps_written() const noexcept {
+  return dumps_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::dump(const char* reason) noexcept {
+  if (g_dumping.exchange(true, std::memory_order_acq_rel)) return;
+  try {
+    std::string path;
+    std::uint64_t seen = 0;
+    std::vector<Event> events;
+    {
+      std::lock_guard lock(ring_mutex_);
+      path = dump_path_;
+      seen = seen_;
+    }
+    if (path.empty()) {
+      g_dumping.store(false, std::memory_order_release);
+      return;
+    }
+    // Ring first, then flush the log: every event in this snapshot was
+    // already offered to the default sink, so after the flush the dump's
+    // tail is a suffix of (the same-severity slice of) the log.
+    events = snapshot();
+    flush_default_sink();
+
+    std::string out = "{\"flight_recorder\":{\"reason\":\"";
+    out += json::escape(reason != nullptr ? reason : "unknown");
+    out += "\",\"events_seen\":" + std::to_string(seen);
+    out += ",\"retained\":" + std::to_string(events.size());
+    out += ",\"capacity\":" + std::to_string(capacity_);
+    out += ",\"wall_micros\":" + std::to_string(wall_micros_now());
+    out += "}}\n";
+    for (const Event& e : events) {
+      out += to_json(e);
+      out += '\n';
+    }
+    atomic_write_file(path, out);
+    dumps_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    if (!warned_.exchange(true))
+      std::fprintf(stderr,
+                   "portatune: flight recorder dump failed: %s\n", e.what());
+  }
+  g_dumping.store(false, std::memory_order_release);
+}
+
+FlightRecorder* global_flight_recorder() noexcept {
+  return g_recorder.load(std::memory_order_acquire);
+}
+
+void set_global_flight_recorder(FlightRecorder* recorder) noexcept {
+  g_recorder.store(recorder, std::memory_order_release);
+}
+
+void dump_flight_recorder(const char* reason) noexcept {
+  if (FlightRecorder* recorder = global_flight_recorder())
+    recorder->dump(reason);
+}
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder& recorder)
+    : previous_(global_flight_recorder()),
+      previous_error_hook_(set_error_hook(&error_hook_trampoline)) {
+  set_global_flight_recorder(&recorder);
+  add_shutdown_hook(&shutdown_hook_trampoline);
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder() {
+  remove_shutdown_hook(&shutdown_hook_trampoline);
+  set_error_hook(previous_error_hook_);
+  set_global_flight_recorder(previous_);
+}
+
+}  // namespace portatune::obs

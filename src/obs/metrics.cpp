@@ -81,6 +81,31 @@ std::vector<double> Histogram::default_seconds_boundaries() {
   return b;
 }
 
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0 || buckets.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[i];
+    if (static_cast<double>(seen) < target) continue;
+    // The target observation falls in bucket i: interpolate between its
+    // edges. Clamp the edges to [min, max] so sparse outer buckets don't
+    // invent values the run never observed.
+    double lo = i == 0 ? min : boundaries[i - 1];
+    double hi = i < boundaries.size() ? boundaries[i] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi <= lo) return lo;
+    const double frac =
+        (target - before) / static_cast<double>(buckets[i]);
+    return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+  }
+  return max;
+}
+
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
@@ -127,6 +152,9 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     hs.max = hs.count > 0 ? h->max() : 0.0;
     hs.boundaries = h->boundaries();
     hs.buckets = h->bucket_counts();
+    hs.p50 = hs.percentile(0.50);
+    hs.p95 = hs.percentile(0.95);
+    hs.p99 = hs.percentile(0.99);
     out.histograms.push_back(std::move(hs));
   }
   return out;
@@ -182,7 +210,10 @@ std::string MetricsSnapshot::to_json() const {
            ",\"sum\":" + render_double(h.sum) +
            ",\"mean\":" + render_double(h.mean) +
            ",\"min\":" + render_double(h.min) +
-           ",\"max\":" + render_double(h.max) + ",\"boundaries\":[";
+           ",\"max\":" + render_double(h.max) +
+           ",\"p50\":" + render_double(h.p50) +
+           ",\"p95\":" + render_double(h.p95) +
+           ",\"p99\":" + render_double(h.p99) + ",\"boundaries\":[";
     for (std::size_t i = 0; i < h.boundaries.size(); ++i) {
       if (i > 0) out += ",";
       out += render_double(h.boundaries[i]);
@@ -213,7 +244,10 @@ void MetricsSnapshot::write_table(std::ostream& os) const {
     os << std::left << std::setw(w) << h.name << "  histo    count="
        << h.count << " mean=" << render_double(h.mean)
        << " min=" << render_double(h.min)
-       << " max=" << render_double(h.max) << "\n";
+       << " max=" << render_double(h.max)
+       << " p50=" << render_double(h.p50)
+       << " p95=" << render_double(h.p95)
+       << " p99=" << render_double(h.p99) << "\n";
 }
 
 }  // namespace portatune::obs

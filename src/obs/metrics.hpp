@@ -90,8 +90,17 @@ struct HistogramSnapshot {
   std::string name;
   std::uint64_t count = 0;
   double sum = 0.0, min = 0.0, max = 0.0, mean = 0.0;
+  /// Interpolated percentiles (see percentile()); 0 when count == 0.
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   std::vector<double> boundaries;
   std::vector<std::uint64_t> buckets;
+
+  /// The q-th percentile (q in [0,1]), linearly interpolated inside the
+  /// fixed buckets. The first bucket interpolates up from the observed
+  /// min, the overflow bucket up to the observed max, so the estimate is
+  /// always inside [min, max] — exact at q=0/q=1, bucket-resolution
+  /// accurate elsewhere.
+  double percentile(double q) const noexcept;
 };
 
 /// A point-in-time copy of every instrument, sorted by name.

@@ -505,8 +505,115 @@ void write_metrics_summary(std::ostream& os, const std::string& path) {
          << static_cast<std::uint64_t>(value.at("count").as_number())
          << " mean=" << fmt_seconds(value.at("mean").as_number())
          << " min=" << fmt_seconds(value.at("min").as_number())
-         << " max=" << fmt_seconds(value.at("max").as_number()) << "\n";
+         << " max=" << fmt_seconds(value.at("max").as_number());
+      // Percentiles are a v2 addition to the snapshot format; summaries
+      // of old snapshots simply omit them.
+      if (const json::Value* p50 = value.find("p50"))
+        os << " p50=" << fmt_seconds(p50->as_number());
+      if (const json::Value* p95 = value.find("p95"))
+        os << " p95=" << fmt_seconds(p95->as_number());
+      if (const json::Value* p99 = value.find("p99"))
+        os << " p99=" << fmt_seconds(p99->as_number());
+      os << "\n";
     }
+}
+
+TimeseriesSummary analyze_timeseries(const std::string& path) {
+  std::ifstream is(path);
+  PT_REQUIRE(is.good(), "cannot open metrics time-series: " + path);
+
+  TimeseriesSummary out;
+  std::vector<std::int64_t> pids;
+  double first_wall = 0.0, last_wall = 0.0;
+  // name -> accumulated Series (running sum kept in `mean` until the end)
+  std::map<std::string, TimeseriesSummary::Series> rates, gauges;
+  const auto fold = [](std::map<std::string, TimeseriesSummary::Series>& m,
+                       const json::Value& section) {
+    for (const auto& [name, value] : section.as_object()) {
+      TimeseriesSummary::Series& s = m[name];
+      s.name = name;
+      const double v = value.as_number();
+      ++s.samples;
+      s.mean += v;
+      s.max = std::max(s.max, v);
+      s.last = v;
+    }
+  };
+
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    json::Value row;
+    try {
+      row = json::Value::parse(line);
+    } catch (const Error&) {
+      ++out.skipped_lines;  // a SIGKILL can tear the final line
+      continue;
+    }
+    ++out.rows;
+    if (const json::Value* pid = row.find("pid")) {
+      const auto p = static_cast<std::int64_t>(pid->as_number());
+      if (std::find(pids.begin(), pids.end(), p) == pids.end())
+        pids.push_back(p);
+    }
+    if (const json::Value* t = row.find("t_wall")) {
+      if (out.rows == 1) first_wall = t->as_number();
+      last_wall = t->as_number();
+    }
+    if (const json::Value* dt = row.find("dt"))
+      out.sampled_seconds += dt->as_number();
+    if (const json::Value* r = row.find("rates")) fold(rates, *r);
+    if (const json::Value* g = row.find("gauges")) fold(gauges, *g);
+  }
+  out.segments = pids.size();
+  out.wall_seconds = std::max(0.0, last_wall - first_wall);
+  const auto finish = [](std::map<std::string,
+                                  TimeseriesSummary::Series>& m,
+                         std::vector<TimeseriesSummary::Series>& v) {
+    for (auto& [name, s] : m) {
+      if (s.samples > 0) s.mean /= static_cast<double>(s.samples);
+      v.push_back(std::move(s));
+    }
+  };
+  finish(rates, out.rates);
+  finish(gauges, out.gauges);
+  return out;
+}
+
+void write_timeseries_summary(std::ostream& os,
+                              const TimeseriesSummary& summary,
+                              const std::string& path) {
+  os << "timeseries (" << path << ")\n";
+  os << "  " << summary.rows << " samples over "
+     << fmt_seconds(summary.wall_seconds) << "s wall ("
+     << fmt_seconds(summary.sampled_seconds) << "s sampled), "
+     << summary.segments << " segment"
+     << (summary.segments == 1 ? "" : "s");
+  if (summary.segments > 1)
+    os << " — the run was killed and resumed "
+       << summary.segments - 1 << " time"
+       << (summary.segments == 2 ? "" : "s");
+  if (summary.skipped_lines > 0)
+    os << ", " << summary.skipped_lines << " torn line(s) skipped";
+  os << "\n";
+
+  std::size_t w = 4;
+  for (const auto& s : summary.rates) w = std::max(w, s.name.size());
+  for (const auto& s : summary.gauges) w = std::max(w, s.name.size());
+  for (const auto& s : summary.rates) {
+    os << "  ";
+    pad_to(os, s.name, w);
+    os << "  rate/s  mean=" << fmt_seconds(s.mean)
+       << " max=" << fmt_seconds(s.max)
+       << " last=" << fmt_seconds(s.last) << "\n";
+  }
+  for (const auto& s : summary.gauges) {
+    os << "  ";
+    pad_to(os, s.name, w);
+    os << "  gauge   mean=" << fmt_seconds(s.mean)
+       << " max=" << fmt_seconds(s.max)
+       << " last=" << fmt_seconds(s.last) << "\n";
+  }
 }
 
 }  // namespace portatune::obs

@@ -153,4 +153,40 @@ void write_comparison(std::ostream& os, const Comparison& comparison);
 /// --metrics-out JSON: {"counters":{},"gauges":{},"histograms":{}}).
 void write_metrics_summary(std::ostream& os, const std::string& path);
 
+/// Aggregate view of one metrics time-series (metrics_timeseries.jsonl,
+/// written by obs::MetricsSampler): how the run's throughput, queue
+/// depth, and guard trust moved over its lifetime. A killed-and-resumed
+/// run appends from each process in turn; `segments` counts the distinct
+/// pids, so "how many times did this run die?" is answered directly.
+struct TimeseriesSummary {
+  std::size_t rows = 0;
+  std::size_t skipped_lines = 0;  ///< torn/malformed lines (lenient read)
+  std::size_t segments = 0;       ///< distinct writer pids
+  double wall_seconds = 0.0;      ///< last t_wall minus first t_wall
+  double sampled_seconds = 0.0;   ///< sum of tick intervals (live time)
+
+  /// One tracked series with its motion over the run.
+  struct Series {
+    std::string name;
+    std::size_t samples = 0;
+    double mean = 0.0;
+    double max = 0.0;
+    double last = 0.0;
+  };
+  std::vector<Series> rates;   ///< per-counter throughput (events/sec)
+  std::vector<Series> gauges;  ///< pool occupancy, queue depth, trust...
+};
+
+/// Parse and aggregate a sampler time-series file. Lenient like
+/// read_event_log: malformed lines (e.g. the torn final line of a
+/// SIGKILL'd run) are skipped and counted. Throws portatune::Error only
+/// when the file cannot be opened.
+TimeseriesSummary analyze_timeseries(const std::string& path);
+
+/// Render the time-series section (throughput, queue depth, guard trust
+/// over time) of `portatune_report --timeseries`.
+void write_timeseries_summary(std::ostream& os,
+                              const TimeseriesSummary& summary,
+                              const std::string& path);
+
 }  // namespace portatune::obs

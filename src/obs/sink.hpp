@@ -92,6 +92,30 @@ class MemorySink final : public EventSink {
   std::vector<Event> events_;
 };
 
+/// Forwards only events at or above a severity threshold (inner sink not
+/// owned). This is how a file sink stays threshold-filtered while a
+/// sibling in the same Tee — the flight recorder — sees every severity:
+/// the global log level drops to Debug and each conventional sink gets
+/// its own FilterSink at the level the user actually asked for.
+class FilterSink final : public EventSink {
+ public:
+  FilterSink(EventSink* inner, Severity threshold)
+      : inner_(inner), threshold_(threshold) {}
+
+ protected:
+  void write(const Event& event) override {
+    if (inner_ != nullptr && event.severity >= threshold_)
+      inner_->log(event);
+  }
+  void flush_locked() override {
+    if (inner_ != nullptr) inner_->flush();
+  }
+
+ private:
+  EventSink* inner_;
+  Severity threshold_;
+};
+
 /// Forwards each event to every child sink (none owned).
 class TeeSink final : public EventSink {
  public:

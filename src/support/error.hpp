@@ -6,6 +6,7 @@
 // a wrong answer is worse than an abort.
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -18,16 +19,36 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Observer invoked (before the throw) every time a PT_REQUIRE /
+/// PT_ASSERT fires. Must not throw. The flight recorder registers one so
+/// a failed requirement dumps the black box even when the exception is
+/// later swallowed; support cannot link obs, hence a plain function
+/// pointer rather than a dependency.
+using ErrorHook = void (*)(const char* what) noexcept;
+
 namespace detail {
+
+inline std::atomic<ErrorHook> g_error_hook{nullptr};
+
 [[noreturn]] inline void throw_error(const char* cond, const char* file,
                                      int line, const std::string& msg) {
   std::ostringstream os;
   os << "portatune: requirement `" << cond << "` failed at " << file << ":"
      << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  const std::string what = os.str();
+  if (ErrorHook hook = g_error_hook.load(std::memory_order_acquire))
+    hook(what.c_str());
+  throw Error(what);
 }
+
 }  // namespace detail
+
+/// Install (or clear, with nullptr) the requirement-failure observer.
+/// Returns the previous hook so scoped installers can restore it.
+inline ErrorHook set_error_hook(ErrorHook hook) noexcept {
+  return detail::g_error_hook.exchange(hook, std::memory_order_acq_rel);
+}
 
 }  // namespace portatune
 

@@ -1,6 +1,9 @@
 #include "support/signal.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
+#include <vector>
 
 #ifndef _WIN32
 #include <csignal>
@@ -18,6 +21,31 @@ CancellationSource& shutdown_source() {
   // late tokens may still touch it while the process unwinds).
   static CancellationSource* source = new CancellationSource();
   return *source;
+}
+
+struct ShutdownHooks {
+  std::mutex mutex;
+  std::vector<ShutdownHook> hooks;
+  bool fired = false;
+};
+
+ShutdownHooks& shutdown_hooks() {
+  // Leaked for the same reason as the shutdown source.
+  static ShutdownHooks* hooks = new ShutdownHooks();
+  return *hooks;
+}
+
+void run_shutdown_hooks() noexcept {
+  ShutdownHooks& s = shutdown_hooks();
+  std::vector<ShutdownHook> to_run;
+  {
+    std::lock_guard lock(s.mutex);
+    if (s.fired) return;
+    s.fired = true;
+    to_run = s.hooks;
+  }
+  for (ShutdownHook hook : to_run)
+    if (hook != nullptr) hook();
 }
 
 #ifndef _WIN32
@@ -51,7 +79,29 @@ bool shutdown_requested() noexcept {
   return shutdown_source().cancel_requested();
 }
 
-void request_shutdown() noexcept { shutdown_source().request_cancel(); }
+void request_shutdown() noexcept {
+  shutdown_source().request_cancel();
+  run_shutdown_hooks();
+}
+
+void add_shutdown_hook(ShutdownHook hook) noexcept {
+  if (hook == nullptr) return;
+  bool already_fired;
+  {
+    ShutdownHooks& s = shutdown_hooks();
+    std::lock_guard lock(s.mutex);
+    already_fired = s.fired;
+    if (!already_fired) s.hooks.push_back(hook);
+  }
+  if (already_fired) hook();  // late registration: honour the contract
+}
+
+void remove_shutdown_hook(ShutdownHook hook) noexcept {
+  ShutdownHooks& s = shutdown_hooks();
+  std::lock_guard lock(s.mutex);
+  s.hooks.erase(std::remove(s.hooks.begin(), s.hooks.end(), hook),
+                s.hooks.end());
+}
 
 void install_shutdown_signal_handler() {
 #ifndef _WIN32

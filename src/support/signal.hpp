@@ -29,6 +29,18 @@ bool shutdown_requested() noexcept;
 /// exactly as the first SIGINT/SIGTERM would.
 void request_shutdown() noexcept;
 
+/// A function run (on the shutdown watcher thread, not in the signal
+/// handler) exactly once when shutdown is first requested — the seam the
+/// flight recorder uses to dump its ring before the cooperative unwind
+/// begins. Hooks must be fast and must not throw. Registering after
+/// shutdown was already requested invokes the hook immediately. A plain
+/// function pointer on purpose: hooks reach their state through their own
+/// globals, and support stays free of ownership questions.
+using ShutdownHook = void (*)() noexcept;
+void add_shutdown_hook(ShutdownHook hook) noexcept;
+/// Remove a previously added hook (scoped installers; no-op if absent).
+void remove_shutdown_hook(ShutdownHook hook) noexcept;
+
 /// Install the SIGINT/SIGTERM handler (POSIX; no-op elsewhere and on
 /// repeat calls). First signal: graceful shutdown via the self-pipe;
 /// second signal: _exit(128 + signo).

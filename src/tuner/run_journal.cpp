@@ -15,6 +15,7 @@
 #include "support/hash.hpp"
 #include "support/thread_pool.hpp"
 #include "tuner/persistence.hpp"
+#include "tuner/run_status.hpp"
 
 namespace portatune::tuner {
 
@@ -76,8 +77,8 @@ RunJournal RunJournal::create(std::string run_dir,
   return journal;
 }
 
-RunJournal RunJournal::open(std::string run_dir,
-                            std::vector<std::string> labels) {
+std::vector<RunJournal::Cell> RunJournal::parse_manifest(
+    const std::string& run_dir) {
   const std::string payload = strip_verified_checksum_footer(
       read_file(manifest_path(run_dir)), "journal");
   std::istringstream is(payload);
@@ -116,6 +117,21 @@ RunJournal RunJournal::open(std::string run_dir,
   }
   PT_REQUIRE(cells.size() == ncells,
              "journal row count does not match its declared cell count");
+  return cells;
+}
+
+RunJournal::Peek RunJournal::peek(const std::string& run_dir) {
+  Peek out;
+  for (Cell& cell : parse_manifest(run_dir)) {
+    out.states.push_back(cell.state);
+    out.labels.push_back(std::move(cell.label));
+  }
+  return out;
+}
+
+RunJournal RunJournal::open(std::string run_dir,
+                            std::vector<std::string> labels) {
+  std::vector<Cell> cells = parse_manifest(run_dir);
   PT_REQUIRE(cells.size() == labels.size(),
              "journal has " + std::to_string(cells.size()) +
                  " cells but the job list has " +
@@ -248,6 +264,29 @@ std::vector<TransferExperimentResult> run_transfer_experiments_journaled(
   for (std::size_t i = 0; i < journal.size(); ++i)
     if (journal.state(i) == CellState::Done) ++restored;
 
+  // Live status telemetry (run_status.hpp): a shared progress board the
+  // phase hooks update, and a heartbeat thread rendering it into
+  // status.json. Entirely absent when status_every_seconds == 0.
+  std::unique_ptr<RunStatusBoard> board;
+  std::unique_ptr<RunStatusWriter> status_writer;
+  if (opt.status_every_seconds > 0.0) {
+    std::vector<std::string> board_labels;
+    board_labels.reserve(jobs.size());
+    for (const ExperimentJob& job : jobs) board_labels.push_back(job.label);
+    // Budget per cell: six searches, each capped at the cell's nmax. The
+    // grid shares one nmax in practice; a heterogeneous grid only skews
+    // the ETA, never correctness.
+    board = std::make_unique<RunStatusBoard>(
+        std::move(board_labels),
+        kNumExperimentPhases * jobs.front().settings.nmax);
+    for (std::size_t i = 0; i < journal.size(); ++i)
+      if (journal.state(i) == CellState::Done)
+        board->set_state(i, CellState::Done);
+    status_writer = std::make_unique<RunStatusWriter>(
+        *board, opt.run_dir, opt.status_every_seconds);
+  }
+  RunStatusBoard* const bp = board.get();
+
   const auto run_job = [&](std::size_t i) {
     const ExperimentJob& job = jobs[i];
     PT_REQUIRE(job.make_source && job.make_target,
@@ -270,6 +309,13 @@ std::vector<TransferExperimentResult> run_transfer_experiments_journaled(
             load_checkpoint_csv(journal.phase_path(i, kExperimentPhases[p]),
                                 space)
                 .trace;
+      if (bp != nullptr) {
+        // Credit the restored work to the board so the run-wide eval
+        // count and ETA don't treat the cell as still outstanding.
+        for (std::size_t p = 0; p < kNumExperimentPhases; ++p)
+          bp->phase_finished(i, slots[p]->size(), slots[p]->best_seconds());
+        bp->set_state(i, CellState::Done);
+      }
       finalize_transfer_result(r);
       out[i] = std::move(r);
       return;
@@ -279,6 +325,7 @@ std::vector<TransferExperimentResult> run_transfer_experiments_journaled(
       return;
     }
     journal.mark_running(i);
+    if (bp != nullptr) bp->set_state(i, CellState::Running);
     EvaluatorPtr source = job.make_source();
     EvaluatorPtr target = job.make_target();
     const ParamSpace& space = source->space();
@@ -286,24 +333,34 @@ std::vector<TransferExperimentResult> run_transfer_experiments_journaled(
     ExperimentSettings settings = job.settings;
     settings.cancel = opt.cancel;
     settings.hooks.restore_phase =
-        [&journal, &space, i](const std::string& phase)
+        [&journal, &space, i, bp](const std::string& phase)
         -> std::optional<SearchTrace> {
+      // restore_phase fires at every phase boundary, restored or not —
+      // which makes it the board's "phase started" signal too.
+      if (bp != nullptr) bp->phase_started(i, phase);
       const std::string path = journal.phase_path(i, phase);
       if (!file_exists(path)) return std::nullopt;
-      return load_checkpoint_csv(path, space).trace;
+      SearchTrace trace = load_checkpoint_csv(path, space).trace;
+      if (bp != nullptr)
+        bp->phase_finished(i, trace.size(), trace.best_seconds());
+      return trace;
     };
-    settings.hooks.phase_done = [&journal, &space, i](
+    settings.hooks.phase_done = [&journal, &space, i, bp](
                                     const std::string& phase,
                                     const SearchTrace& trace) {
       SearchCheckpoint snap;
       snap.trace = trace;
       snap.draws = trace.size();  // never resumed; recorded for the format
       save_checkpoint_csv(journal.phase_path(i, phase), snap, space);
+      if (bp != nullptr)
+        bp->phase_finished(i, trace.size(), trace.best_seconds());
     };
     settings.hooks.rs_checkpoint_every = opt.rs_checkpoint_every;
-    settings.hooks.rs_checkpoint = [&journal, &space,
-                                    i](const SearchCheckpoint& snap) {
+    settings.hooks.rs_checkpoint = [&journal, &space, i,
+                                    bp](const SearchCheckpoint& snap) {
       save_checkpoint_csv(journal.partial_rs_path(i), snap, space);
+      if (bp != nullptr)
+        bp->rs_progress(i, snap.trace.size(), snap.trace.best_seconds());
     };
     settings.hooks.rs_resume = [&journal, &space,
                                 i]() -> std::optional<SearchCheckpoint> {
@@ -320,6 +377,7 @@ std::vector<TransferExperimentResult> run_transfer_experiments_journaled(
       return;
     }
     journal.mark_done(i, journal.cell_bundle_checksum(i));
+    if (bp != nullptr) bp->set_state(i, CellState::Done);
     completed.fetch_add(1, std::memory_order_relaxed);
   };
 

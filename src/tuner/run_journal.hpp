@@ -80,6 +80,17 @@ class RunJournal {
 
   static bool exists(const std::string& run_dir);
 
+  /// Read-only manifest snapshot for status tooling: parses journal.csv
+  /// without rewriting it or demoting cells (open() does both), so a
+  /// reader can inspect a *live* run another process owns. States are
+  /// reported exactly as recorded — a `running` row may mean in-flight
+  /// or crashed; pair with the heartbeat (run_status.hpp) to tell which.
+  struct Peek {
+    std::vector<CellState> states;
+    std::vector<std::string> labels;
+  };
+  static Peek peek(const std::string& run_dir);
+
   std::size_t size() const noexcept { return cells_.size(); }
   CellState state(std::size_t cell) const;
   const std::string& label(std::size_t cell) const;
@@ -109,6 +120,10 @@ class RunJournal {
   RunJournal(std::string run_dir, std::vector<Cell> cells)
       : run_dir_(std::move(run_dir)), cells_(std::move(cells)) {}
 
+  /// Shared manifest parser behind open() and peek(); verifies the
+  /// checksum footer, magic line, and row shapes, mutates nothing.
+  static std::vector<Cell> parse_manifest(const std::string& run_dir);
+
   void set_state(std::size_t cell, CellState state, std::uint64_t checksum);
   void write_manifest_locked() const;
 
@@ -132,6 +147,10 @@ struct JournaledRunOptions {
   /// at a window boundary with their journal row left `running`; the next
   /// resume demotes them to pending and restores their completed phases.
   CancellationToken cancel{};
+  /// Heartbeat cadence of the live status file (<run-dir>/status.json,
+  /// see run_status.hpp). 0 keeps the telemetry fully dormant: no board,
+  /// no writer thread, no file.
+  double status_every_seconds = 0.0;
 };
 
 struct JournaledRunSummary {

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/sink.hpp"
 #include "support/error.hpp"
+#include "tuner/search_options.hpp"
 
 namespace portatune::tuner {
 
@@ -31,6 +33,12 @@ void SearchTrace::set_stop_reason(std::string reason) {
          {"evals", entries_.size()},
          {"failures", failures_.failures}}));
   obs::flush_default_sink();
+  // Aborts ship the black box too — but not cooperative cancellation,
+  // which is a *normal* (resumable) exit the shutdown hook already
+  // covers, and which every cancelled search in a fan-out would
+  // otherwise re-dump.
+  if (stop_reason_ != kCancelledStopReason)
+    obs::dump_flight_recorder("search.abort");
 }
 
 void SearchTrace::note_result(const EvalResult& r) {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "obs/event.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
 #include "support/signal.hpp"
@@ -62,6 +63,9 @@ void EvalWatchdog::report_hang(Entry& entry) noexcept {
         obs::Severity::Warn, "eval.hang_detected", "eval",
         {{"label", entry.label},
          {"deadline_seconds", entry.deadline_seconds}}));
+  // A detected hang is an abnormal-exit precursor: ship the black box
+  // now, while the final moments are still in the ring.
+  obs::dump_flight_recorder("eval.hang_detected");
 }
 
 EvalWatchdog::Ticket EvalWatchdog::watch(CancellationSource source,

@@ -24,8 +24,11 @@ ARGS=(experiment --problem LU --pairs Westmere:Sandybridge,Westmere:Power7
 # Uninterrupted reference run.
 "$CLI" "${ARGS[@]}" --run-dir ref-run
 
-# Interrupted run: one SIGTERM requests a graceful, resumable exit.
-"$CLI" "${ARGS[@]}" --run-dir grace-run &
+# Interrupted run: one SIGTERM requests a graceful, resumable exit. The
+# observability artifacts requested via --metrics-out / --chrome-trace
+# must be written on this exit-3 path too, not only on success.
+"$CLI" "${ARGS[@]}" --run-dir grace-run \
+  --metrics-out grace-metrics.json --chrome-trace grace-trace.json &
 pid=$!
 sleep 2
 kill -TERM "$pid"
@@ -37,6 +40,12 @@ test "$rc" -eq 3  # "interrupted but resumable"
 grep -q '^# portatune-journal v1,' grace-run/journal.csv
 grep -q '^# checksum,' grace-run/journal.csv
 grep -Eq '^(pending|running),' grace-run/journal.csv
+
+# The interrupted process still flushed its observability artifacts.
+test -s grace-metrics.json
+test -s grace-trace.json
+grep -q '"counters"' grace-metrics.json
+grep -q '"traceEvents"' grace-trace.json
 
 "$CLI" "${ARGS[@]}" --resume grace-run
 

@@ -1,0 +1,177 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+#include "obs/sink.hpp"
+#include "support/error.hpp"
+
+namespace portatune::obs {
+namespace {
+
+Event instant(Severity sev, const std::string& name) {
+  return make_instant(sev, name, "test", {});
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(FlightRecorder, RingRetainsTheLastCapacityEvents) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i)
+    rec.log(instant(Severity::Info, "e" + std::to_string(i)));
+  EXPECT_EQ(rec.events_seen(), 10u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: the ring wrapped, keeping e6..e9.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_EQ(events[i].name, "e" + std::to_string(6 + i));
+}
+
+TEST(FlightRecorder, SnapshotBeforeWrapIsInsertionOrder) {
+  FlightRecorder rec(8);
+  rec.log(instant(Severity::Debug, "first"));
+  rec.log(instant(Severity::Error, "second"));
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "second");
+}
+
+TEST(FlightRecorder, SeesAllSeveritiesWhileFilterSinkThresholds) {
+  // The CLI chain: Tee(FilterSink(user sink, user level), recorder) with
+  // the global level at Debug. The recorder must retain what the user's
+  // sink drops.
+  FlightRecorder rec(16);
+  MemorySink user;
+  FilterSink filtered(&user, Severity::Warn);
+  TeeSink tee({&filtered, &rec});
+  tee.log(instant(Severity::Debug, "detail"));
+  tee.log(instant(Severity::Warn, "trouble"));
+  EXPECT_EQ(rec.events_seen(), 2u);
+  const auto passed = user.events();
+  ASSERT_EQ(passed.size(), 1u);
+  EXPECT_EQ(passed[0].name, "trouble");
+}
+
+TEST(FlightRecorder, DumpWritesHeaderThenEventsOldestFirst) {
+  const std::string path =
+      testing::TempDir() + "/flight_recorder_dump.jsonl";
+  FlightRecorder rec(3);
+  rec.set_dump_path(path);
+  for (int i = 0; i < 5; ++i)
+    rec.log(instant(Severity::Info, "e" + std::to_string(i)));
+  rec.dump("unit_test");
+  EXPECT_EQ(rec.dumps_written(), 1u);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 retained events
+  const json::Value header = json::Value::parse(lines[0]);
+  const json::Value& meta = header.at("flight_recorder");
+  EXPECT_EQ(meta.at("reason").as_string(), "unit_test");
+  EXPECT_EQ(meta.at("events_seen").as_number(), 5.0);
+  EXPECT_EQ(meta.at("retained").as_number(), 3.0);
+  EXPECT_EQ(meta.at("capacity").as_number(), 3.0);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(json::Value::parse(lines[1 + i]).at("name").as_string(),
+              "e" + std::to_string(2 + i));
+}
+
+TEST(FlightRecorder, DumpWithoutPathIsANoop) {
+  FlightRecorder rec;
+  rec.log(instant(Severity::Info, "x"));
+  rec.dump("no_path");  // must not throw or write anything
+  EXPECT_EQ(rec.dumps_written(), 0u);
+}
+
+TEST(FlightRecorder, DumpToUnwritablePathNeverThrows) {
+  FlightRecorder rec;
+  rec.set_dump_path("/nonexistent-dir/deeper/fr.jsonl");
+  rec.log(instant(Severity::Info, "x"));
+  rec.dump("bad_path");  // reported to stderr once, swallowed
+  EXPECT_EQ(rec.dumps_written(), 0u);
+}
+
+TEST(FlightRecorder, GlobalTriggerDumpsTheInstalledRecorder) {
+  const std::string path = testing::TempDir() + "/fr_global.jsonl";
+  FlightRecorder rec;
+  rec.set_dump_path(path);
+  rec.log(instant(Severity::Warn, "before_crash"));
+  {
+    ScopedFlightRecorder scope(rec);
+    EXPECT_EQ(global_flight_recorder(), &rec);
+    dump_flight_recorder("trigger_site");
+  }
+  EXPECT_EQ(global_flight_recorder(), nullptr);
+  EXPECT_EQ(rec.dumps_written(), 1u);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(json::Value::parse(lines[1]).at("name").as_string(),
+            "before_crash");
+}
+
+TEST(FlightRecorder, FailedRequirementTriggersADump) {
+  const std::string path = testing::TempDir() + "/fr_require.jsonl";
+  FlightRecorder rec;
+  rec.set_dump_path(path);
+  rec.log(instant(Severity::Info, "last_known_good"));
+  ScopedFlightRecorder scope(rec);
+  EXPECT_THROW(
+      { PT_REQUIRE(false, "synthetic failure for the flight recorder"); },
+      Error);
+  EXPECT_EQ(rec.dumps_written(), 1u);
+  const auto lines = read_lines(path);
+  ASSERT_GE(lines.size(), 1u);
+  const json::Value header = json::Value::parse(lines[0]);
+  const std::string reason =
+      header.at("flight_recorder").at("reason").as_string();
+  EXPECT_NE(reason.find("pt_require"), std::string::npos);
+  EXPECT_NE(reason.find("synthetic failure"), std::string::npos);
+}
+
+TEST(FlightRecorder, ScopeRestoresThePreviousRecorderAndHook) {
+  FlightRecorder outer, inner;
+  ScopedFlightRecorder outer_scope(outer);
+  {
+    ScopedFlightRecorder inner_scope(inner);
+    EXPECT_EQ(global_flight_recorder(), &inner);
+  }
+  EXPECT_EQ(global_flight_recorder(), &outer);
+  // The error hook is back on the outer recorder too: a failed
+  // requirement must not touch the uninstalled inner one.
+  outer.set_dump_path(testing::TempDir() + "/fr_outer.jsonl");
+  EXPECT_THROW({ PT_REQUIRE(false, "outer hook check"); }, Error);
+  EXPECT_EQ(inner.dumps_written(), 0u);
+  EXPECT_EQ(outer.dumps_written(), 1u);
+}
+
+TEST(FlightRecorder, RepeatedDumpsOverwriteAtomically) {
+  const std::string path = testing::TempDir() + "/fr_repeat.jsonl";
+  FlightRecorder rec(4);
+  rec.set_dump_path(path);
+  rec.log(instant(Severity::Info, "one"));
+  rec.dump("first");
+  rec.log(instant(Severity::Info, "two"));
+  rec.dump("second");
+  EXPECT_EQ(rec.dumps_written(), 2u);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);  // the second dump replaced the first
+  EXPECT_EQ(json::Value::parse(lines[0])
+                .at("flight_recorder")
+                .at("reason")
+                .as_string(),
+            "second");
+}
+
+}  // namespace
+}  // namespace portatune::obs

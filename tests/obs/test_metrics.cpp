@@ -44,6 +44,71 @@ TEST(Metrics, HistogramBucketsAndSummaryStats) {
   for (std::uint64_t b : buckets) EXPECT_EQ(b, 1u);
 }
 
+TEST(Metrics, PercentilesInterpolateWithinBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {0.25, 0.5, 0.75, 1.0});
+  for (int i = 1; i <= 100; ++i) h.observe(i / 100.0);  // uniform (0, 1]
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const HistogramSnapshot& hs = snap.histograms[0];
+  // Uniform data: the q-th percentile is q, up to one bucket's width of
+  // interpolation error.
+  EXPECT_NEAR(hs.p50, 0.50, 0.05);
+  EXPECT_NEAR(hs.p95, 0.95, 0.05);
+  EXPECT_NEAR(hs.p99, 0.99, 0.05);
+  EXPECT_LE(hs.p50, hs.p95);
+  EXPECT_LE(hs.p95, hs.p99);
+  // Extremes pin to the observed range.
+  EXPECT_DOUBLE_EQ(hs.percentile(0.0), hs.min);
+  EXPECT_DOUBLE_EQ(hs.percentile(1.0), hs.max);
+}
+
+TEST(Metrics, PercentilesOfAnEmptyHistogramAreZero) {
+  MetricsRegistry reg;
+  reg.histogram("empty");
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p50, 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p95, 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].p99, 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].percentile(0.5), 0.0);
+}
+
+TEST(Metrics, PercentilesClampToTheObservedRange) {
+  MetricsRegistry reg;
+  // One observation deep inside a wide bucket: every percentile must be
+  // that value, not an interpolated point the run never produced.
+  reg.histogram("one", {100.0}).observe(2.5);
+  const MetricsSnapshot snap = reg.snapshot();
+  const HistogramSnapshot& hs = snap.histograms[0];
+  EXPECT_DOUBLE_EQ(hs.p50, 2.5);
+  EXPECT_DOUBLE_EQ(hs.p99, 2.5);
+  // Overflow-bucket observations clamp to max rather than infinity.
+  reg.histogram("over", {1.0}).observe(7.0);
+  const MetricsSnapshot snap2 = reg.snapshot();
+  for (const auto& s : snap2.histograms)
+    if (s.name == "over") {
+      EXPECT_DOUBLE_EQ(s.p50, 7.0);
+      EXPECT_DOUBLE_EQ(s.p99, 7.0);
+    }
+}
+
+TEST(Metrics, JsonAndTableCarryPercentiles) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 20; ++i)
+    reg.histogram("sec", {0.5, 1.0}).observe(i / 20.0);
+  const MetricsSnapshot snap = reg.snapshot();
+  const auto v = json::Value::parse(snap.to_json());
+  const auto& h = v.at("histograms").at("sec");
+  EXPECT_DOUBLE_EQ(h.at("p50").as_number(), snap.histograms[0].p50);
+  EXPECT_DOUBLE_EQ(h.at("p95").as_number(), snap.histograms[0].p95);
+  EXPECT_DOUBLE_EQ(h.at("p99").as_number(), snap.histograms[0].p99);
+  std::ostringstream os;
+  snap.write_table(os);
+  EXPECT_NE(os.str().find("p50="), std::string::npos);
+  EXPECT_NE(os.str().find("p99="), std::string::npos);
+}
+
 TEST(Metrics, SecondsBoundariesSpanMicrosecondsToMinutes) {
   const auto b = Histogram::default_seconds_boundaries();
   ASSERT_FALSE(b.empty());

@@ -1,0 +1,191 @@
+#include "obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace portatune::obs {
+namespace {
+
+std::vector<json::Value> read_rows(const std::string& path) {
+  std::ifstream is(path);
+  std::vector<json::Value> rows;
+  for (std::string line; std::getline(is, line);)
+    if (!line.empty()) rows.push_back(json::Value::parse(line));
+  return rows;
+}
+
+TEST(MetricsSampler, WritesAnchorRowAndFinalRow) {
+  const std::string path = testing::TempDir() + "/ts_anchor.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  reg.counter("evals").add(3);
+  {
+    MetricsSampler::Options opt;
+    opt.path = path;
+    opt.period_seconds = 60.0;  // only the anchor + final rows fire
+    opt.registry = &reg;
+    MetricsSampler sampler(std::move(opt));
+    EXPECT_GE(sampler.samples_written(), 1u);
+  }
+  const auto rows = read_rows(path);
+  ASSERT_GE(rows.size(), 2u);
+  EXPECT_EQ(rows.front().at("seq").as_number(), 0.0);
+  EXPECT_EQ(rows.front().at("counters").at("evals").as_number(), 3.0);
+  // Sequence numbers are strictly increasing, timestamps monotone.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].at("seq").as_number(),
+              rows[i - 1].at("seq").as_number() + 1.0);
+    EXPECT_GE(rows[i].at("t_mono").as_number(),
+              rows[i - 1].at("t_mono").as_number());
+  }
+}
+
+TEST(MetricsSampler, RatesAreCounterDeltasOverTheInterval) {
+  const std::string path = testing::TempDir() + "/ts_rates.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  {
+    MetricsSampler::Options opt;
+    opt.path = path;
+    opt.period_seconds = 60.0;
+    opt.registry = &reg;
+    MetricsSampler sampler(std::move(opt));
+    reg.counter("work").add(100);
+    sampler.sample_now();
+  }
+  const auto rows = read_rows(path);
+  ASSERT_GE(rows.size(), 2u);
+  // The second row saw the counter go 0 -> 100 over dt seconds.
+  const json::Value& row = rows[1];
+  const double dt = row.at("dt").as_number();
+  ASSERT_GT(dt, 0.0);
+  EXPECT_NEAR(row.at("rates").at("work").as_number(), 100.0 / dt,
+              1e-6 * (100.0 / dt));
+}
+
+TEST(MetricsSampler, CounterShrinkIsTreatedAsAReset) {
+  MetricsRegistry reg;
+  reg.counter("c").add(50);
+  MetricsSnapshot snap = reg.snapshot();
+  // Rendered via the static row renderer: rates are the caller's, so we
+  // exercise the delta logic through a real sampler instead.
+  const std::string path = testing::TempDir() + "/ts_reset.jsonl";
+  std::remove(path.c_str());
+  {
+    MetricsSampler::Options opt;
+    opt.path = path;
+    opt.period_seconds = 60.0;
+    opt.registry = &reg;
+    MetricsSampler sampler(std::move(opt));
+    reg.reset();          // registry reset between searches
+    reg.counter("c").add(10);
+    sampler.sample_now();
+  }
+  const auto rows = read_rows(path);
+  ASSERT_GE(rows.size(), 2u);
+  // 10 < 50: the counter restarted; the rate ramps from zero, never
+  // negative.
+  const double dt = rows[1].at("dt").as_number();
+  EXPECT_NEAR(rows[1].at("rates").at("c").as_number(), 10.0 / dt,
+              1e-6 * (10.0 / dt));
+  (void)snap;
+}
+
+TEST(MetricsSampler, HistogramRowsCarryPercentiles) {
+  const std::string path = testing::TempDir() + "/ts_hist.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i)
+    reg.histogram("lat", {0.25, 0.5, 0.75, 1.0}).observe(i / 100.0);
+  {
+    MetricsSampler::Options opt;
+    opt.path = path;
+    opt.period_seconds = 60.0;
+    opt.registry = &reg;
+    MetricsSampler sampler(std::move(opt));
+  }
+  const auto rows = read_rows(path);
+  ASSERT_GE(rows.size(), 1u);
+  const json::Value& h = rows[0].at("histograms").at("lat");
+  EXPECT_EQ(h.at("count").as_number(), 100.0);
+  EXPECT_NEAR(h.at("p50").as_number(), 0.5, 0.05);
+  EXPECT_NEAR(h.at("p95").as_number(), 0.95, 0.05);
+  EXPECT_GE(h.at("p99").as_number(), h.at("p95").as_number());
+}
+
+TEST(MetricsSampler, OnTickRunsAfterEverySample) {
+  const std::string path = testing::TempDir() + "/ts_tick.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  std::atomic<int> ticks{0};
+  {
+    MetricsSampler::Options opt;
+    opt.path = path;
+    opt.period_seconds = 60.0;
+    opt.registry = &reg;
+    opt.on_tick = [&ticks] { ++ticks; };
+    MetricsSampler sampler(std::move(opt));
+    const int after_anchor = ticks.load();
+    EXPECT_GE(after_anchor, 1);  // the anchor row ticked too
+    sampler.sample_now();
+    EXPECT_EQ(ticks.load(), after_anchor + 1);
+  }
+  EXPECT_GE(ticks.load(), 3);  // anchor + explicit + final
+}
+
+TEST(MetricsSampler, BackgroundThreadSamplesAtThePeriod) {
+  const std::string path = testing::TempDir() + "/ts_thread.jsonl";
+  std::remove(path.c_str());
+  MetricsRegistry reg;
+  {
+    MetricsSampler::Options opt;
+    opt.path = path;
+    opt.period_seconds = 0.02;
+    opt.registry = &reg;
+    MetricsSampler sampler(std::move(opt));
+    std::this_thread::sleep_for(std::chrono::milliseconds(120));
+    EXPECT_GE(sampler.samples_written(), 3u);
+  }
+  const auto rows = read_rows(path);
+  EXPECT_GE(rows.size(), 3u);
+}
+
+TEST(MetricsSampler, UnopenablePathThrows) {
+  MetricsSampler::Options opt;
+  opt.path = "/nonexistent-dir/deeper/ts.jsonl";
+  EXPECT_THROW({ MetricsSampler sampler(std::move(opt)); }, Error);
+}
+
+TEST(MetricsSampler, RenderRowIsValidJsonWithAllSections) {
+  MetricsRegistry reg;
+  reg.counter("c").add(2);
+  reg.gauge("g").set(1.5);
+  reg.histogram("h").observe(0.01);
+  const std::map<std::string, double> rates = {{"c", 4.0}};
+  const std::string row =
+      MetricsSampler::render_row(reg.snapshot(), 7, 1000.5, 3.25, 0.5,
+                                 rates);
+  const json::Value v = json::Value::parse(row);
+  EXPECT_EQ(v.at("seq").as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(v.at("t_wall").as_number(), 1000.5);
+  EXPECT_DOUBLE_EQ(v.at("dt").as_number(), 0.5);
+  EXPECT_EQ(v.at("counters").at("c").as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(v.at("rates").at("c").as_number(), 4.0);
+  EXPECT_DOUBLE_EQ(v.at("gauges").at("g").as_number(), 1.5);
+  EXPECT_EQ(v.at("histograms").at("h").at("count").as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace portatune::obs
