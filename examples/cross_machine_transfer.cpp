@@ -1,30 +1,37 @@
 // The paper's headline workflow: reuse autotuning data from one machine to
-// accelerate the search on another.
+// accelerate the search on another — driven through the session API.
 //
-//   1. run RS on the source machine (Intel Westmere) -> T_a,
-//   2. fit a random-forest surrogate on T_a,
-//   3. on the target machine (Intel Sandybridge), run the surrogate-guided
-//      searches RS_p (pruning, Algorithm 1) and RS_b (biasing, Algorithm 2)
-//      and the model-free controls,
-//   4. report the performance and search-time speedups of Sec. IV-D.
+//   1. describe the transfer once with apps::TuningConfig (problem,
+//      source/target machines, budget, CRN seed),
+//   2. open a tuner::ExperimentSession over the two evaluator stacks and
+//      run the full Sec. IV-D protocol: RS on the source (-> T_a), a
+//      random-forest surrogate fitted on T_a, the surrogate-guided
+//      searches RS_p (pruning, Algorithm 1) and RS_b (biasing,
+//      Algorithm 2) on the target, and the model-free controls,
+//   3. report the performance and search-time speedups of Sec. IV-D.
+//
+// The legacy free function tuner::run_transfer_experiment() still exists
+// and is exactly this: a thin adapter that opens one ExperimentSession
+// and runs it (examples/guarded_transfer.cpp keeps using it as the
+// compatibility witness).
 #include <cstdio>
 
-#include "kernels/sim_evaluator.hpp"
-#include "kernels/spapt.hpp"
-#include "sim/machine.hpp"
-#include "tuner/experiment.hpp"
+#include "apps/tuning_config.hpp"
+#include "tuner/session.hpp"
 
 int main() {
   using namespace portatune;
 
-  auto problem = kernels::make_lu();
-  kernels::SimulatedKernelEvaluator westmere(problem, sim::make_westmere());
-  kernels::SimulatedKernelEvaluator sandybridge(problem,
-                                                sim::make_sandybridge());
+  const apps::TuningConfig cfg =
+      apps::TuningConfig{}.problem("LU").machines("Westmere", "Sandybridge");
+  auto westmere = cfg.make_stack(apps::StackRole::Source);
+  auto sandybridge = cfg.make_stack(apps::StackRole::Target);
 
-  tuner::ExperimentSettings settings;  // nmax=100, N=10000, delta=20%
-  const auto result =
-      tuner::run_transfer_experiment(westmere, sandybridge, settings);
+  // nmax=100, N=10000, delta=20% — the builder's validated defaults.
+  const tuner::ExperimentSettings settings = cfg.experiment_settings();
+  tuner::ExperimentSession session(*westmere, *sandybridge, settings,
+                                   "lu-westmere-to-sandybridge");
+  const auto result = session.run();
 
   std::printf("LU: Westmere -> Sandybridge transfer\n");
   std::printf("run-time correlation over the shared RS configurations:\n");

@@ -25,7 +25,17 @@
 //       invoke while the run is executing (every file it reads is
 //       written atomically). Exit 0 = running or complete, 2 = dead
 //       (stale/missing heartbeat with unfinished cells; prints the
-//       resume hint).
+//       resume hint) or not a run directory at all (no journal.csv).
+//   portatune_cli serve --socket /tmp/pt.sock [--data-dir d]
+//       run the tuning service: multiplexes concurrent tuning sessions
+//       over a persistent surrogate store and a shared evaluation cache,
+//       speaking line-delimited JSON on a Unix socket (see
+//       src/service/protocol.hpp for the ops). SIGTERM checkpoints every
+//       open session and exits 3; the shutdown op exits 0. Either way a
+//       later serve on the same --data-dir can resume each session.
+//   portatune_cli call --socket /tmp/pt.sock --request '{"op":"status"}'
+//       one-shot service client: send one request line, print the reply
+//       line. Exit 0 when the reply says ok, 1 otherwise.
 //
 // Live telemetry (experiment): unless --telemetry-every 0, a journaled
 // run continuously maintains three files in <run-dir>:
@@ -85,12 +95,16 @@
 
 #include "apps/evaluator_factory.hpp"
 #include "apps/registry.hpp"
+#include "apps/tuning_config.hpp"
+#include "obs/json.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "obs/thread_pool_metrics.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
 #include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "support/signal.hpp"
@@ -140,6 +154,11 @@ struct Args {
   double telemetry_every = 1.0;
   /// `status`: heartbeat age beyond which a run counts as dead.
   double stale_after = 10.0;
+  std::string socket;    ///< serve/call: Unix socket path
+  /// `serve`: root of the service's persistent state (surrogate store,
+  /// session checkpoints).
+  std::string data_dir = "portatune_service";
+  std::string request;   ///< call: one JSON request line
 
   /// The run directory the experiment/status command operates on
   /// (--resume doubles as the directory for resumed experiments).
@@ -150,7 +169,8 @@ struct Args {
 
 Args parse(int argc, char** argv) {
   PT_REQUIRE(argc >= 2, "usage: portatune_cli <list|collect|transfer|"
-                        "experiment|status|similarity> [options]");
+                        "experiment|status|similarity|serve|call> "
+                        "[options]");
   Args a;
   a.command = argv[1];
   for (int i = 2; i < argc; i += 2) {
@@ -194,6 +214,9 @@ Args parse(int argc, char** argv) {
     else if (key == "--chrome-trace") a.chrome_trace = value;
     else if (key == "--telemetry-every") a.telemetry_every = std::stod(value);
     else if (key == "--stale-after") a.stale_after = std::stod(value);
+    else if (key == "--socket") a.socket = value;
+    else if (key == "--data-dir") a.data_dir = value;
+    else if (key == "--request") a.request = value;
     else throw Error("unknown option: " + key);
   }
   return a;
@@ -345,6 +368,38 @@ void print_failure_summary(const tuner::SearchTrace& trace,
     std::printf("search aborted: %s\n", trace.stop_reason().c_str());
 }
 
+/// The one composition point for run configuration: every command that
+/// builds evaluator stacks or search settings starts from this validated
+/// builder instead of hand-assembling the legacy option structs.
+apps::TuningConfig tuning_config_from(const Args& a) {
+  apps::TuningConfig cfg;
+  cfg.problem(a.problem)
+      .machines(a.source, a.target)
+      .max_evals(a.nmax)
+      .seed(a.seed)
+      .delta_percent(a.delta)
+      .observe(true)
+      .guard_enabled(a.guard)
+      .guard_floor(a.guard_floor)
+      .guard_window(a.guard_window);
+  return cfg;
+}
+
+/// Fault profile from --faults / --slow, seeded like every channel.
+tuner::FaultProfile fault_profile_from(const Args& a) {
+  tuner::FaultProfile profile;
+  if (!a.faults.empty()) profile = tuner::parse_fault_spec(a.faults);
+  if (a.slow > 0.0) {
+    // Deterministic slow motion: every evaluation sleeps a.slow seconds
+    // and then returns its normal result, so the chaos CI step can kill
+    // the run mid-flight without changing what the trace records.
+    profile.delay_rate = 1.0;
+    profile.delay_seconds = a.slow;
+  }
+  profile.seed = a.seed;
+  return profile;
+}
+
 int cmd_list() {
   std::printf("problems: ");
   for (const auto& p : apps::all_problem_names()) std::printf("%s ", p.c_str());
@@ -361,30 +416,20 @@ int cmd_collect(const Args& a) {
   // resilient layer so it sees every raw attempt (including injected
   // faults), one event per attempt. The search only sees the outermost
   // layer.
-  apps::EvaluatorStackOptions so;
-  so.problem = a.problem;
-  so.machine = a.machine;
-  if (!a.faults.empty()) so.faults = tuner::parse_fault_spec(a.faults);
-  if (a.slow > 0.0) {
-    // Deterministic slow motion: every evaluation sleeps a.slow seconds
-    // and then returns its normal result, so the chaos CI step can kill
-    // the run mid-flight without changing what the trace records.
-    so.faults.delay_rate = 1.0;
-    so.faults.delay_seconds = a.slow;
-  }
-  so.faults.seed = a.seed;
-  so.observe = true;
-  so.resilient = true;
-  so.retry.max_attempts = a.retries + 1;
-  so.retry.timeout_seconds = a.timeout;
-  so.eval_threads = a.threads;
-  so.cancel = shutdown_token();
-  apps::EvaluatorStack eval(so);
+  tuner::RetryPolicy retry;
+  retry.max_attempts = a.retries + 1;
+  retry.timeout_seconds = a.timeout;
+  apps::TuningConfig cfg = tuning_config_from(a);
+  cfg.machine(a.machine)
+      .faults(fault_profile_from(a))
+      .resilient(true)
+      .retry(retry)
+      .eval_threads(a.threads)
+      .cancel(shutdown_token());
+  apps::EvaluatorStack eval(cfg.stack_options());
 
   tuner::RandomSearchOptions opt;
-  opt.max_evals = a.nmax;
-  opt.seed = a.seed;
-  opt.cancel = shutdown_token();
+  static_cast<tuner::SearchCommon&>(opt) = cfg.search_common();
 
   tuner::SearchCheckpoint resumed;
   if (!a.resume.empty()) {
@@ -433,59 +478,43 @@ int cmd_collect(const Args& a) {
 int cmd_transfer(const Args& a) {
   // Per-evaluation telemetry, tagged by role: eval.source.* / eval.target.*
   // counters and one event per evaluation. Both stacks pick up --threads.
-  apps::EvaluatorStackOptions so;
-  so.problem = a.problem;
-  so.observe = true;
-  so.eval_threads = a.threads;
-  so.cancel = shutdown_token();
-  // No resilient layer here, so the parallel layer owns the watchdog
-  // deadline: a cooperatively hung evaluation is rescued at --timeout.
-  so.eval_deadline_seconds = a.timeout;
-  so.machine = a.source;
-  so.observe_label = "eval.source";
-  apps::EvaluatorStack source(so);
-  so.machine = a.target;
-  so.observe_label = "eval.target";
-  apps::EvaluatorStack target(so);
-  tuner::GuardOptions guard;
-  guard.enabled = a.guard;
-  guard.floor = a.guard_floor;
-  guard.window = a.guard_window;
-
-  tuner::ExperimentSettings s;
-  s.nmax = a.nmax;
-  s.delta_percent = a.delta;
-  s.seed = a.seed;
-  s.guard = guard;
-  s.cancel = shutdown_token();
+  apps::TuningConfig cfg = tuning_config_from(a);
+  cfg.eval_threads(a.threads)
+      .cancel(shutdown_token())
+      // No resilient layer here, so the parallel layer owns the watchdog
+      // deadline: a cooperatively hung evaluation is rescued at --timeout.
+      .eval_deadline_seconds(a.timeout);
+  const auto source = cfg.make_stack(apps::StackRole::Source);
+  const auto target = cfg.make_stack(apps::StackRole::Target);
+  const tuner::ExperimentSettings s = cfg.experiment_settings();
 
   if (!a.from.empty()) {
     // Reuse a previously collected T_a: fit the surrogate and run the
     // guided searches directly.
-    const auto ta = tuner::load_trace_csv(a.from, source.space());
+    const auto ta = tuner::load_trace_csv(a.from, source->space());
     std::printf("loaded T_a: %zu rows from %s\n", ta.size(),
                 a.from.c_str());
-    const auto model = tuner::fit_surrogate(ta, source.space());
+    const auto model = tuner::fit_surrogate(ta, source->space());
     tuner::BiasedSearchOptions opt;
     opt.max_evals = a.nmax;
     opt.seed = a.seed;
-    opt.guard = guard;
+    opt.guard = cfg.guard_options();
     opt.guard.refit_source = &ta;
     opt.guard.on_transition = [](const tuner::GuardTransition& tr) {
       std::printf("guard: RS_b %s->%s @%zu (%s, trust=%.3f)\n",
                   to_string(tr.from), to_string(tr.to), tr.evals,
                   tr.reason.c_str(), tr.trust);
     };
-    const auto biased = tuner::biased_random_search(target, *model, opt);
+    const auto biased = tuner::biased_random_search(*target, *model, opt);
     std::printf("RS_b on %s: best %.4f s (at %.1f s of search)\n",
                 a.target.c_str(), biased.best_seconds(),
                 biased.time_to_best());
     std::printf("best configuration: %s\n",
-                target.space().describe(biased.best_config()).c_str());
+                target->space().describe(biased.best_config()).c_str());
     return 0;
   }
 
-  const auto r = tuner::run_transfer_experiment(source, target, s);
+  const auto r = tuner::run_transfer_experiment(*source, *target, s);
   if (r.interrupted) {
     std::printf("interrupted by shutdown request (transfer runs are not "
                 "journaled; use the experiment command for resumable "
@@ -544,36 +573,23 @@ int cmd_experiment(const Args& a) {
     const std::string src = pair.substr(0, colon);
     const std::string tgt = pair.substr(colon + 1);
 
-    apps::EvaluatorStackOptions base;
-    base.problem = a.problem;
-    if (!a.faults.empty()) base.faults = tuner::parse_fault_spec(a.faults);
-    if (a.slow > 0.0) {
-      base.faults.delay_rate = 1.0;
-      base.faults.delay_seconds = a.slow;
-    }
-    base.faults.seed = a.seed;
-    base.observe = true;
+    // One builder per cell; the journaled runner owns cancellation and
+    // cross-cell parallelism, so the cell stacks stay single-threaded
+    // with no cancel token of their own.
+    apps::TuningConfig cell = tuning_config_from(a);
+    cell.machines(src, tgt).faults(fault_profile_from(a));
 
     tuner::ExperimentJob job;
     job.label = a.problem + " " + src + "->" + tgt;
-    job.make_source = [base, src]() -> tuner::EvaluatorPtr {
-      auto o = base;
-      o.machine = src;
-      o.observe_label = "eval.source";
-      return apps::make_evaluator_stack(o);
+    job.make_source = [cell]() -> tuner::EvaluatorPtr {
+      return apps::make_evaluator_stack(
+          cell.stack_options(apps::StackRole::Source));
     };
-    job.make_target = [base, tgt]() -> tuner::EvaluatorPtr {
-      auto o = base;
-      o.machine = tgt;
-      o.observe_label = "eval.target";
-      return apps::make_evaluator_stack(o);
+    job.make_target = [cell]() -> tuner::EvaluatorPtr {
+      return apps::make_evaluator_stack(
+          cell.stack_options(apps::StackRole::Target));
     };
-    job.settings.nmax = a.nmax;
-    job.settings.delta_percent = a.delta;
-    job.settings.seed = a.seed;
-    job.settings.guard.enabled = a.guard;
-    job.settings.guard.floor = a.guard_floor;
-    job.settings.guard.window = a.guard_window;
+    job.settings = cell.experiment_settings();
     jobs.push_back(std::move(job));
   }
 
@@ -606,6 +622,17 @@ int cmd_experiment(const Args& a) {
 int cmd_status(const Args& a) {
   PT_REQUIRE(!a.effective_run_dir().empty(),
              "status requires --run-dir <dir>");
+  // A directory without a journal is not a run directory — report that
+  // plainly (exit 2, like a dead run) instead of unwinding through the
+  // journal parser with a confusing read error.
+  if (!tuner::RunJournal::exists(a.effective_run_dir())) {
+    std::fprintf(stderr,
+                 "error: %s is not a run directory (no journal.csv); "
+                 "expected a directory created by "
+                 "'portatune_cli experiment --run-dir'\n",
+                 a.effective_run_dir().c_str());
+    return 2;
+  }
   // Render into a buffer first: a concurrent writer can't interleave
   // with our reads mid-line, and a throwing parse leaves no half-report.
   std::ostringstream os;
@@ -613,6 +640,36 @@ int cmd_status(const Args& a) {
       tuner::render_run_status(os, a.effective_run_dir(), a.stale_after);
   std::fputs(os.str().c_str(), stdout);
   return liveness == tuner::RunLiveness::Dead ? 2 : 0;
+}
+
+int cmd_serve(const Args& a) {
+  PT_REQUIRE(!a.socket.empty(), "serve requires --socket <path>");
+  service::TuningServiceOptions so;
+  so.data_dir = a.data_dir;
+  service::TuningService svc(so);
+  if (!a.quiet) {
+    std::printf("tuning service on %s (data dir %s, %zu stored "
+                "surrogate%s)\n",
+                a.socket.c_str(), a.data_dir.c_str(), svc.store().size(),
+                svc.store().size() == 1 ? "" : "s");
+    std::fflush(stdout);
+  }
+  const int rc = service::serve_unix_socket(svc, a.socket, shutdown_token());
+  if (rc == 3)
+    std::printf("interrupted by shutdown request; open sessions "
+                "checkpointed under %s and can be resumed\n",
+                a.data_dir.c_str());
+  return rc;
+}
+
+int cmd_call(const Args& a) {
+  PT_REQUIRE(!a.socket.empty(), "call requires --socket <path>");
+  PT_REQUIRE(!a.request.empty(), "call requires --request '<json>'");
+  const std::string reply = service::call_unix_socket(a.socket, a.request);
+  std::printf("%s\n", reply.c_str());
+  const obs::json::Value v = obs::json::Value::parse(reply);
+  const obs::json::Value* ok = v.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool() ? 0 : 1;
 }
 
 int cmd_similarity(const Args& a) {
@@ -644,6 +701,8 @@ int main(int argc, char** argv) {
     else if (a.command == "transfer") rc = cmd_transfer(a);
     else if (a.command == "experiment") rc = cmd_experiment(a);
     else if (a.command == "status") rc = cmd_status(a);
+    else if (a.command == "serve") rc = cmd_serve(a);
+    else if (a.command == "call") rc = cmd_call(a);
     else if (a.command == "similarity") rc = cmd_similarity(a);
     else throw Error("unknown command: " + a.command);
     obs_session.finish();

@@ -1,36 +1,52 @@
-// Quickstart: autotune one kernel on one machine with plain random search.
+// Quickstart: autotune one kernel on one machine through the session API.
 //
 // This is the smallest end-to-end use of the library:
-//   1. describe an evaluator stack — a SPAPT problem (LU decomposition,
-//      Table III) on a simulated machine (Sandybridge, Table II) — and
-//      let make_evaluator_stack wire it,
-//   2. run random search without replacement for a 100-evaluation budget,
+//   1. describe the run once with apps::TuningConfig — a SPAPT problem
+//      (LU decomposition, Table III) on a simulated machine (Sandybridge,
+//      Table II) — and let it wire the evaluator stack,
+//   2. open a tuner::TuningSession and advance it incrementally: step()
+//      evaluates a window service-side, suggest()/report() hand
+//      candidates out for external measurement and feed results back,
 //   3. inspect the best configuration found.
 //
-// The same options struct adds fault injection, retry/timeout, telemetry,
-// or parallel evaluation windows (eval_threads = 0 uses every hardware
+// The same builder adds fault injection, retry/timeout, telemetry, or
+// parallel evaluation windows (eval_threads(0) uses every hardware
 // thread; the trace stays bit-identical, the search just finishes
-// sooner).
+// sooner). A session's step/suggest/report discipline is exactly what
+// `portatune_cli serve` speaks over its socket — this program is the
+// in-process version of one service session.
 #include <cstdio>
 
-#include "apps/evaluator_factory.hpp"
-#include "tuner/random_search.hpp"
+#include "apps/tuning_config.hpp"
+#include "tuner/session.hpp"
 
 int main() {
   using namespace portatune;
 
-  apps::EvaluatorStackOptions options;
-  options.problem = "LU";  // 9 parameters, |D| ~ 1e10
-  options.machine = "Sandybridge";
-  options.eval_threads = 0;  // parallel evaluation windows
-  auto sandybridge = apps::make_evaluator_stack(options);
+  const apps::TuningConfig cfg = apps::TuningConfig{}
+                                     .problem("LU")  // 9 params, |D| ~ 1e10
+                                     .machine("Sandybridge")
+                                     .max_evals(100)
+                                     .seed(42)
+                                     .eval_threads(0);  // parallel windows
+  auto sandybridge = cfg.make_stack();
   const tuner::ParamSpace& space = sandybridge->space();
 
-  tuner::RandomSearchOptions opt;
-  opt.max_evals = 100;
-  opt.seed = 42;
-  const tuner::SearchTrace trace = tuner::random_search(*sandybridge, opt);
+  tuner::TuningSession session(*sandybridge,
+                               cfg.session_options("quickstart"));
 
+  // The external-measurement path: pull two candidates out, measure them
+  // "elsewhere" (here: the same simulator), and report the results back.
+  for (const tuner::ParamConfig& config : session.suggest(2))
+    session.report(config, sandybridge->evaluate(config).seconds);
+
+  // Then let the session evaluate the rest of the budget itself, one
+  // window at a time (a checkpoint could be persisted between steps).
+  while (session.remaining_budget() > 0 && !session.step(25).exhausted) {
+  }
+  session.close();
+
+  const tuner::SearchTrace& trace = session.trace();
   std::printf("problem: %s on %s\n", trace.problem().c_str(),
               trace.machine().c_str());
   std::printf("evaluated %zu configurations (search space |D| = %.2e)\n",

@@ -1,0 +1,126 @@
+// Autotuning as a service: surrogate-store and eval-cache reuse, in-process.
+//
+// The service turns the paper's one-shot transfer into an ambient
+// capability: every closing session publishes its training trace to a
+// persistent store keyed by machine fingerprint, and every opening
+// session fingerprints its machine and warm-starts from the most similar
+// stored surrogate (when tuner::advise() admits it). This demo shows the
+// payoff end to end:
+//
+//   1. a *cold* baseline session tunes LU on Sandybridge with an empty
+//      store — plain RS draw order;
+//   2. a session on Westmere runs and closes, publishing T_a;
+//   3. a *warm* session on Sandybridge opens: its fingerprint matches
+//      Westmere's closely enough to transfer, so it evaluates a
+//      surrogate-ranked pool (RS_b) and reaches the cold session's best
+//      in measurably fewer evaluations;
+//   4. a rerun on the same machine shows the shared EvalCache serving
+//      revisited measurements (including the whole re-fingerprint)
+//      without touching the backend.
+//
+// Everything here is also reachable over a socket: `portatune_cli serve`
+// exposes open/step/suggest/report/checkpoint/close on these same
+// objects (src/service/protocol.hpp).
+#include <cstdio>
+
+#include "service/service.hpp"
+#include "support/atomic_file.hpp"
+
+using namespace portatune;
+
+namespace {
+
+/// Evaluations until `trace` first reaches `threshold` seconds
+/// (trace.size()+1, i.e. "never", when it does not).
+std::size_t evals_to_reach(const tuner::SearchTrace& trace,
+                           double threshold) {
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    if (trace.entry(i).seconds <= threshold) return i + 1;
+  return trace.size() + 1;
+}
+
+tuner::SearchTrace run_to_completion(service::SessionHandle& session) {
+  while (!session.step(25).exhausted) {
+  }
+  return session.close();
+}
+
+}  // namespace
+
+int main() {
+  const std::string data_dir = "service_demo_data";
+  service::TuningServiceOptions opt;
+  opt.data_dir = data_dir;
+  service::TuningService service(opt);
+
+  const auto config_for = [](const std::string& machine) {
+    return apps::TuningConfig{}.problem("LU").machine(machine).max_evals(
+        100);
+  };
+
+  // 1. Cold baseline: the store is empty, so this session walks the RS
+  //    draw stream.
+  service::SessionHandle& cold =
+      service.open("sandybridge-cold", config_for("Sandybridge"));
+  const tuner::SearchTrace cold_trace = run_to_completion(cold);
+  std::printf("cold  on Sandybridge: best %.3f s in %zu evals (warm=%s)\n",
+              cold_trace.best_seconds(), cold_trace.size(),
+              cold.warm() ? "yes" : "no");
+
+  // 2. Tune the source machine and close: its trace becomes a store
+  //    entry keyed by Westmere's fingerprint.
+  service::SessionHandle& source =
+      service.open("westmere-source", config_for("Westmere"));
+  const tuner::SearchTrace source_trace = run_to_completion(source);
+  std::printf("source on Westmere:   best %.3f s in %zu evals -> "
+              "published to store (%zu entries)\n",
+              source_trace.best_seconds(), source_trace.size(),
+              service.store().size());
+
+  // 3. Warm session on Sandybridge: the fingerprint lookup finds an
+  //    admissible neighbor, so the session ranks a candidate pool with
+  //    the transferred surrogate (RS_b) instead of sampling cold.
+  //    Sandybridge itself is in the store too by now (step 1 closed), so
+  //    nearest() prefers the exact match; either entry demonstrates the
+  //    mechanism — warm_source() says which won.
+  service::SessionHandle& warm =
+      service.open("sandybridge-warm", config_for("Sandybridge").seed(7));
+  std::printf("warm  on Sandybridge: warm=%s (surrogate from %s)\n",
+              warm.warm() ? "yes" : "no", warm.warm_source().c_str());
+  const tuner::SearchTrace warm_trace = run_to_completion(warm);
+
+  const double target_best = cold_trace.best_seconds();
+  const std::size_t cold_needed = evals_to_reach(cold_trace, target_best);
+  const std::size_t warm_needed = evals_to_reach(warm_trace, target_best);
+  std::printf("evals to reach the cold session's best (%.3f s):\n",
+              target_best);
+  std::printf("  cold RS:   %zu\n", cold_needed);
+  if (warm_needed > warm_trace.size())
+    std::printf("  warm RS_b: not reached (best %.3f s)\n",
+                warm_trace.best_seconds());
+  else
+    std::printf("  warm RS_b: %zu  (%.1fx fewer)\n", warm_needed,
+                static_cast<double>(cold_needed) /
+                    static_cast<double>(warm_needed));
+
+  // 4. Same machine again: the re-fingerprint and every configuration
+  //    this search revisits are served from the shared cache instead of
+  //    the backend. (The store entry was republished when the warm
+  //    session closed, so the rerun ranks with a fresher surrogate and
+  //    legitimately explores some new configurations — those miss.)
+  const service::EvalCacheStats before = service.cache().stats();
+  service::SessionHandle& replay =
+      service.open("sandybridge-warm-replay", config_for("Sandybridge").seed(7));
+  run_to_completion(replay);
+  const service::EvalCacheStats after = service.cache().stats();
+  std::printf("replayed session: %llu cache hits, %llu misses "
+              "(cache holds %zu measurements)\n",
+              static_cast<unsigned long long>(after.hits - before.hits),
+              static_cast<unsigned long long>(after.misses - before.misses),
+              after.size);
+
+  std::printf("service state persisted under %s/ "
+              "(store + per-session checkpoints)\n",
+              data_dir.c_str());
+  return 0;
+}

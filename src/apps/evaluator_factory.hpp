@@ -28,6 +28,11 @@
 namespace portatune::apps {
 
 /// Declarative description of one evaluator decorator stack.
+///
+/// Legacy note: drivers should prefer building this through
+/// apps::TuningConfig::stack_options() (apps/tuning_config.hpp), which
+/// validates the whole run configuration and keeps the stack consistent
+/// with the search options produced from the same builder.
 struct EvaluatorStackOptions {
   // Backend (see registry.hpp for the accepted names).
   std::string problem = "LU";

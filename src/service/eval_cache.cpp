@@ -1,0 +1,113 @@
+#include "service/eval_cache.hpp"
+
+#include "obs/metrics.hpp"
+#include "support/error.hpp"
+
+namespace portatune::service {
+
+EvalCache::EvalCache(EvalCacheOptions opt) : opt_(opt) {
+  PT_REQUIRE(opt_.capacity > 0, "EvalCache capacity must be positive");
+}
+
+std::optional<double> EvalCache::lookup(const std::string& scope,
+                                        std::uint64_t config_hash) {
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(Key{scope, config_hash});
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->seconds;
+}
+
+void EvalCache::insert(const std::string& scope, std::uint64_t config_hash,
+                       double seconds) {
+  std::lock_guard lock(mutex_);
+  const Key key{scope, config_hash};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, seconds});
+  index_.emplace(key, lru_.begin());
+  ++stats_.insertions;
+  if (lru_.size() > opt_.capacity) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+EvalCacheStats EvalCache::stats() const {
+  std::lock_guard lock(mutex_);
+  EvalCacheStats s = stats_;
+  s.size = lru_.size();
+  return s;
+}
+
+void EvalCache::publish_metrics() const {
+  const EvalCacheStats s = stats();
+  auto& reg = obs::MetricsRegistry::current();
+  // Counters are monotone: republish the delta since the last call.
+  const auto bump = [&](const char* name, std::uint64_t target) {
+    auto& c = reg.counter(name);
+    const std::uint64_t current = c.value();
+    if (target > current) c.add(target - current);
+  };
+  bump("service.cache.hits", s.hits);
+  bump("service.cache.misses", s.misses);
+  bump("service.cache.insertions", s.insertions);
+  bump("service.cache.evictions", s.evictions);
+  reg.gauge("service.cache.size").set(static_cast<double>(s.size));
+}
+
+CachedEvaluator::CachedEvaluator(tuner::Evaluator& inner, EvalCache& cache)
+    : inner_(inner),
+      cache_(cache),
+      scope_(inner.problem_name() + "|" + inner.machine_name()) {}
+
+tuner::EvalResult CachedEvaluator::evaluate(const tuner::ParamConfig& config) {
+  const std::uint64_t hash = inner_.space().config_hash(config);
+  if (const auto hit = cache_.lookup(scope_, hash))
+    return tuner::EvalResult::success(*hit);
+  const tuner::EvalResult r = inner_.evaluate(config);
+  if (r.ok) cache_.insert(scope_, hash, r.seconds);
+  return r;
+}
+
+std::vector<tuner::EvalResult> CachedEvaluator::evaluate_batch(
+    std::span<const tuner::ParamConfig> batch) {
+  std::vector<tuner::EvalResult> out(batch.size());
+  std::vector<std::size_t> miss_pos;
+  std::vector<tuner::ParamConfig> miss_configs;
+  std::vector<std::uint64_t> miss_hash;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::uint64_t hash = inner_.space().config_hash(batch[i]);
+    if (const auto hit = cache_.lookup(scope_, hash)) {
+      out[i] = tuner::EvalResult::success(*hit);
+      continue;
+    }
+    miss_pos.push_back(i);
+    miss_configs.push_back(batch[i]);
+    miss_hash.push_back(hash);
+  }
+  if (miss_configs.empty()) return out;
+  const std::vector<tuner::EvalResult> results =
+      inner_.evaluate_batch(miss_configs);
+  // A short vector means the inner window was cancelled mid-flight; the
+  // session layer treats a short window the same way the searches do, so
+  // truncate at the first unevaluated miss (later cache hits must not
+  // leapfrog an unevaluated draw — accounting is strictly in order).
+  for (std::size_t j = 0; j < results.size(); ++j) {
+    out[miss_pos[j]] = results[j];
+    if (results[j].ok)
+      cache_.insert(scope_, miss_hash[j], results[j].seconds);
+  }
+  if (results.size() < miss_configs.size())
+    out.resize(miss_pos[results.size()]);
+  return out;
+}
+
+}  // namespace portatune::service

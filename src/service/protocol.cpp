@@ -1,0 +1,226 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace portatune::service {
+
+namespace {
+
+using obs::json::Value;
+
+using Members = std::vector<std::pair<std::string, Value>>;
+
+std::string ok_reply(Members members) {
+  Members m;
+  m.emplace_back("ok", Value::make_bool(true));
+  for (auto& kv : members) m.push_back(std::move(kv));
+  return Value::make_object(std::move(m)).dump();
+}
+
+std::string error_reply(const std::string& message) {
+  Members m;
+  m.emplace_back("ok", Value::make_bool(false));
+  m.emplace_back("error", Value::make_string(message));
+  return Value::make_object(std::move(m)).dump();
+}
+
+std::string required_string(const Value& req, const char* key) {
+  const Value* v = req.find(key);
+  PT_REQUIRE(v != nullptr && v->is_string(),
+             std::string("request needs a string '") + key + "' member");
+  return v->as_string();
+}
+
+std::size_t size_member(const Value& req, const char* key,
+                        std::size_t fallback) {
+  const Value* v = req.find(key);
+  if (v == nullptr) return fallback;
+  PT_REQUIRE(v->is_number() && v->as_number() >= 0 &&
+                 v->as_number() == std::floor(v->as_number()),
+             std::string("'") + key + "' must be a non-negative integer");
+  return static_cast<std::size_t>(v->as_number());
+}
+
+SessionHandle& required_session(TuningService& svc, const Value& req) {
+  const std::string id = required_string(req, "id");
+  SessionHandle* h = svc.find(id);
+  PT_REQUIRE(h != nullptr, "no open session '" + id + "'");
+  return *h;
+}
+
+tuner::ParamConfig parse_config(const Value& v,
+                                const tuner::ParamSpace& space) {
+  PT_REQUIRE(v.is_array(), "'config' must be an array of value indices");
+  tuner::ParamConfig config;
+  config.reserve(v.as_array().size());
+  for (const Value& item : v.as_array()) {
+    PT_REQUIRE(item.is_number() &&
+                   item.as_number() == std::floor(item.as_number()),
+               "'config' entries must be integer value indices");
+    config.push_back(static_cast<int>(item.as_number()));
+  }
+  space.validate(config);  // throws naming the malformed dimension
+  return config;
+}
+
+Value config_json(const tuner::ParamConfig& config) {
+  std::vector<Value> items;
+  items.reserve(config.size());
+  for (int idx : config) items.push_back(Value::make_number(idx));
+  return Value::make_array(std::move(items));
+}
+
+Members session_members(const SessionHandle& h) {
+  Members m;
+  m.emplace_back("id", Value::make_string(h.id()));
+  m.emplace_back("warm", Value::make_bool(h.warm()));
+  m.emplace_back("warm_source", Value::make_string(h.warm_source()));
+  return m;
+}
+
+std::string op_open(TuningService& svc, const Value& req) {
+  apps::TuningConfig cfg;
+  cfg.problem(required_string(req, "problem"))
+      .machine(required_string(req, "machine"));
+  if (const Value* v = req.find("max_evals"))
+    cfg.max_evals(static_cast<std::size_t>(v->as_number()));
+  if (const Value* v = req.find("seed"))
+    cfg.seed(static_cast<std::uint64_t>(v->as_number()));
+  if (const Value* v = req.find("pool_size"))
+    cfg.pool_size(static_cast<std::size_t>(v->as_number()));
+  if (const Value* v = req.find("eval_threads"))
+    cfg.eval_threads(static_cast<std::size_t>(v->as_number()));
+  SessionHandle& h = svc.open(required_string(req, "id"), cfg);
+  return ok_reply(session_members(h));
+}
+
+std::string op_resume(TuningService& svc, const Value& req) {
+  SessionHandle& h = svc.resume(required_string(req, "id"));
+  return ok_reply(session_members(h));
+}
+
+std::string op_step(TuningService& svc, const Value& req) {
+  SessionHandle& h = required_session(svc, req);
+  const tuner::SessionStepStats stats = h.step(size_member(req, "n", 1));
+  Members m;
+  m.emplace_back("evaluated",
+                 Value::make_number(static_cast<double>(stats.evaluated)));
+  m.emplace_back("failures",
+                 Value::make_number(static_cast<double>(stats.failures)));
+  m.emplace_back("best_seconds", Value::make_number(stats.best_seconds));
+  m.emplace_back("exhausted", Value::make_bool(stats.exhausted));
+  m.emplace_back("evals",
+                 Value::make_number(static_cast<double>(h.info().evals)));
+  return ok_reply(std::move(m));
+}
+
+std::string op_suggest(TuningService& svc, const Value& req) {
+  SessionHandle& h = required_session(svc, req);
+  const auto configs = h.suggest(size_member(req, "n", 1));
+  std::vector<Value> items;
+  items.reserve(configs.size());
+  for (const auto& c : configs) items.push_back(config_json(c));
+  Members m;
+  m.emplace_back("configs", Value::make_array(std::move(items)));
+  return ok_reply(std::move(m));
+}
+
+std::string op_report(TuningService& svc, const Value& req) {
+  SessionHandle& h = required_session(svc, req);
+  const Value* config = req.find("config");
+  PT_REQUIRE(config != nullptr, "request needs a 'config' member");
+  const Value* seconds = req.find("seconds");
+  PT_REQUIRE(seconds != nullptr && seconds->is_number(),
+             "request needs a numeric 'seconds' member");
+  h.report(parse_config(*config, h.space()), seconds->as_number());
+  return ok_reply({});
+}
+
+std::string op_checkpoint(TuningService& svc, const Value& req) {
+  required_session(svc, req).checkpoint();
+  return ok_reply({});
+}
+
+std::string op_close(TuningService& svc, const Value& req) {
+  SessionHandle& h = required_session(svc, req);
+  const tuner::SearchTrace trace = h.close();
+  Members m;
+  m.emplace_back("evals",
+                 Value::make_number(static_cast<double>(trace.size())));
+  m.emplace_back("best_seconds", Value::make_number(trace.best_seconds()));
+  return ok_reply(std::move(m));
+}
+
+std::string op_status(TuningService& svc) {
+  svc.publish_metrics();
+  std::vector<Value> sessions;
+  for (const SessionInfo& s : svc.sessions()) {
+    Members m;
+    m.emplace_back("id", Value::make_string(s.id));
+    m.emplace_back("problem", Value::make_string(s.problem));
+    m.emplace_back("machine", Value::make_string(s.machine));
+    m.emplace_back("evals",
+                   Value::make_number(static_cast<double>(s.evals)));
+    m.emplace_back("budget",
+                   Value::make_number(static_cast<double>(s.budget)));
+    m.emplace_back("best_seconds", Value::make_number(s.best_seconds));
+    m.emplace_back("warm", Value::make_bool(s.warm));
+    m.emplace_back("warm_source", Value::make_string(s.warm_source));
+    m.emplace_back("closed", Value::make_bool(s.closed));
+    sessions.push_back(Value::make_object(std::move(m)));
+  }
+  const EvalCacheStats cs = svc.cache().stats();
+  Members cache;
+  cache.emplace_back("hits",
+                     Value::make_number(static_cast<double>(cs.hits)));
+  cache.emplace_back("misses",
+                     Value::make_number(static_cast<double>(cs.misses)));
+  cache.emplace_back("insertions",
+                     Value::make_number(static_cast<double>(cs.insertions)));
+  cache.emplace_back("evictions",
+                     Value::make_number(static_cast<double>(cs.evictions)));
+  cache.emplace_back("size",
+                     Value::make_number(static_cast<double>(cs.size)));
+  Members store;
+  store.emplace_back(
+      "entries",
+      Value::make_number(static_cast<double>(svc.store().size())));
+  Members m;
+  m.emplace_back("sessions", Value::make_array(std::move(sessions)));
+  m.emplace_back("cache", Value::make_object(std::move(cache)));
+  m.emplace_back("store", Value::make_object(std::move(store)));
+  return ok_reply(std::move(m));
+}
+
+}  // namespace
+
+ProtocolReply ServiceProtocol::handle_line(const std::string& line) {
+  try {
+    const Value req = Value::parse(line);
+    PT_REQUIRE(req.is_object(), "request must be a JSON object");
+    const std::string op = required_string(req, "op");
+    if (op == "open") return {op_open(svc_, req), false};
+    if (op == "resume") return {op_resume(svc_, req), false};
+    if (op == "step") return {op_step(svc_, req), false};
+    if (op == "suggest") return {op_suggest(svc_, req), false};
+    if (op == "report") return {op_report(svc_, req), false};
+    if (op == "checkpoint") return {op_checkpoint(svc_, req), false};
+    if (op == "close") return {op_close(svc_, req), false};
+    if (op == "status") return {op_status(svc_), false};
+    if (op == "shutdown") {
+      Members m;
+      m.emplace_back("shutdown", Value::make_bool(true));
+      return {ok_reply(std::move(m)), true};
+    }
+    return {error_reply("unknown op '" + op + "'"), false};
+  } catch (const std::exception& e) {
+    return {error_reply(e.what()), false};
+  }
+}
+
+}  // namespace portatune::service

@@ -1,0 +1,54 @@
+// Wire protocol of the tuning service: line-delimited JSON requests.
+//
+// Each request is one JSON object on one line with an "op" member; each
+// reply is one JSON object on one line with an "ok" member. The protocol
+// layer is transport-agnostic — the Unix-socket server (server.hpp)
+// feeds it lines, and tests drive it directly.
+//
+// Ops (members beyond "op"):
+//   open        id, problem, machine, max_evals?, seed?, pool_size?,
+//               eval_threads?            -> {ok,id,warm,warm_source}
+//   resume      id                       -> {ok,id,warm,warm_source}
+//   step        id, n?                   -> {ok,evaluated,failures,
+//                                            best_seconds,exhausted,evals}
+//   suggest     id, n?                   -> {ok,configs:[[idx,...],...]}
+//   report      id, config:[idx,...], seconds
+//                                        -> {ok}
+//   checkpoint  id                       -> {ok}
+//   close       id                       -> {ok,evals,best_seconds}
+//   status                               -> {ok,sessions:[...],cache:{...},
+//                                            store:{entries}}
+//   shutdown                             -> {ok,shutdown:true} and the
+//                                           reply asks the server to stop
+//
+// Configurations travel as JSON arrays of parameter *value indices*
+// (the tuner's ParamConfig representation), in the space's parameter
+// order. Any error — unknown op, malformed JSON, unknown session, failed
+// evaluation — becomes {"ok":false,"error":"..."}; the connection stays
+// usable.
+#pragma once
+
+#include <string>
+
+#include "service/service.hpp"
+
+namespace portatune::service {
+
+struct ProtocolReply {
+  std::string line;       ///< one JSON object, no trailing newline
+  bool shutdown = false;  ///< the client asked the server to stop
+};
+
+class ServiceProtocol {
+ public:
+  explicit ServiceProtocol(TuningService& svc) : svc_(svc) {}
+
+  /// Handle one request line. Never throws: every failure is an
+  /// {"ok":false} reply.
+  ProtocolReply handle_line(const std::string& line);
+
+ private:
+  TuningService& svc_;
+};
+
+}  // namespace portatune::service

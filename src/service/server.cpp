@@ -1,0 +1,257 @@
+#include "service/server.hpp"
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "service/protocol.hpp"
+
+namespace portatune::service {
+
+namespace {
+
+struct Client {
+  int fd = -1;
+  std::string inbuf;   ///< bytes received, not yet newline-terminated
+  std::string outbuf;  ///< reply bytes not yet written
+};
+
+void emit_server_event(const char* name, const std::string& socket_path) {
+  if (!obs::enabled(obs::Severity::Info)) return;
+  obs::emit(obs::make_instant(obs::Severity::Info, name, "service",
+                              {{"socket", socket_path}}));
+}
+
+/// Write as much of the client's outbuf as the socket accepts.
+/// Returns false when the connection is dead.
+bool flush_client(Client& c) {
+  while (!c.outbuf.empty()) {
+    const ssize_t n = ::send(c.fd, c.outbuf.data(), c.outbuf.size(),
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n > 0) {
+      c.outbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int serve_unix_socket(TuningService& svc, const std::string& socket_path,
+                      CancellationToken cancel) {
+  PT_REQUIRE(!socket_path.empty(), "serve needs a socket path");
+  sockaddr_un addr{};
+  PT_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+             "socket path too long: " + socket_path);
+
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PT_REQUIRE(listen_fd >= 0,
+             std::string("socket(): ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  ::unlink(socket_path.c_str());  // replace a stale socket file
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    throw Error("bind(" + socket_path + "): " + why);
+  }
+  if (::listen(listen_fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+    throw Error("listen(" + socket_path + "): " + why);
+  }
+
+  emit_server_event("service.serve", socket_path);
+  ServiceProtocol protocol(svc);
+  std::vector<Client> clients;
+  bool shutdown_requested = false;
+
+  const auto teardown = [&] {
+    for (Client& c : clients) ::close(c.fd);
+    clients.clear();
+    ::close(listen_fd);
+    ::unlink(socket_path.c_str());
+    svc.checkpoint_all();
+    svc.publish_metrics();
+  };
+
+  while (!shutdown_requested) {
+    if (cancel.cancelled()) {
+      emit_server_event("service.interrupted", socket_path);
+      teardown();
+      return 3;  // interrupted but resumable, like the run orchestrator
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd, POLLIN, 0});
+    for (const Client& c : clients)
+      fds.push_back({c.fd,
+                     static_cast<short>(POLLIN |
+                                        (c.outbuf.empty() ? 0 : POLLOUT)),
+                     0});
+    // Short timeout so the cancel token is observed promptly even when
+    // the socket is idle.
+    const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // signal delivery; loop re-checks
+      teardown();
+      throw Error(std::string("poll(): ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;
+
+    if (fds[0].revents & POLLIN) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) {
+        clients.push_back(Client{fd, {}, {}});
+        obs::MetricsRegistry::current()
+            .counter("service.clients_accepted")
+            .add(1);
+      }
+    }
+
+    // Iterate over a stable index range; dead clients are compacted after.
+    std::vector<bool> dead(clients.size(), false);
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      Client& c = clients[i];
+      const pollfd& p = fds[i + 1];
+      if (p.revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        dead[i] = true;
+        continue;
+      }
+      if (p.revents & POLLIN) {
+        char buf[4096];
+        const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
+        if (n <= 0) {
+          if (!(n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                          errno == EINTR)))
+            dead[i] = true;
+        } else {
+          c.inbuf.append(buf, static_cast<std::size_t>(n));
+          std::size_t nl;
+          while ((nl = c.inbuf.find('\n')) != std::string::npos) {
+            std::string line = c.inbuf.substr(0, nl);
+            c.inbuf.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            if (line.empty()) continue;
+            const ProtocolReply reply = protocol.handle_line(line);
+            c.outbuf += reply.line;
+            c.outbuf += '\n';
+            if (reply.shutdown) shutdown_requested = true;
+          }
+        }
+      }
+      if (!dead[i] && !flush_client(c)) dead[i] = true;
+    }
+    std::vector<Client> alive;
+    alive.reserve(clients.size());
+    for (std::size_t i = 0; i < clients.size(); ++i) {
+      if (dead[i])
+        ::close(clients[i].fd);
+      else
+        alive.push_back(std::move(clients[i]));
+    }
+    clients = std::move(alive);
+
+    if (shutdown_requested) {
+      // Best-effort: drain the shutdown acknowledgement before closing.
+      for (Client& c : clients) flush_client(c);
+    }
+  }
+
+  emit_server_event("service.shutdown", socket_path);
+  teardown();
+  return 0;
+}
+
+std::string call_unix_socket(const std::string& socket_path,
+                             const std::string& line) {
+  sockaddr_un addr{};
+  PT_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
+             "socket path too long: " + socket_path);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PT_REQUIRE(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw Error("connect(" + socket_path + "): " + why);
+  }
+  const std::string request = line + "\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent,
+                             request.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      throw Error("send(" + socket_path + "): connection lost");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      throw Error("the service hung up before replying on " + socket_path);
+    }
+    reply.append(buf, static_cast<std::size_t>(n));
+    const std::size_t nl = reply.find('\n');
+    if (nl != std::string::npos) {
+      ::close(fd);
+      return reply.substr(0, nl);
+    }
+  }
+}
+
+}  // namespace portatune::service
+
+#else  // non-UNIX build: no AF_UNIX transport
+
+namespace portatune::service {
+
+int serve_unix_socket(TuningService&, const std::string&,
+                      CancellationToken) {
+  throw Error("the tuning service socket transport requires a UNIX system");
+}
+
+std::string call_unix_socket(const std::string&, const std::string&) {
+  throw Error("the tuning service socket transport requires a UNIX system");
+}
+
+}  // namespace portatune::service
+
+#endif

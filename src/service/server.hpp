@@ -1,0 +1,42 @@
+// Unix-domain-socket front end for the tuning service.
+//
+// `portatune_cli serve --socket <path>` runs this loop: a stream socket
+// accepting multiple concurrent clients, each speaking the line-delimited
+// JSON protocol (protocol.hpp). The loop is single-threaded poll()-based —
+// requests from all clients serialize through one ServiceProtocol, which
+// is plenty for a control plane (the expensive work, evaluation fan-out,
+// happens inside the service's thread pool during `step`).
+//
+// Shutdown has two distinct exits, mirroring the run orchestration:
+//   * a client sends {"op":"shutdown"}  -> checkpoint all sessions,
+//     remove the socket, exit code 0 (deliberate stop);
+//   * the cancel token fires (SIGTERM/SIGINT via the installed handler)
+//     -> checkpoint all sessions, remove the socket, exit code 3
+//     (interrupted but resumable — the same convention the run
+//     orchestrator uses, so wrappers treat both uniformly).
+// Either way every open session's checkpoint.csv is current on exit, and
+// a later `serve` on the same data dir can `resume` each one.
+#pragma once
+
+#include <string>
+
+#include "service/service.hpp"
+#include "support/cancellation.hpp"
+
+namespace portatune::service {
+
+/// Serve `svc` on a Unix socket at `socket_path` (an existing socket file
+/// there is replaced). Blocks until a shutdown op (returns 0) or until
+/// `cancel` fires (returns 3). Throws portatune::Error when the socket
+/// cannot be created. On non-UNIX builds, throws unconditionally.
+int serve_unix_socket(TuningService& svc, const std::string& socket_path,
+                      CancellationToken cancel);
+
+/// One-shot client: connect to the socket, send `line` (a newline is
+/// appended), and return the single reply line (without its newline).
+/// Throws portatune::Error when the server is unreachable or hangs up
+/// before replying. `portatune_cli call` and the CI chaos test use this.
+std::string call_unix_socket(const std::string& socket_path,
+                             const std::string& line);
+
+}  // namespace portatune::service

@@ -1,0 +1,346 @@
+#include "service/service.hpp"
+
+#include <cctype>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "support/atomic_file.hpp"
+#include "support/error.hpp"
+#include "tuner/persistence.hpp"
+#include "tuner/transfer.hpp"
+
+namespace portatune::service {
+
+namespace {
+
+using obs::json::Value;
+
+std::string session_dir(const std::string& data_dir, const std::string& id) {
+  return data_dir + "/sessions/" + id;
+}
+
+SurrogateStoreOptions store_options(const TuningServiceOptions& opt) {
+  PT_REQUIRE(!opt.data_dir.empty(), "service needs a data directory");
+  return SurrogateStoreOptions{opt.data_dir + "/store", opt.forest};
+}
+
+Value fingerprint_json(const std::vector<double>& fp) {
+  std::vector<Value> items;
+  items.reserve(fp.size());
+  for (double v : fp) items.push_back(Value::make_number(v));
+  return Value::make_array(std::move(items));
+}
+
+/// Session ids become directory names; keep them filesystem- and
+/// protocol-safe.
+void require_valid_id(const std::string& id) {
+  PT_REQUIRE(!id.empty() && id.size() <= 128, "session id must be 1..128 chars");
+  for (char c : id)
+    PT_REQUIRE(std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                   c == '_' || c == '.',
+               "session id '" + id +
+                   "' may only contain [A-Za-z0-9._-]");
+  PT_REQUIRE(id != "." && id != "..", "session id '" + id + "' is reserved");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SessionHandle
+
+tuner::SessionStepStats SessionHandle::step(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  const tuner::SessionStepStats stats = session_->step(n);
+  publish_gauges_locked();
+  return stats;
+}
+
+std::vector<tuner::ParamConfig> SessionHandle::suggest(std::size_t n) {
+  std::lock_guard lock(mutex_);
+  PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  return session_->suggest(n);
+}
+
+void SessionHandle::report(const tuner::ParamConfig& config, double seconds) {
+  std::lock_guard lock(mutex_);
+  PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  session_->report(config, seconds);
+  // An externally measured result is as reusable as a service-side one.
+  if (seconds > 0.0)
+    service_->cache().insert(cached_->scope(),
+                             space().config_hash(config), seconds);
+  publish_gauges_locked();
+}
+
+void SessionHandle::checkpoint() {
+  std::lock_guard lock(mutex_);
+  PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  persist_checkpoint_locked();
+  persist_meta_locked();
+}
+
+tuner::SearchTrace SessionHandle::close() {
+  std::lock_guard lock(mutex_);
+  if (closed_) return session_->trace();
+  persist_checkpoint_locked();
+  session_->close();
+  closed_ = true;
+  persist_meta_locked();
+  const tuner::SearchTrace& trace = session_->trace();
+  // Publish the training trace so future sessions on similar machines
+  // start warm. An empty trace (closed before any step) has nothing to
+  // teach.
+  if (!trace.empty())
+    service_->publish_trace(cfg_.problem(), cfg_.machine(), trace, space(),
+                            fingerprint_);
+  publish_gauges_locked();
+  return trace;
+}
+
+SessionInfo SessionHandle::info() const {
+  std::lock_guard lock(mutex_);
+  SessionInfo s;
+  s.id = id_;
+  s.problem = cfg_.problem();
+  s.machine = cfg_.machine();
+  s.evals = session_->trace().size();
+  s.budget = cfg_.max_evals();
+  s.best_seconds = session_->trace().best_seconds();
+  s.warm = warm_model_ != nullptr;
+  s.warm_source = warm_source_;
+  s.closed = closed_;
+  return s;
+}
+
+tuner::SearchTrace SessionHandle::trace_snapshot() const {
+  std::lock_guard lock(mutex_);
+  return session_->trace();
+}
+
+void SessionHandle::persist_meta_locked() const {
+  std::vector<std::pair<std::string, Value>> m;
+  m.emplace_back("portatune_session", Value::make_number(1));
+  m.emplace_back("id", Value::make_string(id_));
+  m.emplace_back("problem", Value::make_string(cfg_.problem()));
+  m.emplace_back("machine", Value::make_string(cfg_.machine()));
+  m.emplace_back("seed", Value::make_number(static_cast<double>(cfg_.seed())));
+  m.emplace_back("max_evals",
+                 Value::make_number(static_cast<double>(cfg_.max_evals())));
+  m.emplace_back("pool_size",
+                 Value::make_number(static_cast<double>(cfg_.pool_size())));
+  m.emplace_back("eval_threads",
+                 Value::make_number(static_cast<double>(cfg_.eval_threads())));
+  m.emplace_back("kernel_threads",
+                 Value::make_number(static_cast<double>(cfg_.kernel_threads())));
+  m.emplace_back("warm_key", Value::make_string(warm_key_));
+  m.emplace_back("warm_source", Value::make_string(warm_source_));
+  m.emplace_back("fingerprint", fingerprint_json(fingerprint_));
+  m.emplace_back("closed", Value::make_bool(closed_));
+  m.emplace_back("evals", Value::make_number(
+                              static_cast<double>(session_->trace().size())));
+  m.emplace_back("best_seconds",
+                 Value::make_number(session_->trace().best_seconds()));
+  atomic_write_file(dir_ + "/meta.json",
+                    Value::make_object(std::move(m)).dump() + "\n");
+}
+
+void SessionHandle::persist_checkpoint_locked() const {
+  tuner::save_checkpoint_csv(dir_ + "/checkpoint.csv",
+                             session_->checkpoint(), space());
+}
+
+void SessionHandle::publish_gauges_locked() const {
+  auto& reg = obs::MetricsRegistry::current();
+  const std::string prefix = "service.session." + id_;
+  reg.gauge(prefix + ".evals")
+      .set(static_cast<double>(session_->trace().size()));
+  reg.gauge(prefix + ".best_seconds").set(session_->trace().best_seconds());
+}
+
+// ---------------------------------------------------------------------------
+// TuningService
+
+TuningService::TuningService(TuningServiceOptions opt)
+    : opt_(std::move(opt)),
+      cache_(EvalCacheOptions{opt_.cache_capacity}),
+      store_(store_options(opt_)) {
+  ensure_directory(opt_.data_dir + "/sessions");
+}
+
+TuningService::~TuningService() {
+  try {
+    checkpoint_all();
+  } catch (...) {
+    // Destructor path: best-effort persistence only.
+  }
+}
+
+std::unique_ptr<SessionHandle> TuningService::build_session(
+    const std::string& id, const apps::TuningConfig& cfg, bool resuming) {
+  cfg.validate();
+  auto h = std::unique_ptr<SessionHandle>(new SessionHandle());
+  h->service_ = this;
+  h->id_ = id;
+  h->dir_ = session_dir(opt_.data_dir, id);
+  h->cfg_ = cfg;
+  ensure_directory(h->dir_);
+
+  h->stack_ = cfg.make_stack(apps::StackRole::Single);
+  h->cached_ = std::make_unique<CachedEvaluator>(*h->stack_, cache_);
+
+  if (resuming) {
+    // The fingerprint was measured at open; reuse it (same machine, same
+    // canonical probes — re-measuring is pure cache traffic).
+    const Value meta =
+        Value::parse(read_file(h->dir_ + "/meta.json"));
+    for (const Value& v : meta.at("fingerprint").as_array())
+      h->fingerprint_.push_back(v.as_number());
+    // The warm decision is part of the session's identity: replaying the
+    // draw/rank order requires the *same* surrogate, so resume loads the
+    // recorded store entry rather than re-running nearest() against a
+    // store that may have changed underneath.
+    h->warm_key_ = meta.at("warm_key").as_string();
+    h->warm_source_ = meta.at("warm_source").as_string();
+    if (!h->warm_key_.empty()) {
+      const StoreEntry* entry = store_.find(h->warm_key_);
+      PT_REQUIRE(entry != nullptr,
+                 "session '" + id + "' warmed from store entry '" +
+                     h->warm_key_ + "', which no longer exists");
+      h->warm_model_ = store_.load_surrogate(*entry, h->cached_->space());
+    }
+    if (file_exists(h->dir_ + "/checkpoint.csv"))
+      h->resume_snapshot_ = tuner::load_checkpoint_csv(
+          h->dir_ + "/checkpoint.csv", h->cached_->space());
+  } else {
+    h->fingerprint_ =
+        measure_fingerprint(*h->cached_, opt_.fingerprint_probes);
+    if (const auto match = store_.nearest(cfg.problem(), h->fingerprint_)) {
+      h->warm_key_ = match->entry.key;
+      h->warm_source_ = match->entry.machine;
+      h->warm_model_ =
+          store_.load_surrogate(match->entry, h->cached_->space());
+    }
+  }
+
+  tuner::SessionOptions opts = cfg.session_options(id);
+  opts.warm_model = h->warm_model_.get();
+  if (h->resume_snapshot_) opts.resume = &*h->resume_snapshot_;
+  h->session_ = std::make_unique<tuner::TuningSession>(*h->cached_, opts);
+  h->resume_snapshot_.reset();  // replayed; the session owns state now
+
+  h->persist_meta_locked();  // handle not yet visible: no lock needed
+  h->publish_gauges_locked();
+  return h;
+}
+
+SessionHandle& TuningService::open(const std::string& id,
+                                   const apps::TuningConfig& cfg) {
+  require_valid_id(id);
+  std::lock_guard lock(mutex_);
+  PT_REQUIRE(sessions_.find(id) == sessions_.end(),
+             "session '" + id + "' is already open");
+  const std::string meta_path =
+      session_dir(opt_.data_dir, id) + "/meta.json";
+  if (file_exists(meta_path)) {
+    const Value meta = Value::parse(read_file(meta_path));
+    const Value* closed = meta.find("closed");
+    PT_REQUIRE(closed != nullptr && closed->as_bool(),
+               "session '" + id +
+                   "' has a live checkpoint on disk; resume it instead "
+                   "of opening a new session with the same id");
+  }
+  auto h = build_session(id, cfg, /*resuming=*/false);
+  SessionHandle& ref = *h;
+  sessions_.emplace(id, std::move(h));
+  return ref;
+}
+
+SessionHandle& TuningService::resume(const std::string& id) {
+  require_valid_id(id);
+  std::lock_guard lock(mutex_);
+  PT_REQUIRE(sessions_.find(id) == sessions_.end(),
+             "session '" + id + "' is already open in this service");
+  const std::string dir = session_dir(opt_.data_dir, id);
+  PT_REQUIRE(file_exists(dir + "/meta.json"),
+             "no checkpointed session '" + id + "' under " + opt_.data_dir);
+  const Value meta = Value::parse(read_file(dir + "/meta.json"));
+  PT_REQUIRE(!meta.at("closed").as_bool(),
+             "session '" + id + "' was closed; open a new session instead");
+  apps::TuningConfig cfg;
+  cfg.problem(meta.at("problem").as_string())
+      .machine(meta.at("machine").as_string())
+      .seed(static_cast<std::uint64_t>(meta.at("seed").as_number()))
+      .max_evals(static_cast<std::size_t>(meta.at("max_evals").as_number()))
+      .pool_size(static_cast<std::size_t>(meta.at("pool_size").as_number()))
+      .eval_threads(
+          static_cast<std::size_t>(meta.at("eval_threads").as_number()))
+      .kernel_threads(
+          static_cast<int>(meta.at("kernel_threads").as_number()));
+  auto h = build_session(id, cfg, /*resuming=*/true);
+  SessionHandle& ref = *h;
+  sessions_.emplace(id, std::move(h));
+  return ref;
+}
+
+SessionHandle* TuningService::find(const std::string& id) {
+  std::lock_guard lock(mutex_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+std::vector<SessionInfo> TuningService::sessions() const {
+  // Copy the handle pointers under the registry lock, then query each
+  // without it (info() takes the per-handle lock; holding both here
+  // would invert the close() -> publish_trace() lock order).
+  std::vector<const SessionHandle*> handles;
+  {
+    std::lock_guard lock(mutex_);
+    handles.reserve(sessions_.size());
+    for (const auto& [_, h] : sessions_) handles.push_back(h.get());
+  }
+  std::vector<SessionInfo> out;
+  out.reserve(handles.size());
+  for (const SessionHandle* h : handles) out.push_back(h->info());
+  return out;
+}
+
+void TuningService::checkpoint_all() {
+  std::vector<SessionHandle*> handles;
+  {
+    std::lock_guard lock(mutex_);
+    handles.reserve(sessions_.size());
+    for (auto& [_, h] : sessions_) handles.push_back(h.get());
+  }
+  for (SessionHandle* h : handles)
+    if (!h->info().closed) h->checkpoint();
+}
+
+const StoreEntry& TuningService::publish_trace(
+    const std::string& problem, const std::string& machine,
+    const tuner::SearchTrace& trace, const tuner::ParamSpace& space,
+    std::vector<double> fingerprint) {
+  std::lock_guard lock(mutex_);
+  return store_.put(problem, machine, trace, space, std::move(fingerprint));
+}
+
+void TuningService::publish_metrics() {
+  cache_.publish_metrics();
+  std::vector<const SessionHandle*> handles;
+  std::size_t store_entries = 0;
+  {
+    std::lock_guard lock(mutex_);
+    handles.reserve(sessions_.size());
+    for (const auto& [_, h] : sessions_) handles.push_back(h.get());
+    store_entries = store_.size();
+  }
+  std::size_t open = 0;
+  for (const SessionHandle* h : handles)
+    if (!h->info().closed) ++open;
+  auto& reg = obs::MetricsRegistry::current();
+  reg.gauge("service.sessions_active").set(static_cast<double>(open));
+  reg.gauge("service.store.entries").set(static_cast<double>(store_entries));
+}
+
+}  // namespace portatune::service

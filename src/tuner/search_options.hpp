@@ -6,6 +6,11 @@
 // option structs remain aggregates: `Options{.field = x}` designated
 // initialization at call sites keeps working (the base is then
 // default-initialized), as does plain member assignment.
+//
+// Legacy note: new driver code should not assemble these by hand —
+// apps::TuningConfig (apps/tuning_config.hpp) is the validated builder
+// that produces SearchCommon (and its sibling option structs)
+// consistently; these aggregates remain as its construction targets.
 #pragma once
 
 #include <cstdint>

@@ -9,10 +9,49 @@
 
 namespace portatune::tuner {
 
+std::vector<ParamConfig> probe_configs(const ParamSpace& space,
+                                       std::size_t count,
+                                       std::uint64_t seed) {
+  ConfigStream stream(space, seed);
+  std::vector<ParamConfig> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    auto c = stream.next();
+    if (!c) break;
+    out.push_back(std::move(*c));
+  }
+  return out;
+}
+
+SimilarityReport summarize_probe_vectors(std::span<const double> a,
+                                         std::span<const double> b,
+                                         double top_fraction) {
+  PT_REQUIRE(a.size() == b.size(), "probe vectors are not aligned");
+  PT_REQUIRE(a.size() >= 3, "probe set too small (evaluations failing?)");
+  const std::vector<double> ya(a.begin(), a.end());
+  const std::vector<double> yb(b.begin(), b.end());
+
+  SimilarityReport report;
+  report.probes = ya.size();
+  report.pearson = pearson(ya, yb);
+  report.spearman = spearman(ya, yb);
+  report.kendall = kendall(ya, yb);
+  report.top_overlap = top_set_overlap(ya, yb, top_fraction);
+
+  std::vector<double> log_ratio;
+  log_ratio.reserve(ya.size());
+  for (std::size_t i = 0; i < ya.size(); ++i)
+    log_ratio.push_back(std::log(yb[i] / ya[i]));
+  const double m = mean(log_ratio);
+  double disp = 0.0;
+  for (double v : log_ratio) disp += std::abs(v - m);
+  report.log_ratio_dispersion = disp / static_cast<double>(log_ratio.size());
+  return report;
+}
+
 SimilarityReport measure_similarity(Evaluator& source, Evaluator& target,
                                     const SimilarityOptions& opt) {
   PT_REQUIRE(opt.probes >= 3, "need at least three probes");
-  SimilarityReport report;
 
   ConfigStream stream(source.space(), opt.seed);
   std::vector<double> ya, yb;
@@ -29,23 +68,7 @@ SimilarityReport measure_similarity(Evaluator& source, Evaluator& target,
     ya.push_back(ra.seconds);
     yb.push_back(rb.seconds);
   }
-  PT_REQUIRE(ya.size() >= 3, "probe set too small (evaluations failing?)");
-
-  report.probes = ya.size();
-  report.pearson = pearson(ya, yb);
-  report.spearman = spearman(ya, yb);
-  report.kendall = kendall(ya, yb);
-  report.top_overlap = top_set_overlap(ya, yb, opt.top_fraction);
-
-  std::vector<double> log_ratio;
-  log_ratio.reserve(ya.size());
-  for (std::size_t i = 0; i < ya.size(); ++i)
-    log_ratio.push_back(std::log(yb[i] / ya[i]));
-  const double m = mean(log_ratio);
-  double disp = 0.0;
-  for (double v : log_ratio) disp += std::abs(v - m);
-  report.log_ratio_dispersion = disp / static_cast<double>(log_ratio.size());
-  return report;
+  return summarize_probe_vectors(ya, yb, opt.top_fraction);
 }
 
 std::string to_string(TransferAdvice advice) {

@@ -12,6 +12,8 @@
 // go / no-go recommendation before any model is fitted.
 #pragma once
 
+#include <span>
+
 #include "tuner/evaluator.hpp"
 
 namespace portatune::tuner {
@@ -32,6 +34,27 @@ struct SimilarityOptions {
   std::uint64_t seed = 97;
   double top_fraction = 0.2;
 };
+
+/// The canonical probe stream seed. Every machine *fingerprint* (see
+/// probe_configs) is measured over the same seeded draw sequence, so two
+/// fingerprints taken on different machines — possibly in different
+/// processes, years apart — are aligned element-for-element and can be
+/// compared directly with summarize_probe_vectors.
+inline constexpr std::uint64_t kFingerprintSeed = 97;
+
+/// The first `count` draws of a canonical seeded stream over `space`:
+/// the shared probe set both measure_similarity and the surrogate
+/// store's machine fingerprints evaluate. Deterministic in (space, seed).
+std::vector<ParamConfig> probe_configs(const ParamSpace& space,
+                                       std::size_t count,
+                                       std::uint64_t seed = kFingerprintSeed);
+
+/// Summarize two aligned probe run-time vectors (the correlation core of
+/// measure_similarity, reusable when one side is a *stored* fingerprint
+/// rather than a live evaluator). Requires >= 3 aligned pairs.
+SimilarityReport summarize_probe_vectors(std::span<const double> a,
+                                         std::span<const double> b,
+                                         double top_fraction = 0.2);
 
 /// Measure the probe set on both machines and summarize.
 SimilarityReport measure_similarity(Evaluator& source, Evaluator& target,

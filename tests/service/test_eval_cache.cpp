@@ -1,0 +1,226 @@
+// EvalCache semantics: LRU admission/eviction, scope isolation, the
+// hit/miss/insertion/eviction counters, and the CachedEvaluator
+// decorator's guarantee that a hit is byte-identical to a fresh
+// evaluation while never touching the backend.
+#include "service/eval_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/tuning_config.hpp"
+#include "tuner/sampler.hpp"
+
+namespace portatune::service {
+namespace {
+
+/// Counts how many evaluations actually reach the wrapped evaluator —
+/// the probe for "hits never touch the backend".
+class CountingEvaluator final : public tuner::Evaluator {
+ public:
+  explicit CountingEvaluator(tuner::Evaluator& inner) : inner_(inner) {}
+
+  const tuner::ParamSpace& space() const override { return inner_.space(); }
+  tuner::EvalResult evaluate(const tuner::ParamConfig& c) override {
+    ++calls_;
+    return inner_.evaluate(c);
+  }
+  std::vector<tuner::EvalResult> evaluate_batch(
+      std::span<const tuner::ParamConfig> batch) override {
+    calls_ += batch.size();
+    return inner_.evaluate_batch(batch);
+  }
+  tuner::EvalCapabilities capabilities() const override {
+    return inner_.capabilities();
+  }
+  std::string problem_name() const override { return inner_.problem_name(); }
+  std::string machine_name() const override { return inner_.machine_name(); }
+
+  std::size_t calls() const noexcept { return calls_; }
+
+ private:
+  tuner::Evaluator& inner_;
+  std::size_t calls_ = 0;
+};
+
+TEST(EvalCache, LookupMissThenInsertThenHit) {
+  EvalCache cache;
+  EXPECT_FALSE(cache.lookup("LU|Westmere", 42).has_value());
+  cache.insert("LU|Westmere", 42, 1.5);
+  const auto hit = cache.lookup("LU|Westmere", 42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(*hit, 1.5);
+
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.insertions, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.size, 1u);
+}
+
+TEST(EvalCache, ScopesAreIsolated) {
+  EvalCache cache;
+  cache.insert("LU|Westmere", 7, 1.0);
+  // Same config hash, different machine scope: a distinct measurement.
+  EXPECT_FALSE(cache.lookup("LU|Sandybridge", 7).has_value());
+  cache.insert("LU|Sandybridge", 7, 2.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup("LU|Westmere", 7), 1.0);
+  EXPECT_DOUBLE_EQ(*cache.lookup("LU|Sandybridge", 7), 2.0);
+}
+
+TEST(EvalCache, InsertIsIdempotentAndKeepsTheFirstValue) {
+  EvalCache cache;
+  cache.insert("s", 1, 1.0);
+  cache.insert("s", 1, 99.0);  // deterministic backends: values agree anyway
+  EXPECT_DOUBLE_EQ(*cache.lookup("s", 1), 1.0);
+  EXPECT_EQ(cache.stats().size, 1u);
+}
+
+TEST(EvalCache, EvictsLeastRecentlyUsedAtCapacity) {
+  EvalCacheOptions opt;
+  opt.capacity = 2;
+  EvalCache cache(opt);
+  cache.insert("s", 1, 1.0);
+  cache.insert("s", 2, 2.0);
+  cache.insert("s", 3, 3.0);  // evicts key 1, the oldest
+  EXPECT_FALSE(cache.lookup("s", 1).has_value());
+  EXPECT_TRUE(cache.lookup("s", 2).has_value());
+  EXPECT_TRUE(cache.lookup("s", 3).has_value());
+
+  const EvalCacheStats s = cache.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.size, 2u);
+}
+
+TEST(EvalCache, HitRefreshesRecency) {
+  EvalCacheOptions opt;
+  opt.capacity = 2;
+  EvalCache cache(opt);
+  cache.insert("s", 1, 1.0);
+  cache.insert("s", 2, 2.0);
+  ASSERT_TRUE(cache.lookup("s", 1).has_value());  // 1 is now most recent
+  cache.insert("s", 3, 3.0);                      // so 2 is the victim
+  EXPECT_TRUE(cache.lookup("s", 1).has_value());
+  EXPECT_FALSE(cache.lookup("s", 2).has_value());
+}
+
+TEST(CachedEvaluatorTest, HitsNeverReachTheBackend) {
+  const apps::TuningConfig cfg = apps::TuningConfig{}.problem("LU").machine(
+      "Westmere");
+  auto stack = cfg.make_stack();
+  CountingEvaluator counted(*stack);
+  EvalCache cache;
+  CachedEvaluator eval(counted, cache);
+  EXPECT_EQ(eval.scope(), "LU|Westmere");
+
+  // A successful configuration: first call misses, second hits.
+  tuner::ConfigStream stream(eval.space(), 11);
+  tuner::ParamConfig good;
+  for (;;) {
+    auto c = stream.next();
+    ASSERT_TRUE(c.has_value());
+    if (stack->evaluate(*c).ok) {
+      good = *c;
+      break;
+    }
+  }
+  const std::size_t before = counted.calls();
+  const tuner::EvalResult fresh = eval.evaluate(good);
+  ASSERT_TRUE(fresh.ok);
+  EXPECT_EQ(counted.calls(), before + 1);
+
+  const tuner::EvalResult memo = eval.evaluate(good);
+  EXPECT_EQ(counted.calls(), before + 1);  // served from the cache
+  // The hit is indistinguishable from a fresh evaluation.
+  EXPECT_TRUE(memo.ok);
+  EXPECT_DOUBLE_EQ(memo.seconds, fresh.seconds);
+  EXPECT_EQ(memo.attempts, 1u);
+  EXPECT_DOUBLE_EQ(memo.overhead_seconds, 0.0);
+}
+
+TEST(CachedEvaluatorTest, FailuresAreNeverAdmitted) {
+  const apps::TuningConfig cfg = apps::TuningConfig{}.problem("LU").machine(
+      "Westmere");
+  auto stack = cfg.make_stack();
+  CountingEvaluator counted(*stack);
+  EvalCache cache;
+  CachedEvaluator eval(counted, cache);
+
+  // Find a deterministically invalid configuration (LU has plenty:
+  // register tile exceeding the cache tile, say).
+  tuner::ConfigStream stream(eval.space(), 11);
+  tuner::ParamConfig bad;
+  bool found = false;
+  for (int i = 0; i < 5000 && !found; ++i) {
+    auto c = stream.next();
+    ASSERT_TRUE(c.has_value());
+    if (!stack->evaluate(*c).ok) {
+      bad = *c;
+      found = true;
+    }
+  }
+  ASSERT_TRUE(found) << "LU space unexpectedly has no invalid configs";
+
+  EXPECT_FALSE(eval.evaluate(bad).ok);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+  // A failure stays live: the backend is consulted again every time.
+  const std::size_t before = counted.calls();
+  EXPECT_FALSE(eval.evaluate(bad).ok);
+  EXPECT_EQ(counted.calls(), before + 1);
+}
+
+TEST(CachedEvaluatorTest, BatchPartitionsMissesAndPreservesOrder) {
+  const apps::TuningConfig cfg = apps::TuningConfig{}.problem("LU").machine(
+      "Sandybridge");
+  auto stack = cfg.make_stack();
+  CountingEvaluator counted(*stack);
+  EvalCache cache;
+  CachedEvaluator eval(counted, cache);
+
+  std::vector<tuner::ParamConfig> batch;
+  tuner::ConfigStream stream(eval.space(), 3);
+  while (batch.size() < 8) batch.push_back(*stream.next());
+
+  const auto first = eval.evaluate_batch(batch);
+  ASSERT_EQ(first.size(), batch.size());
+  const std::size_t backend_calls = counted.calls();
+  EXPECT_EQ(backend_calls, batch.size());
+
+  // Replay the whole window: every successful result is a hit, only the
+  // failures (never admitted) go back to the backend.
+  std::size_t failures = 0;
+  for (const auto& r : first)
+    if (!r.ok) ++failures;
+  const auto replay = eval.evaluate_batch(batch);
+  ASSERT_EQ(replay.size(), batch.size());
+  EXPECT_EQ(counted.calls(), backend_calls + failures);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(replay[i].ok, first[i].ok) << "batch slot " << i;
+    if (first[i].ok) {
+      EXPECT_DOUBLE_EQ(replay[i].seconds, first[i].seconds)
+          << "batch slot " << i;
+    }
+  }
+
+  // A mixed window (half cached, half new) only evaluates the new half.
+  std::vector<tuner::ParamConfig> mixed(batch.begin(), batch.begin() + 4);
+  std::vector<std::size_t> fresh_slots;
+  while (mixed.size() < 8) {
+    mixed.push_back(*stream.next());
+    fresh_slots.push_back(mixed.size() - 1);
+  }
+  const std::size_t before = counted.calls();
+  const auto mixed_out = eval.evaluate_batch(mixed);
+  ASSERT_EQ(mixed_out.size(), mixed.size());
+  std::size_t expected = fresh_slots.size();
+  for (std::size_t i = 0; i < 4; ++i)
+    if (!first[i].ok) ++expected;  // cached prefix failures re-evaluate
+  EXPECT_EQ(counted.calls(), before + expected);
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (first[i].ok) {
+      EXPECT_DOUBLE_EQ(mixed_out[i].seconds, first[i].seconds);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace portatune::service

@@ -1,0 +1,136 @@
+// ServiceProtocol: the line-delimited JSON surface of the tuning
+// service, driven directly (no socket). Covers the full op set, the
+// index-array config representation, and the never-throws error
+// contract.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "obs/json.hpp"
+
+namespace portatune::service {
+namespace {
+
+class ServiceProtocolTest : public testing::Test {
+ protected:
+  ServiceProtocolTest() : svc_(make_options()), proto_(svc_) {}
+
+  static TuningServiceOptions make_options() {
+    TuningServiceOptions opt;
+    opt.data_dir = testing::TempDir() + "portatune_proto";
+    std::filesystem::remove_all(opt.data_dir);
+    return opt;
+  }
+
+  /// Send one line, parse the JSON reply.
+  obs::json::Value call(const std::string& line, bool* shutdown = nullptr) {
+    const ProtocolReply reply = proto_.handle_line(line);
+    if (shutdown != nullptr) *shutdown = reply.shutdown;
+    return obs::json::Value::parse(reply.line);
+  }
+
+  obs::json::Value open_session(const std::string& id) {
+    return call(R"({"op":"open","id":")" + id +
+                R"(","problem":"LU","machine":"Westmere","max_evals":20,)"
+                R"("seed":5})");
+  }
+
+  TuningService svc_;
+  ServiceProtocol proto_;
+};
+
+TEST_F(ServiceProtocolTest, OpenStepCloseRoundTrip) {
+  const auto opened = open_session("s1");
+  EXPECT_TRUE(opened.at("ok").as_bool());
+  EXPECT_EQ(opened.at("id").as_string(), "s1");
+  EXPECT_FALSE(opened.at("warm").as_bool());  // empty store
+
+  const auto stepped = call(R"({"op":"step","id":"s1","n":10})");
+  ASSERT_TRUE(stepped.at("ok").as_bool());
+  EXPECT_GT(stepped.at("evaluated").as_number(), 0.0);
+  EXPECT_GT(stepped.at("best_seconds").as_number(), 0.0);
+  EXPECT_EQ(stepped.at("evals").as_number(),
+            stepped.at("evaluated").as_number());
+
+  const auto checkpointed = call(R"({"op":"checkpoint","id":"s1"})");
+  EXPECT_TRUE(checkpointed.at("ok").as_bool());
+
+  const auto closed = call(R"({"op":"close","id":"s1"})");
+  ASSERT_TRUE(closed.at("ok").as_bool());
+  EXPECT_GT(closed.at("evals").as_number(), 0.0);
+  EXPECT_GT(closed.at("best_seconds").as_number(), 0.0);
+
+  // The session is gone for further ops, but the error is a reply, not
+  // a dropped connection.
+  const auto after = call(R"({"op":"step","id":"s1","n":1})");
+  EXPECT_FALSE(after.at("ok").as_bool());
+  EXPECT_FALSE(after.at("error").as_string().empty());
+}
+
+TEST_F(ServiceProtocolTest, SuggestAndReportUseIndexArrays) {
+  ASSERT_TRUE(open_session("ext").at("ok").as_bool());
+
+  const auto suggested = call(R"({"op":"suggest","id":"ext","n":2})");
+  ASSERT_TRUE(suggested.at("ok").as_bool());
+  const auto& configs = suggested.at("configs").as_array();
+  ASSERT_EQ(configs.size(), 2u);
+  ASSERT_TRUE(configs[0].is_array());
+
+  // Echo the first candidate back with an externally measured time.
+  const auto report = call(
+      std::string(R"({"op":"report","id":"ext","config":)") +
+      configs[0].dump() + R"(,"seconds":0.5})");
+  EXPECT_TRUE(report.at("ok").as_bool());
+
+  // A config of the wrong arity is rejected with a reply, not a throw.
+  const auto bad = call(
+      R"({"op":"report","id":"ext","config":[0],"seconds":0.5})");
+  EXPECT_FALSE(bad.at("ok").as_bool());
+}
+
+TEST_F(ServiceProtocolTest, StatusReportsSessionsCacheAndStore) {
+  ASSERT_TRUE(open_session("s1").at("ok").as_bool());
+  ASSERT_TRUE(call(R"({"op":"step","id":"s1","n":5})").at("ok").as_bool());
+
+  const auto status = call(R"({"op":"status"})");
+  ASSERT_TRUE(status.at("ok").as_bool());
+  const auto& sessions = status.at("sessions").as_array();
+  ASSERT_EQ(sessions.size(), 1u);
+  EXPECT_EQ(sessions[0].at("id").as_string(), "s1");
+  EXPECT_EQ(sessions[0].at("problem").as_string(), "LU");
+  EXPECT_EQ(sessions[0].at("machine").as_string(), "Westmere");
+  EXPECT_GT(sessions[0].at("evals").as_number(), 0.0);
+  // The fingerprint probes at open were cache misses at minimum.
+  EXPECT_GT(status.at("cache").at("misses").as_number(), 0.0);
+  EXPECT_EQ(status.at("store").at("entries").as_number(), 0.0);
+}
+
+TEST_F(ServiceProtocolTest, ErrorsAreRepliesNeverThrows) {
+  for (const char* line : {
+           "this is not json",
+           R"({"no_op_member":true})",
+           R"({"op":"frobnicate"})",
+           R"({"op":"step","id":"no-such-session"})",
+           R"({"op":"open","id":"x"})",             // missing problem/machine
+           R"({"op":"open","id":"../evil","problem":"LU","machine":"Westmere"})",
+           R"({"op":"resume","id":"never-checkpointed"})",
+       }) {
+    bool shutdown = true;
+    const auto reply = call(line, &shutdown);
+    EXPECT_FALSE(reply.at("ok").as_bool()) << line;
+    EXPECT_FALSE(reply.at("error").as_string().empty()) << line;
+    EXPECT_FALSE(shutdown) << line;
+  }
+}
+
+TEST_F(ServiceProtocolTest, ShutdownSetsTheFlag) {
+  bool shutdown = false;
+  const auto reply = call(R"({"op":"shutdown"})", &shutdown);
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_TRUE(shutdown);
+}
+
+}  // namespace
+}  // namespace portatune::service

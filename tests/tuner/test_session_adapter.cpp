@@ -1,0 +1,154 @@
+// Session-API adapter parity: the legacy free function
+// run_transfer_experiment() is a thin adapter over ExperimentSession and
+// must reproduce it bit for bit, and a cold TuningSession stepped to
+// exhaustion is exactly the historical random_search().
+#include <gtest/gtest.h>
+
+#include "apps/tuning_config.hpp"
+#include "tuner/experiment.hpp"
+#include "tuner/random_search.hpp"
+#include "tuner/session.hpp"
+
+namespace portatune::tuner {
+namespace {
+
+void expect_traces_equal(const SearchTrace& a, const SearchTrace& b,
+                         const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entry(i).config, b.entry(i).config) << what << " entry " << i;
+    EXPECT_DOUBLE_EQ(a.entry(i).seconds, b.entry(i).seconds)
+        << what << " entry " << i;
+    EXPECT_EQ(a.entry(i).draw_index, b.entry(i).draw_index)
+        << what << " entry " << i;
+  }
+}
+
+apps::TuningConfig transfer_config() {
+  return apps::TuningConfig{}
+      .problem("LU")
+      .machines("Westmere", "Sandybridge")
+      .max_evals(25)
+      .pool_size(2000)
+      .seed(13);
+}
+
+TEST(SessionAdapter, FreeFunctionMatchesExperimentSession) {
+  const apps::TuningConfig cfg = transfer_config();
+  const ExperimentSettings settings = cfg.experiment_settings();
+
+  // Legacy entry point, fresh stacks.
+  auto src1 = cfg.make_stack(apps::StackRole::Source);
+  auto tgt1 = cfg.make_stack(apps::StackRole::Target);
+  const TransferExperimentResult legacy =
+      run_transfer_experiment(*src1, *tgt1, settings);
+
+  // The session it adapts to, fresh stacks again.
+  auto src2 = cfg.make_stack(apps::StackRole::Source);
+  auto tgt2 = cfg.make_stack(apps::StackRole::Target);
+  ExperimentSession session(*src2, *tgt2, settings, "parity");
+  const TransferExperimentResult direct = session.run();
+
+  expect_traces_equal(legacy.source_rs, direct.source_rs, "source_rs");
+  expect_traces_equal(legacy.target_rs, direct.target_rs, "target_rs");
+  expect_traces_equal(legacy.pruned, direct.pruned, "pruned");
+  expect_traces_equal(legacy.biased, direct.biased, "biased");
+  expect_traces_equal(legacy.pruned_mf, direct.pruned_mf, "pruned_mf");
+  expect_traces_equal(legacy.biased_mf, direct.biased_mf, "biased_mf");
+
+  EXPECT_DOUBLE_EQ(legacy.pearson, direct.pearson);
+  EXPECT_DOUBLE_EQ(legacy.spearman, direct.spearman);
+  EXPECT_DOUBLE_EQ(legacy.top_overlap, direct.top_overlap);
+  EXPECT_DOUBLE_EQ(legacy.pruned_speedup.performance,
+                   direct.pruned_speedup.performance);
+  EXPECT_DOUBLE_EQ(legacy.pruned_speedup.search,
+                   direct.pruned_speedup.search);
+  EXPECT_DOUBLE_EQ(legacy.biased_speedup.performance,
+                   direct.biased_speedup.performance);
+  EXPECT_DOUBLE_EQ(legacy.biased_speedup.search,
+                   direct.biased_speedup.search);
+  EXPECT_FALSE(legacy.interrupted);
+  EXPECT_FALSE(direct.interrupted);
+}
+
+TEST(SessionAdapter, ColdSessionSteppedToExhaustionIsRandomSearch) {
+  const apps::TuningConfig cfg =
+      apps::TuningConfig{}.problem("LU").machine("Power7").max_evals(40)
+          .seed(9);
+
+  auto stack_rs = cfg.make_stack();
+  RandomSearchOptions rs_opt;
+  static_cast<SearchCommon&>(rs_opt) = cfg.search_common();
+  const SearchTrace rs = random_search(*stack_rs, rs_opt);
+
+  auto stack_session = cfg.make_stack();
+  TuningSession session(*stack_session, cfg.session_options("parity"));
+  // Ragged window sizes: the step granularity must not change the trace.
+  for (std::size_t n : {1u, 7u, 3u, 20u, 40u}) {
+    if (session.step(n).exhausted) break;
+  }
+  while (!session.step(10).exhausted) {
+  }
+  session.close();
+
+  expect_traces_equal(session.trace(), rs, "cold session vs RS");
+}
+
+TEST(SessionAdapter, SuggestReportInterleavesWithStepLosslessly) {
+  const apps::TuningConfig cfg =
+      apps::TuningConfig{}.problem("LU").machine("Westmere").max_evals(30)
+          .seed(21);
+
+  // Pure service-side stepping.
+  auto stack_a = cfg.make_stack();
+  TuningSession pure(*stack_a, cfg.session_options("pure"));
+  while (!pure.step(10).exhausted) {
+  }
+
+  // First few draws measured externally via suggest/report, rest stepped.
+  auto stack_b = cfg.make_stack();
+  auto stack_meter = cfg.make_stack();  // the "external" measurement rig
+  TuningSession hybrid(*stack_b, cfg.session_options("hybrid"));
+  for (const auto& c : hybrid.suggest(3)) {
+    const EvalResult r = stack_meter->evaluate(c);
+    if (r.ok) hybrid.report(c, r.seconds);
+  }
+  while (!hybrid.step(10).exhausted) {
+  }
+
+  // Reported results carry the same draw identity step() would have
+  // assigned, so the two traces are identical.
+  expect_traces_equal(hybrid.trace(), pure.trace(), "hybrid vs pure");
+}
+
+TEST(SessionAdapter, CheckpointResumeReproducesTheUninterruptedTrace) {
+  const apps::TuningConfig cfg =
+      apps::TuningConfig{}.problem("LU").machine("Sandybridge").max_evals(40)
+          .seed(33);
+
+  auto stack_ref = cfg.make_stack();
+  TuningSession reference(*stack_ref, cfg.session_options("ref"));
+  while (!reference.step(10).exhausted) {
+  }
+
+  auto stack_a = cfg.make_stack();
+  SearchCheckpoint snapshot;
+  {
+    TuningSession first(*stack_a, cfg.session_options("interrupted"));
+    first.step(15);
+    snapshot = first.checkpoint();
+  }
+
+  auto stack_b = cfg.make_stack();
+  SessionOptions opt = cfg.session_options("resumed");
+  opt.resume = &snapshot;
+  TuningSession resumed(*stack_b, opt);
+  EXPECT_EQ(resumed.trace().size(), snapshot.trace.size());
+  while (!resumed.step(10).exhausted) {
+  }
+
+  expect_traces_equal(resumed.trace(), reference.trace(), "resumed vs ref");
+}
+
+}  // namespace
+}  // namespace portatune::tuner
