@@ -87,6 +87,20 @@ class TuningConfig {
   std::size_t eval_threads() const noexcept { return eval_threads_; }
   std::size_t pool_size() const noexcept { return pool_size_; }
   int kernel_threads() const noexcept { return kernel_threads_; }
+  sim::Compiler compiler() const noexcept { return compiler_; }
+  double delta_percent() const noexcept { return delta_percent_; }
+  const ml::ForestParams& forest() const noexcept { return forest_; }
+  const tuner::FailureBudget& failure_budget() const noexcept {
+    return failure_budget_;
+  }
+  const tuner::GuardOptions& guard() const noexcept { return guard_; }
+  const tuner::FaultProfile& faults() const noexcept { return faults_; }
+  bool observe() const noexcept { return observe_; }
+  const std::string& observe_label() const noexcept { return observe_label_; }
+  bool resilient() const noexcept { return resilient_; }
+  const tuner::RetryPolicy& retry() const noexcept { return retry_; }
+  std::size_t batch_width() const noexcept { return batch_width_; }
+  double eval_deadline_seconds() const noexcept { return eval_deadline_; }
 
   /// Check the cross-field invariants; throws portatune::Error with the
   /// offending field named. Every producer below calls this first.

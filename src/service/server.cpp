@@ -122,10 +122,14 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
     }
     if (ready == 0) continue;
 
+    // Stage accepts until after the per-client loop: `fds[i + 1]` mirrors
+    // the client list the poll set was built from, so appending to
+    // `clients` here would make the loop read past the end of `fds`.
+    std::vector<Client> accepted;
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0) {
-        clients.push_back(Client{fd, {}, {}});
+        accepted.push_back(Client{fd, {}, {}});
         obs::MetricsRegistry::current()
             .counter("service.clients_accepted")
             .add(1);
@@ -166,13 +170,14 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
       if (!dead[i] && !flush_client(c)) dead[i] = true;
     }
     std::vector<Client> alive;
-    alive.reserve(clients.size());
+    alive.reserve(clients.size() + accepted.size());
     for (std::size_t i = 0; i < clients.size(); ++i) {
       if (dead[i])
         ::close(clients[i].fd);
       else
         alive.push_back(std::move(clients[i]));
     }
+    for (Client& c : accepted) alive.push_back(std::move(c));
     clients = std::move(alive);
 
     if (shutdown_requested) {

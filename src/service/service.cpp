@@ -32,6 +32,178 @@ Value fingerprint_json(const std::vector<double>& fp) {
   return Value::make_array(std::move(items));
 }
 
+using Members = std::vector<std::pair<std::string, Value>>;
+
+Value num(double v) { return Value::make_number(v); }
+Value num(std::size_t v) { return Value::make_number(static_cast<double>(v)); }
+
+/// The full builder state, so resume() reconstructs the exact evaluator
+/// stack and search options the session was opened with. Runtime-only
+/// members — the cancel token, the guard's on_transition callback and
+/// refit_source pointer — cannot be persisted and reset to defaults.
+Value config_to_json(const apps::TuningConfig& cfg) {
+  const ml::ForestParams& fp = cfg.forest();
+  Members forest;
+  forest.emplace_back("num_trees", num(fp.num_trees));
+  forest.emplace_back("max_features", num(fp.max_features));
+  forest.emplace_back("max_depth", num(fp.max_depth));
+  forest.emplace_back("min_samples_leaf", num(fp.min_samples_leaf));
+  forest.emplace_back("min_samples_split", num(fp.min_samples_split));
+  forest.emplace_back("seed", num(static_cast<double>(fp.seed)));
+  forest.emplace_back("parallel_fit", Value::make_bool(fp.parallel_fit));
+
+  const tuner::FailureBudget& fb = cfg.failure_budget();
+  Members budget;
+  budget.emplace_back("max_consecutive", num(fb.max_consecutive));
+  budget.emplace_back("max_total", num(fb.max_total));
+
+  const tuner::GuardOptions& g = cfg.guard();
+  Members guard;
+  guard.emplace_back("enabled", Value::make_bool(g.enabled));
+  guard.emplace_back("window", num(g.window));
+  guard.emplace_back("min_observations", num(g.min_observations));
+  guard.emplace_back("floor", num(g.floor));
+  guard.emplace_back("disable_floor", num(g.disable_floor));
+  guard.emplace_back("max_consecutive_prunes", num(g.max_consecutive_prunes));
+  guard.emplace_back("refit_after", num(g.refit_after));
+  guard.emplace_back("refit_target_weight", num(g.refit_target_weight));
+  guard.emplace_back("sync_window", num(g.sync_window));
+
+  const tuner::FaultProfile& fa = cfg.faults();
+  Members faults;
+  faults.emplace_back("transient_rate", num(fa.transient_rate));
+  faults.emplace_back("deterministic_rate", num(fa.deterministic_rate));
+  faults.emplace_back("hang_rate", num(fa.hang_rate));
+  faults.emplace_back("hang_stall_seconds", num(fa.hang_stall_seconds));
+  faults.emplace_back("delay_rate", num(fa.delay_rate));
+  faults.emplace_back("delay_seconds", num(fa.delay_seconds));
+  faults.emplace_back("spike_rate", num(fa.spike_rate));
+  faults.emplace_back("spike_factor", num(fa.spike_factor));
+  faults.emplace_back("seed", num(static_cast<double>(fa.seed)));
+
+  const tuner::RetryPolicy& rp = cfg.retry();
+  Members retry;
+  retry.emplace_back("max_attempts", num(rp.max_attempts));
+  retry.emplace_back("backoff_initial", num(rp.backoff_initial));
+  retry.emplace_back("backoff_multiplier", num(rp.backoff_multiplier));
+  retry.emplace_back("backoff_max", num(rp.backoff_max));
+  retry.emplace_back("sleep_on_backoff", Value::make_bool(rp.sleep_on_backoff));
+  retry.emplace_back("timeout_seconds", num(rp.timeout_seconds));
+  retry.emplace_back("quarantine_deterministic",
+                     Value::make_bool(rp.quarantine_deterministic));
+  retry.emplace_back("quarantine_timeout",
+                     Value::make_bool(rp.quarantine_timeout));
+  retry.emplace_back("quarantine_exhausted",
+                     Value::make_bool(rp.quarantine_exhausted));
+
+  Members m;
+  m.emplace_back("problem", Value::make_string(cfg.problem()));
+  m.emplace_back("machine", Value::make_string(cfg.machine()));
+  m.emplace_back("source_machine", Value::make_string(cfg.source_machine()));
+  m.emplace_back("compiler", num(static_cast<double>(
+                                 static_cast<int>(cfg.compiler()))));
+  m.emplace_back("kernel_threads", num(static_cast<double>(
+                                       cfg.kernel_threads())));
+  m.emplace_back("max_evals", num(cfg.max_evals()));
+  m.emplace_back("seed", num(static_cast<double>(cfg.seed())));
+  m.emplace_back("pool_size", num(cfg.pool_size()));
+  m.emplace_back("delta_percent", num(cfg.delta_percent()));
+  m.emplace_back("forest", Value::make_object(std::move(forest)));
+  m.emplace_back("failure_budget", Value::make_object(std::move(budget)));
+  m.emplace_back("guard", Value::make_object(std::move(guard)));
+  m.emplace_back("faults", Value::make_object(std::move(faults)));
+  m.emplace_back("observe", Value::make_bool(cfg.observe()));
+  m.emplace_back("observe_label", Value::make_string(cfg.observe_label()));
+  m.emplace_back("resilient", Value::make_bool(cfg.resilient()));
+  m.emplace_back("retry", Value::make_object(std::move(retry)));
+  m.emplace_back("eval_threads", num(cfg.eval_threads()));
+  m.emplace_back("batch_width", num(cfg.batch_width()));
+  m.emplace_back("eval_deadline_seconds", num(cfg.eval_deadline_seconds()));
+  return Value::make_object(std::move(m));
+}
+
+apps::TuningConfig config_from_json(const Value& v) {
+  const auto size_at = [](const Value& o, const char* key) {
+    return static_cast<std::size_t>(o.at(key).as_number());
+  };
+
+  ml::ForestParams fp;
+  const Value& forest = v.at("forest");
+  fp.num_trees = size_at(forest, "num_trees");
+  fp.max_features = size_at(forest, "max_features");
+  fp.max_depth = size_at(forest, "max_depth");
+  fp.min_samples_leaf = size_at(forest, "min_samples_leaf");
+  fp.min_samples_split = size_at(forest, "min_samples_split");
+  fp.seed = static_cast<std::uint64_t>(forest.at("seed").as_number());
+  fp.parallel_fit = forest.at("parallel_fit").as_bool();
+
+  tuner::FailureBudget fb;
+  const Value& budget = v.at("failure_budget");
+  fb.max_consecutive = size_at(budget, "max_consecutive");
+  fb.max_total = size_at(budget, "max_total");
+
+  tuner::GuardOptions g;
+  const Value& guard = v.at("guard");
+  g.enabled = guard.at("enabled").as_bool();
+  g.window = size_at(guard, "window");
+  g.min_observations = size_at(guard, "min_observations");
+  g.floor = guard.at("floor").as_number();
+  g.disable_floor = guard.at("disable_floor").as_number();
+  g.max_consecutive_prunes = size_at(guard, "max_consecutive_prunes");
+  g.refit_after = size_at(guard, "refit_after");
+  g.refit_target_weight = size_at(guard, "refit_target_weight");
+  g.sync_window = size_at(guard, "sync_window");
+
+  tuner::FaultProfile fa;
+  const Value& faults = v.at("faults");
+  fa.transient_rate = faults.at("transient_rate").as_number();
+  fa.deterministic_rate = faults.at("deterministic_rate").as_number();
+  fa.hang_rate = faults.at("hang_rate").as_number();
+  fa.hang_stall_seconds = faults.at("hang_stall_seconds").as_number();
+  fa.delay_rate = faults.at("delay_rate").as_number();
+  fa.delay_seconds = faults.at("delay_seconds").as_number();
+  fa.spike_rate = faults.at("spike_rate").as_number();
+  fa.spike_factor = faults.at("spike_factor").as_number();
+  fa.seed = static_cast<std::uint64_t>(faults.at("seed").as_number());
+
+  tuner::RetryPolicy rp;
+  const Value& retry = v.at("retry");
+  rp.max_attempts = size_at(retry, "max_attempts");
+  rp.backoff_initial = retry.at("backoff_initial").as_number();
+  rp.backoff_multiplier = retry.at("backoff_multiplier").as_number();
+  rp.backoff_max = retry.at("backoff_max").as_number();
+  rp.sleep_on_backoff = retry.at("sleep_on_backoff").as_bool();
+  rp.timeout_seconds = retry.at("timeout_seconds").as_number();
+  rp.quarantine_deterministic =
+      retry.at("quarantine_deterministic").as_bool();
+  rp.quarantine_timeout = retry.at("quarantine_timeout").as_bool();
+  rp.quarantine_exhausted = retry.at("quarantine_exhausted").as_bool();
+
+  apps::TuningConfig cfg;
+  cfg.problem(v.at("problem").as_string())
+      .machine(v.at("machine").as_string())
+      .source_machine(v.at("source_machine").as_string())
+      .compiler(static_cast<sim::Compiler>(
+          static_cast<int>(v.at("compiler").as_number())))
+      .kernel_threads(static_cast<int>(v.at("kernel_threads").as_number()))
+      .max_evals(size_at(v, "max_evals"))
+      .seed(static_cast<std::uint64_t>(v.at("seed").as_number()))
+      .pool_size(size_at(v, "pool_size"))
+      .delta_percent(v.at("delta_percent").as_number())
+      .forest(fp)
+      .failure_budget(fb)
+      .guard(std::move(g))
+      .faults(fa)
+      .observe(v.at("observe").as_bool())
+      .observe_label(v.at("observe_label").as_string())
+      .resilient(v.at("resilient").as_bool())
+      .retry(rp)
+      .eval_threads(size_at(v, "eval_threads"))
+      .batch_width(size_at(v, "batch_width"))
+      .eval_deadline_seconds(v.at("eval_deadline_seconds").as_number());
+  return cfg;
+}
+
 /// Session ids become directory names; keep them filesystem- and
 /// protocol-safe.
 void require_valid_id(const std::string& id) {
@@ -76,7 +248,9 @@ void SessionHandle::report(const tuner::ParamConfig& config, double seconds) {
 
 void SessionHandle::checkpoint() {
   std::lock_guard lock(mutex_);
-  PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  // A closed session persisted its final state at close; a checkpoint
+  // racing with close() (the SIGTERM sweep) is a no-op, not an error.
+  if (closed_) return;
   persist_checkpoint_locked();
   persist_meta_locked();
 }
@@ -125,15 +299,7 @@ void SessionHandle::persist_meta_locked() const {
   m.emplace_back("id", Value::make_string(id_));
   m.emplace_back("problem", Value::make_string(cfg_.problem()));
   m.emplace_back("machine", Value::make_string(cfg_.machine()));
-  m.emplace_back("seed", Value::make_number(static_cast<double>(cfg_.seed())));
-  m.emplace_back("max_evals",
-                 Value::make_number(static_cast<double>(cfg_.max_evals())));
-  m.emplace_back("pool_size",
-                 Value::make_number(static_cast<double>(cfg_.pool_size())));
-  m.emplace_back("eval_threads",
-                 Value::make_number(static_cast<double>(cfg_.eval_threads())));
-  m.emplace_back("kernel_threads",
-                 Value::make_number(static_cast<double>(cfg_.kernel_threads())));
+  m.emplace_back("config", config_to_json(cfg_));
   m.emplace_back("warm_key", Value::make_string(warm_key_));
   m.emplace_back("warm_source", Value::make_string(warm_source_));
   m.emplace_back("fingerprint", fingerprint_json(fingerprint_));
@@ -250,6 +416,10 @@ SessionHandle& TuningService::open(const std::string& id,
                "session '" + id +
                    "' has a live checkpoint on disk; resume it instead "
                    "of opening a new session with the same id");
+    // The old session's final checkpoint must not outlive its meta: were
+    // the fresh session to crash before its first checkpoint, resume()
+    // would replay the previous trace against the new config.
+    remove_file(session_dir(opt_.data_dir, id) + "/checkpoint.csv");
   }
   auto h = build_session(id, cfg, /*resuming=*/false);
   SessionHandle& ref = *h;
@@ -268,16 +438,13 @@ SessionHandle& TuningService::resume(const std::string& id) {
   const Value meta = Value::parse(read_file(dir + "/meta.json"));
   PT_REQUIRE(!meta.at("closed").as_bool(),
              "session '" + id + "' was closed; open a new session instead");
-  apps::TuningConfig cfg;
-  cfg.problem(meta.at("problem").as_string())
-      .machine(meta.at("machine").as_string())
-      .seed(static_cast<std::uint64_t>(meta.at("seed").as_number()))
-      .max_evals(static_cast<std::size_t>(meta.at("max_evals").as_number()))
-      .pool_size(static_cast<std::size_t>(meta.at("pool_size").as_number()))
-      .eval_threads(
-          static_cast<std::size_t>(meta.at("eval_threads").as_number()))
-      .kernel_threads(
-          static_cast<int>(meta.at("kernel_threads").as_number()));
+  // The meta carries the complete builder state: the resumed evaluator
+  // stack (compiler, faults, resilience, parallelism, deadlines) and
+  // search options are exactly what the session was opened with, so the
+  // replayed trace — and the shared cache scope it feeds — stay
+  // bit-identical. Runtime-only members (cancel token, guard callbacks)
+  // reset to defaults.
+  const apps::TuningConfig cfg = config_from_json(meta.at("config"));
   auto h = build_session(id, cfg, /*resuming=*/true);
   SessionHandle& ref = *h;
   sessions_.emplace(id, std::move(h));
@@ -313,8 +480,15 @@ void TuningService::checkpoint_all() {
     handles.reserve(sessions_.size());
     for (auto& [_, h] : sessions_) handles.push_back(h.get());
   }
-  for (SessionHandle* h : handles)
-    if (!h->info().closed) h->checkpoint();
+  // Best-effort sweep: one session's persistence failure (disk full,
+  // directory vanished) must not cost the remaining sessions their
+  // checkpoints on the SIGTERM path.
+  for (SessionHandle* h : handles) {
+    try {
+      h->checkpoint();
+    } catch (...) {
+    }
+  }
 }
 
 const StoreEntry& TuningService::publish_trace(

@@ -84,7 +84,8 @@ class SessionHandle {
   std::vector<tuner::ParamConfig> suggest(std::size_t n);
   /// Feed an externally measured result back.
   void report(const tuner::ParamConfig& config, double seconds);
-  /// Atomically persist checkpoint.csv (and refresh meta.json).
+  /// Atomically persist checkpoint.csv (and refresh meta.json). No-op
+  /// once closed: close() already persisted the final state.
   void checkpoint();
   /// Close: final checkpoint, publish the trace to the surrogate store,
   /// mark meta closed. Returns the final trace. Idempotent.
@@ -133,6 +134,9 @@ class TuningService {
   SessionHandle& open(const std::string& id, const apps::TuningConfig& cfg);
 
   /// Reconstruct a checkpointed session from <data_dir>/sessions/<id>/.
+  /// The full TuningConfig persisted at open is restored — evaluator
+  /// stack, search options, seeds — so the resumed session is the opened
+  /// one; only runtime members (cancel token, guard callbacks) reset.
   /// Throws when the directory is missing or the session was closed.
   SessionHandle& resume(const std::string& id);
 

@@ -77,4 +77,10 @@ bool file_exists(const std::string& path) {
   return std::filesystem::exists(path, ec);
 }
 
+void remove_file(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);  // removing a missing file is fine
+  PT_REQUIRE(!ec, "cannot remove " + path + ": " + ec.message());
+}
+
 }  // namespace portatune

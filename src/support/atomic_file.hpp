@@ -28,4 +28,8 @@ void ensure_directory(const std::string& path);
 
 bool file_exists(const std::string& path);
 
+/// Remove `path` if it exists (a missing file is not an error). Throws
+/// portatune::Error when an existing file cannot be removed.
+void remove_file(const std::string& path);
+
 }  // namespace portatune

@@ -170,6 +170,14 @@ void save_checkpoint_csv(std::ostream& os, const SearchCheckpoint& snapshot,
     for (const auto h : snapshot.quarantine) payload << "," << hex16(h);
     payload << "\n";
   }
+  if (!snapshot.pending.empty()) {
+    // Row absent when empty, so checkpoints from the free-function
+    // searches (which never suggest) are byte-identical to before.
+    payload << "# pending";
+    for (const auto& [hash, draw] : snapshot.pending)
+      payload << "," << hex16(hash) << ":" << draw;
+    payload << "\n";
+  }
   const auto names = space.names();
   for (const auto& n : names) payload << n << ",";
   payload << "seconds,elapsed,draw_index,wall_unix\n";
@@ -251,6 +259,15 @@ SearchCheckpoint load_checkpoint_csv(std::istream& is,
     } else if (key == "quarantine") {
       for (const auto& cell : split_csv(rest))
         snapshot.quarantine.push_back(std::stoull(cell, nullptr, 16));
+    } else if (key == "pending") {
+      for (const auto& cell : split_csv(rest)) {
+        const auto colon = cell.find(':');
+        PT_REQUIRE(colon != std::string::npos,
+                   "malformed checkpoint pending cell: " + cell);
+        snapshot.pending.emplace_back(
+            std::stoull(cell.substr(0, colon), nullptr, 16),
+            static_cast<std::size_t>(std::stoull(cell.substr(colon + 1))));
+      }
     } else {
       throw Error("unknown checkpoint metadata key: " + key);
     }

@@ -27,6 +27,9 @@
 //   # stop,<stop reason or empty>
 //   # stats,<attempts>,<failures>,<transient>,<deterministic>,<timeouts>,<overhead_seconds>
 //   # quarantine,<hex hash>,<hex hash>,...          (row absent when empty)
+//   # pending,<hex hash>:<draw>,...                 (row absent when empty;
+//                                                    session suggestions not
+//                                                    yet reported)
 //   <param0>,...,seconds,elapsed,draw_index
 //
 // Version history (loaders accept every version; writers emit the

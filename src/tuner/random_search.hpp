@@ -19,6 +19,7 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 
 #include "ml/model.hpp"
 #include "tuner/evaluator.hpp"
@@ -37,6 +38,12 @@ struct SearchCheckpoint {
   SearchTrace trace;
   std::size_t draws = 0;  ///< ConfigStream::produced() at snapshot time
   std::vector<std::uint64_t> quarantine;
+  /// Suggestions handed out by TuningSession::suggest() but not yet
+  /// report()ed at snapshot time: (config hash, draw index) pairs. The
+  /// draws are counted in `draws` (the stream already produced them), so
+  /// persisting the pairs is what lets a resumed session still accept
+  /// report() for them. Always empty for the free-function searches.
+  std::vector<std::pair<std::uint64_t, std::size_t>> pending;
 };
 
 struct RandomSearchOptions : SearchCommon {

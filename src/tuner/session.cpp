@@ -116,6 +116,10 @@ TuningSession::TuningSession(Evaluator& eval, SessionOptions opt)
     budget_.restore_total(opt_.resume->trace.failure_stats().failures);
     if (auto* resilient = find_layer<ResilientEvaluator>(&eval_))
       resilient->restore_quarantine(opt_.resume->quarantine);
+    // Outstanding suggestions survive the resume: their draws are inside
+    // the replayed watermark, so without the restored pairs report()
+    // would reject them and the configs would silently never evaluate.
+    pending_ = opt_.resume->pending;
     consumed_ = opt_.resume->draws;
     if (stream_ != nullptr) {
       // Replay the consumed draws against the same seed: the sampler's
@@ -262,6 +266,7 @@ SearchCheckpoint TuningSession::checkpoint() const {
   SearchCheckpoint snapshot;
   snapshot.trace = trace_;
   snapshot.draws = consumed_;
+  snapshot.pending = pending_;
   if (auto* resilient =
           find_layer<ResilientEvaluator>(const_cast<Evaluator*>(&eval_)))
     snapshot.quarantine = resilient->quarantined_hashes();

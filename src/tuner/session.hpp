@@ -100,11 +100,13 @@ class TuningSession {
 
   /// Record one externally measured run time for a configuration handed
   /// out by suggest(). Throws when the configuration was not suggested
-  /// by this session instance (suggestions do not survive a resume).
+  /// by this session (outstanding suggestions are part of the checkpoint,
+  /// so they survive a resume).
   void report(const ParamConfig& config, double seconds);
 
-  /// Snapshot for persistence: the trace plus the number of draws /
-  /// pool picks consumed, exactly what SessionOptions::resume replays.
+  /// Snapshot for persistence: the trace, the number of draws / pool
+  /// picks consumed, and the outstanding suggestions — exactly what
+  /// SessionOptions::resume replays.
   SearchCheckpoint checkpoint() const;
 
   /// Close the session: emits the lifetime span, after which

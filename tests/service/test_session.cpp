@@ -158,6 +158,119 @@ TEST(TuningServiceTest, CheckpointResumeContinuesExactly) {
   expect_traces_equal(resumed, reference);
 }
 
+TEST(TuningServiceTest, ResumeRestoresTheFullConfig) {
+  // A config whose non-default fields change the evaluator stack and
+  // therefore the trace: injected faults behind a resilient retry layer,
+  // fanned out over two threads. If resume() dropped any of these fields
+  // (rebuilding a default stack instead), the resumed trace would
+  // diverge from the uninterrupted reference.
+  const auto make_config = [] {
+    tuner::FaultProfile faults;
+    faults.transient_rate = 0.15;
+    faults.deterministic_rate = 0.1;
+    faults.seed = 9;
+    tuner::RetryPolicy retry;
+    retry.max_attempts = 2;
+    return apps::TuningConfig{}
+        .problem("LU")
+        .machine("Westmere")
+        .max_evals(30)
+        .seed(11)
+        .faults(faults)
+        .resilient(true)
+        .retry(retry)
+        .eval_threads(2)
+        .batch_width(4);
+  };
+
+  tuner::SearchTrace reference;
+  {
+    TuningService ref_service(service_opt("fullcfg_ref"));
+    SessionHandle& r = ref_service.open("job", make_config());
+    reference = run_to_exhaustion(r);
+  }
+
+  const TuningServiceOptions opt = service_opt("fullcfg");
+  {
+    TuningService service(opt);
+    SessionHandle& s = service.open("job", make_config());
+    s.step(10);
+    s.checkpoint();
+  }
+  TuningService revived(opt);
+  SessionHandle& s = revived.resume("job");
+  expect_traces_equal(run_to_exhaustion(s), reference);
+}
+
+TEST(TuningServiceTest, PendingSuggestionsSurviveResume) {
+  const TuningServiceOptions opt = service_opt("pending");
+  const apps::TuningConfig cfg = lu_config("Westmere", 5, 20);
+
+  std::vector<tuner::ParamConfig> cands;
+  {
+    TuningService service(opt);
+    SessionHandle& s = service.open("ext", cfg);
+    cands = s.suggest(2);
+    ASSERT_EQ(cands.size(), 2u);
+    s.checkpoint();
+    // The service dies with the suggestions still outstanding.
+  }
+
+  // The resumed session still accepts report() for them: the checkpoint
+  // carries the pending pairs alongside the draw watermark.
+  TuningService revived(opt);
+  SessionHandle& s = revived.resume("ext");
+  auto stack = cfg.make_stack();
+  std::size_t reported = 0;
+  for (const auto& c : cands) {
+    const tuner::EvalResult r = stack->evaluate(c);
+    if (!r.ok) continue;
+    s.report(c, r.seconds);
+    ++reported;
+  }
+  EXPECT_EQ(s.trace_snapshot().size(), reported);
+
+  // And the session continues service-side to the full budget.
+  run_to_exhaustion(s);
+  EXPECT_EQ(s.trace_snapshot().size(), 20u);
+}
+
+TEST(TuningServiceTest, ReopeningAClosedIdDropsTheStaleCheckpoint) {
+  const TuningServiceOptions opt = service_opt("reopen");
+  {
+    TuningService service(opt);
+    SessionHandle& s = service.open("job", lu_config("Westmere", 3, 40));
+    s.step(5);
+    s.close();  // leaves meta (closed) + the final checkpoint on disk
+  }
+
+  // Opening a fresh session over the closed directory must delete the
+  // old checkpoint immediately: a crash before the new session's first
+  // checkpoint would otherwise resume the previous trace against the
+  // new config.
+  TuningService second(opt);
+  SessionHandle& s = second.open("job", lu_config("Westmere", 99, 10));
+  EXPECT_FALSE(file_exists(s.dir() + "/checkpoint.csv"));
+}
+
+TEST(TuningServiceTest, CheckpointAllToleratesClosedSessions) {
+  TuningService service(service_opt("ckpt_closed"));
+  SessionHandle& a = service.open("a", lu_config("Westmere"));
+  SessionHandle& b = service.open("b", lu_config("Power7"));
+  a.step(5);
+  b.step(3);
+  b.close();
+
+  // A session closing between the sweep's snapshot of the registry and
+  // its checkpoint call must not abort the sweep for the rest.
+  EXPECT_NO_THROW(service.checkpoint_all());
+  EXPECT_NO_THROW(b.checkpoint());  // no-op on a closed session
+  ASSERT_TRUE(file_exists(a.dir() + "/checkpoint.csv"));
+  const tuner::SearchCheckpoint cp = tuner::load_checkpoint_csv(
+      a.dir() + "/checkpoint.csv", a.space());
+  EXPECT_EQ(cp.trace.size(), a.trace_snapshot().size());
+}
+
 TEST(TuningServiceTest, SessionsShareTheEvalCache) {
   TuningService service(service_opt("shared_cache"));
 

@@ -61,6 +61,32 @@ TEST(Persistence, LoadedTraceFitsSurrogates) {
   EXPECT_EQ(data.num_features(), 4u);
 }
 
+TEST(Persistence, CheckpointRoundTripsPendingSuggestions) {
+  QuadraticEvaluator eval("M", {5, 5, 5, 5}, {1, 1, 1, 1});
+  SearchCheckpoint snapshot;
+  snapshot.trace = sample_trace(eval, 10);
+  snapshot.draws = 14;
+  snapshot.pending = {{0xdeadbeefcafef00dULL, 12}, {0x42ULL, 13}};
+
+  std::stringstream buf;
+  save_checkpoint_csv(buf, snapshot, eval.space());
+  const auto loaded = load_checkpoint_csv(buf, eval.space());
+
+  EXPECT_EQ(loaded.draws, 14u);
+  ASSERT_EQ(loaded.pending.size(), 2u);
+  EXPECT_EQ(loaded.pending[0].first, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(loaded.pending[0].second, 12u);
+  EXPECT_EQ(loaded.pending[1].first, 0x42ULL);
+  EXPECT_EQ(loaded.pending[1].second, 13u);
+
+  // Checkpoints with no outstanding suggestions stay byte-identical to
+  // the pre-`# pending` format: the row is simply absent.
+  snapshot.pending.clear();
+  std::stringstream plain;
+  save_checkpoint_csv(plain, snapshot, eval.space());
+  EXPECT_EQ(plain.str().find("# pending"), std::string::npos);
+}
+
 TEST(Persistence, RejectsForeignFiles) {
   QuadraticEvaluator eval("M", {1, 1, 1, 1}, {1, 1, 1, 1});
   std::stringstream bad("hello,world\n1,2\n");
