@@ -5,6 +5,8 @@
 // empirical evaluations.
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "bench/common.hpp"
 #include "kernels/sim_evaluator.hpp"
 #include "kernels/spapt.hpp"
@@ -18,6 +20,7 @@
 #include "support/span_context.hpp"
 #include "support/thread_pool.hpp"
 #include "orio/codegen.hpp"
+#include "service/protocol.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace_sim.hpp"
 #include "tuner/faults.hpp"
@@ -208,6 +211,47 @@ void BM_ObsFlightRecorderRecord(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ObsFlightRecorderRecord);
+
+// --- Service protocol overhead ---------------------------------------
+// The request path every daemon op pays: JSON parse -> dispatch ->
+// JSON encode, plus (when telemetry is on) the per-op instrument
+// updates. BM_ServerOpDormant is the regression gate for the dormant
+// guarantee: with telemetry off and no sink installed a request costs
+// no clock read and no instrument update.
+
+service::TuningService& bench_service() {
+  static service::TuningService* svc = [] {
+    service::TuningServiceOptions opt;
+    const auto dir =
+        std::filesystem::temp_directory_path() / "portatune_bench_proto";
+    std::filesystem::remove_all(dir);
+    opt.data_dir = dir.string();
+    return new service::TuningService(opt);
+  }();
+  return *svc;
+}
+
+void BM_ProtocolEncodeDecode(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::ScopedMetricsRedirect redirect(registry);
+  service::ServiceProtocol proto(bench_service());
+  const std::string line = R"({"op":"status"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.handle_line(line).line.size());
+  }
+}
+BENCHMARK(BM_ProtocolEncodeDecode);
+
+void BM_ServerOpDormant(benchmark::State& state) {
+  service::ProtocolOptions opt;
+  opt.telemetry = false;  // and no sink installed => fully dormant
+  service::ServiceProtocol proto(bench_service(), opt);
+  const std::string line = R"({"op":"status"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.handle_line(line).line.size());
+  }
+}
+BENCHMARK(BM_ServerOpDormant);
 
 void BM_ObsHistogramPercentile(benchmark::State& state) {
   // Snapshot-time percentile interpolation: what every sampler tick pays

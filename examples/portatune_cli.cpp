@@ -26,6 +26,12 @@
 //       written atomically). Exit 0 = running or complete, 2 = dead
 //       (stale/missing heartbeat with unfinished cells; prints the
 //       resume hint) or not a run directory at all (no journal.csv).
+//   portatune_cli status --socket /tmp/pt.sock [--interval 0.5]
+//       live view of a running tuning service instead: issues the
+//       `stats` op twice, --interval seconds apart, and renders a
+//       per-op table (count, rate/s from the two samples, latency
+//       p50/p95/p99, errors) plus a server summary line. Exit 0 on a
+//       healthy reply, 2 when the daemon is unreachable.
 //   portatune_cli serve --socket /tmp/pt.sock [--data-dir d]
 //       run the tuning service: multiplexes concurrent tuning sessions
 //       over a persistent surrogate store and a shared evaluation cache,
@@ -33,6 +39,12 @@
 //       src/service/protocol.hpp for the ops). SIGTERM checkpoints every
 //       open session and exits 3; the shutdown op exits 0. Either way a
 //       later serve on the same --data-dir can resume each session.
+//       The daemon gets the journaled-run telemetry treatment: unless
+//       --telemetry-every 0, it maintains server_status.json,
+//       metrics_timeseries.jsonl, and flight_recorder.jsonl under
+//       --data-dir, and --log-json/--chrome-trace/--metrics-out emit
+//       their artifacts on both exit paths. --slow-request S (default 1)
+//       sets the Warn threshold for slow protocol requests.
 //   portatune_cli call --socket /tmp/pt.sock --request '{"op":"status"}'
 //       one-shot service client: send one request line, print the reply
 //       line. Exit 0 when the reply says ok, 1 otherwise.
@@ -85,12 +97,14 @@
 //   --chrome-trace trace.json  Trace Event file for chrome://tracing or
 //                              https://ui.perfetto.dev
 //   --quiet                    suppress the end-of-run summary line
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/evaluator_factory.hpp"
@@ -154,6 +168,11 @@ struct Args {
   double telemetry_every = 1.0;
   /// `status`: heartbeat age beyond which a run counts as dead.
   double stale_after = 10.0;
+  /// `status --socket`: gap between the two stats samples rates are
+  /// computed from.
+  double interval = 0.5;
+  /// `serve`: protocol requests slower than this emit a Warn event.
+  double slow_request = 1.0;
   std::string socket;    ///< serve/call: Unix socket path
   /// `serve`: root of the service's persistent state (surrogate store,
   /// session checkpoints).
@@ -214,6 +233,8 @@ Args parse(int argc, char** argv) {
     else if (key == "--chrome-trace") a.chrome_trace = value;
     else if (key == "--telemetry-every") a.telemetry_every = std::stod(value);
     else if (key == "--stale-after") a.stale_after = std::stod(value);
+    else if (key == "--interval") a.interval = std::stod(value);
+    else if (key == "--slow-request") a.slow_request = std::stod(value);
     else if (key == "--socket") a.socket = value;
     else if (key == "--data-dir") a.data_dir = value;
     else if (key == "--request") a.request = value;
@@ -242,12 +263,17 @@ Args parse(int argc, char** argv) {
 class ObsSession {
  public:
   explicit ObsSession(const Args& a) : args_(a) {
-    const std::string run_dir = a.effective_run_dir();
-    const bool telemetry = a.command == "experiment" &&
-                           !run_dir.empty() && a.telemetry_every > 0.0;
+    // The directory the telemetry trio lives under: the run directory
+    // for journaled experiments, the service data dir for the daemon
+    // (whose "run" is its whole lifetime).
+    const std::string telemetry_dir =
+        a.command == "serve" ? a.data_dir : a.effective_run_dir();
+    const bool telemetry =
+        (a.command == "experiment" || a.command == "serve") &&
+        !telemetry_dir.empty() && a.telemetry_every > 0.0;
     // The run directory must exist before any sink opens a file inside
     // it (the conventional layout puts events.jsonl there too).
-    if (telemetry) ensure_directory(run_dir);
+    if (telemetry) ensure_directory(telemetry_dir);
 
     if (!a.log_json.empty())
       jsonl_ = std::make_unique<obs::JsonlSink>(a.log_json);
@@ -259,7 +285,7 @@ class ObsSession {
     std::vector<obs::EventSink*> fanout;
     if (telemetry) {
       recorder_ = std::make_unique<obs::FlightRecorder>();
-      recorder_->set_dump_path(run_dir + "/flight_recorder.jsonl");
+      recorder_->set_dump_path(telemetry_dir + "/flight_recorder.jsonl");
       // The recorder must retain Debug/Info detail even when the user
       // filtered their log to warn/error: lower the global threshold and
       // push the user's threshold down into per-sink filters.
@@ -293,7 +319,7 @@ class ObsSession {
       scoped_recorder_ =
           std::make_unique<obs::ScopedFlightRecorder>(*recorder_);
       obs::MetricsSampler::Options so;
-      so.path = run_dir + "/metrics_timeseries.jsonl";
+      so.path = telemetry_dir + "/metrics_timeseries.jsonl";
       so.period_seconds = a.telemetry_every;
       so.on_tick = [] { obs::dump_flight_recorder("periodic"); };
       sampler_ = std::make_unique<obs::MetricsSampler>(std::move(so));
@@ -619,9 +645,86 @@ int cmd_experiment(const Args& a) {
   return 0;
 }
 
+/// `status --socket`: render a live view of a running daemon from two
+/// `stats` samples taken `--interval` seconds apart — counts and
+/// percentiles from the second, rates from the delta.
+int cmd_status_socket(const Args& a) {
+  obs::json::Value first, second;
+  try {
+    first = obs::json::Value::parse(
+        service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        a.interval > 0.0 ? a.interval : 0.0));
+    second = obs::json::Value::parse(
+        service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: tuning service unreachable on %s: %s\n",
+                 a.socket.c_str(), e.what());
+    return 2;
+  }
+  const obs::json::Value* ok = second.find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+    std::fprintf(stderr, "error: stats op failed: %s\n",
+                 second.dump().c_str());
+    return 2;
+  }
+  const obs::json::Value& server = second.at("server");
+  std::printf("tuning service on %s\n", a.socket.c_str());
+  std::printf("  pid %.0f  uptime %.1fs  requests %.0f  sessions open "
+              "%.0f  store entries %.0f\n",
+              server.at("pid").as_number(),
+              server.at("uptime_seconds").as_number(),
+              server.at("requests").as_number(),
+              server.at("sessions_open").as_number(),
+              server.at("store_entries").as_number());
+  const obs::json::Value& cache = server.at("cache");
+  std::printf("  cache: %.0f hits  %.0f misses  %.0f entries\n",
+              cache.at("hits").as_number(), cache.at("misses").as_number(),
+              cache.at("size").as_number());
+
+  const auto counter = [](const obs::json::Value& stats,
+                          const std::string& name) -> double {
+    const obs::json::Value* counters = stats.at("metrics").find("counters");
+    const obs::json::Value* v =
+        counters != nullptr ? counters->find(name) : nullptr;
+    return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+  };
+  const obs::json::Value* histograms =
+      second.at("metrics").find("histograms");
+  std::printf("  %-12s %10s %10s %9s %9s %9s %8s\n", "op", "count",
+              "rate/s", "p50 ms", "p95 ms", "p99 ms", "errors");
+  const std::string prefix = "server.op.", suffix = ".latency";
+  if (histograms != nullptr && histograms->is_object()) {
+    for (const auto& [name, h] : histograms->as_object()) {
+      if (name.rfind(prefix, 0) != 0 ||
+          name.size() <= prefix.size() + suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0)
+        continue;
+      const std::string op = name.substr(
+          prefix.size(), name.size() - prefix.size() - suffix.size());
+      const double count = counter(second, prefix + op + ".count");
+      if (count == 0.0) continue;
+      const double rate =
+          a.interval > 0.0
+              ? (count - counter(first, prefix + op + ".count")) /
+                    a.interval
+              : 0.0;
+      std::printf("  %-12s %10.0f %10.1f %9.3f %9.3f %9.3f %8.0f\n",
+                  op.c_str(), count, rate,
+                  h.at("p50").as_number() * 1e3,
+                  h.at("p95").as_number() * 1e3,
+                  h.at("p99").as_number() * 1e3,
+                  counter(second, prefix + op + ".errors"));
+    }
+  }
+  return 0;
+}
+
 int cmd_status(const Args& a) {
+  if (!a.socket.empty()) return cmd_status_socket(a);
   PT_REQUIRE(!a.effective_run_dir().empty(),
-             "status requires --run-dir <dir>");
+             "status requires --run-dir <dir> or --socket <path>");
   // A directory without a journal is not a run directory — report that
   // plainly (exit 2, like a dead run) instead of unwinding through the
   // journal parser with a confusing read error.
@@ -654,7 +757,13 @@ int cmd_serve(const Args& a) {
                 svc.store().size() == 1 ? "" : "s");
     std::fflush(stdout);
   }
-  const int rc = service::serve_unix_socket(svc, a.socket, shutdown_token());
+  service::ServeOptions sv;
+  sv.status_every_seconds = a.telemetry_every;
+  if (a.telemetry_every > 0.0 && !a.data_dir.empty())
+    sv.status_path = a.data_dir + "/server_status.json";
+  sv.protocol.slow_request_seconds = a.slow_request;
+  const int rc =
+      service::serve_unix_socket(svc, a.socket, shutdown_token(), sv);
   if (rc == 3)
     std::printf("interrupted by shutdown request; open sessions "
                 "checkpointed under %s and can be resumed\n",

@@ -1,0 +1,412 @@
+// portatune_loadgen — multi-process load harness for the tuning service.
+//
+//   portatune_loadgen --socket /tmp/pt.sock [--clients 2] [--sessions 2]
+//                     [--steps 5] [--step-n 2] [--garbage 0]
+//                     [--problem LU] [--machine Westmere]
+//                     [--max-evals 40] [--seed 7] [--out dir] [--no-check]
+//
+// Spawns --clients child *processes* (real concurrent connections, not
+// threads — the server's poll loop sees genuinely interleaved traffic),
+// each opening --sessions tuning sessions over one persistent connection
+// and driving every session through open -> K steps (every third
+// iteration also a suggest + report round-trip with a synthetic
+// measurement) -> close. --garbage N additionally injects N malformed
+// lines per client, which the server must answer {"ok":false} without
+// dropping the connection.
+//
+// Every call is timed client-side. Children persist their per-op
+// latency samples to --out (default: a fresh directory next to the
+// socket); the parent aggregates them into a per-op table (count,
+// errors, p50/p95/p99) and overall ops/sec, then cross-checks the
+// client-side totals against the server's own `server.op.*` counters via
+// two `stats` snapshots (before the fork, after the join): the deltas
+// must match *exactly* — every open/step/suggest/report/close the
+// clients sent, and nothing else, must appear in the server telemetry,
+// and each injected garbage line must surface as one `server.op.invalid`
+// count. --no-check skips the comparison (for hammering a server that
+// has other traffic).
+//
+// Exit 0 = all clients succeeded and the cross-check passed; 1 otherwise.
+#include <cstdio>
+#include <string>
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+#include "service/server.hpp"
+#include "support/atomic_file.hpp"
+#include "support/stats.hpp"
+#include "support/timer.hpp"
+
+using namespace portatune;
+using obs::json::Value;
+using Members = std::vector<std::pair<std::string, Value>>;
+
+namespace {
+
+/// The ops the harness issues itself and cross-checks one-to-one against
+/// the server counters. `stats` is deliberately absent: the parent's own
+/// snapshot requests ride the same protocol and must not perturb the
+/// comparison.
+const char* const kTrackedOps[] = {"open", "step", "suggest", "report",
+                                   "close"};
+
+struct Args {
+  std::string socket;
+  std::size_t clients = 2;
+  std::size_t sessions = 2;
+  std::size_t steps = 5;
+  std::size_t step_n = 2;
+  std::size_t garbage = 0;
+  std::string problem = "LU";
+  std::string machine = "Westmere";
+  std::size_t max_evals = 40;
+  std::uint64_t seed = 7;
+  std::string out;
+  bool check = true;
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; i += 2) {
+    const std::string key = argv[i];
+    if (key == "--no-check") {
+      a.check = false;
+      --i;
+      continue;
+    }
+    PT_REQUIRE(i + 1 < argc, "option " + key + " is missing a value");
+    const std::string value = argv[i + 1];
+    if (key == "--socket") a.socket = value;
+    else if (key == "--clients") a.clients = std::stoul(value);
+    else if (key == "--sessions") a.sessions = std::stoul(value);
+    else if (key == "--steps") a.steps = std::stoul(value);
+    else if (key == "--step-n") a.step_n = std::stoul(value);
+    else if (key == "--garbage") a.garbage = std::stoul(value);
+    else if (key == "--problem") a.problem = value;
+    else if (key == "--machine") a.machine = value;
+    else if (key == "--max-evals") a.max_evals = std::stoul(value);
+    else if (key == "--seed") a.seed = std::stoull(value);
+    else if (key == "--out") a.out = value;
+    else throw Error("unknown option: " + key);
+  }
+  PT_REQUIRE(!a.socket.empty(), "loadgen requires --socket <path>");
+  PT_REQUIRE(a.clients > 0 && a.sessions > 0, "need >= 1 client/session");
+  return a;
+}
+
+/// Per-op client-side tally: calls made, {"ok":false} replies, and the
+/// wall-clock latency of every call.
+struct OpTally {
+  std::uint64_t count = 0;
+  std::uint64_t errors = 0;
+  std::vector<double> latency_seconds;
+};
+
+struct ClientResult {
+  std::map<std::string, OpTally> ops;
+  std::uint64_t garbage_sent = 0;
+  std::uint64_t garbage_rejected = 0;  ///< answered {"ok":false}
+};
+
+bool reply_ok(const std::string& reply) {
+  const Value v = Value::parse(reply);
+  const Value* ok = v.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->as_bool();
+}
+
+/// One timed protocol call, tallied under `op`.
+std::string timed_call(service::ServiceClient& client, ClientResult& result,
+                       const std::string& op, const std::string& line) {
+  OpTally& tally = result.ops[op];
+  WallTimer timer;
+  const std::string reply = client.call(line);
+  tally.latency_seconds.push_back(timer.seconds());
+  tally.count++;
+  if (!reply_ok(reply)) tally.errors++;
+  return reply;
+}
+
+std::string quoted(const std::string& s) {
+  return "\"" + obs::json::escape(s) + "\"";
+}
+
+/// The whole life of one client process: --sessions sessions, each
+/// open -> steps (with periodic suggest/report) -> close, plus the
+/// requested garbage. Returns the tally; throws on a transport failure.
+ClientResult run_client(const Args& a, std::size_t client_index,
+                        std::uint64_t nonce) {
+  service::ServiceClient client(a.socket);
+  ClientResult result;
+  for (std::size_t s = 0; s < a.sessions; ++s) {
+    const std::string id = "lg-" + std::to_string(nonce) + "-c" +
+                           std::to_string(client_index) + "-s" +
+                           std::to_string(s);
+    timed_call(client, result, "open",
+               "{\"op\":\"open\",\"id\":" + quoted(id) +
+                   ",\"problem\":" + quoted(a.problem) +
+                   ",\"machine\":" + quoted(a.machine) +
+                   ",\"max_evals\":" + std::to_string(a.max_evals) +
+                   ",\"seed\":" +
+                   std::to_string(a.seed + client_index * 1000 + s) + "}");
+    for (std::size_t k = 0; k < a.steps; ++k) {
+      timed_call(client, result, "step",
+                 "{\"op\":\"step\",\"id\":" + quoted(id) +
+                     ",\"n\":" + std::to_string(a.step_n) + "}");
+      if (k % 3 == 2) {
+        // External-measurement round trip: ask for a candidate, report a
+        // synthetic (positive, deterministic) run time for it.
+        const std::string reply = timed_call(
+            client, result, "suggest",
+            "{\"op\":\"suggest\",\"id\":" + quoted(id) + ",\"n\":1}");
+        const Value v = Value::parse(reply);
+        const Value* configs = v.find("configs");
+        if (configs != nullptr && configs->is_array() &&
+            !configs->as_array().empty()) {
+          timed_call(client, result, "report",
+                     "{\"op\":\"report\",\"id\":" + quoted(id) +
+                         ",\"config\":" +
+                         configs->as_array().front().dump() +
+                         ",\"seconds\":" +
+                         std::to_string(0.01 * static_cast<double>(k + 1)) +
+                         "}");
+        }
+      }
+    }
+    timed_call(client, result, "close",
+               "{\"op\":\"close\",\"id\":" + quoted(id) + "}");
+  }
+  for (std::size_t g = 0; g < a.garbage; ++g) {
+    // Malformed on purpose; the server must reject it and keep talking.
+    const std::string reply =
+        client.call("this is not json #" + std::to_string(g));
+    result.garbage_sent++;
+    if (!reply_ok(reply)) result.garbage_rejected++;
+  }
+  return result;
+}
+
+std::string result_to_json(const ClientResult& r) {
+  Members ops;
+  for (const auto& [op, tally] : r.ops) {
+    std::vector<Value> lat;
+    lat.reserve(tally.latency_seconds.size());
+    for (double v : tally.latency_seconds) lat.push_back(Value::make_number(v));
+    Members m;
+    m.emplace_back("count",
+                   Value::make_number(static_cast<double>(tally.count)));
+    m.emplace_back("errors",
+                   Value::make_number(static_cast<double>(tally.errors)));
+    m.emplace_back("latency_seconds", Value::make_array(std::move(lat)));
+    ops.emplace_back(op, Value::make_object(std::move(m)));
+  }
+  Members top;
+  top.emplace_back("ops", Value::make_object(std::move(ops)));
+  top.emplace_back(
+      "garbage_sent",
+      Value::make_number(static_cast<double>(r.garbage_sent)));
+  top.emplace_back(
+      "garbage_rejected",
+      Value::make_number(static_cast<double>(r.garbage_rejected)));
+  return Value::make_object(std::move(top)).dump() + "\n";
+}
+
+ClientResult result_from_json(const std::string& text) {
+  const Value v = Value::parse(text);
+  ClientResult r;
+  for (const auto& [op, m] : v.at("ops").as_object()) {
+    OpTally tally;
+    tally.count = static_cast<std::uint64_t>(m.at("count").as_number());
+    tally.errors = static_cast<std::uint64_t>(m.at("errors").as_number());
+    for (const Value& lat : m.at("latency_seconds").as_array())
+      tally.latency_seconds.push_back(lat.as_number());
+    r.ops.emplace(op, std::move(tally));
+  }
+  r.garbage_sent =
+      static_cast<std::uint64_t>(v.at("garbage_sent").as_number());
+  r.garbage_rejected =
+      static_cast<std::uint64_t>(v.at("garbage_rejected").as_number());
+  return r;
+}
+
+/// server.op.<op>.count / .errors out of a `stats` reply (0 when the
+/// server has no such counter yet).
+double server_counter(const Value& stats, const std::string& name) {
+  const Value* counters = stats.at("metrics").find("counters");
+  const Value* v = counters != nullptr ? counters->find(name) : nullptr;
+  return v != nullptr && v->is_number() ? v->as_number() : 0.0;
+}
+
+int run(const Args& a) {
+  const std::uint64_t nonce =
+      static_cast<std::uint64_t>(obs::wall_micros_now());
+  std::string out = a.out;
+  if (out.empty()) out = a.socket + ".loadgen." + std::to_string(nonce);
+  ::mkdir(out.c_str(), 0777);
+
+  // Baseline snapshot before any child connects; the delta to the
+  // after-join snapshot is exactly the traffic this run generated.
+  Value before;
+  if (a.check)
+    before = Value::parse(
+        service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+
+  // No threads exist in this process yet, so fork() is safe; children
+  // open their own connections after the fork.
+  WallTimer wall;
+  std::vector<pid_t> pids;
+  for (std::size_t i = 0; i < a.clients; ++i) {
+    const pid_t pid = ::fork();
+    PT_REQUIRE(pid >= 0, "fork() failed");
+    if (pid == 0) {
+      int rc = 0;
+      try {
+        const ClientResult r = run_client(a, i, nonce);
+        atomic_write_file(out + "/client" + std::to_string(i) + ".json",
+                          result_to_json(r));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "loadgen client %zu: %s\n", i, e.what());
+        rc = 1;
+      }
+      ::_exit(rc);  // never unwind into the parent's main
+    }
+    pids.push_back(pid);
+  }
+  bool clients_ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) clients_ok = false;
+  }
+  const double elapsed = wall.seconds();
+
+  ClientResult total;
+  for (std::size_t i = 0; i < a.clients; ++i) {
+    std::ifstream in(out + "/client" + std::to_string(i) + ".json");
+    std::stringstream buf;
+    buf << in.rdbuf();
+    if (buf.str().empty()) {
+      clients_ok = false;
+      continue;
+    }
+    const ClientResult r = result_from_json(buf.str());
+    for (const auto& [op, tally] : r.ops) {
+      OpTally& t = total.ops[op];
+      t.count += tally.count;
+      t.errors += tally.errors;
+      t.latency_seconds.insert(t.latency_seconds.end(),
+                               tally.latency_seconds.begin(),
+                               tally.latency_seconds.end());
+    }
+    total.garbage_sent += r.garbage_sent;
+    total.garbage_rejected += r.garbage_rejected;
+  }
+
+  std::printf("loadgen: %zu client%s x %zu session%s x %zu steps on %s\n",
+              a.clients, a.clients == 1 ? "" : "s", a.sessions,
+              a.sessions == 1 ? "" : "s", a.steps, a.socket.c_str());
+  std::printf("  %-8s %8s %7s %9s %9s %9s\n", "op", "count", "errors",
+              "p50 ms", "p95 ms", "p99 ms");
+  std::uint64_t total_ops = 0;
+  for (const auto& [op, tally] : total.ops) {
+    total_ops += tally.count;
+    if (tally.latency_seconds.empty()) continue;
+    std::printf("  %-8s %8llu %7llu %9.3f %9.3f %9.3f\n", op.c_str(),
+                static_cast<unsigned long long>(tally.count),
+                static_cast<unsigned long long>(tally.errors),
+                quantile(tally.latency_seconds, 0.50) * 1e3,
+                quantile(tally.latency_seconds, 0.95) * 1e3,
+                quantile(tally.latency_seconds, 0.99) * 1e3);
+  }
+  std::printf("client-side: %llu ops (+%llu garbage) in %.2fs = %.1f "
+              "ops/s\n",
+              static_cast<unsigned long long>(total_ops),
+              static_cast<unsigned long long>(total.garbage_sent), elapsed,
+              elapsed > 0.0 ? static_cast<double>(total_ops) / elapsed
+                            : 0.0);
+  if (!clients_ok) {
+    std::printf("FAIL: one or more clients failed\n");
+    return 1;
+  }
+  if (total.garbage_rejected != total.garbage_sent) {
+    std::printf("FAIL: %llu of %llu garbage lines were not rejected\n",
+                static_cast<unsigned long long>(
+                    total.garbage_sent - total.garbage_rejected),
+                static_cast<unsigned long long>(total.garbage_sent));
+    return 1;
+  }
+  if (!a.check) {
+    std::printf("PASS (server cross-check skipped)\n");
+    return 0;
+  }
+
+  const Value after = Value::parse(
+      service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+  bool match = true;
+  for (const char* op : kTrackedOps) {
+    const std::string name = std::string("server.op.") + op + ".count";
+    const double delta =
+        server_counter(after, name) - server_counter(before, name);
+    const double sent = static_cast<double>(total.ops[op].count);
+    if (delta != sent) {
+      std::printf("MISMATCH %s: client sent %.0f, server counted %.0f\n",
+                  op, sent, delta);
+      match = false;
+    }
+  }
+  const double invalid_delta =
+      server_counter(after, "server.op.invalid.count") -
+      server_counter(before, "server.op.invalid.count");
+  if (invalid_delta != static_cast<double>(total.garbage_sent)) {
+    std::printf("MISMATCH garbage: client sent %llu, server counted "
+                "invalid %.0f\n",
+                static_cast<unsigned long long>(total.garbage_sent),
+                invalid_delta);
+    match = false;
+  }
+  if (!match) {
+    std::printf("FAIL: server-side counters disagree with client-side "
+                "totals\n");
+    return 1;
+  }
+  std::printf("PASS: server counters match client totals "
+              "(%zu ops, garbage %llu == invalid %.0f)\n",
+              static_cast<std::size_t>(total_ops),
+              static_cast<unsigned long long>(total.garbage_sent),
+              invalid_delta);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse(argc, argv));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+#else  // non-UNIX: no AF_UNIX transport to load-test
+
+int main() {
+  std::fprintf(stderr,
+               "portatune_loadgen requires a UNIX system (AF_UNIX)\n");
+  return 1;
+}
+
+#endif

@@ -229,6 +229,42 @@ std::string MetricsSnapshot::to_json() const {
   return out;
 }
 
+json::Value MetricsSnapshot::to_value() const {
+  using json::Value;
+  using Members = std::vector<std::pair<std::string, Value>>;
+  Members counter_members;
+  counter_members.reserve(counters.size());
+  for (const auto& [name, v] : counters)
+    counter_members.emplace_back(
+        name, Value::make_number(static_cast<double>(v)));
+  Members gauge_members;
+  gauge_members.reserve(gauges.size());
+  for (const auto& [name, v] : gauges)
+    gauge_members.emplace_back(name, Value::make_number(v));
+  Members histogram_members;
+  histogram_members.reserve(histograms.size());
+  for (const auto& h : histograms) {
+    Members m;
+    m.emplace_back("count",
+                   Value::make_number(static_cast<double>(h.count)));
+    m.emplace_back("sum", Value::make_number(h.sum));
+    m.emplace_back("mean", Value::make_number(h.mean));
+    m.emplace_back("min", Value::make_number(h.min));
+    m.emplace_back("max", Value::make_number(h.max));
+    m.emplace_back("p50", Value::make_number(h.p50));
+    m.emplace_back("p95", Value::make_number(h.p95));
+    m.emplace_back("p99", Value::make_number(h.p99));
+    histogram_members.emplace_back(h.name,
+                                   Value::make_object(std::move(m)));
+  }
+  Members top;
+  top.emplace_back("counters", Value::make_object(std::move(counter_members)));
+  top.emplace_back("gauges", Value::make_object(std::move(gauge_members)));
+  top.emplace_back("histograms",
+                   Value::make_object(std::move(histogram_members)));
+  return Value::make_object(std::move(top));
+}
+
 void MetricsSnapshot::write_table(std::ostream& os) const {
   std::size_t width = 8;
   for (const auto& [name, v] : counters) width = std::max(width, name.size());

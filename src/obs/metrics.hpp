@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/json.hpp"
+
 namespace portatune::obs {
 
 /// Monotonically increasing count.
@@ -115,6 +117,11 @@ struct MetricsSnapshot {
 
   /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   std::string to_json() const;
+  /// The same document as a json::Value, but compact: histograms carry
+  /// count/sum/mean/min/max and the interpolated p50/p95/p99, without
+  /// the bucket detail. This is what travels over the service wire (the
+  /// `stats` protocol op) where reply lines should stay small.
+  json::Value to_value() const;
   /// Human-readable aligned table.
   void write_table(std::ostream& os) const;
 };

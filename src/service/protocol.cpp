@@ -1,11 +1,20 @@
 #include "service/protocol.hpp"
 
 #include <cmath>
+#include <optional>
 #include <utility>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "obs/event.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "support/error.hpp"
+#include "support/span_context.hpp"
 
 namespace portatune::service {
 
@@ -14,6 +23,13 @@ namespace {
 using obs::json::Value;
 
 using Members = std::vector<std::pair<std::string, Value>>;
+
+/// Every op an instrument set is maintained for. "invalid" absorbs lines
+/// that fail before an op is known (bad JSON, missing/unknown "op"), so
+/// client input can never mint unbounded metric names.
+const char* const kOps[] = {"open",   "resume",     "step",  "suggest",
+                            "report", "checkpoint", "close", "status",
+                            "stats",  "shutdown",   "invalid"};
 
 std::string ok_reply(Members members) {
   Members m;
@@ -87,6 +103,10 @@ std::string op_open(TuningService& svc, const Value& req) {
   apps::TuningConfig cfg;
   cfg.problem(required_string(req, "problem"))
       .machine(required_string(req, "machine"));
+  // Service sessions are always observed: the per-eval spans are what
+  // lets a request span show its evaluation fan-out, and the layer is
+  // dormant (no clock reads) when no sink listens at Debug.
+  cfg.observe(true);
   if (const Value* v = req.find("max_evals"))
     cfg.max_evals(static_cast<std::size_t>(v->as_number()));
   if (const Value* v = req.find("seed"))
@@ -156,6 +176,21 @@ std::string op_close(TuningService& svc, const Value& req) {
   return ok_reply(std::move(m));
 }
 
+Members cache_members(const EvalCacheStats& cs) {
+  Members cache;
+  cache.emplace_back("hits",
+                     Value::make_number(static_cast<double>(cs.hits)));
+  cache.emplace_back("misses",
+                     Value::make_number(static_cast<double>(cs.misses)));
+  cache.emplace_back("insertions",
+                     Value::make_number(static_cast<double>(cs.insertions)));
+  cache.emplace_back("evictions",
+                     Value::make_number(static_cast<double>(cs.evictions)));
+  cache.emplace_back("size",
+                     Value::make_number(static_cast<double>(cs.size)));
+  return cache;
+}
+
 std::string op_status(TuningService& svc) {
   svc.publish_metrics();
   std::vector<Value> sessions;
@@ -174,53 +209,185 @@ std::string op_status(TuningService& svc) {
     m.emplace_back("closed", Value::make_bool(s.closed));
     sessions.push_back(Value::make_object(std::move(m)));
   }
-  const EvalCacheStats cs = svc.cache().stats();
-  Members cache;
-  cache.emplace_back("hits",
-                     Value::make_number(static_cast<double>(cs.hits)));
-  cache.emplace_back("misses",
-                     Value::make_number(static_cast<double>(cs.misses)));
-  cache.emplace_back("insertions",
-                     Value::make_number(static_cast<double>(cs.insertions)));
-  cache.emplace_back("evictions",
-                     Value::make_number(static_cast<double>(cs.evictions)));
-  cache.emplace_back("size",
-                     Value::make_number(static_cast<double>(cs.size)));
   Members store;
   store.emplace_back(
       "entries",
       Value::make_number(static_cast<double>(svc.store().size())));
   Members m;
   m.emplace_back("sessions", Value::make_array(std::move(sessions)));
-  m.emplace_back("cache", Value::make_object(std::move(cache)));
+  m.emplace_back("cache", Value::make_object(cache_members(svc.cache().stats())));
   m.emplace_back("store", Value::make_object(std::move(store)));
+  return ok_reply(std::move(m));
+}
+
+/// The observability counterpart of `status`: a process summary plus the
+/// full metrics snapshot of the registry current *now* (= the server's
+/// registry), compact enough for one reply line. `portatune_cli status
+/// --socket` renders it; the loadgen cross-checks its client-side op
+/// counts against the server.op.* counters in here.
+std::string op_stats(TuningService& svc, std::uint64_t requests_handled) {
+  svc.publish_metrics();
+  Members server;
+#if defined(__unix__) || defined(__APPLE__)
+  server.emplace_back("pid",
+                      Value::make_number(static_cast<double>(::getpid())));
+#else
+  server.emplace_back("pid", Value::make_number(0.0));
+#endif
+  server.emplace_back("uptime_seconds", Value::make_number(obs::mono_now()));
+  server.emplace_back(
+      "requests",
+      Value::make_number(static_cast<double>(requests_handled)));
+  std::size_t open = 0, closed = 0;
+  for (const SessionInfo& s : svc.sessions()) (s.closed ? closed : open)++;
+  server.emplace_back("sessions_open",
+                      Value::make_number(static_cast<double>(open)));
+  server.emplace_back("sessions_closed",
+                      Value::make_number(static_cast<double>(closed)));
+  server.emplace_back(
+      "store_entries",
+      Value::make_number(static_cast<double>(svc.store().size())));
+  server.emplace_back("cache",
+                      Value::make_object(cache_members(svc.cache().stats())));
+  Members m;
+  m.emplace_back("server", Value::make_object(std::move(server)));
+  m.emplace_back("metrics",
+                 obs::MetricsRegistry::current().snapshot().to_value());
   return ok_reply(std::move(m));
 }
 
 }  // namespace
 
+ServiceProtocol::ServiceProtocol(TuningService& svc, ProtocolOptions opt)
+    : svc_(svc), opt_(opt) {
+  if (!opt_.telemetry) return;
+  auto& reg = obs::MetricsRegistry::current();
+  requests_total_ = &reg.counter("server.requests");
+  requests_failed_ = &reg.counter("server.requests_failed");
+  for (const char* op : kOps) {
+    const std::string prefix = std::string("server.op.") + op;
+    OpInstruments ins;
+    ins.count = &reg.counter(prefix + ".count");
+    ins.errors = &reg.counter(prefix + ".errors");
+    ins.latency = &reg.histogram(prefix + ".latency");
+    per_op_.emplace(op, ins);
+  }
+}
+
+ServiceProtocol::OpInstruments& ServiceProtocol::instruments(
+    const std::string& op) {
+  const auto it = per_op_.find(op);
+  return it != per_op_.end() ? it->second : per_op_.find("invalid")->second;
+}
+
 ProtocolReply ServiceProtocol::handle_line(const std::string& line) {
+  const std::uint64_t req_id = ++requests_;
+  // Dormant path: telemetry off and nothing listening => no clock reads,
+  // no span bookkeeping; the request costs parse + dispatch + reply.
+  const bool tracing = obs::enabled(obs::Severity::Info);
+  const bool timed = opt_.telemetry || tracing;
+  const double t0 = timed ? obs::mono_now() : 0.0;
+
+  // Open the request span *before* dispatch so everything the op does —
+  // the session op span, every evaluation the step fans out to pool
+  // threads — parents under this request in the trace tree.
+  const std::uint64_t span_id = tracing ? next_span_id() : 0;
+  const std::uint64_t parent_span = current_span_context().span;
+  std::optional<SpanScope> scope;
+  if (tracing) scope.emplace(SpanContext{span_id});
+
+  std::string op = "invalid";
+  std::string session_id;
+  std::string error;
+  ProtocolReply reply;
+  // Requests are *counted* on arrival (as soon as the op is known), so a
+  // `stats` reply's snapshot includes the very request that produced it;
+  // errors and latency are recorded on completion below.
+  bool counted = false;
+  const auto count_arrival = [&] {
+    if (opt_.telemetry && !counted) {
+      counted = true;
+      requests_total_->add(1);
+      instruments(op).count->add(1);
+    }
+  };
   try {
     const Value req = Value::parse(line);
     PT_REQUIRE(req.is_object(), "request must be a JSON object");
-    const std::string op = required_string(req, "op");
-    if (op == "open") return {op_open(svc_, req), false};
-    if (op == "resume") return {op_resume(svc_, req), false};
-    if (op == "step") return {op_step(svc_, req), false};
-    if (op == "suggest") return {op_suggest(svc_, req), false};
-    if (op == "report") return {op_report(svc_, req), false};
-    if (op == "checkpoint") return {op_checkpoint(svc_, req), false};
-    if (op == "close") return {op_close(svc_, req), false};
-    if (op == "status") return {op_status(svc_), false};
-    if (op == "shutdown") {
+    if (const Value* v = req.find("id"); v != nullptr && v->is_string())
+      session_id = v->as_string();
+    const std::string requested = required_string(req, "op");
+    for (const char* known : kOps)
+      if (requested == known && requested != "invalid") op = requested;
+    PT_REQUIRE(op != "invalid", "unknown op '" + requested + "'");
+    count_arrival();
+    if (op == "open") reply = {op_open(svc_, req), false};
+    else if (op == "resume") reply = {op_resume(svc_, req), false};
+    else if (op == "step") reply = {op_step(svc_, req), false};
+    else if (op == "suggest") reply = {op_suggest(svc_, req), false};
+    else if (op == "report") reply = {op_report(svc_, req), false};
+    else if (op == "checkpoint") reply = {op_checkpoint(svc_, req), false};
+    else if (op == "close") reply = {op_close(svc_, req), false};
+    else if (op == "status") reply = {op_status(svc_), false};
+    else if (op == "stats") reply = {op_stats(svc_, requests_), false};
+    else {  // shutdown
       Members m;
       m.emplace_back("shutdown", Value::make_bool(true));
-      return {ok_reply(std::move(m)), true};
+      reply = {ok_reply(std::move(m)), true};
     }
-    return {error_reply("unknown op '" + op + "'"), false};
   } catch (const std::exception& e) {
-    return {error_reply(e.what()), false};
+    error = e.what();
+    reply = {error_reply(error), false};
   }
+  count_arrival();  // parse/validation failures count under "invalid"
+  const bool failed = !error.empty();
+
+  if (failed && obs::enabled(obs::Severity::Warn)) {
+    // Satellite: op errors reach the event stream (and so the flight
+    // recorder's ring), not just the failing client.
+    obs::emit(obs::make_instant(obs::Severity::Warn, "service.op_error",
+                                "service",
+                                {{"req", req_id},
+                                 {"op", op},
+                                 {"session", session_id},
+                                 {"error", error}}));
+  }
+
+  if (timed) {
+    const double elapsed = obs::mono_now() - t0;
+    if (opt_.telemetry) {
+      if (failed) requests_failed_->add(1);
+      OpInstruments& ins = instruments(op);
+      if (failed) ins.errors->add(1);
+      ins.latency->observe(elapsed);
+    }
+    if (opt_.slow_request_seconds > 0.0 &&
+        elapsed > opt_.slow_request_seconds &&
+        obs::enabled(obs::Severity::Warn)) {
+      obs::emit(obs::make_instant(obs::Severity::Warn, "server.slow_request",
+                                  "service",
+                                  {{"req", req_id},
+                                   {"op", op},
+                                   {"session", session_id},
+                                   {"seconds", elapsed},
+                                   {"threshold",
+                                    opt_.slow_request_seconds}}));
+    }
+    if (tracing) {
+      obs::Event ev = obs::make_span(
+          obs::Severity::Info, "server.op." + op, "service", elapsed,
+          {{"req", req_id},
+           {"op", op},
+           {"session", session_id},
+           {"ok", !failed},
+           {"bytes_in", static_cast<std::uint64_t>(line.size())},
+           {"bytes_out", static_cast<std::uint64_t>(reply.line.size())}});
+      ev.span_id = span_id;
+      ev.parent_span_id = parent_span;
+      obs::emit(ev);
+    }
+  }
+  return reply;
 }
 
 }  // namespace portatune::service

@@ -18,6 +18,12 @@
 //   close       id                       -> {ok,evals,best_seconds}
 //   status                               -> {ok,sessions:[...],cache:{...},
 //                                            store:{entries}}
+//   stats                                -> {ok,server:{pid,uptime,...},
+//                                            metrics:{counters,gauges,
+//                                            histograms}} — a full metrics
+//                                           snapshot over the wire; what
+//                                           `portatune_cli status --socket`
+//                                           and the loadgen cross-check read
 //   shutdown                             -> {ok,shutdown:true} and the
 //                                           reply asks the server to stop
 //
@@ -26,8 +32,39 @@
 // order. Any error — unknown op, malformed JSON, unknown session, failed
 // evaluation — becomes {"ok":false,"error":"..."}; the connection stays
 // usable.
+//
+// Request observability (this layer is where a wire request becomes a
+// *traced* request): every handled line is assigned a process-unique
+// request id and — when a sink is listening — wrapped in a causal span
+// named `server.op.<op>` (category "service", fields req/op/session/
+// bytes_in/bytes_out/ok). The span installs itself as the thread-local
+// SpanContext for the dispatch, so the session op span and every
+// evaluation the step fans out nest under it: one Chrome trace shows
+// wire-receive -> dispatch -> session step -> eval for each request.
+// With telemetry enabled the protocol also maintains per-op instruments
+// in the registry current at construction:
+//
+//   server.requests                 counter, every line handled
+//   server.requests_failed          counter, lines answered {"ok":false}
+//   server.op.<name>.count          counter  (name "invalid" = the line
+//   server.op.<name>.errors         counter   failed before an op was
+//   server.op.<name>.latency        histogram known: bad JSON/unknown op)
+//
+// Counts are recorded on arrival (as soon as the op is known), so the
+// snapshot a `stats` reply carries includes the stats request itself;
+// errors and latency are recorded on completion.
+//
+// and emits a Warn `server.slow_request` event when a request exceeds
+// the slow threshold. Failed ops additionally emit a Warn
+// `service.op_error` event (op, session id, error string) so the flight
+// recorder's ring carries recent per-client failures into crash dumps.
+// Dormant path: with telemetry disabled and no sink installed a
+// handled line costs no clock read, no instrument update and no
+// allocation beyond the reply itself (BM_ServerOpDormant holds the line).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 
 #include "service/service.hpp"
@@ -39,16 +76,44 @@ struct ProtocolReply {
   bool shutdown = false;  ///< the client asked the server to stop
 };
 
+struct ProtocolOptions {
+  /// Maintain the per-op counters/latency histograms. Off = the only
+  /// observability left is event spans when a sink is installed.
+  bool telemetry = true;
+  /// Requests slower than this emit a Warn `server.slow_request` event
+  /// (0 disables the check).
+  double slow_request_seconds = 1.0;
+};
+
 class ServiceProtocol {
  public:
-  explicit ServiceProtocol(TuningService& svc) : svc_(svc) {}
+  /// With telemetry on, the per-op instruments are bound to the metrics
+  /// registry current at construction (the ObservedEvaluator idiom), so
+  /// a protocol must not outlive a registry redirect it was built under.
+  explicit ServiceProtocol(TuningService& svc, ProtocolOptions opt = {});
 
   /// Handle one request line. Never throws: every failure is an
-  /// {"ok":false} reply.
+  /// {"ok":false} reply. Not thread-safe — one protocol instance per
+  /// server loop (requests from all clients already serialize there).
   ProtocolReply handle_line(const std::string& line);
 
+  /// Total lines handled (assigned request ids 1..n).
+  std::uint64_t requests_handled() const noexcept { return requests_; }
+
  private:
+  struct OpInstruments {
+    obs::Counter* count = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  OpInstruments& instruments(const std::string& op);
+
   TuningService& svc_;
+  ProtocolOptions opt_;
+  std::uint64_t requests_ = 0;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* requests_failed_ = nullptr;
+  std::map<std::string, OpInstruments> per_op_;
 };
 
 }  // namespace portatune::service

@@ -11,21 +11,57 @@
 
 #include <cerrno>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/event.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
-#include "service/protocol.hpp"
+#include "obs/sink.hpp"
+#include "support/atomic_file.hpp"
+#include "support/span_context.hpp"
 
 namespace portatune::service {
 
 namespace {
 
+using obs::json::Value;
+using Members = std::vector<std::pair<std::string, Value>>;
+
 struct Client {
   int fd = -1;
   std::string inbuf;   ///< bytes received, not yet newline-terminated
   std::string outbuf;  ///< reply bytes not yet written
+  bool closing = false;  ///< close after the outbuf drains (oversized line)
+};
+
+/// Transport-level instruments, bound once per serve loop (nullptr when
+/// telemetry is off — every update site checks).
+struct WireInstruments {
+  obs::Counter* clients_accepted = nullptr;
+  obs::Counter* clients_disconnected = nullptr;
+  obs::Counter* bytes_in = nullptr;
+  obs::Counter* bytes_out = nullptr;
+  obs::Counter* lines_rejected = nullptr;
+  obs::Gauge* clients_connected = nullptr;
+  obs::Gauge* requests_in_flight = nullptr;
+  obs::Histogram* poll_wait = nullptr;
+
+  static WireInstruments bind() {
+    auto& reg = obs::MetricsRegistry::current();
+    WireInstruments w;
+    w.clients_accepted = &reg.counter("server.clients_accepted");
+    w.clients_disconnected = &reg.counter("server.clients_disconnected");
+    w.bytes_in = &reg.counter("server.bytes_in");
+    w.bytes_out = &reg.counter("server.bytes_out");
+    w.lines_rejected = &reg.counter("server.lines_rejected");
+    w.clients_connected = &reg.gauge("server.clients_connected");
+    w.requests_in_flight = &reg.gauge("server.requests_in_flight");
+    w.poll_wait = &reg.histogram("server.poll.wait_seconds");
+    return w;
+  }
 };
 
 void emit_server_event(const char* name, const std::string& socket_path) {
@@ -36,7 +72,7 @@ void emit_server_event(const char* name, const std::string& socket_path) {
 
 /// Write as much of the client's outbuf as the socket accepts.
 /// Returns false when the connection is dead.
-bool flush_client(Client& c) {
+bool flush_client(Client& c, obs::Counter* bytes_out) {
   while (!c.outbuf.empty()) {
     const ssize_t n = ::send(c.fd, c.outbuf.data(), c.outbuf.size(),
 #ifdef MSG_NOSIGNAL
@@ -46,6 +82,8 @@ bool flush_client(Client& c) {
 #endif
     );
     if (n > 0) {
+      if (bytes_out != nullptr)
+        bytes_out->add(static_cast<std::uint64_t>(n));
       c.outbuf.erase(0, static_cast<std::size_t>(n));
       continue;
     }
@@ -56,11 +94,83 @@ bool flush_client(Client& c) {
   return true;
 }
 
+/// Render the heartbeat document. Schema `portatune_server_status` v1 —
+/// the per-op table is distilled from the live registry snapshot so a
+/// reader gets rates and tails without speaking the protocol.
+std::string render_status(TuningService& svc, const std::string& socket_path,
+                          const ServiceProtocol& protocol,
+                          std::size_t clients_connected) {
+  Members m;
+  m.emplace_back("schema", Value::make_string("portatune_server_status"));
+  m.emplace_back("version", Value::make_number(1.0));
+  m.emplace_back("pid",
+                 Value::make_number(static_cast<double>(::getpid())));
+  m.emplace_back("t_wall", Value::make_number(obs::wall_unix_now()));
+  m.emplace_back("uptime_seconds", Value::make_number(obs::mono_now()));
+  m.emplace_back("socket", Value::make_string(socket_path));
+  m.emplace_back(
+      "clients_connected",
+      Value::make_number(static_cast<double>(clients_connected)));
+  m.emplace_back("requests_total",
+                 Value::make_number(
+                     static_cast<double>(protocol.requests_handled())));
+  std::size_t open = 0, closed = 0;
+  for (const SessionInfo& s : svc.sessions()) (s.closed ? closed : open)++;
+  m.emplace_back("sessions_open",
+                 Value::make_number(static_cast<double>(open)));
+  m.emplace_back("sessions_closed",
+                 Value::make_number(static_cast<double>(closed)));
+  m.emplace_back(
+      "store_entries",
+      Value::make_number(static_cast<double>(svc.store().size())));
+  const EvalCacheStats cs = svc.cache().stats();
+  Members cache;
+  cache.emplace_back("hits",
+                     Value::make_number(static_cast<double>(cs.hits)));
+  cache.emplace_back("misses",
+                     Value::make_number(static_cast<double>(cs.misses)));
+  cache.emplace_back("size",
+                     Value::make_number(static_cast<double>(cs.size)));
+  m.emplace_back("cache", Value::make_object(std::move(cache)));
+
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::current().snapshot();
+  const auto counter_value = [&](const std::string& name) -> double {
+    for (const auto& [n, v] : snap.counters)
+      if (n == name) return static_cast<double>(v);
+    return 0.0;
+  };
+  Members ops;
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    const std::string prefix = "server.op.";
+    const std::string suffix = ".latency";
+    if (h.count == 0 || h.name.rfind(prefix, 0) != 0 ||
+        h.name.size() <= prefix.size() + suffix.size() ||
+        h.name.compare(h.name.size() - suffix.size(), suffix.size(),
+                       suffix) != 0)
+      continue;
+    const std::string op = h.name.substr(
+        prefix.size(), h.name.size() - prefix.size() - suffix.size());
+    Members o;
+    o.emplace_back("count",
+                   Value::make_number(static_cast<double>(h.count)));
+    o.emplace_back("errors",
+                   Value::make_number(counter_value(prefix + op + ".errors")));
+    o.emplace_back("p50_seconds", Value::make_number(h.p50));
+    o.emplace_back("p95_seconds", Value::make_number(h.p95));
+    o.emplace_back("p99_seconds", Value::make_number(h.p99));
+    ops.emplace_back(op, Value::make_object(std::move(o)));
+  }
+  m.emplace_back("ops", Value::make_object(std::move(ops)));
+  return Value::make_object(std::move(m)).dump() + "\n";
+}
+
 }  // namespace
 
 int serve_unix_socket(TuningService& svc, const std::string& socket_path,
-                      CancellationToken cancel) {
+                      CancellationToken cancel, ServeOptions opt) {
   PT_REQUIRE(!socket_path.empty(), "serve needs a socket path");
+  PT_REQUIRE(opt.max_line_bytes > 0, "max_line_bytes must be positive");
   sockaddr_un addr{};
   PT_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
              "socket path too long: " + socket_path);
@@ -85,9 +195,25 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
   }
 
   emit_server_event("service.serve", socket_path);
-  ServiceProtocol protocol(svc);
+  const bool telemetry = opt.protocol.telemetry;
+  WireInstruments wire;
+  if (telemetry) wire = WireInstruments::bind();
+  ServiceProtocol protocol(svc, opt.protocol);
   std::vector<Client> clients;
   bool shutdown_requested = false;
+
+  const bool heartbeat =
+      !opt.status_path.empty() && opt.status_every_seconds > 0.0;
+  double last_status = -1e18;  // first loop iteration writes immediately
+  const auto write_status = [&] {
+    try {
+      atomic_write_file(opt.status_path,
+                        render_status(svc, socket_path, protocol,
+                                      clients.size()));
+    } catch (const std::exception&) {
+      // Heartbeat is advisory; a full disk must not kill the server.
+    }
+  };
 
   const auto teardown = [&] {
     for (Client& c : clients) ::close(c.fd);
@@ -96,6 +222,8 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
     ::unlink(socket_path.c_str());
     svc.checkpoint_all();
     svc.publish_metrics();
+    if (telemetry) wire.clients_connected->set(0.0);
+    if (heartbeat) write_status();  // final state, clients_connected = 0
   };
 
   while (!shutdown_requested) {
@@ -103,6 +231,14 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
       emit_server_event("service.interrupted", socket_path);
       teardown();
       return 3;  // interrupted but resumable, like the run orchestrator
+    }
+    if (heartbeat) {
+      const double now = obs::mono_now();
+      if (now - last_status >= opt.status_every_seconds) {
+        last_status = now;
+        svc.publish_metrics();
+        write_status();
+      }
     }
 
     std::vector<pollfd> fds;
@@ -114,7 +250,9 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
                      0});
     // Short timeout so the cancel token is observed promptly even when
     // the socket is idle.
+    const double poll_t0 = telemetry ? obs::mono_now() : 0.0;
     const int ready = ::poll(fds.data(), fds.size(), 200);
+    if (telemetry) wire.poll_wait->observe(obs::mono_now() - poll_t0);
     if (ready < 0) {
       if (errno == EINTR) continue;  // signal delivery; loop re-checks
       teardown();
@@ -129,10 +267,8 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0) {
-        accepted.push_back(Client{fd, {}, {}});
-        obs::MetricsRegistry::current()
-            .counter("service.clients_accepted")
-            .add(1);
+        accepted.push_back(Client{fd, {}, {}, false});
+        if (telemetry) wire.clients_accepted->add(1);
       }
     }
 
@@ -145,7 +281,7 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
         dead[i] = true;
         continue;
       }
-      if (p.revents & POLLIN) {
+      if ((p.revents & POLLIN) && !c.closing) {
         char buf[4096];
         const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
         if (n <= 0) {
@@ -153,36 +289,86 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
                           errno == EINTR)))
             dead[i] = true;
         } else {
+          if (telemetry) wire.bytes_in->add(static_cast<std::uint64_t>(n));
           c.inbuf.append(buf, static_cast<std::size_t>(n));
           std::size_t nl;
-          while ((nl = c.inbuf.find('\n')) != std::string::npos) {
+          while (!c.closing &&
+                 (nl = c.inbuf.find('\n')) != std::string::npos) {
             std::string line = c.inbuf.substr(0, nl);
             c.inbuf.erase(0, nl + 1);
             if (!line.empty() && line.back() == '\r') line.pop_back();
             if (line.empty()) continue;
+            if (line.size() > opt.max_line_bytes) {
+              if (telemetry) wire.lines_rejected->add(1);
+              c.outbuf +=
+                  "{\"ok\":false,\"error\":\"request line exceeds " +
+                  std::to_string(opt.max_line_bytes) + " bytes\"}\n";
+              c.closing = true;  // deliver the verdict, then hang up
+              break;
+            }
+            // The wire-receive span: parent of the protocol's op span, so
+            // the trace tree reads request -> dispatch -> session -> eval.
+            const bool tracing = obs::enabled(obs::Severity::Info);
+            const double t0 = tracing ? obs::mono_now() : 0.0;
+            const std::uint64_t span_id = tracing ? next_span_id() : 0;
+            std::optional<SpanScope> scope;
+            if (tracing) scope.emplace(SpanContext{span_id});
+            if (telemetry) wire.requests_in_flight->set(1.0);
             const ProtocolReply reply = protocol.handle_line(line);
+            if (telemetry) wire.requests_in_flight->set(0.0);
+            if (tracing) {
+              scope.reset();
+              obs::Event ev = obs::make_span(
+                  obs::Severity::Info, "server.request", "service",
+                  obs::mono_now() - t0,
+                  {{"client", c.fd},
+                   {"bytes_in",
+                    static_cast<std::uint64_t>(line.size())},
+                   {"bytes_out",
+                    static_cast<std::uint64_t>(reply.line.size())}});
+              ev.span_id = span_id;
+              obs::emit(ev);
+            }
             c.outbuf += reply.line;
             c.outbuf += '\n';
             if (reply.shutdown) shutdown_requested = true;
           }
+          if (!c.closing && c.inbuf.size() > opt.max_line_bytes) {
+            // A line that can no longer fit even before its newline
+            // arrives: reject it now rather than buffering unboundedly.
+            if (telemetry) wire.lines_rejected->add(1);
+            c.inbuf.clear();
+            c.outbuf +=
+                "{\"ok\":false,\"error\":\"request line exceeds " +
+                std::to_string(opt.max_line_bytes) + " bytes\"}\n";
+            c.closing = true;
+          }
         }
       }
-      if (!dead[i] && !flush_client(c)) dead[i] = true;
+      if (!dead[i] &&
+          !flush_client(c, telemetry ? wire.bytes_out : nullptr))
+        dead[i] = true;
+      if (!dead[i] && c.closing && c.outbuf.empty()) dead[i] = true;
     }
     std::vector<Client> alive;
     alive.reserve(clients.size() + accepted.size());
     for (std::size_t i = 0; i < clients.size(); ++i) {
-      if (dead[i])
+      if (dead[i]) {
         ::close(clients[i].fd);
-      else
+        if (telemetry) wire.clients_disconnected->add(1);
+      } else {
         alive.push_back(std::move(clients[i]));
+      }
     }
     for (Client& c : accepted) alive.push_back(std::move(c));
     clients = std::move(alive);
+    if (telemetry)
+      wire.clients_connected->set(static_cast<double>(clients.size()));
 
     if (shutdown_requested) {
       // Best-effort: drain the shutdown acknowledgement before closing.
-      for (Client& c : clients) flush_client(c);
+      for (Client& c : clients)
+        flush_client(c, telemetry ? wire.bytes_out : nullptr);
     }
   }
 
@@ -191,25 +377,34 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
   return 0;
 }
 
-std::string call_unix_socket(const std::string& socket_path,
-                             const std::string& line) {
+ServiceClient::ServiceClient(const std::string& socket_path)
+    : socket_path_(socket_path) {
   sockaddr_un addr{};
   PT_REQUIRE(socket_path.size() < sizeof(addr.sun_path),
              "socket path too long: " + socket_path);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  PT_REQUIRE(fd >= 0, std::string("socket(): ") + std::strerror(errno));
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PT_REQUIRE(fd_ >= 0, std::string("socket(): ") + std::strerror(errno));
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     const std::string why = std::strerror(errno);
-    ::close(fd);
+    ::close(fd_);
+    fd_ = -1;
     throw Error("connect(" + socket_path + "): " + why);
   }
+}
+
+ServiceClient::~ServiceClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string ServiceClient::call(const std::string& line) {
+  PT_REQUIRE(fd_ >= 0, "client is not connected");
   const std::string request = line + "\n";
   std::size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n = ::send(fd, request.data() + sent,
+    const ssize_t n = ::send(fd_, request.data() + sent,
                              request.size() - sent,
 #ifdef MSG_NOSIGNAL
                              MSG_NOSIGNAL
@@ -218,28 +413,30 @@ std::string call_unix_socket(const std::string& socket_path,
 #endif
     );
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      ::close(fd);
-      throw Error("send(" + socket_path + "): connection lost");
-    }
+    if (n <= 0)
+      throw Error("send(" + socket_path_ + "): connection lost");
     sent += static_cast<std::size_t>(n);
   }
-  std::string reply;
   char buf[4096];
   for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
-      ::close(fd);
-      throw Error("the service hung up before replying on " + socket_path);
-    }
-    reply.append(buf, static_cast<std::size_t>(n));
-    const std::size_t nl = reply.find('\n');
+    const std::size_t nl = buf_.find('\n');
     if (nl != std::string::npos) {
-      ::close(fd);
-      return reply.substr(0, nl);
+      const std::string reply = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return reply;
     }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      throw Error("the service hung up before replying on " + socket_path_);
+    buf_.append(buf, static_cast<std::size_t>(n));
   }
+}
+
+std::string call_unix_socket(const std::string& socket_path,
+                             const std::string& line) {
+  ServiceClient client(socket_path);
+  return client.call(line);
 }
 
 }  // namespace portatune::service
@@ -249,7 +446,17 @@ std::string call_unix_socket(const std::string& socket_path,
 namespace portatune::service {
 
 int serve_unix_socket(TuningService&, const std::string&,
-                      CancellationToken) {
+                      CancellationToken, ServeOptions) {
+  throw Error("the tuning service socket transport requires a UNIX system");
+}
+
+ServiceClient::ServiceClient(const std::string&) {
+  throw Error("the tuning service socket transport requires a UNIX system");
+}
+
+ServiceClient::~ServiceClient() = default;
+
+std::string ServiceClient::call(const std::string&) {
   throw Error("the tuning service socket transport requires a UNIX system");
 }
 

@@ -16,26 +16,80 @@
 //     orchestrator uses, so wrappers treat both uniformly).
 // Either way every open session's checkpoint.csv is current on exit, and
 // a later `serve` on the same data dir can `resume` each one.
+//
+// Wire observability (the transport half; the per-op half lives in the
+// protocol): the loop maintains
+//
+//   server.clients_accepted / .clients_disconnected    counters
+//   server.clients_connected / .requests_in_flight     gauges
+//   server.bytes_in / .bytes_out                       counters
+//   server.lines_rejected                              counter (oversized)
+//   server.poll.wait_seconds                           histogram
+//
+// and, when `ServeOptions::status_path` is set, writes an atomic
+// `server_status.json` heartbeat every `status_every_seconds` (schema
+// `portatune_server_status` v1: pid, uptime, client/request totals,
+// session/store/cache summary, and a per-op count/errors/p50/p95/p99
+// table) — the service twin of the run orchestrator's status file, and
+// what `portatune_cli status` reads when the daemon is unreachable.
+//
+// Defence: a line longer than `max_line_bytes` (complete or still
+// unterminated) answers {"ok":false,"error":...} and closes that client —
+// a runaway or malicious writer cannot grow a buffer unboundedly or
+// starve the other clients.
 #pragma once
 
 #include <string>
 
+#include "service/protocol.hpp"
 #include "service/service.hpp"
 #include "support/cancellation.hpp"
 
 namespace portatune::service {
+
+struct ServeOptions {
+  /// Heartbeat period; <= 0 disables the status file entirely.
+  double status_every_seconds = 1.0;
+  /// Where the heartbeat goes (atomically replaced). Empty = disabled.
+  std::string status_path;
+  /// Longest accepted request line (bytes, newline excluded).
+  std::size_t max_line_bytes = 1 << 20;
+  /// Request-layer knobs (telemetry, slow-request threshold).
+  ProtocolOptions protocol;
+};
 
 /// Serve `svc` on a Unix socket at `socket_path` (an existing socket file
 /// there is replaced). Blocks until a shutdown op (returns 0) or until
 /// `cancel` fires (returns 3). Throws portatune::Error when the socket
 /// cannot be created. On non-UNIX builds, throws unconditionally.
 int serve_unix_socket(TuningService& svc, const std::string& socket_path,
-                      CancellationToken cancel);
+                      CancellationToken cancel, ServeOptions opt = {});
 
-/// One-shot client: connect to the socket, send `line` (a newline is
-/// appended), and return the single reply line (without its newline).
-/// Throws portatune::Error when the server is unreachable or hangs up
-/// before replying. `portatune_cli call` and the CI chaos test use this.
+/// Persistent client: one connection, many calls. Each call() sends one
+/// request line (newline appended) and blocks for the single reply line.
+/// Throws portatune::Error when the server is unreachable or hangs up.
+/// The loadgen's sessions live on one of these; `portatune_cli call`
+/// wraps one per invocation. Not thread-safe.
+class ServiceClient {
+ public:
+  /// Connects immediately; throws when the socket is unreachable.
+  explicit ServiceClient(const std::string& socket_path);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Send `line`, return the reply line (without its newline).
+  std::string call(const std::string& line);
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+  std::string buf_;  ///< reply bytes past the last returned line
+};
+
+/// One-shot client: connect, send `line`, return the single reply line.
+/// `portatune_cli call` and the CI chaos test use this.
 std::string call_unix_socket(const std::string& socket_path,
                              const std::string& line);
 

@@ -5,6 +5,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/scoped_timer.hpp"
 #include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "tuner/persistence.hpp"
@@ -222,6 +223,9 @@ void require_valid_id(const std::string& id) {
 // SessionHandle
 
 tuner::SessionStepStats SessionHandle::step(std::size_t n) {
+  // Span before the lock: lock wait is part of what the caller endured,
+  // and the evaluations the step fans out parent under this scope.
+  obs::ScopedTimer span("session.step", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
   const tuner::SessionStepStats stats = session_->step(n);
@@ -230,12 +234,14 @@ tuner::SessionStepStats SessionHandle::step(std::size_t n) {
 }
 
 std::vector<tuner::ParamConfig> SessionHandle::suggest(std::size_t n) {
+  obs::ScopedTimer span("session.suggest", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
   return session_->suggest(n);
 }
 
 void SessionHandle::report(const tuner::ParamConfig& config, double seconds) {
+  obs::ScopedTimer span("session.report", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
   session_->report(config, seconds);
@@ -256,6 +262,7 @@ void SessionHandle::checkpoint() {
 }
 
 tuner::SearchTrace SessionHandle::close() {
+  obs::ScopedTimer span("session.close", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   if (closed_) return session_->trace();
   persist_checkpoint_locked();

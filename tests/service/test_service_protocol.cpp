@@ -1,17 +1,37 @@
 // ServiceProtocol: the line-delimited JSON surface of the tuning
 // service, driven directly (no socket). Covers the full op set, the
-// index-array config representation, and the never-throws error
-// contract.
+// index-array config representation, the never-throws error contract,
+// and the request-observability layer: per-op instruments, the `stats`
+// op, `service.op_error` events, and the wire->session->eval span chain.
 #include "service/protocol.hpp"
 
 #include <gtest/gtest.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include <algorithm>
 #include <filesystem>
+#include <map>
 
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 
 namespace portatune::service {
 namespace {
+
+/// Per-process path suffix: under `ctest -j` every test runs in its own
+/// process, so pid-unique dirs keep concurrent tests out of each other's
+/// data.
+std::string pid_suffix() {
+#if defined(__unix__) || defined(__APPLE__)
+  return std::to_string(::getpid());
+#else
+  return "0";
+#endif
+}
 
 class ServiceProtocolTest : public testing::Test {
  protected:
@@ -19,7 +39,7 @@ class ServiceProtocolTest : public testing::Test {
 
   static TuningServiceOptions make_options() {
     TuningServiceOptions opt;
-    opt.data_dir = testing::TempDir() + "portatune_proto";
+    opt.data_dir = testing::TempDir() + "portatune_proto_" + pid_suffix();
     std::filesystem::remove_all(opt.data_dir);
     return opt;
   }
@@ -130,6 +150,191 @@ TEST_F(ServiceProtocolTest, ShutdownSetsTheFlag) {
   const auto reply = call(R"({"op":"shutdown"})", &shutdown);
   EXPECT_TRUE(reply.at("ok").as_bool());
   EXPECT_TRUE(shutdown);
+}
+
+// ---------------------------------------------------------------------------
+// Request observability. These fixtures build their own registry/sink
+// *before* the protocol so the instruments bind to the redirected
+// registry (the protocol binds at construction, like ObservedEvaluator).
+
+class ServiceProtocolTelemetryTest : public testing::Test {
+ protected:
+  ServiceProtocolTelemetryTest() : redirect_(registry_) {
+    TuningServiceOptions opt;
+    opt.data_dir =
+        testing::TempDir() + "portatune_proto_telemetry_" + pid_suffix();
+    std::filesystem::remove_all(opt.data_dir);
+    svc_ = std::make_unique<TuningService>(opt);
+  }
+
+  obs::json::Value call(ServiceProtocol& proto, const std::string& line) {
+    return obs::json::Value::parse(proto.handle_line(line).line);
+  }
+
+  std::uint64_t counter(const std::string& name) {
+    return registry_.counter(name).value();
+  }
+
+  static const obs::Field* field(const obs::Event& e, const char* key) {
+    for (const obs::Field& f : e.fields)
+      if (f.key == key) return &f;
+    return nullptr;
+  }
+
+  obs::MetricsRegistry registry_;
+  obs::ScopedMetricsRedirect redirect_;
+  std::unique_ptr<TuningService> svc_;
+};
+
+TEST_F(ServiceProtocolTelemetryTest, PerOpInstrumentsCountEveryRequest) {
+  ServiceProtocol proto(*svc_);
+  ASSERT_TRUE(call(proto,
+                   R"({"op":"open","id":"t1","problem":"LU",)"
+                   R"("machine":"Westmere","max_evals":20,"seed":5})")
+                  .at("ok")
+                  .as_bool());
+  ASSERT_TRUE(
+      call(proto, R"({"op":"step","id":"t1","n":3})").at("ok").as_bool());
+  ASSERT_TRUE(
+      call(proto, R"({"op":"step","id":"t1","n":3})").at("ok").as_bool());
+  EXPECT_FALSE(call(proto, "not json at all").at("ok").as_bool());
+  EXPECT_FALSE(call(proto, R"({"op":"frobnicate"})").at("ok").as_bool());
+  EXPECT_FALSE(call(proto, R"({"op":"step","id":"ghost"})")
+                   .at("ok")
+                   .as_bool());
+
+  EXPECT_EQ(counter("server.op.open.count"), 1u);
+  EXPECT_EQ(counter("server.op.step.count"), 3u);  // 2 ok + 1 unknown id
+  EXPECT_EQ(counter("server.op.step.errors"), 1u);
+  EXPECT_EQ(counter("server.op.invalid.count"), 2u);
+  EXPECT_EQ(counter("server.op.invalid.errors"), 2u);
+  EXPECT_EQ(counter("server.requests"), 6u);
+  EXPECT_EQ(counter("server.requests_failed"), 3u);
+  EXPECT_EQ(proto.requests_handled(), 6u);
+  // Latency histograms saw exactly the per-op counts.
+  EXPECT_EQ(registry_.histogram("server.op.step.latency").count(), 3u);
+  EXPECT_EQ(registry_.histogram("server.op.open.latency").count(), 1u);
+}
+
+TEST_F(ServiceProtocolTelemetryTest, StatsOpReturnsSnapshotOverTheWire) {
+  ServiceProtocol proto(*svc_);
+  ASSERT_TRUE(call(proto,
+                   R"({"op":"open","id":"t1","problem":"LU",)"
+                   R"("machine":"Westmere","max_evals":20,"seed":5})")
+                  .at("ok")
+                  .as_bool());
+  ASSERT_TRUE(
+      call(proto, R"({"op":"step","id":"t1","n":2})").at("ok").as_bool());
+
+  const auto stats = call(proto, R"({"op":"stats"})");
+  ASSERT_TRUE(stats.at("ok").as_bool());
+  const auto& server = stats.at("server");
+  EXPECT_GT(server.at("pid").as_number(), 0.0);
+  EXPECT_GT(server.at("uptime_seconds").as_number(), 0.0);
+  EXPECT_EQ(server.at("requests").as_number(), 3.0);  // incl. this stats
+  EXPECT_EQ(server.at("sessions_open").as_number(), 1.0);
+  const auto& metrics = stats.at("metrics");
+  EXPECT_EQ(metrics.at("counters").at("server.op.step.count").as_number(),
+            1.0);
+  const auto& step_latency =
+      metrics.at("histograms").at("server.op.step.latency");
+  EXPECT_EQ(step_latency.at("count").as_number(), 1.0);
+  EXPECT_GE(step_latency.at("p99").as_number(),
+            step_latency.at("p50").as_number());
+  // Compact wire form: no bucket arrays.
+  EXPECT_EQ(step_latency.find("buckets"), nullptr);
+}
+
+TEST_F(ServiceProtocolTelemetryTest, DormantWithTelemetryOffAndNoSink) {
+  ProtocolOptions opt;
+  opt.telemetry = false;
+  ServiceProtocol proto(*svc_, opt);
+  EXPECT_TRUE(call(proto, R"({"op":"status"})").at("ok").as_bool());
+  EXPECT_FALSE(call(proto, "garbage").at("ok").as_bool());
+  // No instrument was created, let alone updated. (publish_metrics in
+  // the status op still writes service gauges; the *request* layer must
+  // have stayed silent.)
+  const auto snap = registry_.snapshot();
+  for (const auto& [name, v] : snap.counters)
+    EXPECT_EQ(name.rfind("server.", 0), std::string::npos) << name;
+  EXPECT_EQ(proto.requests_handled(), 2u);
+}
+
+TEST_F(ServiceProtocolTelemetryTest, OpErrorsEmitWarnEvents) {
+  obs::MemorySink sink;
+  obs::ScopedSinkRedirect sink_redirect(&sink, obs::Severity::Warn);
+  ServiceProtocol proto(*svc_);
+  EXPECT_FALSE(call(proto, R"({"op":"step","id":"ghost"})")
+                   .at("ok")
+                   .as_bool());
+  EXPECT_FALSE(call(proto, "garbage").at("ok").as_bool());
+
+  const auto events = sink.events();
+  std::vector<obs::Event> errors;
+  std::copy_if(events.begin(), events.end(), std::back_inserter(errors),
+               [](const obs::Event& e) { return e.name == "service.op_error"; });
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].severity, obs::Severity::Warn);
+  ASSERT_NE(field(errors[0], "op"), nullptr);
+  EXPECT_EQ(field(errors[0], "op")->value, "step");
+  EXPECT_EQ(field(errors[0], "session")->value, "ghost");
+  EXPECT_NE(field(errors[0], "error")->value.find("ghost"),
+            std::string::npos);
+  EXPECT_EQ(field(errors[1], "op")->value, "invalid");
+}
+
+TEST_F(ServiceProtocolTelemetryTest, RequestSpansChainWireToEval) {
+  obs::MemorySink sink;
+  obs::ScopedSinkRedirect sink_redirect(&sink, obs::Severity::Debug);
+  ServiceProtocol proto(*svc_);
+  ASSERT_TRUE(call(proto,
+                   R"({"op":"open","id":"t1","problem":"LU",)"
+                   R"("machine":"Westmere","max_evals":20,"seed":5})")
+                  .at("ok")
+                  .as_bool());
+  ASSERT_TRUE(
+      call(proto, R"({"op":"step","id":"t1","n":4})").at("ok").as_bool());
+
+  const auto events = sink.events();
+  std::map<std::uint64_t, const obs::Event*> by_span;
+  for (const obs::Event& e : events)
+    if (e.span_id != 0) by_span.emplace(e.span_id, &e);
+
+  // The step request produced a server.op.step span...
+  const auto step_span = std::find_if(
+      events.begin(), events.end(),
+      [](const obs::Event& e) { return e.name == "server.op.step"; });
+  ASSERT_NE(step_span, events.end());
+  EXPECT_GE(step_span->duration_seconds, 0.0);
+  ASSERT_NE(field(*step_span, "req"), nullptr);
+
+  // ...the session op span is its child...
+  const auto session_span = std::find_if(
+      events.begin(), events.end(),
+      [](const obs::Event& e) { return e.name == "session.step"; });
+  ASSERT_NE(session_span, events.end());
+  EXPECT_EQ(session_span->parent_span_id, step_span->span_id);
+
+  // ...and every evaluation the step fanned out is a descendant of the
+  // request: walking parent links from any eval reaches server.op.step.
+  std::size_t evals = 0, chained = 0;
+  for (const obs::Event& e : events) {
+    if (e.name != "eval") continue;
+    ++evals;
+    std::uint64_t p = e.parent_span_id;
+    while (p != 0) {
+      const auto it = by_span.find(p);
+      if (it == by_span.end()) break;
+      if (it->second->name == "server.op.step" ||
+          it->second->name == "server.op.open") {
+        ++chained;
+        break;
+      }
+      p = it->second->parent_span_id;
+    }
+  }
+  EXPECT_GT(evals, 0u);
+  EXPECT_EQ(chained, evals) << "every eval must trace back to a request";
 }
 
 }  // namespace
