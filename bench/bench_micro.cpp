@@ -5,7 +5,9 @@
 // empirical evaluations.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <filesystem>
+#include <thread>
 
 #include "bench/common.hpp"
 #include "kernels/sim_evaluator.hpp"
@@ -21,6 +23,9 @@
 #include "support/thread_pool.hpp"
 #include "orio/codegen.hpp"
 #include "service/protocol.hpp"
+#include "service/resilient_client.hpp"
+#include "service/server.hpp"
+#include "support/cancellation.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/trace_sim.hpp"
 #include "tuner/faults.hpp"
@@ -252,6 +257,63 @@ void BM_ServerOpDormant(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServerOpDormant);
+
+void BM_ProtocolRidDormant(benchmark::State& state) {
+  // A mutating op *without* a rid: the exactly-once machinery's cost for
+  // clients that never opt in — one member probe on the parsed request,
+  // no cache lookups, no reply copies. This is the regression gate for
+  // the "rids are free unless used" guarantee.
+  service::ProtocolOptions opt;
+  opt.telemetry = false;
+  service::ServiceProtocol proto(bench_service(), opt);
+  proto.handle_line(
+      R"({"op":"open","id":"ridbench","problem":"LU",)"
+      R"("machine":"Westmere","max_evals":10,"seed":3})");
+  const std::string line = R"({"op":"suggest","id":"ridbench","n":0})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proto.handle_line(line).line.size());
+  }
+}
+BENCHMARK(BM_ProtocolRidDormant);
+
+#if defined(__unix__) || defined(__APPLE__)
+// One real daemon + one ResilientClient over its Unix socket: the
+// steady-state cost of a call when nothing goes wrong — rid stamping,
+// poll-timed read, reply parse for the retry_after probe. Bounds the
+// overhead the resilience layer adds to every healthy request.
+struct ResilientBenchHarness {
+  ResilientBenchHarness() {
+    socket = (std::filesystem::temp_directory_path() /
+              "portatune_bench_resilient.sock")
+                 .string();
+    service::ServeOptions sopt;
+    sopt.protocol.telemetry = false;
+    thread = std::thread([this, sopt] {
+      service::serve_unix_socket(bench_service(), socket, cancel.token(),
+                                 sopt);
+    });
+    while (!std::filesystem::exists(socket))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ~ResilientBenchHarness() {
+    cancel.request_cancel();
+    thread.join();
+  }
+  CancellationSource cancel;
+  std::string socket;
+  std::thread thread;
+};
+
+void BM_ResilientClientHappyPath(benchmark::State& state) {
+  static ResilientBenchHarness harness;
+  service::ResilientClient client(harness.socket);
+  const std::string line = R"({"op":"status"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call(line).size());
+  }
+}
+BENCHMARK(BM_ResilientClientHappyPath);
+#endif  // UNIX
 
 void BM_ObsHistogramPercentile(benchmark::State& state) {
   // Snapshot-time percentile interpolation: what every sampler tick pays

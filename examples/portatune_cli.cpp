@@ -31,7 +31,9 @@
 //       `stats` op twice, --interval seconds apart, and renders a
 //       per-op table (count, rate/s from the two samples, latency
 //       p50/p95/p99, errors) plus a server summary line. Exit 0 on a
-//       healthy reply, 2 when the daemon is unreachable.
+//       healthy reply, 2 when the daemon is unreachable — including a
+//       daemon that dies *between* the two samples (prints a dead-socket
+//       hint, never crashes).
 //   portatune_cli serve --socket /tmp/pt.sock [--data-dir d]
 //       run the tuning service: multiplexes concurrent tuning sessions
 //       over a persistent surrogate store and a shared evaluation cache,
@@ -45,9 +47,17 @@
 //       --data-dir, and --log-json/--chrome-trace/--metrics-out emit
 //       their artifacts on both exit paths. --slow-request S (default 1)
 //       sets the Warn threshold for slow protocol requests.
+//       Resilience knobs: --lease-seconds S checkpoints-and-evicts
+//       sessions idle past the lease (0 = sessions live forever);
+//       --client-rate R / --client-burst B token-bucket each connection
+//       (over-budget requests get a typed retry_after error). The
+//       protocol's exactly-once reply cache persists to
+//       <data-dir>/protocol_state.json across restarts.
 //   portatune_cli call --socket /tmp/pt.sock --request '{"op":"status"}'
 //       one-shot service client: send one request line, print the reply
-//       line. Exit 0 when the reply says ok, 1 otherwise.
+//       line. Exit 0 when the reply says ok, 1 otherwise. Rides the
+//       resilient client: reconnects and retries (exactly-once via rid
+//       stamping on mutating ops) until --deadline seconds (default 10).
 //
 // Live telemetry (experiment): unless --telemetry-every 0, a journaled
 // run continuously maintains three files in <run-dir>:
@@ -117,6 +127,7 @@
 #include "obs/sampler.hpp"
 #include "obs/sink.hpp"
 #include "obs/thread_pool_metrics.hpp"
+#include "service/resilient_client.hpp"
 #include "service/server.hpp"
 #include "service/service.hpp"
 #include "support/atomic_file.hpp"
@@ -173,6 +184,15 @@ struct Args {
   double interval = 0.5;
   /// `serve`: protocol requests slower than this emit a Warn event.
   double slow_request = 1.0;
+  /// `serve`: sessions idle past this are checkpointed and evicted
+  /// (0 = no lease, sessions live until closed or shutdown).
+  double lease_seconds = 0.0;
+  /// `serve`: per-connection request rate limit / burst (0 = unlimited).
+  double client_rate = 0.0;
+  double client_burst = 32.0;
+  /// `call` / `status --socket`: overall per-call deadline for the
+  /// resilient client's reconnect-and-retry loop.
+  double deadline = 10.0;
   std::string socket;    ///< serve/call: Unix socket path
   /// `serve`: root of the service's persistent state (surrogate store,
   /// session checkpoints).
@@ -235,6 +255,10 @@ Args parse(int argc, char** argv) {
     else if (key == "--stale-after") a.stale_after = std::stod(value);
     else if (key == "--interval") a.interval = std::stod(value);
     else if (key == "--slow-request") a.slow_request = std::stod(value);
+    else if (key == "--lease-seconds") a.lease_seconds = std::stod(value);
+    else if (key == "--client-rate") a.client_rate = std::stod(value);
+    else if (key == "--client-burst") a.client_burst = std::stod(value);
+    else if (key == "--deadline") a.deadline = std::stod(value);
     else if (key == "--socket") a.socket = value;
     else if (key == "--data-dir") a.data_dir = value;
     else if (key == "--request") a.request = value;
@@ -650,16 +674,27 @@ int cmd_experiment(const Args& a) {
 /// percentiles from the second, rates from the delta.
 int cmd_status_socket(const Args& a) {
   obs::json::Value first, second;
+  // The resilient client rides out transient hiccups (reconnects and
+  // retries until --deadline); the catch below is for a daemon that is
+  // genuinely gone — including one that dies *between* the two samples.
+  // Catch std::exception, not just Error: a daemon that vanishes
+  // mid-conversation can surface as a parse error on a torn reply, and
+  // a monitoring command must report "dead", never crash.
   try {
-    first = obs::json::Value::parse(
-        service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+    service::ResilientClientOptions ro;
+    ro.call_deadline_seconds = a.deadline;
+    service::ResilientClient client(a.socket, ro);
+    first = obs::json::Value::parse(client.call("{\"op\":\"stats\"}"));
     std::this_thread::sleep_for(std::chrono::duration<double>(
         a.interval > 0.0 ? a.interval : 0.0));
-    second = obs::json::Value::parse(
-        service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
-  } catch (const Error& e) {
-    std::fprintf(stderr, "error: tuning service unreachable on %s: %s\n",
-                 a.socket.c_str(), e.what());
+    second = obs::json::Value::parse(client.call("{\"op\":\"stats\"}"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "error: tuning service unreachable on %s: %s\n"
+                 "hint: the socket is dead — the daemon exited or was "
+                 "restarted on another path; start one with "
+                 "'portatune_cli serve --socket %s'\n",
+                 a.socket.c_str(), e.what(), a.socket.c_str());
     return 2;
   }
   const obs::json::Value* ok = second.find("ok");
@@ -762,6 +797,13 @@ int cmd_serve(const Args& a) {
   if (a.telemetry_every > 0.0 && !a.data_dir.empty())
     sv.status_path = a.data_dir + "/server_status.json";
   sv.protocol.slow_request_seconds = a.slow_request;
+  // Exactly-once survives restarts: the reply cache lives next to the
+  // rest of the service state and is reloaded by the next serve.
+  if (!a.data_dir.empty())
+    sv.protocol.state_path = a.data_dir + "/protocol_state.json";
+  sv.lease_seconds = a.lease_seconds;
+  sv.client_rate_limit = a.client_rate;
+  sv.client_rate_burst = a.client_burst;
   const int rc =
       service::serve_unix_socket(svc, a.socket, shutdown_token(), sv);
   if (rc == 3)
@@ -774,7 +816,13 @@ int cmd_serve(const Args& a) {
 int cmd_call(const Args& a) {
   PT_REQUIRE(!a.socket.empty(), "call requires --socket <path>");
   PT_REQUIRE(!a.request.empty(), "call requires --request '<json>'");
-  const std::string reply = service::call_unix_socket(a.socket, a.request);
+  // Resilient one-shot: reconnect-and-retry until --deadline, with a
+  // rid stamped on mutating ops so a retry after a torn reply replays
+  // the server's cached answer instead of executing twice.
+  service::ResilientClientOptions ro;
+  ro.call_deadline_seconds = a.deadline;
+  service::ResilientClient client(a.socket, ro);
+  const std::string reply = client.call(a.request);
   std::printf("%s\n", reply.c_str());
   const obs::json::Value v = obs::json::Value::parse(reply);
   const obs::json::Value* ok = v.find("ok");

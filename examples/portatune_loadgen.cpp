@@ -4,6 +4,7 @@
 //                     [--steps 5] [--step-n 2] [--garbage 0]
 //                     [--problem LU] [--machine Westmere]
 //                     [--max-evals 40] [--seed 7] [--out dir] [--no-check]
+//                     [--chaos spec] [--chaos-seed N] [--deadline S]
 //
 // Spawns --clients child *processes* (real concurrent connections, not
 // threads — the server's poll loop sees genuinely interleaved traffic),
@@ -26,6 +27,19 @@
 // count. --no-check skips the comparison (for hammering a server that
 // has other traffic).
 //
+// Every connection rides the ResilientClient (reconnect + retry with rid
+// stamping, --deadline seconds per call), so the harness doubles as the
+// exactly-once proof: --chaos "tear=0.08,hangup=0.05,blackhole=0.05,
+// delay=0.1,delay-s=0.02" forks a seeded ChaosProxy child on
+// <socket>.chaos and points every client through it. Torn replies and
+// hangups force retries; because retried rids *replay* on the server
+// instead of re-executing, the exact client/server counter cross-check
+// above must still balance — any at-least-once slip shows up as a
+// MISMATCH line. --chaos-seed replays a specific fault schedule. The
+// parent's stats snapshots always go to the real socket. --chaos
+// requires --garbage 0: a garbage line carries no rid, so a fault-forced
+// resend would legitimately count twice.
+//
 // Exit 0 = all clients succeeded and the cross-check passed; 1 otherwise.
 #include <cstdio>
 #include <string>
@@ -34,6 +48,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -46,8 +61,11 @@
 
 #include "obs/event.hpp"
 #include "obs/json.hpp"
+#include "service/chaos_proxy.hpp"
+#include "service/resilient_client.hpp"
 #include "service/server.hpp"
 #include "support/atomic_file.hpp"
+#include "support/signal.hpp"
 #include "support/stats.hpp"
 #include "support/timer.hpp"
 
@@ -77,7 +95,41 @@ struct Args {
   std::uint64_t seed = 7;
   std::string out;
   bool check = true;
+  std::string chaos;  ///< fault spec ("" = direct connection, no proxy)
+  std::uint64_t chaos_seed = 1;
+  /// Per-call budget of the resilient clients. Generous by default so a
+  /// daemon SIGTERM -> restart mid-run is ridden out, not failed.
+  double deadline = 60.0;
 };
+
+/// "tear=0.08,hangup=0.05,blackhole=0.05,delay=0.1,delay-s=0.02" ->
+/// ChaosProxyOptions. Keys: delay, delay-s, tear, hangup, blackhole,
+/// hold (blackhole_hold_seconds).
+service::ChaosProxyOptions parse_chaos_spec(const std::string& spec,
+                                            std::uint64_t seed) {
+  service::ChaosProxyOptions opt;
+  opt.seed = seed;
+  std::string rest = spec;
+  while (!rest.empty()) {
+    const auto comma = rest.find(',');
+    const std::string item = rest.substr(0, comma);
+    rest = comma == std::string::npos ? std::string()
+                                      : rest.substr(comma + 1);
+    const auto eq = item.find('=');
+    PT_REQUIRE(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+               "malformed --chaos entry '" + item + "' (want key=value)");
+    const std::string key = item.substr(0, eq);
+    const double value = std::stod(item.substr(eq + 1));
+    if (key == "delay") opt.delay_rate = value;
+    else if (key == "delay-s") opt.delay_seconds = value;
+    else if (key == "tear") opt.tear_rate = value;
+    else if (key == "hangup") opt.hangup_rate = value;
+    else if (key == "blackhole") opt.blackhole_rate = value;
+    else if (key == "hold") opt.blackhole_hold_seconds = value;
+    else throw Error("unknown --chaos key: " + key);
+  }
+  return opt;
+}
 
 Args parse(int argc, char** argv) {
   Args a;
@@ -101,10 +153,17 @@ Args parse(int argc, char** argv) {
     else if (key == "--max-evals") a.max_evals = std::stoul(value);
     else if (key == "--seed") a.seed = std::stoull(value);
     else if (key == "--out") a.out = value;
+    else if (key == "--chaos") a.chaos = value;
+    else if (key == "--chaos-seed") a.chaos_seed = std::stoull(value);
+    else if (key == "--deadline") a.deadline = std::stod(value);
     else throw Error("unknown option: " + key);
   }
   PT_REQUIRE(!a.socket.empty(), "loadgen requires --socket <path>");
   PT_REQUIRE(a.clients > 0 && a.sessions > 0, "need >= 1 client/session");
+  // Garbage lines are unparseable, so they carry no rid; a fault-forced
+  // resend would execute (and count) twice, wrecking the cross-check.
+  PT_REQUIRE(a.chaos.empty() || a.garbage == 0,
+             "--chaos requires --garbage 0 (garbage lines have no rid)");
   return a;
 }
 
@@ -128,9 +187,12 @@ bool reply_ok(const std::string& reply) {
   return ok != nullptr && ok->is_bool() && ok->as_bool();
 }
 
-/// One timed protocol call, tallied under `op`.
-std::string timed_call(service::ServiceClient& client, ClientResult& result,
-                       const std::string& op, const std::string& line) {
+/// One timed protocol call, tallied under `op`. Latency is the whole
+/// resilient call — retries and reconnects included — because that is
+/// what a protocol user experiences.
+std::string timed_call(service::ResilientClient& client,
+                       ClientResult& result, const std::string& op,
+                       const std::string& line) {
   OpTally& tally = result.ops[op];
   WallTimer timer;
   const std::string reply = client.call(line);
@@ -146,10 +208,19 @@ std::string quoted(const std::string& s) {
 
 /// The whole life of one client process: --sessions sessions, each
 /// open -> steps (with periodic suggest/report) -> close, plus the
-/// requested garbage. Returns the tally; throws on a transport failure.
-ClientResult run_client(const Args& a, std::size_t client_index,
-                        std::uint64_t nonce) {
-  service::ServiceClient client(a.socket);
+/// requested garbage. Returns the tally; throws only when the resilient
+/// client's deadline expires (the transport failures a chaos run injects
+/// are absorbed by its retry loop).
+ClientResult run_client(const Args& a, const std::string& socket,
+                        std::size_t client_index, std::uint64_t nonce) {
+  service::ResilientClientOptions ro;
+  ro.call_deadline_seconds = a.deadline;
+  // Distinct rid namespace per child process, distinct (deterministic)
+  // jitter per child so retries do not stampede in lockstep.
+  ro.client_id = "lg" + std::to_string(nonce) + "c" +
+                 std::to_string(client_index);
+  ro.jitter_seed = a.seed + client_index;
+  service::ResilientClient client(socket, ro);
   ClientResult result;
   for (std::size_t s = 0; s < a.sessions; ++s) {
     const std::string id = "lg-" + std::to_string(nonce) + "-c" +
@@ -257,12 +328,54 @@ int run(const Args& a) {
   if (out.empty()) out = a.socket + ".loadgen." + std::to_string(nonce);
   ::mkdir(out.c_str(), 0777);
 
-  // Baseline snapshot before any child connects; the delta to the
-  // after-join snapshot is exactly the traffic this run generated.
+  // Under --chaos every client connection goes through a forked proxy
+  // child on <socket>.chaos; the proxy dials the real daemon upstream.
+  // Forked (not threaded) so the parent stays thread-free for the client
+  // forks below. The clients' retry loops absorb the brief window before
+  // the proxy's listen socket exists.
+  const std::string client_socket =
+      a.chaos.empty() ? a.socket : a.socket + ".chaos";
+  pid_t proxy_pid = -1;
+  if (!a.chaos.empty()) {
+    const service::ChaosProxyOptions copt =
+        parse_chaos_spec(a.chaos, a.chaos_seed);
+    proxy_pid = ::fork();
+    PT_REQUIRE(proxy_pid >= 0, "fork() failed");
+    if (proxy_pid == 0) {
+      int rc = 0;
+      try {
+        install_shutdown_signal_handler();
+        service::ChaosProxy proxy(client_socket, a.socket, copt);
+        proxy.run(shutdown_token());
+        const service::ChaosStats cs = proxy.stats();
+        std::printf("chaos: %llu connections, %llu delays, %llu tears, "
+                    "%llu hangups, %llu blackholes (seed %llu)\n",
+                    static_cast<unsigned long long>(cs.connections),
+                    static_cast<unsigned long long>(cs.delays),
+                    static_cast<unsigned long long>(cs.tears),
+                    static_cast<unsigned long long>(cs.hangups),
+                    static_cast<unsigned long long>(cs.blackholes),
+                    static_cast<unsigned long long>(a.chaos_seed));
+        std::fflush(stdout);  // _exit skips the stdio flush
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "loadgen chaos proxy: %s\n", e.what());
+        rc = 1;
+      }
+      ::_exit(rc);
+    }
+  }
+
+  // Baseline snapshot before any client connects; the delta to the
+  // after-join snapshot is exactly the traffic this run generated. Both
+  // snapshots go straight to the real socket (never through the proxy)
+  // and are resilient, so a daemon restarting mid-run is waited out.
   Value before;
-  if (a.check)
-    before = Value::parse(
-        service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+  if (a.check) {
+    service::ResilientClientOptions ro;
+    ro.call_deadline_seconds = a.deadline;
+    service::ResilientClient stats_client(a.socket, ro);
+    before = Value::parse(stats_client.call("{\"op\":\"stats\"}"));
+  }
 
   // No threads exist in this process yet, so fork() is safe; children
   // open their own connections after the fork.
@@ -274,7 +387,7 @@ int run(const Args& a) {
     if (pid == 0) {
       int rc = 0;
       try {
-        const ClientResult r = run_client(a, i, nonce);
+        const ClientResult r = run_client(a, client_socket, i, nonce);
         atomic_write_file(out + "/client" + std::to_string(i) + ".json",
                           result_to_json(r));
       } catch (const std::exception& e) {
@@ -292,6 +405,11 @@ int run(const Args& a) {
     if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) clients_ok = false;
   }
   const double elapsed = wall.seconds();
+  if (proxy_pid > 0) {
+    ::kill(proxy_pid, SIGTERM);
+    int status = 0;
+    ::waitpid(proxy_pid, &status, 0);
+  }
 
   ClientResult total;
   for (std::size_t i = 0; i < a.clients; ++i) {
@@ -353,8 +471,13 @@ int run(const Args& a) {
     return 0;
   }
 
-  const Value after = Value::parse(
-      service::call_unix_socket(a.socket, "{\"op\":\"stats\"}"));
+  Value after;
+  {
+    service::ResilientClientOptions ro;
+    ro.call_deadline_seconds = a.deadline;
+    service::ResilientClient stats_client(a.socket, ro);
+    after = Value::parse(stats_client.call("{\"op\":\"stats\"}"));
+  }
   bool match = true;
   for (const char* op : kTrackedOps) {
     const std::string name = std::string("server.op.") + op + ".count";

@@ -1,0 +1,254 @@
+#include "service/chaos_proxy.hpp"
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace portatune::service {
+
+namespace {
+
+int dial_unix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) return -1;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const char* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// One '\n'-terminated line (returned *with* its newline, ready to
+/// forward verbatim); poll-timed at 200ms so cancellation is observed.
+/// nullopt = peer closed, error, or cancelled.
+std::optional<std::string> read_line(int fd, std::string& buf,
+                                     const CancellationToken& cancel) {
+  char tmp[4096];
+  for (;;) {
+    const std::size_t nl = buf.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf.substr(0, nl + 1);
+      buf.erase(0, nl + 1);
+      return line;
+    }
+    if (cancel.cancelled()) return std::nullopt;
+    pollfd p{fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return std::nullopt;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, tmp, sizeof(tmp), 0);
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
+    if (n <= 0) return std::nullopt;
+    buf.append(tmp, static_cast<std::size_t>(n));
+  }
+}
+
+/// Cancellation-aware sleep (50ms chunks).
+void chaos_sleep(double seconds, const CancellationToken& cancel) {
+  double remaining = seconds;
+  while (remaining > 0.0 && !cancel.cancelled()) {
+    const double chunk = remaining < 0.05 ? remaining : 0.05;
+    std::this_thread::sleep_for(std::chrono::duration<double>(chunk));
+    remaining -= chunk;
+  }
+}
+
+enum class Fault { None, Delay, Tear, Hangup, Blackhole };
+
+}  // namespace
+
+ChaosProxy::ChaosProxy(std::string listen_path, std::string upstream_path,
+                       ChaosProxyOptions opt)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path)),
+      opt_(opt) {
+  PT_REQUIRE(!listen_path_.empty() && !upstream_path_.empty(),
+             "chaos proxy needs listen and upstream socket paths");
+  PT_REQUIRE(listen_path_ != upstream_path_,
+             "chaos proxy cannot listen on its own upstream");
+}
+
+ChaosStats ChaosProxy::stats() const {
+  ChaosStats s;
+  s.connections = connections_.load();
+  s.requests = requests_.load();
+  s.delays = delays_.load();
+  s.tears = tears_.load();
+  s.hangups = hangups_.load();
+  s.blackholes = blackholes_.load();
+  return s;
+}
+
+void ChaosProxy::serve_connection(int client_fd, std::uint64_t index,
+                                  CancellationToken cancel) {
+  // Deterministic per-connection fault schedule: connection k of a run
+  // with seed s always rolls the same faults, so a failing chaos run is
+  // replayable bit for bit.
+  Rng rng(opt_.seed ^ (index * 0x9e3779b97f4a7c15ULL) ^ 0x5bf0'3635);
+  const int up_fd = dial_unix(upstream_path_);
+  std::string cbuf, ubuf;
+  bool done = up_fd < 0;  // upstream down: hang up; the client retries
+  while (!done && !cancel.cancelled()) {
+    const auto line = read_line(client_fd, cbuf, cancel);
+    if (!line) break;
+    const double roll = rng.uniform();
+    double acc = opt_.blackhole_rate;
+    Fault fault = Fault::None;
+    if (roll < acc) fault = Fault::Blackhole;
+    else if (roll < (acc += opt_.hangup_rate)) fault = Fault::Hangup;
+    else if (roll < (acc += opt_.tear_rate)) fault = Fault::Tear;
+    else if (roll < (acc += opt_.delay_rate)) fault = Fault::Delay;
+
+    if (fault == Fault::Blackhole) {
+      // Never forwarded: the server must not execute (and not count)
+      // this request. Go silent long enough to exercise the client's
+      // attempt timeout, then close.
+      ++blackholes_;
+      chaos_sleep(opt_.blackhole_hold_seconds, cancel);
+      break;
+    }
+    // Requests forward line-atomically, always: tearing a *request*
+    // would feed the server a half-line it silently discards (or a
+    // corrupted line it counts as invalid), breaking the loadgen's
+    // exact invalid-line cross-check. Replies are where faults land.
+    ++requests_;
+    if (!send_all(up_fd, line->data(), line->size())) break;
+    const auto reply = read_line(up_fd, ubuf, cancel);
+    if (!reply) break;  // upstream died mid-request (daemon SIGTERM)
+    switch (fault) {
+      case Fault::Hangup:
+        // The op executed upstream; the client never hears. Its retry
+        // (same rid) must be answered from the server's reply cache.
+        ++hangups_;
+        done = true;
+        break;
+      case Fault::Tear:
+        ++tears_;
+        send_all(client_fd, reply->data(), reply->size() / 2);
+        done = true;
+        break;
+      case Fault::Delay:
+        ++delays_;
+        chaos_sleep(opt_.delay_seconds, cancel);
+        if (!send_all(client_fd, reply->data(), reply->size())) done = true;
+        break;
+      default:
+        if (!send_all(client_fd, reply->data(), reply->size())) done = true;
+        break;
+    }
+  }
+  if (up_fd >= 0) ::close(up_fd);
+  ::close(client_fd);
+}
+
+int ChaosProxy::run(CancellationToken cancel) {
+  sockaddr_un addr{};
+  PT_REQUIRE(listen_path_.size() < sizeof(addr.sun_path),
+             "socket path too long: " + listen_path_);
+  const int listen_fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  PT_REQUIRE(listen_fd >= 0,
+             std::string("socket(): ") + std::strerror(errno));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, listen_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ::unlink(listen_path_.c_str());
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    throw Error("bind(" + listen_path_ + "): " + why);
+  }
+  if (::listen(listen_fd, 16) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd);
+    ::unlink(listen_path_.c_str());
+    throw Error("listen(" + listen_path_ + "): " + why);
+  }
+
+  std::vector<std::thread> workers;
+  std::uint64_t index = 0;
+  while (!cancel.cancelled()) {
+    pollfd p{listen_fd, POLLIN, 0};
+    const int ready = ::poll(&p, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    ++connections_;
+    workers.emplace_back(&ChaosProxy::serve_connection, this, fd, index++,
+                         cancel);
+  }
+  ::close(listen_fd);
+  ::unlink(listen_path_.c_str());
+  for (std::thread& t : workers) t.join();
+  return 0;
+}
+
+}  // namespace portatune::service
+
+#else  // non-UNIX build: no AF_UNIX transport
+
+namespace portatune::service {
+
+ChaosProxy::ChaosProxy(std::string listen_path, std::string upstream_path,
+                       ChaosProxyOptions opt)
+    : listen_path_(std::move(listen_path)),
+      upstream_path_(std::move(upstream_path)),
+      opt_(opt) {}
+
+ChaosStats ChaosProxy::stats() const { return {}; }
+
+void ChaosProxy::serve_connection(int, std::uint64_t, CancellationToken) {}
+
+int ChaosProxy::run(CancellationToken) {
+  throw Error("the chaos proxy requires a UNIX system");
+}
+
+}  // namespace portatune::service
+
+#endif

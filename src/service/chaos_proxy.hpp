@@ -1,0 +1,102 @@
+// ChaosProxy: a seeded socket-level fault injector for the tuning
+// service.
+//
+// The proxy listens on its own Unix socket and forwards the
+// line-delimited JSON protocol to an upstream daemon, injecting the
+// transport failures a real deployment suffers — exactly the ones the
+// exactly-once protocol (protocol.hpp) and ResilientClient exist to
+// survive:
+//
+//   delay      hold a reply `delay_seconds` before delivering it
+//   hangup     execute the request upstream, then close the client
+//              connection without sending any reply bytes
+//   tear       deliver only the first half of the reply, then close —
+//              the client sees a torn line and must retry
+//   blackhole  swallow the request (never forwarded), go silent for
+//              `blackhole_hold_seconds`, then close — exercises the
+//              client's poll()-based attempt timeout
+//
+// Faults are applied *per request line*, chosen by a deterministic
+// per-connection Rng seeded from `seed ^ connection-index`, so a chaos
+// run is replayable. Request lines are forwarded atomically — the proxy
+// never tears a *request*: a half-request would be invisible to the
+// server's counters and break the loadgen's exact cross-check; replies
+// are where the damage goes. hangup and tear close both sides, so the
+// server sees a disconnect (which it already tolerates) and the client
+// reconnects through its retry loop.
+//
+// Exactly-once under this proxy is the PR's acceptance proof: for
+// hangup/tear faults the request *did execute* upstream, the client
+// just never learned — its retry carries the same rid and the server
+// replays the cached reply, so the loadgen's client/server op-counter
+// cross-check still balances to the request.
+//
+// Threading: one blocking thread per client connection (each with its
+// own fresh upstream connection), plus the accept loop in run(). All
+// reads are poll()-timed at 200ms so the cancel token stops the proxy
+// promptly. `portatune_chaosproxy` (examples/) wraps run() as a
+// standalone tool; `portatune_loadgen --chaos` forks one in-process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "support/cancellation.hpp"
+
+namespace portatune::service {
+
+struct ChaosProxyOptions {
+  std::uint64_t seed = 1;  ///< fault schedule seed (deterministic)
+  double delay_rate = 0.0;
+  double delay_seconds = 0.05;
+  double tear_rate = 0.0;
+  double hangup_rate = 0.0;
+  double blackhole_rate = 0.0;
+  /// How long a blackholed connection stays silent before closing.
+  double blackhole_hold_seconds = 0.5;
+};
+
+/// Point-in-time fault tally (safe to read while run() is live).
+struct ChaosStats {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;  ///< lines forwarded upstream
+  std::uint64_t delays = 0;
+  std::uint64_t tears = 0;
+  std::uint64_t hangups = 0;
+  std::uint64_t blackholes = 0;
+};
+
+class ChaosProxy {
+ public:
+  ChaosProxy(std::string listen_path, std::string upstream_path,
+             ChaosProxyOptions opt = {});
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Serve until `cancel` fires; returns 0. Throws portatune::Error when
+  /// the listen socket cannot be created (an unreachable *upstream* is
+  /// not an error — connections just close, and clients retry).
+  int run(CancellationToken cancel);
+
+  ChaosStats stats() const;
+
+  const std::string& listen_path() const noexcept { return listen_path_; }
+
+ private:
+  void serve_connection(int client_fd, std::uint64_t index,
+                        CancellationToken cancel);
+
+  std::string listen_path_;
+  std::string upstream_path_;
+  ChaosProxyOptions opt_;
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> delays_{0};
+  std::atomic<std::uint64_t> tears_{0};
+  std::atomic<std::uint64_t> hangups_{0};
+  std::atomic<std::uint64_t> blackholes_{0};
+};
+
+}  // namespace portatune::service

@@ -13,6 +13,7 @@
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sink.hpp"
+#include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "support/span_context.hpp"
 
@@ -30,6 +31,15 @@ using Members = std::vector<std::pair<std::string, Value>>;
 const char* const kOps[] = {"open",   "resume",     "step",  "suggest",
                             "report", "checkpoint", "close", "status",
                             "stats",  "shutdown",   "invalid"};
+
+/// The ops a retried rid may replay: everything that mutates session or
+/// store state. status/stats/shutdown are read-only or terminal and are
+/// always re-executed (a retried shutdown should still shut down).
+bool mutating_op(const std::string& op) {
+  return op == "open" || op == "resume" || op == "step" ||
+         op == "suggest" || op == "report" || op == "checkpoint" ||
+         op == "close";
+}
 
 std::string ok_reply(Members members) {
   Members m;
@@ -65,6 +75,10 @@ std::size_t size_member(const Value& req, const char* key,
 SessionHandle& required_session(TuningService& svc, const Value& req) {
   const std::string id = required_string(req, "id");
   SessionHandle* h = svc.find(id);
+  // Not live does not mean unknown: the daemon may have restarted, or
+  // the lease sweep reclaimed the session. Try its on-disk checkpoint
+  // before erroring so both cases stay invisible to clients.
+  if (h == nullptr) h = svc.try_restore(id);
   PT_REQUIRE(h != nullptr, "no open session '" + id + "'");
   return *h;
 }
@@ -206,6 +220,7 @@ std::string op_status(TuningService& svc) {
     m.emplace_back("best_seconds", Value::make_number(s.best_seconds));
     m.emplace_back("warm", Value::make_bool(s.warm));
     m.emplace_back("warm_source", Value::make_string(s.warm_source));
+    m.emplace_back("idle_seconds", Value::make_number(s.idle_seconds));
     m.emplace_back("closed", Value::make_bool(s.closed));
     sessions.push_back(Value::make_object(std::move(m)));
   }
@@ -213,6 +228,9 @@ std::string op_status(TuningService& svc) {
   store.emplace_back(
       "entries",
       Value::make_number(static_cast<double>(svc.store().size())));
+  store.emplace_back(
+      "quarantined",
+      Value::make_number(static_cast<double>(svc.store().quarantined())));
   Members m;
   m.emplace_back("sessions", Value::make_array(std::move(sessions)));
   m.emplace_back("cache", Value::make_object(cache_members(svc.cache().stats())));
@@ -259,25 +277,179 @@ std::string op_stats(TuningService& svc, std::uint64_t requests_handled) {
 }  // namespace
 
 ServiceProtocol::ServiceProtocol(TuningService& svc, ProtocolOptions opt)
-    : svc_(svc), opt_(opt) {
-  if (!opt_.telemetry) return;
-  auto& reg = obs::MetricsRegistry::current();
-  requests_total_ = &reg.counter("server.requests");
-  requests_failed_ = &reg.counter("server.requests_failed");
-  for (const char* op : kOps) {
-    const std::string prefix = std::string("server.op.") + op;
-    OpInstruments ins;
-    ins.count = &reg.counter(prefix + ".count");
-    ins.errors = &reg.counter(prefix + ".errors");
-    ins.latency = &reg.histogram(prefix + ".latency");
-    per_op_.emplace(op, ins);
+    : svc_(svc), opt_(std::move(opt)) {
+  if (opt_.telemetry) {
+    auto& reg = obs::MetricsRegistry::current();
+    requests_total_ = &reg.counter("server.requests");
+    requests_failed_ = &reg.counter("server.requests_failed");
+    replays_ = &reg.counter("server.rid.replays");
+    for (const char* op : kOps) {
+      const std::string prefix = std::string("server.op.") + op;
+      OpInstruments ins;
+      ins.count = &reg.counter(prefix + ".count");
+      ins.errors = &reg.counter(prefix + ".errors");
+      ins.latency = &reg.histogram(prefix + ".latency");
+      per_op_.emplace(op, ins);
+    }
   }
+  load_state();
 }
 
 ServiceProtocol::OpInstruments& ServiceProtocol::instruments(
     const std::string& op) {
   const auto it = per_op_.find(op);
   return it != per_op_.end() ? it->second : per_op_.find("invalid")->second;
+}
+
+std::size_t ServiceProtocol::replay_cache_size() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [client, cache] : replay_) n += cache.replies.size();
+  return n;
+}
+
+const std::string* ServiceProtocol::replay_lookup(const std::string& client,
+                                                  const std::string& rid) {
+  const auto it = replay_.find(client);
+  if (it == replay_.end()) return nullptr;
+  it->second.last_used = ++replay_tick_;
+  const auto rit = it->second.replies.find(rid);
+  return rit != it->second.replies.end() ? &rit->second : nullptr;
+}
+
+void ServiceProtocol::replay_store(const std::string& client,
+                                   const std::string& rid,
+                                   const std::string& reply) {
+  if (opt_.replay_cache_per_client == 0 || opt_.replay_cache_clients == 0)
+    return;
+  auto it = replay_.find(client);
+  if (it == replay_.end()) {
+    // New client: evict the least-recently-used one when full. Bounded
+    // state is the whole point — an adversarial client minting ids can
+    // only displace other clients' caches, never grow the daemon.
+    while (replay_.size() >= opt_.replay_cache_clients) {
+      auto lru = replay_.begin();
+      for (auto cit = replay_.begin(); cit != replay_.end(); ++cit)
+        if (cit->second.last_used < lru->second.last_used) lru = cit;
+      replay_.erase(lru);
+    }
+    it = replay_.emplace(client, ReplayCache{}).first;
+  }
+  ReplayCache& cache = it->second;
+  cache.last_used = ++replay_tick_;
+  if (cache.replies.count(rid) != 0) return;  // retried before we replied
+  while (cache.replies.size() >= opt_.replay_cache_per_client) {
+    cache.replies.erase(cache.order.front());
+    cache.order.pop_front();
+  }
+  cache.replies.emplace(rid, reply);
+  cache.order.push_back(rid);
+}
+
+void ServiceProtocol::persist_state() const {
+  if (opt_.state_path.empty()) return;
+  try {
+    Members counters;
+    if (opt_.telemetry) {
+      counters.emplace_back(
+          "server.requests",
+          Value::make_number(static_cast<double>(requests_total_->value())));
+      counters.emplace_back(
+          "server.requests_failed",
+          Value::make_number(static_cast<double>(requests_failed_->value())));
+      counters.emplace_back(
+          "server.rid.replays",
+          Value::make_number(static_cast<double>(replays_->value())));
+      for (const auto& [op, ins] : per_op_) {
+        const std::string prefix = "server.op." + op;
+        counters.emplace_back(
+            prefix + ".count",
+            Value::make_number(static_cast<double>(ins.count->value())));
+        counters.emplace_back(
+            prefix + ".errors",
+            Value::make_number(static_cast<double>(ins.errors->value())));
+      }
+    }
+    Members clients;
+    for (const auto& [client, cache] : replay_) {
+      std::vector<Value> pairs;
+      pairs.reserve(cache.order.size());
+      for (const std::string& rid : cache.order) {
+        std::vector<Value> pair;
+        pair.push_back(Value::make_string(rid));
+        pair.push_back(Value::make_string(cache.replies.at(rid)));
+        pairs.push_back(Value::make_array(std::move(pair)));
+      }
+      clients.emplace_back(client, Value::make_array(std::move(pairs)));
+    }
+    Members m;
+    m.emplace_back("portatune_protocol_state", Value::make_number(1.0));
+    m.emplace_back("requests",
+                   Value::make_number(static_cast<double>(requests_)));
+    m.emplace_back("counters", Value::make_object(std::move(counters)));
+    m.emplace_back("clients", Value::make_object(std::move(clients)));
+    atomic_write_file(opt_.state_path,
+                      Value::make_object(std::move(m)).dump() + "\n");
+  } catch (const std::exception& e) {
+    // Losing the replay cache degrades retry behaviour; it must never
+    // kill the daemon's shutdown path. Count it so operators see it.
+    obs::MetricsRegistry::current()
+        .counter("server.state_persist_failures")
+        .add(1);
+    if (obs::enabled(obs::Severity::Warn))
+      obs::emit(obs::make_instant(obs::Severity::Warn,
+                                  "server.state_persist_failed", "service",
+                                  {{"path", opt_.state_path},
+                                   {"error", std::string(e.what())}}));
+  }
+}
+
+void ServiceProtocol::load_state() {
+  if (opt_.state_path.empty() || !file_exists(opt_.state_path)) return;
+  try {
+    const Value state = Value::parse(read_file(opt_.state_path));
+    PT_REQUIRE(state.is_object() &&
+                   state.find("portatune_protocol_state") != nullptr,
+               "not a protocol state file");
+    if (const Value* v = state.find("requests"); v != nullptr && v->is_number())
+      requests_ = static_cast<std::uint64_t>(v->as_number());
+    // Counter continuity across the restart: the registry starts at
+    // zero, so *add* the persisted totals back. A loadgen stats delta
+    // spanning the restart then sees one monotone sequence.
+    if (opt_.telemetry) {
+      if (const Value* counters = state.find("counters");
+          counters != nullptr && counters->is_object()) {
+        auto& reg = obs::MetricsRegistry::current();
+        for (const auto& [name, v] : counters->as_object())
+          if (v.is_number() && v.as_number() > 0)
+            reg.counter(name).add(static_cast<std::uint64_t>(v.as_number()));
+      }
+    }
+    if (const Value* clients = state.find("clients");
+        clients != nullptr && clients->is_object()) {
+      for (const auto& [client, pairs] : clients->as_object()) {
+        if (!pairs.is_array()) continue;
+        for (const Value& pair : pairs.as_array()) {
+          if (!pair.is_array() || pair.as_array().size() != 2) continue;
+          const Value& rid = pair.as_array()[0];
+          const Value& reply = pair.as_array()[1];
+          if (rid.is_string() && reply.is_string())
+            replay_store(client, rid.as_string(), reply.as_string());
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // A torn or foreign state file must not stop the daemon from
+    // starting; it just starts with an empty replay cache.
+    replay_.clear();
+    obs::MetricsRegistry::current()
+        .counter("server.state_restore_failures")
+        .add(1);
+    if (obs::enabled(obs::Severity::Warn))
+      obs::emit(obs::make_instant(obs::Severity::Warn,
+                                  "server.state_restore_failed", "service",
+                                  {{"path", opt_.state_path},
+                                   {"error", std::string(e.what())}}));
+  }
 }
 
 ProtocolReply ServiceProtocol::handle_line(const std::string& line) {
@@ -299,16 +471,23 @@ ProtocolReply ServiceProtocol::handle_line(const std::string& line) {
   std::string op = "invalid";
   std::string session_id;
   std::string error;
+  std::string rid;
+  std::string rid_client;
+  bool replayed = false;
   ProtocolReply reply;
   // Requests are *counted* on arrival (as soon as the op is known), so a
   // `stats` reply's snapshot includes the very request that produced it;
-  // errors and latency are recorded on completion below.
+  // errors and latency are recorded on completion below. Replays are the
+  // exception: they count only under server.requests and
+  // server.rid.replays — the per-op counters record executions, exactly
+  // one per logical client call, which is what the loadgen cross-checks.
   bool counted = false;
   const auto count_arrival = [&] {
     if (opt_.telemetry && !counted) {
       counted = true;
       requests_total_->add(1);
-      instruments(op).count->add(1);
+      if (replayed) replays_->add(1);
+      else instruments(op).count->add(1);
     }
   };
   try {
@@ -320,6 +499,21 @@ ProtocolReply ServiceProtocol::handle_line(const std::string& line) {
     for (const char* known : kOps)
       if (requested == known && requested != "invalid") op = requested;
     PT_REQUIRE(op != "invalid", "unknown op '" + requested + "'");
+    if (const Value* v = req.find("rid"); v != nullptr && mutating_op(op)) {
+      PT_REQUIRE(v->is_string(), "'rid' must be a string");
+      rid = v->as_string();
+      const std::size_t colon = rid.rfind(':');
+      rid_client = colon == std::string::npos ? rid : rid.substr(0, colon);
+      if (const std::string* cached = replay_lookup(rid_client, rid)) {
+        // Exactly-once: this rid already executed and we remember what
+        // we said. Replay it verbatim — re-executing a step/report
+        // would double-consume draws and fork the CRN trace.
+        replayed = true;
+        reply = {*cached, false};
+        count_arrival();
+        return reply;
+      }
+    }
     count_arrival();
     if (op == "open") reply = {op_open(svc_, req), false};
     else if (op == "resume") reply = {op_resume(svc_, req), false};
@@ -341,6 +535,11 @@ ProtocolReply ServiceProtocol::handle_line(const std::string& line) {
   }
   count_arrival();  // parse/validation failures count under "invalid"
   const bool failed = !error.empty();
+
+  // Error replies are cached too: a deterministic failure (bad config,
+  // closed session) must answer a retry the same way, not re-execute
+  // into a *different* failure — or worse, a success — on the retry.
+  if (!rid.empty()) replay_store(rid_client, rid, reply.line);
 
   if (failed && obs::enabled(obs::Severity::Warn)) {
     // Satellite: op errors reach the event stream (and so the flight

@@ -17,7 +17,7 @@
 //   checkpoint  id                       -> {ok}
 //   close       id                       -> {ok,evals,best_seconds}
 //   status                               -> {ok,sessions:[...],cache:{...},
-//                                            store:{entries}}
+//                                            store:{entries,quarantined}}
 //   stats                                -> {ok,server:{pid,uptime,...},
 //                                            metrics:{counters,gauges,
 //                                            histograms}} — a full metrics
@@ -26,6 +26,33 @@
 //                                           and the loadgen cross-check read
 //   shutdown                             -> {ok,shutdown:true} and the
 //                                           reply asks the server to stop
+//
+// Exactly-once retries: every *mutating* op (open/resume/step/suggest/
+// report/checkpoint/close) may carry an optional string "rid" — a
+// client-generated idempotency key, by convention "<client id>:<seq>".
+// The protocol remembers the reply it gave each rid in a bounded
+// per-client cache; a retried request with a seen rid *replays* the
+// stored reply instead of re-executing, so a client that lost a reply to
+// a hangup can retry without double-consuming draws — the trace stays
+// bit-identical to an unfailed run (the CRN discipline). Replays count
+// under `server.rid.replays`, NOT under `server.op.<op>.count`, so the
+// loadgen's exact client/server cross-check holds under retries: the op
+// counters record *executions*, exactly one per logical client call.
+// Requests without a rid never touch the cache (BM_ProtocolRidDormant
+// holds that line). A non-string rid is an error.
+//
+// When `ProtocolOptions::state_path` is set, persist_state() (called by
+// the server's teardown on both exit paths) writes the exactly-once
+// state — the reply cache plus the op counters — and a later protocol
+// constructed with the same path restores it, so retries that span a
+// SIGTERM -> restart of the daemon still replay and the counters stay
+// continuous across the restart.
+//
+// A session op whose handle is not live (the daemon restarted, or the
+// lease sweep reclaimed an idle session) transparently resumes the
+// session from its on-disk checkpoint before dispatching — counted under
+// `service.sessions_restored`. Only genuinely unknown (or closed)
+// sessions error.
 //
 // Configurations travel as JSON arrays of parameter *value indices*
 // (the tuner's ParamConfig representation), in the space's parameter
@@ -46,6 +73,8 @@
 //
 //   server.requests                 counter, every line handled
 //   server.requests_failed          counter, lines answered {"ok":false}
+//   server.rid.replays              counter, retried rids answered from
+//                                   the reply cache (not re-executed)
 //   server.op.<name>.count          counter  (name "invalid" = the line
 //   server.op.<name>.errors         counter   failed before an op was
 //   server.op.<name>.latency        histogram known: bad JSON/unknown op)
@@ -64,6 +93,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 
@@ -83,6 +113,17 @@ struct ProtocolOptions {
   /// Requests slower than this emit a Warn `server.slow_request` event
   /// (0 disables the check).
   double slow_request_seconds = 1.0;
+  /// Reply-cache bounds for the exactly-once rid protocol: replies
+  /// remembered per client (the rid prefix before the last ':'), and
+  /// distinct clients remembered (LRU-evicted beyond that). A synchronous
+  /// client only ever needs its latest reply; the slack absorbs
+  /// pipelining and slow reconnects.
+  std::size_t replay_cache_per_client = 128;
+  std::size_t replay_cache_clients = 256;
+  /// When non-empty, persist_state() writes the exactly-once state (the
+  /// reply cache + op counters) here atomically, and construction
+  /// restores it — retries spanning a daemon restart still replay.
+  std::string state_path;
 };
 
 class ServiceProtocol {
@@ -90,6 +131,8 @@ class ServiceProtocol {
   /// With telemetry on, the per-op instruments are bound to the metrics
   /// registry current at construction (the ObservedEvaluator idiom), so
   /// a protocol must not outlive a registry redirect it was built under.
+  /// When `opt.state_path` names an existing state file, the reply cache
+  /// and counters persisted by a previous protocol are restored.
   explicit ServiceProtocol(TuningService& svc, ProtocolOptions opt = {});
 
   /// Handle one request line. Never throws: every failure is an
@@ -97,8 +140,18 @@ class ServiceProtocol {
   /// server loop (requests from all clients already serialize there).
   ProtocolReply handle_line(const std::string& line);
 
-  /// Total lines handled (assigned request ids 1..n).
+  /// Total lines handled (assigned request ids 1..n). Restored across a
+  /// restart when state_path is set.
   std::uint64_t requests_handled() const noexcept { return requests_; }
+
+  /// Rids currently remembered across all clients (tests, status).
+  std::size_t replay_cache_size() const noexcept;
+
+  /// Write the exactly-once state to `state_path` (atomic replace).
+  /// No-op when state_path is empty; persistence failures are swallowed
+  /// after counting `server.state_persist_failures` — losing the replay
+  /// cache degrades retries, it must not kill the daemon.
+  void persist_state() const;
 
  private:
   struct OpInstruments {
@@ -108,12 +161,28 @@ class ServiceProtocol {
   };
   OpInstruments& instruments(const std::string& op);
 
+  /// One client's remembered replies, FIFO-bounded; `last_used` orders
+  /// clients for LRU eviction.
+  struct ReplayCache {
+    std::map<std::string, std::string> replies;  ///< rid -> reply line
+    std::deque<std::string> order;               ///< insertion order
+    std::uint64_t last_used = 0;
+  };
+  const std::string* replay_lookup(const std::string& client,
+                                   const std::string& rid);
+  void replay_store(const std::string& client, const std::string& rid,
+                    const std::string& reply);
+  void load_state();
+
   TuningService& svc_;
   ProtocolOptions opt_;
   std::uint64_t requests_ = 0;
   obs::Counter* requests_total_ = nullptr;
   obs::Counter* requests_failed_ = nullptr;
+  obs::Counter* replays_ = nullptr;
   std::map<std::string, OpInstruments> per_op_;
+  std::map<std::string, ReplayCache> replay_;
+  std::uint64_t replay_tick_ = 0;
 };
 
 }  // namespace portatune::service

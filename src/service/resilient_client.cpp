@@ -1,0 +1,277 @@
+#include "service/resilient_client.hpp"
+
+#include "support/error.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/json.hpp"
+
+namespace portatune::service {
+
+namespace {
+
+using obs::json::Value;
+using Members = std::vector<std::pair<std::string, Value>>;
+
+/// Must match the protocol's replayable set (protocol.cpp): only these
+/// ops get a rid, so read-only traffic never grows the reply cache.
+bool mutating_op(const std::string& op) {
+  return op == "open" || op == "resume" || op == "step" ||
+         op == "suggest" || op == "report" || op == "checkpoint" ||
+         op == "close";
+}
+
+void sleep_seconds(double s) {
+  if (s > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(s));
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(std::string socket_path,
+                                 ResilientClientOptions opt)
+    : socket_path_(std::move(socket_path)),
+      opt_(std::move(opt)),
+      jitter_(opt_.jitter_seed) {
+  sockaddr_un addr{};
+  PT_REQUIRE(socket_path_.size() < sizeof(addr.sun_path),
+             "socket path too long: " + socket_path_);
+  PT_REQUIRE(opt_.attempt_timeout_seconds > 0.0,
+             "attempt_timeout_seconds must be positive");
+  client_id_ = opt_.client_id.empty()
+                   ? "c" + std::to_string(::getpid())
+                   : opt_.client_id;
+}
+
+ResilientClient::~ResilientClient() { disconnect(); }
+
+void ResilientClient::disconnect() noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buf_.clear();  // half a reply from a dead connection is garbage
+}
+
+bool ResilientClient::connect_once() noexcept {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path_.c_str(),
+               sizeof(addr.sun_path) - 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool ResilientClient::send_all(const std::string& bytes) noexcept {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ResilientClient::read_reply(double attempt_deadline_mono,
+                                 std::string& reply) {
+  char buf[4096];
+  for (;;) {
+    const std::size_t nl = buf_.find('\n');
+    if (nl != std::string::npos) {
+      reply = buf_.substr(0, nl);
+      buf_.erase(0, nl + 1);
+      return true;
+    }
+    const double remaining = attempt_deadline_mono - obs::mono_now();
+    if (remaining <= 0.0) return false;
+    // poll() before recv(): the timeout is what stops a blackholed or
+    // hung server from wedging the client (the chaos proxy's blackhole
+    // fault exists to prove exactly this path).
+    pollfd p{fd_, POLLIN, 0};
+    const int timeout_ms =
+        static_cast<int>(std::min(remaining * 1000.0 + 1.0, 3600000.0));
+    const int ready = ::poll(&p, 1, std::max(1, timeout_ms));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (ready == 0) return false;  // attempt timed out
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                  errno == EWOULDBLOCK))
+      continue;
+    if (n <= 0) return false;  // hangup (possibly mid-reply; buf_ is
+                               // dropped by the disconnect that follows)
+    buf_.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+std::string ResilientClient::stamp_rid(const std::string& line) {
+  if (!opt_.stamp_rids) return line;
+  try {
+    const Value req = Value::parse(line);
+    if (!req.is_object()) return line;
+    const Value* op = req.find("op");
+    if (op == nullptr || !op->is_string() || !mutating_op(op->as_string()))
+      return line;
+    if (req.find("rid") != nullptr) return line;  // caller-managed rid
+    Members m = req.as_object();
+    m.emplace_back("rid", Value::make_string(
+                              client_id_ + ":" + std::to_string(++seq_)));
+    return Value::make_object(std::move(m)).dump();
+  } catch (const std::exception&) {
+    // Unparseable lines pass through unstamped: the server's error
+    // reply is deterministic, so the retry loop stays idempotent.
+    return line;
+  }
+}
+
+std::string ResilientClient::call(const std::string& line) {
+  return call(line, opt_.call_deadline_seconds);
+}
+
+std::string ResilientClient::call(const std::string& line,
+                                  double deadline_seconds) {
+  // One rid for the whole call: every retry re-sends these exact bytes,
+  // so the server either executes once or replays the cached reply.
+  const std::string request = stamp_rid(line) + "\n";
+  const double deadline =
+      obs::mono_now() + std::max(0.0, deadline_seconds);
+  std::string last_error = "no attempt completed";
+  std::size_t failures = 0;
+
+  // Jittered capped exponential backoff; false = the deadline expired.
+  const auto backoff = [&]() -> bool {
+    const double now = obs::mono_now();
+    if (now >= deadline) return false;
+    double b = opt_.backoff_initial_seconds;
+    for (std::size_t i = 0; i < failures && b < opt_.backoff_max_seconds;
+         ++i)
+      b *= opt_.backoff_multiplier;
+    b = std::min(b, opt_.backoff_max_seconds);
+    b *= 0.5 + jitter_.uniform();  // [0.5, 1.5)x, seeded
+    sleep_seconds(std::min(b, deadline - now));
+    ++failures;
+    return true;
+  };
+
+  for (std::size_t attempt = 0;; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (fd_ < 0) {
+      if (connect_once()) {
+        if (connected_once_) ++stats_.reconnects;
+        connected_once_ = true;
+      } else {
+        last_error =
+            "connect(" + socket_path_ + "): " + std::strerror(errno);
+        if (!backoff()) break;
+        continue;
+      }
+    }
+    if (!send_all(request)) {
+      last_error = "send(" + socket_path_ + "): connection lost";
+      disconnect();
+      if (!backoff()) break;
+      continue;
+    }
+    const double attempt_deadline = std::min(
+        deadline, obs::mono_now() + opt_.attempt_timeout_seconds);
+    std::string reply;
+    if (!read_reply(attempt_deadline, reply)) {
+      last_error = "no reply from " + socket_path_ + " within " +
+                   std::to_string(opt_.attempt_timeout_seconds) + "s";
+      disconnect();
+      if (!backoff()) break;
+      continue;
+    }
+    // The server's typed overload signal: back off exactly as told,
+    // without consuming the exponential-backoff schedule.
+    double retry_after = -1.0;
+    try {
+      const Value v = Value::parse(reply);
+      if (v.is_object()) {
+        const Value* ok = v.find("ok");
+        const Value* ra = v.find("retry_after");
+        if (ok != nullptr && ok->is_bool() && !ok->as_bool() &&
+            ra != nullptr && ra->is_number())
+          retry_after = ra->as_number();
+      }
+    } catch (const std::exception&) {
+      // Not JSON: hand it to the caller as-is below.
+    }
+    if (retry_after >= 0.0) {
+      ++stats_.throttled;
+      last_error = "rate limited (retry_after " +
+                   std::to_string(retry_after) + "s)";
+      if (obs::mono_now() + retry_after >= deadline) break;
+      sleep_seconds(retry_after);
+      continue;
+    }
+    ++stats_.calls;
+    return reply;
+  }
+  throw Error("call deadline of " + std::to_string(deadline_seconds) +
+              "s exceeded on " + socket_path_ + ": " + last_error);
+}
+
+}  // namespace portatune::service
+
+#else  // non-UNIX build: no AF_UNIX transport
+
+namespace portatune::service {
+
+ResilientClient::ResilientClient(std::string socket_path,
+                                 ResilientClientOptions opt)
+    : socket_path_(std::move(socket_path)),
+      opt_(std::move(opt)),
+      jitter_(opt_.jitter_seed) {
+  throw Error("the tuning service socket transport requires a UNIX system");
+}
+
+ResilientClient::~ResilientClient() = default;
+
+void ResilientClient::disconnect() noexcept {}
+bool ResilientClient::connect_once() noexcept { return false; }
+bool ResilientClient::send_all(const std::string&) noexcept { return false; }
+bool ResilientClient::read_reply(double, std::string&) { return false; }
+std::string ResilientClient::stamp_rid(const std::string& line) {
+  return line;
+}
+
+std::string ResilientClient::call(const std::string& line) {
+  return call(line, opt_.call_deadline_seconds);
+}
+
+std::string ResilientClient::call(const std::string&, double) {
+  throw Error("the tuning service socket transport requires a UNIX system");
+}
+
+}  // namespace portatune::service
+
+#endif

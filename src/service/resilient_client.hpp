@@ -1,0 +1,114 @@
+// ResilientClient: the client half of the exactly-once protocol.
+//
+// ServiceClient (server.hpp) is one connection, and every transport
+// failure — a daemon restart, a torn reply, a proxy hangup — surfaces as
+// a thrown Error the caller must deal with. ResilientClient wraps that
+// transport in the retry discipline that makes such failures invisible:
+//
+//   * reconnect: a dead connection is re-dialed on the next attempt
+//     (counted under stats().reconnects);
+//   * per-call deadlines: call() gives up only when
+//     `call_deadline_seconds` (or the per-call override) expires — reads
+//     are poll()-timed so a blackholed server cannot hang the client
+//     past `attempt_timeout_seconds` per attempt;
+//   * capped exponential backoff with seeded jitter between attempts
+//     (deterministic per `jitter_seed`, so chaos runs are replayable);
+//   * automatic rid stamping: every *mutating* request that does not
+//     already carry one gets "rid":"<client_id>:<seq>" — the server's
+//     reply cache (protocol.hpp) then makes the retry loop exactly-once:
+//     a request whose reply was lost is re-sent with the same rid and
+//     the server replays the stored reply instead of re-executing;
+//   * typed overload handling: a reply carrying a numeric `retry_after`
+//     (the server's rate limiter) sleeps exactly that long and retries,
+//     counted under stats().throttled, without burning backoff.
+//
+// A SIGTERM -> restart of the daemon mid-session is therefore invisible
+// to a caller looping on call(): the reconnect lands on the restarted
+// daemon, the rid replay covers the request that straddled the restart,
+// and the protocol's session auto-restore covers the session state.
+// `portatune_cli call`, `status --socket`, and the loadgen all sit on
+// this class.
+//
+// Error replies ({"ok":false,...}) without retry_after are returned to
+// the caller verbatim — they are the protocol's answer, not a transport
+// failure. call() throws portatune::Error only when the deadline expires
+// without any reply.
+//
+// Not thread-safe (one per client thread, like ServiceClient).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/rng.hpp"
+
+namespace portatune::service {
+
+struct ResilientClientOptions {
+  /// Default per-call budget; call(line, deadline) overrides per call.
+  double call_deadline_seconds = 30.0;
+  /// Longest a single attempt waits for a reply before reconnecting.
+  double attempt_timeout_seconds = 5.0;
+  /// Backoff between failed attempts: initial * multiplier^n, capped,
+  /// then jittered to [0.5, 1.5)x so restarting fleets do not stampede.
+  double backoff_initial_seconds = 0.02;
+  double backoff_multiplier = 2.0;
+  double backoff_max_seconds = 1.0;
+  std::uint64_t jitter_seed = 1;
+  /// The rid prefix. Empty = derived from the pid (distinct per process,
+  /// stable within one — exactly what the per-client reply cache keys
+  /// on). Forked workers must set their own (the loadgen does).
+  std::string client_id;
+  /// Stamp rids onto mutating requests that lack one. Off = the caller
+  /// manages idempotency itself (or accepts at-least-once).
+  bool stamp_rids = true;
+};
+
+struct ResilientClientStats {
+  std::uint64_t calls = 0;       ///< call() invocations that returned
+  std::uint64_t retries = 0;     ///< extra attempts beyond the first
+  std::uint64_t reconnects = 0;  ///< re-dials after a dead connection
+  std::uint64_t throttled = 0;   ///< retry_after replies honored
+};
+
+class ResilientClient {
+ public:
+  /// Does NOT connect: the first call() dials, so constructing a client
+  /// before the daemon is up is fine (the retry loop absorbs the wait).
+  explicit ResilientClient(std::string socket_path,
+                           ResilientClientOptions opt = {});
+  ~ResilientClient();
+
+  ResilientClient(const ResilientClient&) = delete;
+  ResilientClient& operator=(const ResilientClient&) = delete;
+
+  /// Send `line` (rid-stamped when mutating), return the reply line.
+  /// Retries through transport failures until the deadline; throws
+  /// portatune::Error when it expires without a reply.
+  std::string call(const std::string& line);
+  std::string call(const std::string& line, double deadline_seconds);
+
+  const ResilientClientStats& stats() const noexcept { return stats_; }
+  const std::string& client_id() const noexcept { return client_id_; }
+
+ private:
+  void disconnect() noexcept;
+  bool connect_once() noexcept;
+  bool send_all(const std::string& bytes) noexcept;
+  /// Poll-timed read of one reply line; false = connection dead or
+  /// attempt timed out (caller reconnects).
+  bool read_reply(double attempt_deadline_mono, std::string& reply);
+  std::string stamp_rid(const std::string& line);
+
+  std::string socket_path_;
+  ResilientClientOptions opt_;
+  std::string client_id_;
+  Rng jitter_;
+  std::uint64_t seq_ = 0;
+  int fd_ = -1;
+  std::string buf_;  ///< reply bytes past the last returned line
+  bool connected_once_ = false;
+  ResilientClientStats stats_;
+};
+
+}  // namespace portatune::service

@@ -9,6 +9,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <optional>
@@ -35,6 +36,8 @@ struct Client {
   std::string inbuf;   ///< bytes received, not yet newline-terminated
   std::string outbuf;  ///< reply bytes not yet written
   bool closing = false;  ///< close after the outbuf drains (oversized line)
+  double tokens = 0.0;       ///< rate-limit token bucket level
+  double last_refill = 0.0;  ///< mono_now() of the last bucket refill
 };
 
 /// Transport-level instruments, bound once per serve loop (nullptr when
@@ -45,6 +48,8 @@ struct WireInstruments {
   obs::Counter* bytes_in = nullptr;
   obs::Counter* bytes_out = nullptr;
   obs::Counter* lines_rejected = nullptr;
+  obs::Counter* requests_throttled = nullptr;
+  obs::Counter* sessions_reclaimed = nullptr;
   obs::Gauge* clients_connected = nullptr;
   obs::Gauge* requests_in_flight = nullptr;
   obs::Histogram* poll_wait = nullptr;
@@ -57,6 +62,8 @@ struct WireInstruments {
     w.bytes_in = &reg.counter("server.bytes_in");
     w.bytes_out = &reg.counter("server.bytes_out");
     w.lines_rejected = &reg.counter("server.lines_rejected");
+    w.requests_throttled = &reg.counter("server.requests_throttled");
+    w.sessions_reclaimed = &reg.counter("server.sessions_reclaimed");
     w.clients_connected = &reg.gauge("server.clients_connected");
     w.requests_in_flight = &reg.gauge("server.requests_in_flight");
     w.poll_wait = &reg.histogram("server.poll.wait_seconds");
@@ -68,6 +75,16 @@ void emit_server_event(const char* name, const std::string& socket_path) {
   if (!obs::enabled(obs::Severity::Info)) return;
   obs::emit(obs::make_instant(obs::Severity::Info, name, "service",
                               {{"socket", socket_path}}));
+}
+
+/// The typed overload reply: ResilientClient recognizes `retry_after`
+/// and backs off exactly that long before retrying the same request.
+std::string throttle_reply(double retry_after_seconds) {
+  Members m;
+  m.emplace_back("ok", Value::make_bool(false));
+  m.emplace_back("error", Value::make_string("rate limit exceeded"));
+  m.emplace_back("retry_after", Value::make_number(retry_after_seconds));
+  return Value::make_object(std::move(m)).dump();
 }
 
 /// Write as much of the client's outbuf as the socket accepts.
@@ -205,22 +222,40 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
   const bool heartbeat =
       !opt.status_path.empty() && opt.status_every_seconds > 0.0;
   double last_status = -1e18;  // first loop iteration writes immediately
+  double last_lease = obs::mono_now();
   const auto write_status = [&] {
     try {
       atomic_write_file(opt.status_path,
                         render_status(svc, socket_path, protocol,
                                       clients.size()));
-    } catch (const std::exception&) {
-      // Heartbeat is advisory; a full disk must not kill the server.
+    } catch (const std::exception& e) {
+      // Heartbeat is advisory; a full disk must not kill the server —
+      // but the operator should see the degradation.
+      if (telemetry)
+        obs::MetricsRegistry::current()
+            .counter("server.status_write_failures")
+            .add(1);
+      if (obs::enabled(obs::Severity::Warn))
+        obs::emit(obs::make_instant(obs::Severity::Warn,
+                                    "server.status_write_failed", "service",
+                                    {{"error", e.what()}}));
     }
   };
 
   const auto teardown = [&] {
+    // Deliver any computed-but-unsent replies first: a reply lost at
+    // SIGTERM forces the client into a retry the restarted daemon must
+    // replay — correct, but avoidable wire traffic.
+    for (Client& c : clients)
+      flush_client(c, telemetry ? wire.bytes_out : nullptr);
     for (Client& c : clients) ::close(c.fd);
     clients.clear();
     ::close(listen_fd);
     ::unlink(socket_path.c_str());
     svc.checkpoint_all();
+    // Persist the exactly-once state after the checkpoints: a restarted
+    // daemon then both resumes the sessions and replays cached replies.
+    protocol.persist_state();
     svc.publish_metrics();
     if (telemetry) wire.clients_connected->set(0.0);
     if (heartbeat) write_status();  // final state, clients_connected = 0
@@ -238,6 +273,19 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
         last_status = now;
         svc.publish_metrics();
         write_status();
+      }
+    }
+    if (opt.lease_seconds > 0.0) {
+      const double now = obs::mono_now();
+      if (now - last_lease >= opt.lease_check_every_seconds) {
+        last_lease = now;
+        for (const std::string& id : svc.reclaim_idle(opt.lease_seconds)) {
+          if (telemetry) wire.sessions_reclaimed->add(1);
+          if (obs::enabled(obs::Severity::Warn))
+            obs::emit(obs::make_instant(
+                obs::Severity::Warn, "server.session_reclaimed", "service",
+                {{"session", id}, {"lease_seconds", opt.lease_seconds}}));
+        }
       }
     }
 
@@ -267,7 +315,13 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
     if (fds[0].revents & POLLIN) {
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd >= 0) {
-        accepted.push_back(Client{fd, {}, {}, false});
+        Client c;
+        c.fd = fd;
+        // A fresh connection starts with a full burst allowance.
+        c.tokens = opt.client_rate_burst;
+        c.last_refill =
+            opt.client_rate_limit > 0.0 ? obs::mono_now() : 0.0;
+        accepted.push_back(std::move(c));
         if (telemetry) wire.clients_accepted->add(1);
       }
     }
@@ -305,6 +359,27 @@ int serve_unix_socket(TuningService& svc, const std::string& socket_path,
                   std::to_string(opt.max_line_bytes) + " bytes\"}\n";
               c.closing = true;  // deliver the verdict, then hang up
               break;
+            }
+            if (opt.client_rate_limit > 0.0) {
+              // Token bucket per connection: sustained rate above the
+              // limit drains it, and the typed retry_after tells the
+              // client exactly how long until the next token. The check
+              // sits *before* the protocol so an abusive client cannot
+              // consume op counters or replay-cache slots.
+              const double now = obs::mono_now();
+              c.tokens = std::min(
+                  opt.client_rate_burst,
+                  c.tokens + (now - c.last_refill) * opt.client_rate_limit);
+              c.last_refill = now;
+              if (c.tokens < 1.0) {
+                if (telemetry) wire.requests_throttled->add(1);
+                c.outbuf +=
+                    throttle_reply((1.0 - c.tokens) /
+                                   opt.client_rate_limit);
+                c.outbuf += '\n';
+                continue;
+              }
+              c.tokens -= 1.0;
             }
             // The wire-receive span: parent of the protocol's op span, so
             // the trace tree reads request -> dispatch -> session -> eval.

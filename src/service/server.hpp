@@ -37,6 +37,26 @@
 // unterminated) answers {"ok":false,"error":...} and closes that client —
 // a runaway or malicious writer cannot grow a buffer unboundedly or
 // starve the other clients.
+//
+// Session leases: with `lease_seconds` > 0 the loop's tick sweeps for
+// sessions no client op has touched within the lease. Each one is
+// checkpointed and evicted from the live map (counted under
+// `server.sessions_reclaimed`, Warn `server.session_reclaimed`) — NOT
+// closed: a returning client's next op transparently resumes it from
+// the lease checkpoint through the protocol's restore fallback. An
+// abandoned client therefore leaks nothing but a directory on disk.
+//
+// Overload protection: with `client_rate_limit` > 0 each connection gets
+// a token bucket (`client_rate_burst` deep, refilled at the limit). A
+// request arriving with the bucket empty is answered by a typed error —
+// {"ok":false,"error":"rate limit exceeded","retry_after":<seconds>} —
+// without touching the protocol (it does not consume op counters), and
+// ResilientClient sleeps `retry_after` before retrying. Counted under
+// `server.requests_throttled`.
+//
+// Exactly-once across restarts: teardown (both exit paths) flushes every
+// client's pending reply bytes, then persists the protocol's reply cache
+// and counters via persist_state() — see protocol.hpp.
 #pragma once
 
 #include <string>
@@ -54,7 +74,17 @@ struct ServeOptions {
   std::string status_path;
   /// Longest accepted request line (bytes, newline excluded).
   std::size_t max_line_bytes = 1 << 20;
-  /// Request-layer knobs (telemetry, slow-request threshold).
+  /// Sessions idle longer than this are checkpointed and evicted by the
+  /// loop's lease sweep; <= 0 disables leasing (sessions live forever).
+  double lease_seconds = 0.0;
+  /// How often the lease sweep runs (it walks every session).
+  double lease_check_every_seconds = 1.0;
+  /// Per-client sustained requests/second; <= 0 disables throttling.
+  double client_rate_limit = 0.0;
+  /// Token-bucket depth: bursts up to this many requests are absorbed.
+  double client_rate_burst = 32.0;
+  /// Request-layer knobs (telemetry, slow-request threshold, the rid
+  /// replay cache and its state_path).
   ProtocolOptions protocol;
 };
 

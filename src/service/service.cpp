@@ -3,9 +3,11 @@
 #include <cctype>
 #include <utility>
 
+#include "obs/event.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/scoped_timer.hpp"
+#include "obs/sink.hpp"
 #include "support/atomic_file.hpp"
 #include "support/error.hpp"
 #include "tuner/persistence.hpp"
@@ -228,6 +230,7 @@ tuner::SessionStepStats SessionHandle::step(std::size_t n) {
   obs::ScopedTimer span("session.step", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  last_touched_ = obs::mono_now();
   const tuner::SessionStepStats stats = session_->step(n);
   publish_gauges_locked();
   return stats;
@@ -237,6 +240,7 @@ std::vector<tuner::ParamConfig> SessionHandle::suggest(std::size_t n) {
   obs::ScopedTimer span("session.suggest", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  last_touched_ = obs::mono_now();
   return session_->suggest(n);
 }
 
@@ -244,6 +248,7 @@ void SessionHandle::report(const tuner::ParamConfig& config, double seconds) {
   obs::ScopedTimer span("session.report", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   PT_REQUIRE(!closed_, "session '" + id_ + "' is closed");
+  last_touched_ = obs::mono_now();
   session_->report(config, seconds);
   // An externally measured result is as reusable as a service-side one.
   if (seconds > 0.0)
@@ -257,6 +262,7 @@ void SessionHandle::checkpoint() {
   // A closed session persisted its final state at close; a checkpoint
   // racing with close() (the SIGTERM sweep) is a no-op, not an error.
   if (closed_) return;
+  last_touched_ = obs::mono_now();
   persist_checkpoint_locked();
   persist_meta_locked();
 }
@@ -265,6 +271,7 @@ tuner::SearchTrace SessionHandle::close() {
   obs::ScopedTimer span("session.close", "service", {{"session", id_}});
   std::lock_guard lock(mutex_);
   if (closed_) return session_->trace();
+  last_touched_ = obs::mono_now();
   persist_checkpoint_locked();
   session_->close();
   closed_ = true;
@@ -291,6 +298,7 @@ SessionInfo SessionHandle::info() const {
   s.best_seconds = session_->trace().best_seconds();
   s.warm = warm_model_ != nullptr;
   s.warm_source = warm_source_;
+  s.idle_seconds = obs::mono_now() - last_touched_;
   s.closed = closed_;
   return s;
 }
@@ -298,6 +306,11 @@ SessionInfo SessionHandle::info() const {
 tuner::SearchTrace SessionHandle::trace_snapshot() const {
   std::lock_guard lock(mutex_);
   return session_->trace();
+}
+
+double SessionHandle::idle_seconds() const {
+  std::lock_guard lock(mutex_);
+  return obs::mono_now() - last_touched_;
 }
 
 void SessionHandle::persist_meta_locked() const {
@@ -390,12 +403,24 @@ std::unique_ptr<SessionHandle> TuningService::build_session(
     h->fingerprint_ =
         measure_fingerprint(*h->cached_, opt_.fingerprint_probes);
     if (const auto match = store_.nearest(cfg.problem(), h->fingerprint_)) {
-      h->warm_key_ = match->entry.key;
-      h->warm_source_ = match->entry.machine;
-      h->warm_model_ =
-          store_.load_surrogate(match->entry, h->cached_->space());
+      try {
+        h->warm_model_ =
+            store_.load_surrogate(match->entry, h->cached_->space());
+        h->warm_key_ = match->entry.key;
+        h->warm_source_ = match->entry.machine;
+      } catch (const std::exception& e) {
+        // The checksum passed at load but the trace would not parse (a
+        // forged footer over tampered bytes): quarantine the entry at
+        // the point of use and start this session cold — a corrupt
+        // store entry must degrade a warm start, never fail an open.
+        h->warm_model_.reset();
+        h->warm_key_.clear();
+        h->warm_source_.clear();
+        store_.quarantine(match->entry.key, e.what());
+      }
     }
   }
+  h->last_touched_ = obs::mono_now();
 
   tuner::SessionOptions opts = cfg.session_options(id);
   opts.warm_model = h->warm_model_.get();
@@ -464,6 +489,66 @@ SessionHandle* TuningService::find(const std::string& id) {
   return it == sessions_.end() ? nullptr : it->second.get();
 }
 
+SessionHandle* TuningService::try_restore(const std::string& id) {
+  try {
+    SessionHandle& h = resume(id);
+    obs::MetricsRegistry::current()
+        .counter("service.sessions_restored")
+        .add(1);
+    if (obs::enabled(obs::Severity::Info))
+      obs::emit(obs::make_instant(obs::Severity::Info,
+                                  "service.session_restored", "service",
+                                  {{"session", id}}));
+    return &h;
+  } catch (const std::exception&) {
+    // No checkpoint, a closed session, an invalid id: the caller turns
+    // nullptr into its own "no open session" error.
+    return nullptr;
+  }
+}
+
+std::vector<std::string> TuningService::reclaim_idle(
+    double max_idle_seconds) {
+  std::vector<std::string> reclaimed;
+  std::vector<SessionHandle*> handles;
+  {
+    std::lock_guard lock(mutex_);
+    handles.reserve(sessions_.size());
+    for (auto& [_, h] : sessions_) handles.push_back(h.get());
+  }
+  for (SessionHandle* h : handles) {
+    if (h->idle_seconds() < max_idle_seconds) continue;
+    const SessionInfo info = h->info();
+    if (!info.closed) {
+      // Checkpoint before eviction so a later op on the session resumes
+      // it exactly where the client left it. The meta is NOT marked
+      // closed — closed means finished, and this session is merely
+      // unattended. A failed checkpoint keeps the session live:
+      // reclaiming it anyway would lose the un-persisted evaluations.
+      try {
+        h->checkpoint();
+      } catch (const std::exception& e) {
+        obs::MetricsRegistry::current()
+            .counter("service.checkpoint_failures")
+            .add(1);
+        if (obs::enabled(obs::Severity::Warn))
+          obs::emit(obs::make_instant(
+              obs::Severity::Warn, "service.checkpoint_failed", "service",
+              {{"session", info.id}, {"error", std::string(e.what())}}));
+        continue;
+      }
+    }
+    std::lock_guard lock(mutex_);
+    const auto it = sessions_.find(info.id);
+    // Skip a handle that was concurrently erased and re-opened: the new
+    // incarnation's idle clock starts fresh.
+    if (it == sessions_.end() || it->second.get() != h) continue;
+    sessions_.erase(it);
+    reclaimed.push_back(info.id);
+  }
+  return reclaimed;
+}
+
 std::vector<SessionInfo> TuningService::sessions() const {
   // Copy the handle pointers under the registry lock, then query each
   // without it (info() takes the per-handle lock; holding both here
@@ -489,11 +574,19 @@ void TuningService::checkpoint_all() {
   }
   // Best-effort sweep: one session's persistence failure (disk full,
   // directory vanished) must not cost the remaining sessions their
-  // checkpoints on the SIGTERM path.
+  // checkpoints on the SIGTERM path — but it must not be *silent*
+  // either: count it and put it in the event stream.
   for (SessionHandle* h : handles) {
     try {
       h->checkpoint();
-    } catch (...) {
+    } catch (const std::exception& e) {
+      obs::MetricsRegistry::current()
+          .counter("service.checkpoint_failures")
+          .add(1);
+      if (obs::enabled(obs::Severity::Warn))
+        obs::emit(obs::make_instant(
+            obs::Severity::Warn, "service.checkpoint_failed", "service",
+            {{"session", h->id()}, {"error", std::string(e.what())}}));
     }
   }
 }
@@ -510,11 +603,13 @@ void TuningService::publish_metrics() {
   cache_.publish_metrics();
   std::vector<const SessionHandle*> handles;
   std::size_t store_entries = 0;
+  std::size_t quarantined = 0;
   {
     std::lock_guard lock(mutex_);
     handles.reserve(sessions_.size());
     for (const auto& [_, h] : sessions_) handles.push_back(h.get());
     store_entries = store_.size();
+    quarantined = store_.quarantined();
   }
   std::size_t open = 0;
   for (const SessionHandle* h : handles)
@@ -522,6 +617,8 @@ void TuningService::publish_metrics() {
   auto& reg = obs::MetricsRegistry::current();
   reg.gauge("service.sessions_active").set(static_cast<double>(open));
   reg.gauge("service.store.entries").set(static_cast<double>(store_entries));
+  reg.gauge("service.store.quarantined")
+      .set(static_cast<double>(quarantined));
 }
 
 }  // namespace portatune::service

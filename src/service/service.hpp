@@ -60,6 +60,7 @@ struct SessionInfo {
   double best_seconds = 0.0;
   bool warm = false;
   std::string warm_source;  ///< machine the warm surrogate came from
+  double idle_seconds = 0.0;  ///< since the last client op touched it
   bool closed = false;
 };
 
@@ -95,6 +96,9 @@ class SessionHandle {
   const tuner::ParamSpace& space() const { return cached_->space(); }
   /// Snapshot of the trace (copy: the session may advance concurrently).
   tuner::SearchTrace trace_snapshot() const;
+  /// Seconds since a client op (step/suggest/report/checkpoint/close)
+  /// last touched this session — the lease sweep's eviction signal.
+  double idle_seconds() const;
 
  private:
   friend class TuningService;
@@ -116,6 +120,7 @@ class SessionHandle {
   std::unique_ptr<tuner::TuningSession> session_;
   TuningService* service_ = nullptr;  ///< owner; outlives the handle
   bool closed_ = false;
+  double last_touched_ = 0.0;  ///< obs::mono_now() of the last client op
   mutable std::mutex mutex_;
 };
 
@@ -143,8 +148,25 @@ class TuningService {
   /// Live handle by id; nullptr when unknown.
   SessionHandle* find(const std::string& id);
 
+  /// resume(id) that answers failure with nullptr instead of throwing —
+  /// the protocol's fallback when a session op arrives for a session
+  /// that is not live (daemon restarted, or the lease sweep reclaimed
+  /// it) but has a resumable checkpoint on disk. Successful restores
+  /// count under `service.sessions_restored` (+ an Info event).
+  SessionHandle* try_restore(const std::string& id);
+
+  /// Lease sweep: checkpoint-and-evict every open session idle longer
+  /// than `max_idle_seconds` (also drop closed sessions idle that long —
+  /// their state is final on disk). The session is NOT marked closed, so
+  /// a later op on it transparently resumes from the lease checkpoint.
+  /// A session whose checkpoint write fails stays live (counted under
+  /// `service.checkpoint_failures`) — reclaiming it would lose state.
+  /// Returns the reclaimed session ids.
+  std::vector<std::string> reclaim_idle(double max_idle_seconds);
+
   std::vector<SessionInfo> sessions() const;
-  /// Checkpoint every open session (the server's SIGTERM path).
+  /// Checkpoint every open session (the server's SIGTERM path). Failures
+  /// degrade to counted warnings (`service.checkpoint_failures`).
   void checkpoint_all();
 
   EvalCache& cache() noexcept { return cache_; }

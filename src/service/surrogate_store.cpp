@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
 #include "support/atomic_file.hpp"
+#include "support/checksum.hpp"
 #include "support/error.hpp"
 #include "tuner/evaluator.hpp"
 #include "tuner/persistence.hpp"
@@ -43,6 +49,14 @@ std::vector<double> split_fingerprint(const std::string& s) {
   return out;
 }
 
+void note_quarantine(const std::string& what, const std::string& reason) {
+  obs::MetricsRegistry::current().counter("store.quarantined").add(1);
+  if (obs::enabled(obs::Severity::Warn))
+    obs::emit(obs::make_instant(obs::Severity::Warn,
+                                "store.entry_quarantined", "service",
+                                {{"entry", what}, {"reason", reason}}));
+}
+
 }  // namespace
 
 SurrogateStore::SurrogateStore(SurrogateStoreOptions opt)
@@ -55,6 +69,35 @@ SurrogateStore::SurrogateStore(SurrogateStoreOptions opt)
 
 std::string SurrogateStore::entry_dir(const StoreEntry& entry) const {
   return opt_.dir + "/entries/" + entry.key;
+}
+
+/// First free path under quarantine/ for `name` (suffixing -2, -3, ...
+/// when a previous quarantine already used it).
+std::string SurrogateStore::quarantine_slot(const std::string& name) const {
+  std::error_code ec;
+  std::filesystem::create_directories(opt_.dir + "/quarantine", ec);
+  std::string dst = opt_.dir + "/quarantine/" + name;
+  for (std::size_t n = 2; std::filesystem::exists(dst, ec); ++n)
+    dst = opt_.dir + "/quarantine/" + name + "-" + std::to_string(n);
+  return dst;
+}
+
+void SurrogateStore::quarantine(const std::string& key,
+                                const std::string& reason) {
+  std::error_code ec;
+  const std::string src = opt_.dir + "/entries/" + key;
+  if (std::filesystem::exists(src, ec))
+    std::filesystem::rename(src, quarantine_slot(key), ec);
+  // Even when the move failed, drop the entry from the index: nothing
+  // may serve it again, and the next load skips unindexed directories.
+  const auto it = std::remove_if(
+      entries_.begin(), entries_.end(),
+      [&](const StoreEntry& e) { return e.key == key; });
+  const bool indexed = it != entries_.end();
+  entries_.erase(it, entries_.end());
+  ++quarantined_;
+  note_quarantine(key, reason);
+  if (indexed && !loading_) save_index();
 }
 
 const StoreEntry* SurrogateStore::find(const std::string& key) const {
@@ -144,32 +187,74 @@ void SurrogateStore::save_index() const {
 }
 
 void SurrogateStore::load_index() {
-  const std::string text = read_file(opt_.dir + "/index.csv");
+  loading_ = true;
+  const std::size_t quarantined_before = quarantined_;
+  const std::string index_path = opt_.dir + "/index.csv";
+  const std::string text = read_file(index_path);
   std::istringstream is(text);
   std::string line;
-  PT_REQUIRE(std::getline(is, line) &&
-                 line.rfind("# portatune-store v1", 0) == 0,
-             "'" + opt_.dir + "/index.csv' is not a surrogate store index");
+  if (!std::getline(is, line) ||
+      line.rfind("# portatune-store v1", 0) != 0) {
+    // Not our index at all (overwritten, torn at byte zero): move the
+    // file aside whole and start empty — startup must survive it.
+    std::error_code ec;
+    std::filesystem::rename(index_path, quarantine_slot("index.csv"), ec);
+    ++quarantined_;
+    note_quarantine("index.csv",
+                    "'" + index_path + "' is not a surrogate store index");
+    loading_ = false;
+    return;
+  }
+  std::string rejected_lines;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
     StoreEntry e;
-    std::istringstream ls(line);
-    std::string evals, best, fp;
-    PT_REQUIRE(std::getline(ls, e.key, ',') &&
-                   std::getline(ls, e.problem, ',') &&
-                   std::getline(ls, e.machine, ',') &&
-                   std::getline(ls, evals, ',') &&
-                   std::getline(ls, best, ',') && std::getline(ls, fp),
-               "malformed store index line: " + line);
-    e.evals = std::stoul(evals);
-    e.best_seconds = std::stod(best);
-    e.fingerprint = split_fingerprint(fp);
+    try {
+      std::istringstream ls(line);
+      std::string evals, best, fp;
+      PT_REQUIRE(std::getline(ls, e.key, ',') &&
+                     std::getline(ls, e.problem, ',') &&
+                     std::getline(ls, e.machine, ',') &&
+                     std::getline(ls, evals, ',') &&
+                     std::getline(ls, best, ',') && std::getline(ls, fp),
+                 "malformed store index line: " + line);
+      e.evals = std::stoul(evals);
+      e.best_seconds = std::stod(best);
+      e.fingerprint = split_fingerprint(fp);
+    } catch (const std::exception& ex) {
+      // A torn or hand-edited line quarantines that *line*, not the
+      // store: survivors keep serving.
+      rejected_lines += line + "\n";
+      ++quarantined_;
+      note_quarantine("index line", ex.what());
+      continue;
+    }
     // Entries whose trace file vanished are dropped silently: the index
     // is a cache of the entries/ directory, not the other way round.
-    if (!file_exists(opt_.dir + "/entries/" + e.key + "/trace.csv"))
+    const std::string trace_path =
+        opt_.dir + "/entries/" + e.key + "/trace.csv";
+    if (!file_exists(trace_path)) continue;
+    // Verify the trace's v3 checksum footer up front — cheap (one hash
+    // over the file) and it catches truncation and byte flips before a
+    // session warms from the entry.
+    try {
+      const std::string what = "store entry '" + e.key + "' trace";
+      strip_verified_checksum_footer(read_file(trace_path), what.c_str());
+    } catch (const std::exception& ex) {
+      quarantine(e.key, ex.what());
       continue;
+    }
     entries_.push_back(std::move(e));
   }
+  loading_ = false;
+  if (!rejected_lines.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(opt_.dir + "/quarantine", ec);
+    std::ofstream out(opt_.dir + "/quarantine/index_rejected.csv",
+                      std::ios::app);
+    out << rejected_lines;
+  }
+  if (quarantined_ != quarantined_before) save_index();
 }
 
 std::vector<double> measure_fingerprint(tuner::Evaluator& eval,

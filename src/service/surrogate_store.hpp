@@ -22,6 +22,19 @@
 // Layout under dir/:
 //   index.csv                 one line per entry (atomic rewrite)
 //   entries/<key>/trace.csv   the training trace (atomic write)
+//   quarantine/               corrupt state moved aside, never deleted
+//
+// Corruption tolerance: the store is shared, long-lived state, so one
+// bad entry must never cost the daemon its startup. Loading verifies
+// every entry's trace checksum; an entry that fails (torn file, flipped
+// bytes, bad footer) is *quarantined* — its directory moved to
+// quarantine/, the index rewritten without it — and counted under the
+// `store.quarantined` metric with a Warn `store.entry_quarantined`
+// event. Malformed index lines are appended to quarantine/
+// index_rejected.csv the same way, and an index.csv that is not a store
+// index at all is moved aside whole. quarantine() is also the escape
+// hatch for corruption detected later (a forged-checksum trace that
+// parses no further), used by the service's warm-start path.
 #pragma once
 
 #include <optional>
@@ -82,6 +95,18 @@ class SurrogateStore {
   }
   std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Entries (and index lines) quarantined since construction —
+  /// including load-time quarantines, so a freshly opened store already
+  /// reports what it moved aside.
+  std::size_t quarantined() const noexcept { return quarantined_; }
+
+  /// Move entry `key`'s directory to quarantine/, drop it from the
+  /// index, count it and emit the Warn event. Safe for unknown keys
+  /// (counts the quarantine, nothing to move). Never throws: failure to
+  /// move still drops the entry from the index, which is what loading
+  /// trusts.
+  void quarantine(const std::string& key, const std::string& reason);
+
   /// Entry by key; nullptr when absent.
   const StoreEntry* find(const std::string& key) const;
 
@@ -108,9 +133,12 @@ class SurrogateStore {
   void save_index() const;
   void load_index();
   std::string entry_dir(const StoreEntry& entry) const;
+  std::string quarantine_slot(const std::string& name) const;
 
   SurrogateStoreOptions opt_;
   std::vector<StoreEntry> entries_;
+  std::size_t quarantined_ = 0;
+  bool loading_ = false;  ///< suppress per-quarantine index rewrites
 };
 
 /// Measure the canonical fingerprint of a machine behind `eval`: the run

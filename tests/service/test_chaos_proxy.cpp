@@ -1,0 +1,222 @@
+// ChaosProxy vs ResilientClient: each injected transport fault — delay,
+// torn reply, mid-reply hangup, blackhole — against a real server, with
+// the exactly-once invariant checked the same way the loadgen does: the
+// server-side per-op execution counters must equal the client-side call
+// counts, no matter how many retries the faults forced. UNIX-only.
+#if defined(__unix__) || defined(__APPLE__)
+
+#include "service/chaos_proxy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "service/resilient_client.hpp"
+#include "service/server.hpp"
+#include "service/service.hpp"
+#include "support/cancellation.hpp"
+
+namespace portatune::service {
+namespace {
+
+using obs::json::Value;
+
+template <class Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 500; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+class ChaosProxyTest : public testing::Test {
+ protected:
+  ChaosProxyTest() : redirect_(registry_) {}
+
+  void start(ChaosProxyOptions copt) {
+    const std::string pid = std::to_string(::getpid());
+    const std::string dir = testing::TempDir() + "portatune_chaos_" + pid;
+    std::filesystem::remove_all(dir);
+    TuningServiceOptions so;
+    so.data_dir = dir;
+    svc_ = std::make_unique<TuningService>(so);
+    upstream_path_ = testing::TempDir() + "pt_chaos_up_" + pid + ".sock";
+    listen_path_ = testing::TempDir() + "pt_chaos_" + pid + ".sock";
+    server_thread_ = std::thread([this] {
+      serve_unix_socket(*svc_, upstream_path_, server_cancel_.token(), {});
+    });
+    proxy_ = std::make_unique<ChaosProxy>(listen_path_, upstream_path_,
+                                          copt);
+    proxy_thread_ =
+        std::thread([this] { proxy_->run(proxy_cancel_.token()); });
+    ASSERT_TRUE(eventually([&] {
+      return std::filesystem::exists(upstream_path_) &&
+             std::filesystem::exists(listen_path_);
+    }));
+  }
+
+  void TearDown() override {
+    proxy_cancel_.request_cancel();
+    if (proxy_thread_.joinable()) proxy_thread_.join();
+    server_cancel_.request_cancel();
+    if (server_thread_.joinable()) server_thread_.join();
+  }
+
+  ResilientClient make_client() {
+    ResilientClientOptions ro;
+    ro.client_id = "chaos-test";
+    ro.attempt_timeout_seconds = 1.0;
+    ro.call_deadline_seconds = 30.0;
+    return ResilientClient(listen_path_, ro);
+  }
+
+  std::uint64_t counter(const std::string& name) {
+    return registry_.counter(name).value();
+  }
+
+  /// open -> `suggests` suggest calls -> close, all through the proxy;
+  /// asserts every reply was ok and the server executed each logical
+  /// call exactly once.
+  void drive_and_check_exactly_once(std::size_t suggests) {
+    ResilientClient client = make_client();
+    ASSERT_TRUE(
+        Value::parse(
+            client.call(R"({"op":"open","id":"c1","problem":"LU",)"
+                        R"("machine":"Westmere","max_evals":50,"seed":3})"))
+            .at("ok")
+            .as_bool());
+    for (std::size_t i = 0; i < suggests; ++i)
+      ASSERT_TRUE(
+          Value::parse(client.call(R"({"op":"suggest","id":"c1","n":1})"))
+              .at("ok")
+              .as_bool())
+          << "suggest " << i;
+    ASSERT_TRUE(
+        Value::parse(client.call(R"({"op":"close","id":"c1"})"))
+            .at("ok")
+            .as_bool());
+    // Exactly-once: executions == logical calls. Retries forced by the
+    // faults may add server.rid.replays, never per-op counts.
+    EXPECT_TRUE(eventually([&] {
+      return counter("server.op.close.count") == 1;
+    }));
+    EXPECT_EQ(counter("server.op.open.count"), 1u);
+    EXPECT_EQ(counter("server.op.suggest.count"), suggests);
+    EXPECT_EQ(counter("server.op.close.count"), 1u);
+  }
+
+  obs::MetricsRegistry registry_;
+  obs::ScopedMetricsRedirect redirect_;
+  CancellationSource server_cancel_, proxy_cancel_;
+  std::unique_ptr<TuningService> svc_;
+  std::unique_ptr<ChaosProxy> proxy_;
+  std::string upstream_path_, listen_path_;
+  std::thread server_thread_, proxy_thread_;
+};
+
+TEST_F(ChaosProxyTest, CleanPassThrough) {
+  start({});  // all fault rates zero
+  drive_and_check_exactly_once(5);
+  EXPECT_GE(proxy_->stats().requests, 7u);
+  EXPECT_EQ(proxy_->stats().tears, 0u);
+}
+
+TEST_F(ChaosProxyTest, DelaysDeliverEventually) {
+  ChaosProxyOptions copt;
+  copt.delay_rate = 1.0;  // every reply held back
+  copt.delay_seconds = 0.02;
+  start(copt);
+  ResilientClient client = make_client();
+  EXPECT_TRUE(Value::parse(client.call(R"({"op":"status"})"))
+                  .at("ok")
+                  .as_bool());
+  EXPECT_EQ(client.stats().retries, 0u);  // delayed, not lost
+  EXPECT_GE(proxy_->stats().delays, 1u);
+}
+
+TEST_F(ChaosProxyTest, TornRepliesAreRetriedExactlyOnce) {
+  ChaosProxyOptions copt;
+  copt.seed = 7;
+  copt.tear_rate = 0.4;
+  start(copt);
+  drive_and_check_exactly_once(12);
+  // With a 40% tear rate over 14+ requests the schedule tears at least
+  // once (seeded, so this is deterministic, not flaky).
+  EXPECT_GE(proxy_->stats().tears, 1u);
+  EXPECT_GE(counter("server.rid.replays"), 1u);
+}
+
+TEST_F(ChaosProxyTest, HangupsExecuteOnceAndReplay) {
+  ChaosProxyOptions copt;
+  copt.seed = 11;
+  copt.hangup_rate = 0.4;
+  start(copt);
+  drive_and_check_exactly_once(12);
+  EXPECT_GE(proxy_->stats().hangups, 1u);
+  // A hangup means the op *did* execute and the reply was lost — the
+  // retry must have been answered from the reply cache.
+  EXPECT_GE(counter("server.rid.replays"), 1u);
+}
+
+TEST_F(ChaosProxyTest, BlackholedRequestsNeverReachTheServer) {
+  ChaosProxyOptions copt;
+  copt.blackhole_rate = 1.0;  // swallow everything
+  copt.blackhole_hold_seconds = 0.05;
+  start(copt);
+  ResilientClientOptions ro;
+  ro.attempt_timeout_seconds = 0.2;
+  ro.call_deadline_seconds = 0.8;
+  ResilientClient client(listen_path_, ro);
+  EXPECT_THROW(client.call(R"({"op":"status"})"), Error);
+  EXPECT_GT(client.stats().retries, 0u);
+  // The proxy never forwarded a byte: the server executed nothing.
+  EXPECT_EQ(proxy_->stats().requests, 0u);
+  EXPECT_GE(proxy_->stats().blackholes, 1u);
+  EXPECT_EQ(counter("server.op.status.count"), 0u);
+}
+
+TEST_F(ChaosProxyTest, MixedFaultStormStaysExactlyOnce) {
+  ChaosProxyOptions copt;
+  copt.seed = 42;
+  copt.delay_rate = 0.2;
+  copt.delay_seconds = 0.01;
+  copt.tear_rate = 0.15;
+  copt.hangup_rate = 0.1;
+  copt.blackhole_rate = 0.05;
+  copt.blackhole_hold_seconds = 0.05;
+  start(copt);
+  drive_and_check_exactly_once(20);
+}
+
+TEST_F(ChaosProxyTest, DeadUpstreamSurfacesAsDeadline) {
+  // Proxy up, daemon gone: connections open and immediately close, and
+  // the client's deadline is the only thing that ends the retry loop.
+  ChaosProxyOptions copt;
+  const std::string pid = std::to_string(::getpid());
+  listen_path_ = testing::TempDir() + "pt_chaos_dead_" + pid + ".sock";
+  proxy_ = std::make_unique<ChaosProxy>(
+      listen_path_, testing::TempDir() + "pt_chaos_void_" + pid + ".sock",
+      copt);
+  proxy_thread_ =
+      std::thread([this] { proxy_->run(proxy_cancel_.token()); });
+  ASSERT_TRUE(eventually(
+      [&] { return std::filesystem::exists(listen_path_); }));
+  ResilientClientOptions ro;
+  ro.call_deadline_seconds = 0.5;
+  ro.attempt_timeout_seconds = 0.2;
+  ResilientClient client(listen_path_, ro);
+  EXPECT_THROW(client.call(R"({"op":"status"})"), Error);
+}
+
+}  // namespace
+}  // namespace portatune::service
+
+#endif  // UNIX

@@ -22,6 +22,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "service/resilient_client.hpp"
 #include "support/cancellation.hpp"
 
 namespace portatune::service {
@@ -237,6 +238,142 @@ TEST_F(ServerTest, HeartbeatFileIsWrittenAndFinalized) {
   EXPECT_EQ(final_status.at("clients_connected").as_number(), 0.0);
   EXPECT_GT(final_status.at("pid").as_number(), 0.0);
   EXPECT_NE(final_status.find("ops"), nullptr);
+}
+
+TEST_F(ServerTest, LargePayloadRoundTripsThroughServiceClient) {
+  start();  // default 1 MiB line cap
+  ServiceClient client(socket_path_);
+  // Half a MiB in one request line: the client's send loop must survive
+  // short writes (a Unix socket buffer is far smaller than this), and
+  // the server must reassemble the line across many reads.
+  const std::string huge = R"({"op":"status","padding":")" +
+                           std::string(512 * 1024, 'x') + "\"}";
+  const Value reply = Value::parse(client.call(huge));
+  EXPECT_TRUE(reply.at("ok").as_bool());
+  EXPECT_TRUE(eventually(
+      [&] { return counter("server.bytes_in") >= huge.size(); }));
+  // The connection is still healthy for normal-sized traffic.
+  EXPECT_TRUE(
+      Value::parse(client.call(R"({"op":"status"})")).at("ok").as_bool());
+}
+
+TEST_F(ServerTest, IdleSessionIsReclaimedThenTransparentlyRestored) {
+  ServeOptions opt;
+  opt.lease_seconds = 0.3;
+  opt.lease_check_every_seconds = 0.05;
+  start(opt);
+  ServiceClient client(socket_path_);
+  ASSERT_TRUE(Value::parse(client.call(
+                              R"({"op":"open","id":"idle1","problem":"LU",)"
+                              R"("machine":"Westmere","max_evals":30,)"
+                              R"("seed":3})"))
+                  .at("ok")
+                  .as_bool());
+  ASSERT_TRUE(
+      Value::parse(client.call(R"({"op":"step","id":"idle1","n":4})"))
+          .at("ok")
+          .as_bool());
+  // Idle past the lease: the sweep checkpoints and evicts the session.
+  EXPECT_TRUE(eventually(
+      [&] { return counter("server.sessions_reclaimed") >= 1; }));
+  EXPECT_TRUE(eventually([&] { return svc_->find("idle1") == nullptr; }));
+  // The next op on the same connection restores it from the checkpoint —
+  // eviction is invisible to the client, and no progress was lost.
+  const Value stepped =
+      Value::parse(client.call(R"({"op":"step","id":"idle1","n":1})"));
+  ASSERT_TRUE(stepped.at("ok").as_bool());
+  EXPECT_EQ(stepped.at("evals").as_number(), 5.0);
+  EXPECT_GE(counter("service.sessions_restored"), 1u);
+}
+
+TEST_F(ServerTest, OverBudgetRequestsGetTypedRetryAfter) {
+  ServeOptions opt;
+  opt.client_rate_limit = 5.0;
+  opt.client_rate_burst = 2.0;
+  start(opt);
+  ServiceClient client(socket_path_);
+  ASSERT_TRUE(
+      Value::parse(client.call(R"({"op":"status"})")).at("ok").as_bool());
+  ASSERT_TRUE(
+      Value::parse(client.call(R"({"op":"status"})")).at("ok").as_bool());
+  // Burst spent: the third immediate request is rejected with the typed
+  // overload error, *without* reaching the protocol (no op counter).
+  const Value throttled =
+      Value::parse(client.call(R"({"op":"status"})"));
+  EXPECT_FALSE(throttled.at("ok").as_bool());
+  EXPECT_NE(throttled.at("error").as_string().find("rate limit"),
+            std::string::npos);
+  ASSERT_TRUE(throttled.at("retry_after").is_number());
+  EXPECT_GT(throttled.at("retry_after").as_number(), 0.0);
+  EXPECT_TRUE(eventually(
+      [&] { return counter("server.requests_throttled") >= 1; }));
+  EXPECT_EQ(counter("server.op.status.count"), 2u);
+  // A ResilientClient rides the same limiter invisibly: it sleeps the
+  // advertised retry_after and the call still succeeds.
+  ResilientClient resilient(socket_path_);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(Value::parse(resilient.call(R"({"op":"status"})"))
+                    .at("ok")
+                    .as_bool());
+  EXPECT_GE(resilient.stats().throttled, 1u);
+}
+
+TEST_F(ServerTest, ExactlyOnceSurvivesServerRestart) {
+  const std::string state_path = testing::TempDir() + "pt_proto_state_" +
+                                 std::to_string(::getpid()) + ".json";
+  std::filesystem::remove(state_path);
+  ServeOptions opt;
+  opt.protocol.state_path = state_path;
+  start(opt);
+  ServiceClient first(socket_path_);
+  ASSERT_TRUE(Value::parse(first.call(
+                               R"({"op":"open","id":"r1","problem":"LU",)"
+                               R"("machine":"Westmere","max_evals":30,)"
+                               R"("seed":3,"rid":"t:1"})"))
+                  .at("ok")
+                  .as_bool());
+  const std::string step_line =
+      R"({"op":"step","id":"r1","n":2,"rid":"t:2"})";
+  const std::string step_reply = first.call(step_line);
+  ASSERT_TRUE(Value::parse(step_reply).at("ok").as_bool());
+
+  // "SIGTERM": graceful shutdown persists the protocol state and
+  // checkpoints the open session.
+  cancel_.request_cancel();
+  thread_.join();
+  EXPECT_EQ(rc_, 3);
+  ASSERT_TRUE(std::filesystem::exists(state_path));
+
+  // Restart: a new service process on the same data dir + state file.
+  TuningServiceOptions so;
+  so.data_dir = svc_->store().dir().substr(
+      0, svc_->store().dir().rfind("/store"));
+  TuningService svc2(so);
+  CancellationSource cancel2;
+  std::thread thread2([&] {
+    serve_unix_socket(svc2, socket_path_, cancel2.token(), opt);
+  });
+  ASSERT_TRUE(eventually(
+      [&] { return std::filesystem::exists(socket_path_); }));
+
+  // A retry of the rid that executed on the *old* daemon replays the
+  // exact pre-restart reply — the cache crossed the restart.
+  ResilientClient client(socket_path_);
+  EXPECT_EQ(client.call(step_line), step_reply);
+  EXPECT_TRUE(eventually(
+      [&] { return counter("server.rid.replays") >= 1; }));
+  // And a fresh step auto-restores the checkpointed session: 2 evals
+  // before the restart + 2 now.
+  const Value stepped = Value::parse(
+      client.call(R"({"op":"step","id":"r1","n":2,"rid":"t:3"})"));
+  ASSERT_TRUE(stepped.at("ok").as_bool());
+  EXPECT_EQ(stepped.at("evals").as_number(), 4.0);
+  // Counter continuity, replays excluded: 1 live execution before the
+  // restart + 1 restored from the state file (both land in this test's
+  // registry, which outlives the "restart") + 1 fresh execution.
+  EXPECT_EQ(counter("server.op.step.count"), 3u);
+  cancel2.request_cancel();
+  thread2.join();
 }
 
 }  // namespace
